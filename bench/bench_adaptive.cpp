@@ -1,0 +1,130 @@
+// E14 — adaptive reallocation under phase changes (§II's "quickly shifting
+// resources ... could improve efficiency" vs §V's "favoring stability").
+//
+// One application alternates between a memory-bound phase (AI = 0.5) and a
+// compute-bound phase (AI = 10) while three memory-bound apps co-run. Four
+// strategies on the simulated machine, with a configurable reallocation
+// penalty:
+//   static-even        — (2,2,2,2), never moves
+//   static-phase1-best — optimal for the compute phase, never moves
+//   adaptive           — a model-guided controller re-optimizes on each
+//                        observed phase change (pays the switch penalty)
+//   oracle             — per-phase optimum, switches for free (upper bound)
+// The sweep over phase length shows the crossover the paper's stability
+// argument predicts: adapt when phases are long, hold still when they churn.
+#include "bench_support.hpp"
+#include "common/table.hpp"
+#include "core/optimizer.hpp"
+#include "core/roofline.hpp"
+#include "sim/simulator.hpp"
+#include "topology/presets.hpp"
+
+namespace {
+
+using namespace numashare;
+
+constexpr double kPenaltyS = 0.02;
+
+/// Phase A: app3 compute-bound (AI 10), app0 memory-bound. Phase B: the two
+/// swap roles — so the optimal allocation genuinely moves between phases.
+std::vector<model::AppSpec> mix_for_phase(bool phase_a) {
+  auto apps = model::mixes::three_mem_one_compute();  // {0.5, 0.5, 0.5, 10}
+  if (!phase_a) std::swap(apps[0].ai, apps[3].ai);    // {10, 0.5, 0.5, 0.5}
+  return apps;
+}
+
+model::Allocation best_for(const topo::Machine& machine, bool phase_a) {
+  return model::exhaustive_search(machine, mix_for_phase(phase_a),
+                                  model::Objective::kTotalGflops, true, 1)
+      .allocation;
+}
+
+/// Run the phase-alternating workload under a reallocation strategy.
+/// `react` maps the phase to the allocation to use (nullptr = hold).
+double run_strategy(double phase_s, double total_s,
+                    const model::Allocation& initial,
+                    const std::function<model::Allocation(bool)>& react,
+                    double penalty_s) {
+  const auto machine = topo::paper_model_machine();
+  sim::SimulationOptions options;
+  options.reallocation_penalty_s = penalty_s;
+  sim::Simulation simulation(sim::MachineSim(machine, sim::SimEffects::none()),
+                             mix_for_phase(true), initial, options);
+  double done = 0.0;
+  bool phase_a = true;
+  double total_gflop = 0.0;
+  while (done < total_s - 1e-9) {
+    const double chunk = std::min(phase_s, total_s - done);
+    const auto measurement = simulation.run(chunk, 1e-3);
+    for (auto g : measurement.app_gflop_total) total_gflop += g;
+    done += chunk;
+    // Phase flip: the two apps trade roles.
+    phase_a = !phase_a;
+    const auto mix = mix_for_phase(phase_a);
+    simulation.set_app_ai(0, mix[0].ai);
+    simulation.set_app_ai(3, mix[3].ai);
+    if (react) simulation.set_allocation(react(phase_a));
+  }
+  return total_gflop / total_s;
+}
+
+void reproduce() {
+  bench::print_header("E14 / adaptive reallocation",
+                      "phase-alternating app (AI 10 <-> 0.5), reallocation penalty 20 ms");
+  const auto machine = topo::paper_model_machine();
+  const auto even = model::Allocation::uniform_per_node(machine, {2, 2, 2, 2});
+  const auto best_a = best_for(machine, true);
+  const auto best_b = best_for(machine, false);
+  std::printf("  phase-A optimum (app3 compute-bound): %s\n", best_a.to_string().c_str());
+  std::printf("  phase-B optimum (app0 compute-bound): %s\n\n", best_b.to_string().c_str());
+
+  const double total_s = 1.6;
+  TextTable table({"phase length", "static even", "static phase1-best", "adaptive",
+                   "oracle (free switch)"});
+  double adaptive_short = 0.0, adaptive_long = 0.0;
+  double static_short = 0.0, static_long = 0.0;
+  for (double phase_s : {0.01, 0.05, 0.2, 0.8}) {
+    const auto react = [&](bool phase_a) { return phase_a ? best_a : best_b; };
+    const double s_even = run_strategy(phase_s, total_s, even, nullptr, kPenaltyS);
+    const double s_best1 = run_strategy(phase_s, total_s, best_a, nullptr, kPenaltyS);
+    const double s_adaptive = run_strategy(phase_s, total_s, best_a, react, kPenaltyS);
+    const double s_oracle = run_strategy(phase_s, total_s, best_a, react, 0.0);
+    table.add_row({fmt_compact(phase_s * 1e3) + " ms", fmt_fixed(s_even, 1),
+                   fmt_fixed(s_best1, 1), fmt_fixed(s_adaptive, 1),
+                   fmt_fixed(s_oracle, 1)});
+    if (phase_s == 0.01) {
+      adaptive_short = s_adaptive;
+      static_short = s_best1;
+    }
+    if (phase_s == 0.8) {
+      adaptive_long = s_adaptive;
+      static_long = s_best1;
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::print_section("claims");
+  std::printf("  long phases: adaptive beats any static choice (%+.1f%% vs best static) "
+              "— 'quickly shifting resources ... could improve efficiency' %s\n",
+              (adaptive_long / static_long - 1.0) * 100.0,
+              adaptive_long > static_long ? "[OK]" : "[SHAPE]");
+  std::printf("  churning phases: the switch penalty eats the gain (adaptive %+.1f%% vs "
+              "static) — 'favoring stability over maximal performance' %s\n",
+              (adaptive_short / static_short - 1.0) * 100.0,
+              adaptive_short <= static_short * 1.02 ? "[OK]" : "[SHAPE]");
+}
+
+void BM_AdaptiveRun(benchmark::State& state) {
+  const auto machine = topo::paper_model_machine();
+  const auto best_a = best_for(machine, true);
+  const auto best_b = best_for(machine, false);
+  const auto react = [&](bool phase_a) { return phase_a ? best_a : best_b; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_strategy(0.02, 0.1, best_a, react, kPenaltyS));
+  }
+}
+BENCHMARK(BM_AdaptiveRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NUMASHARE_BENCH_MAIN(reproduce)

@@ -1,0 +1,103 @@
+// E10 — §V distributed environment: how much of the on-node speedup from
+// dynamic core allocation survives at cluster scale, as a function of work
+// distribution (static vs dynamic) and synchronization tightness.
+//
+// Per-node speedups come from the on-node model itself: the model-guided
+// allocation vs the even allocation on the paper's fig.2 mix gives 254/140.
+#include "bench_support.hpp"
+#include "common/table.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/roofline.hpp"
+#include "dist/cluster.hpp"
+
+namespace {
+
+using namespace numashare;
+
+double on_node_speedup() {
+  const auto uneven = model::paper::table1();
+  const auto even = model::paper::table2();
+  const double best = model::solve(uneven.machine, uneven.apps, uneven.allocation).total_gflops;
+  const double base = model::solve(even.machine, even.apps, even.allocation).total_gflops;
+  return best / base;  // 254/140 = 1.814
+}
+
+void reproduce() {
+  bench::print_header("E10 / distributed model",
+                      "translating on-node speedup to cluster speedup (paper §V)");
+  const double s = on_node_speedup();
+  std::printf("  on-node speedup from NUMA-aware allocation (model, fig.2 mix): %.3fx\n", s);
+
+  bench::print_section("uniform speedup on 16 nodes, barrier-tightness sweep");
+  TextTable sweep({"barrier fraction", "static", "dynamic"});
+  dist::ClusterWorkload workload;
+  workload.node_speedups.assign(16, s);
+  for (double b : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    workload.barrier_fraction = b;
+    sweep.add_row({fmt_fixed(b, 1),
+                   fmt_fixed(dist::overall_speedup(workload, dist::Distribution::kStatic), 3),
+                   fmt_fixed(dist::overall_speedup(workload, dist::Distribution::kDynamic), 3)});
+  }
+  std::printf("%s", sweep.render().c_str());
+  std::printf("  uniform speedups translate fully either way — heterogeneity is what\n"
+              "  separates the schemes:\n");
+
+  bench::print_section("heterogeneous speedups (half the nodes gain nothing)");
+  dist::ClusterWorkload uneven;
+  uneven.node_speedups.assign(16, 1.0);
+  for (std::size_t n = 0; n < 8; ++n) uneven.node_speedups[n] = s;
+  TextTable het({"barrier fraction", "static", "dynamic", "dynamic (simulated, 64 tasks)"});
+  uneven.iterations = 5;
+  for (double b : {0.0, 0.5, 1.0}) {
+    uneven.barrier_fraction = b;
+    const double simulated =
+        dist::baseline_makespan(uneven, 64) /
+        dist::simulate_makespan(uneven, dist::Distribution::kDynamic, 64);
+    het.add_row({fmt_fixed(b, 1),
+                 fmt_fixed(dist::overall_speedup(uneven, dist::Distribution::kStatic), 3),
+                 fmt_fixed(dist::overall_speedup(uneven, dist::Distribution::kDynamic), 3),
+                 fmt_fixed(simulated, 3)});
+  }
+  std::printf("%s", het.render().c_str());
+
+  bench::print_section("paper claims");
+  uneven.barrier_fraction = 1.0;
+  const double tight = dist::overall_speedup(uneven, dist::Distribution::kStatic);
+  uneven.barrier_fraction = 0.0;
+  const double loose = dist::overall_speedup(uneven, dist::Distribution::kDynamic);
+  std::printf("  tight sync, static work: speedup %.3f — 'the benefit ... is rather "
+              "limited' %s\n", tight, tight < 1.05 ? "[OK]" : "[SHAPE]");
+  std::printf("  loose sync, dynamic work: speedup %.3f of local %.3f — 'most of the "
+              "local speedup should translate' %s\n", loose, s,
+              loose > 1.0 + 0.8 * (s - 1.0) / 2.0 ? "[OK]" : "[SHAPE]");
+}
+
+void BM_ClosedFormSpeedup(benchmark::State& state) {
+  dist::ClusterWorkload workload;
+  workload.node_speedups.assign(64, 1.5);
+  workload.barrier_fraction = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist::overall_speedup(workload, dist::Distribution::kDynamic));
+  }
+}
+BENCHMARK(BM_ClosedFormSpeedup);
+
+void BM_SimulatedMakespan(benchmark::State& state) {
+  dist::ClusterWorkload workload;
+  workload.node_speedups.assign(static_cast<std::size_t>(state.range(0)), 1.5);
+  for (std::size_t n = 0; n < workload.node_speedups.size(); n += 2) {
+    workload.node_speedups[n] = 1.0;
+  }
+  workload.barrier_fraction = 0.3;
+  workload.iterations = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist::simulate_makespan(workload, dist::Distribution::kDynamic, 128));
+  }
+}
+BENCHMARK(BM_SimulatedMakespan)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+NUMASHARE_BENCH_MAIN(reproduce)

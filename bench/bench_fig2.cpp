@@ -1,0 +1,65 @@
+// E3 — Figure 2: the three allocation scenarios (uneven, even, one node per
+// app) as a series, with an ASCII rendering of each layout.
+#include "bench_support.hpp"
+#include "common/table.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/roofline.hpp"
+
+namespace {
+
+using namespace numashare;
+
+void print_layout(const model::paper::Scenario& scenario) {
+  // One row per node: which app occupies each core slot.
+  const auto& machine = scenario.machine;
+  std::printf("  layout (%s):\n", scenario.allocation.to_string().c_str());
+  for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
+    std::string row = ns_format("    node {}: ", n);
+    for (model::AppId a = 0; a < scenario.allocation.app_count(); ++a) {
+      for (std::uint32_t t = 0; t < scenario.allocation.threads(a, n); ++t) {
+        row += ns_format("[app{}]", a + 1);
+      }
+    }
+    const std::uint32_t idle = machine.cores_in_node(n) - scenario.allocation.node_total(n);
+    for (std::uint32_t t = 0; t < idle; ++t) row += "[ -- ]";
+    std::printf("%s\n", row.c_str());
+  }
+}
+
+void reproduce() {
+  bench::print_header("E3 / Figure 2", "three ways of allocating threads to the fig.2 mix");
+  const auto scenarios = model::paper::fig2();
+  const char* names[] = {"a) uneven (1,1,1,5)", "b) even (2,2,2,2)", "c) node per app"};
+
+  TextTable table({"scenario", "model GFLOPS", "paper GFLOPS"});
+  std::size_t i = 0;
+  for (const auto& scenario : scenarios) {
+    const auto solution = model::solve(scenario.machine, scenario.apps, scenario.allocation);
+    std::printf("\n%s\n", names[i]);
+    print_layout(scenario);
+    std::printf("  per-app GFLOPS:\n%s", solution.describe(scenario.apps).c_str());
+    table.add_row({names[i], fmt_compact(solution.total_gflops, 2),
+                   fmt_compact(scenario.paper_model_gflops, 2)});
+    ++i;
+  }
+  bench::print_section("series (paper: 254 / 140 / 128)");
+  std::printf("%s", table.render().c_str());
+  std::printf("  ordering check: a > b > c (%s)\n",
+              254.0 > 140.0 && 140.0 > 128.0 ? "matches the paper" : "MISMATCH");
+}
+
+void BM_SolveAllFig2Scenarios(benchmark::State& state) {
+  const auto scenarios = model::paper::fig2();
+  for (auto _ : state) {
+    double total = 0.0;
+    for (const auto& s : scenarios) {
+      total += model::solve(s.machine, s.apps, s.allocation).total_gflops;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_SolveAllFig2Scenarios);
+
+}  // namespace
+
+NUMASHARE_BENCH_MAIN(reproduce)

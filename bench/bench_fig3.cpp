@@ -1,0 +1,83 @@
+// E4 — Figure 3: the NUMA-bad mix flips the Figure-2 verdict — dedicating a
+// whole node to each app (with the bad app on its data node) now wins.
+// Includes the cross-node traffic matrix the figure illustrates.
+#include "bench_support.hpp"
+#include "common/table.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/roofline.hpp"
+
+namespace {
+
+using namespace numashare;
+
+void print_traffic_matrix(const model::Solution& solution, const topo::Machine& machine) {
+  // exec node -> memory node GB/s, aggregated over groups.
+  std::vector<std::vector<double>> traffic(machine.node_count(),
+                                           std::vector<double>(machine.node_count(), 0.0));
+  for (const auto& g : solution.groups) {
+    traffic[g.exec_node][g.memory_node] += g.group_granted();
+  }
+  std::printf("  achieved traffic (GB/s, row = exec node, col = memory node):\n");
+  for (topo::NodeId a = 0; a < machine.node_count(); ++a) {
+    std::string row = "   ";
+    for (topo::NodeId b = 0; b < machine.node_count(); ++b) {
+      row += ns_format(" {}", fmt_fixed(traffic[a][b], 1));
+    }
+    std::printf("%s\n", row.c_str());
+  }
+}
+
+void reproduce() {
+  bench::print_header("E4 / Figure 3",
+                      "3x NUMA-perfect AI=0.5 + 1x NUMA-bad AI=1 (data on node 0)");
+  const auto even = model::paper::fig3_even();
+  const auto whole = model::paper::fig3_node_per_app();
+  std::printf("%s\n", even.machine.describe().c_str());
+
+  bench::print_section("even allocation (2,2,2,2) — cross-node traffic from the bad app");
+  const auto even_solution = model::solve(even.machine, even.apps, even.allocation);
+  print_traffic_matrix(even_solution, even.machine);
+  std::printf("%s", even_solution.describe(even.apps).c_str());
+
+  bench::print_section("one node per app, bad app on its data node — all local");
+  const auto whole_solution = model::solve(whole.machine, whole.apps, whole.allocation);
+  print_traffic_matrix(whole_solution, whole.machine);
+  std::printf("%s", whole_solution.describe(whole.apps).c_str());
+
+  bench::print_section("paper comparison");
+  // The paper prints 138 (exact arithmetic: 138.75) and 150.
+  bench::print_comparison("even allocation GFLOPS", even_solution.total_gflops, 138.0, 1.0);
+  bench::print_comparison("whole-node GFLOPS", whole_solution.total_gflops, 150.0, 0.01);
+  std::printf("  verdict flip vs Figure 2: whole-node wins here (%s)\n",
+              whole_solution.total_gflops > even_solution.total_gflops
+                  ? "matches the paper"
+                  : "MISMATCH");
+
+  bench::print_section("ablation: what if the bad app lands on the wrong node?");
+  auto wrong = whole;
+  wrong.allocation = model::Allocation::node_per_app(wrong.machine, {0, 2, 3, 1});
+  const auto wrong_solution = model::solve(wrong.machine, wrong.apps, wrong.allocation);
+  std::printf("  bad app on node 1, data on node 0: %s GFLOPS (vs %s on-node)\n",
+              fmt_compact(wrong_solution.total_gflops, 2).c_str(),
+              fmt_compact(whole_solution.total_gflops, 2).c_str());
+}
+
+void BM_SolveFig3Even(benchmark::State& state) {
+  const auto s = model::paper::fig3_even();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::solve(s.machine, s.apps, s.allocation).total_gflops);
+  }
+}
+BENCHMARK(BM_SolveFig3Even);
+
+void BM_SolveFig3WholeNode(benchmark::State& state) {
+  const auto s = model::paper::fig3_node_per_app();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::solve(s.machine, s.apps, s.allocation).total_gflops);
+  }
+}
+BENCHMARK(BM_SolveFig3WholeNode);
+
+}  // namespace
+
+NUMASHARE_BENCH_MAIN(reproduce)

@@ -1,0 +1,145 @@
+// E15 — §IV non-worker threads and the static-scheduling hazard:
+//
+//   "the applications might be written with the assumption that all their
+//    threads progress at a similar rate, leading to significant inefficiency
+//    if we break this assumption. One example of such code is the OpenMP
+//    parallel for loop with static scheduling."
+//
+// Part 1 measures that hazard on the live runtime: a loop of equal chunks
+// executed (a) statically — one long task per thread owning a fixed range —
+// vs (b) dynamically — one task per chunk, work-stealing rebalances — while
+// one worker runs 4x slower (emulating a core lost to a co-runner).
+//
+// Part 2 demonstrates the §IV facility for threads the runtime does not own:
+// enrolling foreign compute/IO threads and steering their NUMA binding.
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "bench_support.hpp"
+#include "common/table.hpp"
+#include "runtime/runtime.hpp"
+#include "topology/presets.hpp"
+
+namespace {
+
+using namespace numashare;
+
+constexpr int kChunks = 96;
+constexpr int kSpin = 6000;
+constexpr std::uint32_t kSlowWorker = 0;
+constexpr int kSlowFactor = 4;
+
+void chunk_work(std::uint32_t worker_id) {
+  const int reps = worker_id == kSlowWorker ? kSpin * kSlowFactor : kSpin;
+  volatile double x = 1.0;
+  for (int i = 0; i < reps; ++i) x = x * 1.0000001 + 1e-9;
+}
+
+double run_static() {
+  rt::Runtime runtime(topo::Machine::symmetric(2, 2, 1.0, 10.0), {.name = "static"});
+  const std::uint32_t threads = runtime.worker_count();
+  const int per_thread = kChunks / static_cast<int>(threads);
+  auto latch = runtime.create_latch(threads);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    // One long task per "thread", owning a fixed range: OpenMP static.
+    runtime.spawn([&, per_thread](rt::TaskContext& ctx) {
+      for (int c = 0; c < per_thread; ++c) chunk_work(ctx.worker_id);
+      latch->count_down();
+    });
+  }
+  latch->wait();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+double run_dynamic() {
+  rt::Runtime runtime(topo::Machine::symmetric(2, 2, 1.0, 10.0), {.name = "dynamic"});
+  auto latch = runtime.create_latch(kChunks);
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < kChunks; ++c) {
+    runtime.spawn([&](rt::TaskContext& ctx) {
+      chunk_work(ctx.worker_id);
+      latch->count_down();
+    });
+  }
+  latch->wait();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+void reproduce() {
+  bench::print_header("E15 / non-worker threads",
+                      "static vs dynamic scheduling with one degraded worker (§IV)");
+
+  bench::print_section("static-scheduling hazard (one worker 4x slower)");
+  // Best of 3 to damp scheduler noise on small hosts.
+  double static_s = 1e300, dynamic_s = 1e300;
+  for (int round = 0; round < 3; ++round) {
+    static_s = std::min(static_s, run_static());
+    dynamic_s = std::min(dynamic_s, run_dynamic());
+  }
+  TextTable table({"schedule", "makespan ms"});
+  table.add_row({"static (fixed ranges per thread)", fmt_fixed(static_s * 1e3, 1)});
+  table.add_row({"dynamic (task per chunk, stealing)", fmt_fixed(dynamic_s * 1e3, 1)});
+  std::printf("%s", table.render().c_str());
+  std::printf("  dynamic is %.2fx faster; the paper's warning about equal-progress\n"
+              "  assumptions (OpenMP static) holds: %s\n",
+              static_s / dynamic_s, static_s > dynamic_s * 1.2 ? "[OK]" : "[SHAPE]");
+
+  bench::print_section("foreign-thread steering (threads the runtime does not own)");
+  {
+    rt::Runtime runtime(topo::Machine::symmetric(2, 2, 1.0, 10.0), {.name = "host"});
+    auto& registry = runtime.foreign_threads();
+    std::atomic<bool> stop{false};
+    std::thread legacy([&] {
+      auto handle = registry.enroll("legacy-solver", rt::ForeignRole::kCompute);
+      while (!stop.load(std::memory_order_acquire)) {
+        handle->poll();  // cooperative re-binding point
+        volatile double x = 1.0;
+        for (int i = 0; i < 1000; ++i) x = x * 1.0000001;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+    std::thread io([&] {
+      auto handle = registry.enroll("io-pump", rt::ForeignRole::kIo);
+      while (!stop.load(std::memory_order_acquire)) {
+        handle->poll();
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+    while (registry.count() < 2) std::this_thread::yield();
+    for (const auto& entry : registry.list()) {
+      registry.request_bind(entry.id, entry.role == rt::ForeignRole::kCompute ? 1 : 0);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    TextTable threads({"thread", "role", "bound node"});
+    for (const auto& entry : registry.list()) {
+      threads.add_row({entry.name, rt::to_string(entry.role),
+                       entry.bound_node == topo::kInvalidNode
+                           ? "unbound"
+                           : std::to_string(entry.bound_node)});
+    }
+    std::printf("%s", threads.render().c_str());
+    const auto budget = registry.compute_bound_per_node();
+    std::printf("  compute threads per node budget adjustment: [%u %u] — the agent\n"
+                "  subtracts these from what it hands to task runtimes.\n",
+                budget[0], budget[1]);
+    stop.store(true, std::memory_order_release);
+    legacy.join();
+    io.join();
+  }
+}
+
+void BM_StaticSchedule(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_static());
+}
+BENCHMARK(BM_StaticSchedule)->Unit(benchmark::kMillisecond);
+
+void BM_DynamicSchedule(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_dynamic());
+}
+BENCHMARK(BM_DynamicSchedule)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NUMASHARE_BENCH_MAIN(reproduce)

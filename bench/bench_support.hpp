@@ -1,0 +1,57 @@
+// Shared scaffolding for the experiment benches.
+//
+// Every bench binary does two things:
+//   1. prints its paper reproduction (the same rows/series the paper
+//      reports, next to the paper's published values), then
+//   2. runs google-benchmark timings for the machinery involved.
+// A bench must run argument-free and exit cleanly ("for b in bench/*; do
+// $b; done" is the documented driver).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/table.hpp"
+
+namespace numashare::bench {
+
+inline void print_header(const std::string& experiment_id, const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void print_section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// "reproduced X vs paper Y (delta Z%)" line with a PASS/SHAPE marker.
+inline void print_comparison(const std::string& label, double reproduced, double paper,
+                             double tolerance_percent) {
+  const double delta = paper != 0.0 ? (reproduced - paper) / paper * 100.0 : 0.0;
+  const bool ok = paper == 0.0 || std::abs(delta) <= tolerance_percent;
+  std::printf("  %-42s %10s (paper: %8s, delta %+6.2f%%) %s\n", label.c_str(),
+              fmt_compact(reproduced, 2).c_str(), fmt_compact(paper, 2).c_str(), delta,
+              ok ? "[OK]" : "[SHAPE]");
+}
+
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace numashare::bench
+
+/// Standard main: reproduction printout first, then the timings.
+#define NUMASHARE_BENCH_MAIN(reproduce_fn)                     \
+  int main(int argc, char** argv) {                            \
+    reproduce_fn();                                            \
+    return ::numashare::bench::run_benchmarks(argc, argv);     \
+  }

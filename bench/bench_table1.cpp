@@ -1,0 +1,61 @@
+// E1 — Table I: uneven thread allocation (1,1,1,5) on the 4x8 model machine.
+// Prints the paper's full derivation (same row labels, same order) and the
+// 254 GFLOPS total, then times the solver.
+#include "bench_support.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/report.hpp"
+#include "core/roofline.hpp"
+#include "topology/presets.hpp"
+
+namespace {
+
+using namespace numashare;
+
+void reproduce() {
+  bench::print_header("E1 / Table I",
+                      "uneven allocation (1,1,1,5): 3x memory-bound AI=0.5 + "
+                      "1x compute-bound AI=10");
+  const auto scenario = model::paper::table1();
+  std::printf("%s\n", scenario.machine.describe().c_str());
+
+  bench::print_section("derivation (paper Table I rows)");
+  const auto derivation = model::derive(
+      scenario.machine, model::classes_from(scenario.apps, {1, 1, 1, 5}));
+  std::printf("%s", derivation.render().c_str());
+
+  bench::print_section("general solver cross-check");
+  const auto solution = model::solve(scenario.machine, scenario.apps, scenario.allocation);
+  std::printf("%s", solution.describe(scenario.apps).c_str());
+
+  bench::print_section("paper comparison");
+  bench::print_comparison("total GFLOPS", solution.total_gflops,
+                          scenario.paper_model_gflops, 0.01);
+  bench::print_comparison("GFLOPS per node", solution.nodes[0].node_gflops, 63.5, 0.01);
+  bench::print_comparison("memory-bound GB/s per thread",
+                          solution.find_group(0, 0)->per_thread_granted, 9.0, 0.01);
+  bench::print_comparison("compute-bound GFLOPS per app", solution.app_gflops[3], 200.0,
+                          0.01);
+}
+
+void BM_SolveTable1(benchmark::State& state) {
+  const auto scenario = model::paper::table1();
+  for (auto _ : state) {
+    auto solution = model::solve(scenario.machine, scenario.apps, scenario.allocation);
+    benchmark::DoNotOptimize(solution.total_gflops);
+  }
+}
+BENCHMARK(BM_SolveTable1);
+
+void BM_DeriveTable1(benchmark::State& state) {
+  const auto machine = topo::paper_model_machine();
+  const auto apps = model::mixes::three_mem_one_compute();
+  for (auto _ : state) {
+    auto derivation = model::derive(machine, model::classes_from(apps, {1, 1, 1, 5}));
+    benchmark::DoNotOptimize(derivation.total_gflops);
+  }
+}
+BENCHMARK(BM_DeriveTable1);
+
+}  // namespace
+
+NUMASHARE_BENCH_MAIN(reproduce)

@@ -1,0 +1,64 @@
+// E2 — Table II: even thread allocation (2,2,2,2), same mix and machine.
+#include "bench_support.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/report.hpp"
+#include "core/roofline.hpp"
+
+namespace {
+
+using namespace numashare;
+
+void reproduce() {
+  bench::print_header("E2 / Table II",
+                      "even allocation (2,2,2,2): 3x memory-bound AI=0.5 + "
+                      "1x compute-bound AI=10");
+  const auto scenario = model::paper::table2();
+
+  bench::print_section("derivation (paper Table II rows)");
+  const auto derivation = model::derive(
+      scenario.machine, model::classes_from(scenario.apps, {2, 2, 2, 2}));
+  std::printf("%s", derivation.render().c_str());
+
+  const auto solution = model::solve(scenario.machine, scenario.apps, scenario.allocation);
+  bench::print_section("paper comparison");
+  bench::print_comparison("total GFLOPS", solution.total_gflops,
+                          scenario.paper_model_gflops, 0.01);
+  bench::print_comparison("GFLOPS per node", solution.nodes[0].node_gflops, 35.0, 0.01);
+  bench::print_comparison("memory-bound GB/s per thread",
+                          solution.find_group(0, 0)->per_thread_granted, 5.0, 0.01);
+  bench::print_comparison("memory-bound GFLOPS per thread",
+                          solution.find_group(0, 0)->per_thread_gflops, 2.5, 0.01);
+  bench::print_comparison("compute-bound GFLOPS per app", solution.app_gflops[3], 80.0,
+                          0.01);
+
+  bench::print_section("contrast with Table I");
+  std::printf("  uneven (1,1,1,5): 254 GFLOPS  |  even (2,2,2,2): %s GFLOPS\n",
+              fmt_compact(solution.total_gflops).c_str());
+  std::printf("  the uneven split is %.1f%% faster on this mix\n",
+              (254.0 / solution.total_gflops - 1.0) * 100.0);
+}
+
+void BM_SolveTable2(benchmark::State& state) {
+  const auto scenario = model::paper::table2();
+  for (auto _ : state) {
+    auto solution = model::solve(scenario.machine, scenario.apps, scenario.allocation);
+    benchmark::DoNotOptimize(solution.total_gflops);
+  }
+}
+BENCHMARK(BM_SolveTable2);
+
+void BM_SolveSingleShotVariant(benchmark::State& state) {
+  const auto scenario = model::paper::table2();
+  model::SolveOptions options;
+  options.single_shot_remainder = true;
+  for (auto _ : state) {
+    auto solution =
+        model::solve(scenario.machine, scenario.apps, scenario.allocation, options);
+    benchmark::DoNotOptimize(solution.total_gflops);
+  }
+}
+BENCHMARK(BM_SolveSingleShotVariant);
+
+}  // namespace
+
+NUMASHARE_BENCH_MAIN(reproduce)

@@ -1,0 +1,117 @@
+// Interactive front-end for the allocation model: describe a machine and an
+// application mix (INI file or a built-in preset), enumerate candidate
+// allocations and print them ranked by predicted GFLOPS.
+//
+// Usage:
+//   ./examples/partition_explorer                   # paper fig.2 preset
+//   ./examples/partition_explorer numabad           # paper fig.3 preset
+//   ./examples/partition_explorer skylake           # paper Table III preset
+//   ./examples/partition_explorer mix.ini           # your own description
+//
+// INI format:
+//   [machine]
+//   nodes = 4
+//   cores_per_node = 8
+//   core_gflops = 10
+//   node_bandwidth = 32
+//   link_bandwidth = 10
+//   [app.stream]           ; one section per app, any name
+//   ai = 0.5
+//   placement = perfect    ; or: bad
+//   home = 0               ; only for placement = bad
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/optimizer.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/scenario_io.hpp"
+#include "topology/presets.hpp"
+
+using namespace numashare;
+
+namespace {
+
+using Problem = model::ScenarioDescription;
+
+Problem preset(const std::string& name) {
+  if (name == "numabad") {
+    return {topo::paper_numabad_machine(), model::mixes::three_perfect_one_bad(0)};
+  }
+  if (name == "skylake") {
+    return {topo::paper_skylake_machine(), model::mixes::skylake_mem_compute()};
+  }
+  return {topo::paper_model_machine(), model::mixes::three_mem_one_compute()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Problem problem;
+  if (argc > 1 && std::strchr(argv[1], '.') != nullptr) {
+    std::string error;
+    const auto loaded = model::load_scenario(argv[1], &error);
+    if (!loaded) {
+      std::fprintf(stderr, "failed to load '%s': %s\n", argv[1], error.c_str());
+      return 1;
+    }
+    problem = *loaded;
+  } else {
+    problem = preset(argc > 1 ? argv[1] : "fig2");
+  }
+
+  std::printf("%s\napplications:\n", problem.machine.describe().c_str());
+  for (const auto& app : problem.apps) {
+    std::printf("  %-16s AI=%-8g %s\n", app.name.c_str(), app.ai,
+                app.placement == model::Placement::kNumaBad
+                    ? ("NUMA-bad, data on node " + std::to_string(app.home_node)).c_str()
+                    : "NUMA-perfect");
+  }
+
+  // Collect candidates: uniform-per-node (everyone alive) + node permutations.
+  auto candidates = model::enumerate_uniform(
+      problem.machine, static_cast<std::uint32_t>(problem.apps.size()),
+      /*require_full=*/true, /*min_threads_per_app=*/1);
+  if (problem.apps.size() == problem.machine.node_count()) {
+    for (auto& perm : model::enumerate_node_permutations(problem.machine)) {
+      candidates.push_back(std::move(perm));
+    }
+  }
+
+  struct Ranked {
+    double gflops;
+    double worst_app;
+    model::Allocation allocation;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(candidates.size());
+  for (const auto& allocation : candidates) {
+    const auto solution = model::solve(problem.machine, problem.apps, allocation);
+    double worst = 1e300;
+    for (auto g : solution.app_gflops) worst = std::min(worst, g);
+    ranked.push_back({solution.total_gflops, worst, allocation});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) { return a.gflops > b.gflops; });
+
+  const std::size_t show = std::min<std::size_t>(10, ranked.size());
+  std::printf("\ntop %zu of %zu candidate allocations (by total GFLOPS):\n", show,
+              ranked.size());
+  TextTable table({"#", "allocation", "total GFLOPS", "worst app GFLOPS"});
+  for (std::size_t i = 0; i < show; ++i) {
+    table.add_row({std::to_string(i + 1), ranked[i].allocation.to_string(),
+                   fmt_fixed(ranked[i].gflops, 2), fmt_fixed(ranked[i].worst_app, 2)});
+  }
+  table.add_separator();
+  table.add_row({"last", ranked.back().allocation.to_string(),
+                 fmt_fixed(ranked.back().gflops, 2), fmt_fixed(ranked.back().worst_app, 2)});
+  std::printf("%s", table.render().c_str());
+  std::printf("\nspread: best %.2f vs worst %.2f GFLOPS — allocation choice is worth "
+              "%.0f%% on this mix.\n",
+              ranked.front().gflops, ranked.back().gflops,
+              (ranked.front().gflops / ranked.back().gflops - 1.0) * 100.0);
+  return 0;
+}

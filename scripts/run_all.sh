@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper experiment.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure
+
+echo
+echo "=== experiment benches (every paper table & figure) ==="
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  "$b"
+done
+
+echo
+echo "=== examples (quick passes) ==="
+./build/examples/quickstart
+./build/examples/partition_explorer numabad
+./build/examples/composed_app 1
+./build/tools/numashare_cli paper table3

@@ -1,0 +1,148 @@
+#include "agent/agent.hpp"
+
+#include <chrono>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "common/threading.hpp"
+
+namespace numashare::agent {
+
+Agent::Agent(topo::Machine machine, PolicyPtr policy, Options options)
+    : machine_(std::move(machine)), policy_(std::move(policy)), options_(options) {
+  NS_REQUIRE(policy_ != nullptr, "agent needs a policy");
+  NS_REQUIRE(machine_.node_count() <= kMaxNodes, "machine exceeds protocol capacity");
+}
+
+Agent::~Agent() { stop(); }
+
+std::size_t Agent::add_app(std::string name, ChannelBase& channel) {
+  NS_REQUIRE(!running_.load(), "register apps before starting the agent loop");
+  ManagedApp app;
+  app.name = name;
+  app.channel = &channel;
+  apps_.push_back(std::move(app));
+  AppView view;
+  view.name = std::move(name);
+  views_.push_back(std::move(view));
+  return apps_.size() - 1;
+}
+
+void Agent::send(ManagedApp& app, const Directive& directive) {
+  // A data-home suggestion travels as its own command, independent of
+  // whether a thread directive accompanies it.
+  if (directive.suggested_data_home != kMaxNodes) {
+    Command suggestion;
+    suggestion.type = CommandType::kSuggestDataHome;
+    suggestion.suggested_home = directive.suggested_data_home;
+    suggestion.seq = ++app.command_seq;
+    if (app.channel->push_command(suggestion)) {
+      ++commands_sent_;
+    } else {
+      --app.command_seq;
+    }
+  }
+
+  Command command;
+  command.seq = ++app.command_seq;
+  switch (directive.kind) {
+    case Directive::Kind::kNone:
+      --app.command_seq;
+      return;
+    case Directive::Kind::kClear:
+      command.type = CommandType::kClearControls;
+      break;
+    case Directive::Kind::kTotalThreads:
+      command.type = CommandType::kSetTotalThreads;
+      command.total_threads = directive.total_threads;
+      break;
+    case Directive::Kind::kNodeThreads: {
+      NS_REQUIRE(directive.node_threads.size() == machine_.node_count(),
+                 "directive node count mismatch");
+      command.type = CommandType::kSetNodeThreads;
+      command.node_count = static_cast<std::uint32_t>(directive.node_threads.size());
+      for (std::size_t n = 0; n < directive.node_threads.size(); ++n) {
+        command.node_threads[n] = directive.node_threads[n];
+      }
+      break;
+    }
+  }
+  if (app.channel->push_command(command)) {
+    ++commands_sent_;
+  } else {
+    // Backpressure: the runtime is not pumping. Dropping is deliberate — the
+    // next tick recomputes a fresher command anyway.
+    NS_LOG_WARN("agent", "command ring full for app '{}'", app.name);
+    --app.command_seq;
+  }
+}
+
+std::uint32_t Agent::step(double now) {
+  // 1. Drain telemetry, keep the newest sample, update rates from deltas.
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    auto& app = apps_[a];
+    auto& view = views_[a];
+    std::optional<Telemetry> newest;
+    while (auto t = app.channel->pop_telemetry()) {
+      ++telemetry_received_;
+      newest = *t;
+    }
+    if (!newest) continue;
+    if (app.have_prev) {
+      const double dt = newest->timestamp - app.prev.timestamp;
+      if (dt > 1e-9) {
+        const double task_rate =
+            static_cast<double>(newest->tasks_executed - app.prev.tasks_executed) / dt;
+        const double progress_rate =
+            static_cast<double>(newest->progress - app.prev.progress) / dt;
+        const double alpha = options_.rate_alpha;
+        view.task_rate = view.has_telemetry
+                             ? alpha * task_rate + (1.0 - alpha) * view.task_rate
+                             : task_rate;
+        view.progress_rate = view.has_telemetry
+                                 ? alpha * progress_rate + (1.0 - alpha) * view.progress_rate
+                                 : progress_rate;
+      }
+    }
+    app.prev = *newest;
+    app.have_prev = true;
+    view.latest = *newest;
+    view.has_telemetry = true;
+  }
+
+  // 2. OS-side ground truth.
+  if (options_.sample_os_load) {
+    if (auto load = os_sampler_.sample()) {
+      os_load_.store(*load, std::memory_order_relaxed);
+    }
+  }
+
+  // 3. Decide and command.
+  const auto before = commands_sent_;
+  const auto directives = policy_->decide(machine_, views_);
+  NS_REQUIRE(directives.size() == apps_.size(), "policy must answer one directive per app");
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    send(apps_[a], directives[a]);
+  }
+  (void)now;
+  return static_cast<std::uint32_t>(commands_sent_ - before);
+}
+
+void Agent::start() {
+  NS_REQUIRE(!running_.load(), "agent already running");
+  running_.store(true);
+  loop_thread_ = std::thread([this] {
+    set_current_thread_name("ns-agent");
+    while (running_.load(std::memory_order_acquire)) {
+      step(monotonic_seconds());
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.period_us));
+    }
+  });
+}
+
+void Agent::stop() {
+  if (!running_.exchange(false)) return;
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+}  // namespace numashare::agent

@@ -1,0 +1,88 @@
+// The arbitration agent (paper Figure 1).
+//
+// One Agent manages N applications through their channels. Each tick it
+// drains telemetry, refreshes per-app views (with EWMA task/progress rates),
+// asks the policy for directives, and pushes the resulting commands. It can
+// be stepped manually (deterministic tests) or run on its own thread. The
+// agent also samples OS CPU load — the paper's "agent also periodically
+// queries the operating system to check the actual CPU load".
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agent/channel.hpp"
+#include "agent/os_load.hpp"
+#include "agent/policy.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::agent {
+
+struct AgentOptions {
+  /// Tick period for the background loop.
+  std::int64_t period_us = 2000;
+  /// EWMA smoothing for rates.
+  double rate_alpha = 0.3;
+  /// Sample /proc/stat load each tick (off in unit tests for determinism).
+  bool sample_os_load = false;
+};
+
+class Agent {
+ public:
+  using Options = AgentOptions;
+
+  Agent(topo::Machine machine, PolicyPtr policy, AgentOptions options = {});
+  ~Agent();
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Register an application; the agent keeps a non-owning channel ref.
+  /// Returns the app's index (the order policies see).
+  std::size_t add_app(std::string name, ChannelBase& channel);
+
+  /// One decision cycle at the given timestamp (monotonic seconds). Returns
+  /// the number of commands sent.
+  std::uint32_t step(double now);
+
+  /// Background loop control.
+  void start();
+  void stop();
+
+  const std::vector<AppView>& views() const { return views_; }
+  const topo::Machine& machine() const { return machine_; }
+  Policy& policy() { return *policy_; }
+  std::uint64_t commands_sent() const { return commands_sent_; }
+  std::uint64_t telemetry_received() const { return telemetry_received_; }
+  /// Last OS load sample in [0,1], or a negative value before the first one.
+  double os_load() const { return os_load_.load(std::memory_order_relaxed); }
+
+ private:
+  struct ManagedApp {
+    std::string name;
+    ChannelBase* channel = nullptr;
+    std::uint64_t command_seq = 0;
+    bool have_prev = false;
+    Telemetry prev;
+  };
+
+  void send(ManagedApp& app, const Directive& directive);
+
+  topo::Machine machine_;
+  PolicyPtr policy_;
+  Options options_;
+  std::vector<ManagedApp> apps_;
+  std::vector<AppView> views_;
+  std::uint64_t commands_sent_ = 0;
+  std::uint64_t telemetry_received_ = 0;
+  OsLoadSampler os_sampler_;
+  std::atomic<double> os_load_{-1.0};
+
+  std::atomic<bool> running_{false};
+  std::thread loop_thread_;
+};
+
+}  // namespace numashare::agent

@@ -1,0 +1,134 @@
+#include "agent/channel.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "common/threading.hpp"
+#include "topology/affinity.hpp"
+
+namespace numashare::agent {
+
+RuntimeAdapter::RuntimeAdapter(rt::Runtime& runtime, ChannelBase& channel, double app_ai,
+                               std::uint32_t data_home_node)
+    : runtime_(runtime), channel_(channel), ai_estimate_(app_ai),
+      auto_ai_(app_ai <= 0.0), data_home_node_(data_home_node) {
+  NS_REQUIRE(runtime_.machine().node_count() <= kMaxNodes,
+             "machine exceeds protocol node capacity");
+}
+
+RuntimeAdapter::~RuntimeAdapter() { stop(); }
+
+void RuntimeAdapter::apply(const Command& command) {
+  last_seq_.store(command.seq, std::memory_order_relaxed);
+  switch (command.type) {
+    case CommandType::kSetTotalThreads:
+      runtime_.set_total_thread_target(command.total_threads);
+      break;
+    case CommandType::kBlockCores: {
+      topo::CpuSet cores;
+      for (std::uint32_t w = 0; w < kMaxCoreWords; ++w) {
+        std::uint64_t bits = command.core_mask[w];
+        while (bits) {
+          const int bit = __builtin_ctzll(bits);
+          cores.set(w * 64 + static_cast<std::uint32_t>(bit));
+          bits &= bits - 1;
+        }
+      }
+      if (cores.empty()) {
+        runtime_.clear_thread_controls();
+      } else {
+        runtime_.set_blocked_cores(cores);
+      }
+      break;
+    }
+    case CommandType::kSetNodeThreads: {
+      NS_REQUIRE(command.node_count == runtime_.machine().node_count(),
+                 "node count mismatch in command");
+      std::vector<std::uint32_t> targets(command.node_threads,
+                                         command.node_threads + command.node_count);
+      runtime_.set_node_thread_targets(targets);
+      break;
+    }
+    case CommandType::kClearControls:
+      runtime_.clear_thread_controls();
+      break;
+    case CommandType::kSuggestDataHome:
+      // Advisory only: the app's handler decides. No handler = ignored.
+      if (home_handler_ && command.suggested_home < runtime_.machine().node_count()) {
+        home_handler_(command.suggested_home);
+      }
+      break;
+  }
+  commands_applied_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t RuntimeAdapter::pump() {
+  std::uint32_t applied = 0;
+  while (auto command = channel_.pop_command()) {
+    apply(*command);
+    ++applied;
+  }
+
+  const auto stats = runtime_.stats();
+  if (auto_ai_) {
+    // Derive the arithmetic intensity from the application's accounted
+    // work/traffic since the previous pump, smoothed; capped so a
+    // traffic-free (pure compute) app reads as "very compute-bound" rather
+    // than infinite.
+    const double delta_gflop = stats.gflop_done - prev_gflop_;
+    const double delta_gbytes = stats.gbytes_moved - prev_gbytes_;
+    prev_gflop_ = stats.gflop_done;
+    prev_gbytes_ = stats.gbytes_moved;
+    if (delta_gflop > 0.0) {
+      constexpr double kAiCap = 1024.0;
+      const double ai =
+          delta_gbytes > 1e-12 ? std::min(delta_gflop / delta_gbytes, kAiCap) : kAiCap;
+      ai_ewma_.add(ai);
+      ai_estimate_.store(ai_ewma_.value(), std::memory_order_relaxed);
+    }
+  }
+  Telemetry t;
+  t.seq = ++telemetry_seq_;
+  t.timestamp = monotonic_seconds();
+  t.tasks_executed = stats.tasks_executed;
+  t.tasks_spawned = stats.tasks_spawned;
+  t.progress = stats.progress;
+  t.total_workers = stats.total_workers;
+  t.running_threads = stats.running_threads;
+  t.blocked_threads = stats.blocked_threads;
+  t.node_count = runtime_.machine().node_count();
+  for (std::uint32_t n = 0; n < t.node_count; ++n) {
+    t.running_per_node[n] = stats.running_per_node[n];
+  }
+  t.ready_queue_depth = stats.ready_queue_depth;
+  t.outstanding_tasks = stats.outstanding_tasks;
+  t.gflop_done = stats.gflop_done;
+  t.gbytes_moved = stats.gbytes_moved;
+  t.ai_estimate = ai_estimate_.load(std::memory_order_relaxed);
+  t.data_home_node = data_home_node_.load(std::memory_order_relaxed);
+  // Telemetry is lossy by design: a full ring means the agent is behind and
+  // stale samples are better dropped than blocking the runtime.
+  channel_.push_telemetry(t);
+  return applied;
+}
+
+void RuntimeAdapter::start(std::int64_t period_us) {
+  NS_REQUIRE(!running_.load(), "adapter already running");
+  running_.store(true);
+  pump_thread_ = std::thread([this, period_us] {
+    set_current_thread_name("ns-adapter");
+    while (running_.load(std::memory_order_acquire)) {
+      pump();
+      std::this_thread::sleep_for(std::chrono::microseconds(period_us));
+    }
+  });
+}
+
+void RuntimeAdapter::stop() {
+  if (!running_.exchange(false)) return;
+  if (pump_thread_.joinable()) pump_thread_.join();
+}
+
+}  // namespace numashare::agent

@@ -1,0 +1,113 @@
+// Transport between the agent and one runtime, plus the runtime-side pump.
+//
+// A Channel is a pair of SPSC rings (commands in, telemetry out) — the
+// in-process stand-in for the shared-memory/socket link a separate agent
+// process would use. RuntimeAdapter is the runtime-side endpoint: it applies
+// arriving commands to the Runtime's control surface and publishes periodic
+// telemetry snapshots, either pumped manually (tests) or from a background
+// thread (examples, benches).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include <functional>
+
+#include "agent/protocol.hpp"
+#include "common/spsc_ring.hpp"
+#include "common/stats.hpp"
+#include "runtime/runtime.hpp"
+
+namespace numashare::agent {
+
+/// Transport abstraction: the agent pushes commands / pops telemetry, the
+/// runtime adapter does the reverse. Two implementations: the in-process
+/// Channel below and agent::ShmChannel (shm_channel.hpp), which carries the
+/// same POD messages through a POSIX shared-memory segment between real
+/// processes — the paper's actual deployment shape.
+class ChannelBase {
+ public:
+  virtual ~ChannelBase() = default;
+  // Agent side.
+  virtual bool push_command(const Command& command) = 0;
+  virtual std::optional<Telemetry> pop_telemetry() = 0;
+  // Runtime side.
+  virtual std::optional<Command> pop_command() = 0;
+  virtual bool push_telemetry(const Telemetry& telemetry) = 0;
+};
+
+struct Channel final : ChannelBase {
+  SpscRing<Command> commands{64};      // agent -> runtime
+  SpscRing<Telemetry> telemetry{256};  // runtime -> agent
+
+  bool push_command(const Command& command) override { return commands.try_push(command); }
+  std::optional<Command> pop_command() override { return commands.try_pop(); }
+  bool push_telemetry(const Telemetry& t) override { return telemetry.try_push(t); }
+  std::optional<Telemetry> pop_telemetry() override { return telemetry.try_pop(); }
+};
+
+class RuntimeAdapter {
+ public:
+  /// `app_ai` / `data_home` seed the optional self-description fields in
+  /// telemetry. An app that knows its arithmetic intensity passes it; with
+  /// app_ai = 0 the adapter *derives* the AI from the runtime's
+  /// report_work() counters (EWMA of delta-GFLOP / delta-GB per pump) —
+  /// §III.A's access-pattern detection.
+  RuntimeAdapter(rt::Runtime& runtime, ChannelBase& channel, double app_ai = 0.0,
+                 std::uint32_t data_home_node = kMaxNodes);
+  ~RuntimeAdapter();
+
+  RuntimeAdapter(const RuntimeAdapter&) = delete;
+  RuntimeAdapter& operator=(const RuntimeAdapter&) = delete;
+
+  /// Apply all pending commands and publish one telemetry sample.
+  /// Returns the number of commands applied.
+  std::uint32_t pump();
+
+  /// Start/stop a background pump at the given period.
+  void start(std::int64_t period_us = 1000);
+  void stop();
+
+  std::uint64_t commands_applied() const {
+    return commands_applied_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t last_command_seq() const {
+    return last_seq_.load(std::memory_order_relaxed);
+  }
+
+  void set_ai_estimate(double ai) { ai_estimate_.store(ai, std::memory_order_relaxed); }
+
+  /// Application hook for kSuggestDataHome: the app decides whether to
+  /// migrate (e.g. Datablock::move_to at a phase boundary) and then calls
+  /// set_data_home() so subsequent telemetry advertises the new placement.
+  /// Invoked from the pump thread.
+  void set_data_home_handler(std::function<void(topo::NodeId)> handler) {
+    home_handler_ = std::move(handler);
+  }
+  void set_data_home(std::uint32_t node) {
+    data_home_node_.store(node, std::memory_order_relaxed);
+  }
+  std::uint32_t data_home() const { return data_home_node_.load(std::memory_order_relaxed); }
+
+ private:
+  void apply(const Command& command);
+
+  rt::Runtime& runtime_;
+  ChannelBase& channel_;
+  std::atomic<double> ai_estimate_;
+  /// Auto-derivation state (pump-thread only).
+  bool auto_ai_ = false;
+  double prev_gflop_ = 0.0;
+  double prev_gbytes_ = 0.0;
+  Ewma ai_ewma_{0.3};
+  std::atomic<std::uint32_t> data_home_node_;
+  std::function<void(topo::NodeId)> home_handler_;
+  std::atomic<std::uint64_t> commands_applied_{0};
+  std::atomic<std::uint64_t> last_seq_{0};
+  std::uint64_t telemetry_seq_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread pump_thread_;
+};
+
+}  // namespace numashare::agent

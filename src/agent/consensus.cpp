@@ -1,0 +1,64 @@
+#include "agent/consensus.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace numashare::agent {
+
+model::Allocation arbitrate(const topo::Machine& machine,
+                            const std::vector<Proposal>& proposals) {
+  NS_REQUIRE(!proposals.empty(), "consensus needs at least one proposal");
+  const auto apps = static_cast<std::uint32_t>(proposals.size());
+  for (std::uint32_t a = 0; a < apps; ++a) {
+    NS_REQUIRE(proposals[a].app == a, "proposals must be dense and ordered by app");
+    NS_REQUIRE(proposals[a].desired_per_node.size() == machine.node_count(),
+               "proposal must name every node");
+  }
+
+  model::Allocation allocation(apps, machine.node_count());
+  std::vector<std::uint32_t> free_cores(machine.node_count());
+  for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
+    free_cores[n] = machine.cores_in_node(n);
+  }
+  std::vector<std::vector<std::uint32_t>> wanted(apps);
+  for (std::uint32_t a = 0; a < apps; ++a) wanted[a] = proposals[a].desired_per_node;
+
+  // Spread the apps' starting nodes: with apps <= nodes every app begins the
+  // scan at a different node (the anti-"everyone picks node 0" rule).
+  const std::uint32_t stride =
+      std::max(1u, machine.node_count() / std::max(1u, std::min(apps, machine.node_count())));
+
+  bool granted_any = true;
+  while (granted_any) {
+    granted_any = false;
+    for (std::uint32_t a = 0; a < apps; ++a) {
+      const topo::NodeId start = (a * stride) % machine.node_count();
+      for (std::uint32_t k = 0; k < machine.node_count(); ++k) {
+        const topo::NodeId n = (start + k) % machine.node_count();
+        if (wanted[a][n] == 0 || free_cores[n] == 0) continue;
+        allocation.set_threads(a, n, allocation.threads(a, n) + 1);
+        --wanted[a][n];
+        --free_cores[n];
+        granted_any = true;
+        break;  // one thread per app per round
+      }
+    }
+  }
+  NS_ASSERT(allocation.validate(machine));
+  return allocation;
+}
+
+Proposal fair_proposal(const topo::Machine& machine, std::uint32_t app,
+                       std::uint32_t participants) {
+  NS_REQUIRE(participants > 0, "need at least one participant");
+  Proposal p;
+  p.app = app;
+  p.desired_per_node.resize(machine.node_count());
+  for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
+    p.desired_per_node[n] = machine.cores_in_node(n) / participants;
+  }
+  return p;
+}
+
+}  // namespace numashare::agent

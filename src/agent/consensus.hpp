@@ -1,0 +1,43 @@
+// Decentralized core-allocation consensus — the paper's agent-free variant:
+// "it would also be possible to have the different runtime systems
+// cooperatively come to an agreement."
+//
+// Every participant runs arbitrate() over the same set of proposals and, the
+// function being deterministic, lands on the identical allocation with no
+// coordinator. The grant order rotates each participant's starting node by
+// its own index, which is exactly the symmetry-breaking the paper warns is
+// needed: "we would not want all runtime systems to decide that … they will
+// all use node 0."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::agent {
+
+struct Proposal {
+  std::uint32_t app = 0;  // participant index; must be dense and unique
+  /// Threads the app would like on each node (its ideal placement).
+  std::vector<std::uint32_t> desired_per_node;
+};
+
+/// Deterministically reconcile proposals into a no-oversubscription
+/// allocation:
+///  1. grants proceed round-robin over apps, one thread per turn;
+///  2. app `a` tries nodes starting at (a * stride) % node_count, where
+///     stride spreads the apps' preferred starting nodes apart;
+///  3. a turn grants the first node that still has a free core *and* where
+///     the app still wants a thread; an app with nothing left to want (or no
+///     feasible node) passes; arbitration ends when every app passes.
+model::Allocation arbitrate(const topo::Machine& machine,
+                            const std::vector<Proposal>& proposals);
+
+/// The fair-share proposal an app with no better information submits:
+/// cores_in_node / participants on every node.
+Proposal fair_proposal(const topo::Machine& machine, std::uint32_t app,
+                       std::uint32_t participants);
+
+}  // namespace numashare::agent

@@ -1,0 +1,69 @@
+#include "agent/consensus_group.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace numashare::agent {
+
+ConsensusGroup::ConsensusGroup(const topo::Machine& machine) : machine_(machine) {}
+
+std::uint32_t ConsensusGroup::join(rt::Runtime& runtime,
+                                   std::vector<std::uint32_t> desired_per_node) {
+  NS_REQUIRE(desired_per_node.size() == machine_.node_count(),
+             "proposal must name every node");
+  const auto id = static_cast<std::uint32_t>(members_.size());
+  members_.push_back({&runtime});
+  Proposal proposal;
+  proposal.app = id;
+  proposal.desired_per_node = std::move(desired_per_node);
+  proposals_.push_back(std::move(proposal));
+  return id;
+}
+
+std::uint32_t ConsensusGroup::join_with_ai(rt::Runtime& runtime, ArithmeticIntensity ai) {
+  NS_REQUIRE(ai > 0.0, "arithmetic intensity must be positive");
+  // The app's self-interested ideal: enough threads per node that its
+  // aggregate demand meets the node's bandwidth, but no more (extra threads
+  // of a memory-bound code only split the same bytes); compute-bound codes
+  // (demand below a fair share at saturation) ask for everything.
+  std::vector<std::uint32_t> desired(machine_.node_count());
+  for (topo::NodeId n = 0; n < machine_.node_count(); ++n) {
+    const auto cores = machine_.cores_in_node(n);
+    const GFlops peak = machine_.core(machine_.node(n).cores.front()).peak_gflops;
+    const GBps per_thread = demand_gbps(peak, ai);
+    const GBps node_bw = machine_.node(n).memory_bandwidth;
+    const double saturating = per_thread > 0.0 ? node_bw / per_thread : cores;
+    desired[n] = std::min<std::uint32_t>(
+        cores, static_cast<std::uint32_t>(std::ceil(std::max(1.0, saturating))));
+  }
+  return join(runtime, std::move(desired));
+}
+
+void ConsensusGroup::update_proposal(std::uint32_t participant,
+                                     std::vector<std::uint32_t> desired_per_node) {
+  NS_REQUIRE(participant < proposals_.size(), "unknown participant");
+  NS_REQUIRE(desired_per_node.size() == machine_.node_count(),
+             "proposal must name every node");
+  proposals_[participant].desired_per_node = std::move(desired_per_node);
+}
+
+model::Allocation ConsensusGroup::agree() const {
+  NS_REQUIRE(!members_.empty(), "no participants");
+  return arbitrate(machine_, proposals_);
+}
+
+model::Allocation ConsensusGroup::apply() {
+  const auto allocation = agree();
+  for (std::uint32_t member = 0; member < members_.size(); ++member) {
+    std::vector<std::uint32_t> targets(machine_.node_count());
+    for (topo::NodeId n = 0; n < machine_.node_count(); ++n) {
+      targets[n] = allocation.threads(member, n);
+    }
+    members_[member].runtime->set_node_thread_targets(targets);
+  }
+  return allocation;
+}
+
+}  // namespace numashare::agent

@@ -1,0 +1,63 @@
+// Agentless coordination: live runtimes agree on a partition without any
+// central process (paper §II: "it would also be possible to have the
+// different runtime systems cooperatively come to an agreement").
+//
+// Each participant contributes a Proposal (its ideal per-node thread
+// counts — typically derived from its own arithmetic intensity via the
+// model). Every participant independently evaluates the same deterministic
+// arbitrate() function over the full proposal set and applies its own row
+// with option-3 controls; no messages beyond sharing the proposals, no
+// arbiter, and the rotation rule breaks the all-pick-node-0 symmetry the
+// paper warns about.
+//
+// ConsensusGroup is the in-process embodiment: it holds the shared proposal
+// board and lets each runtime (re)apply the agreement. In a multi-process
+// deployment the board would live in shared memory; the arbitration logic
+// is already pure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agent/consensus.hpp"
+#include "core/app_spec.hpp"
+#include "runtime/runtime.hpp"
+
+namespace numashare::agent {
+
+class ConsensusGroup {
+ public:
+  explicit ConsensusGroup(const topo::Machine& machine);
+
+  /// Join with an explicit desired allocation. Returns the participant id.
+  std::uint32_t join(rt::Runtime& runtime, std::vector<std::uint32_t> desired_per_node);
+
+  /// Join with a model-derived proposal: the app states its arithmetic
+  /// intensity; its ideal is as many threads as fit its bandwidth appetite
+  /// (memory-bound apps ask for few threads per node, compute-bound for
+  /// many), computed from the machine's roofline parameters.
+  std::uint32_t join_with_ai(rt::Runtime& runtime, ArithmeticIntensity ai);
+
+  /// Re-state a participant's desire (e.g. on a phase change).
+  void update_proposal(std::uint32_t participant, std::vector<std::uint32_t> desired_per_node);
+
+  std::uint32_t participants() const { return static_cast<std::uint32_t>(members_.size()); }
+
+  /// The agreement every participant would compute.
+  model::Allocation agree() const;
+
+  /// Compute the agreement and have every participant apply its own row
+  /// (option-3 per-node targets). Returns the applied allocation.
+  model::Allocation apply();
+
+ private:
+  struct Member {
+    rt::Runtime* runtime = nullptr;
+  };
+
+  const topo::Machine& machine_;
+  std::vector<Member> members_;
+  std::vector<Proposal> proposals_;
+};
+
+}  // namespace numashare::agent

@@ -1,0 +1,49 @@
+#include "agent/os_load.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace numashare::agent {
+
+OsLoadSampler::OsLoadSampler(std::string stat_path) : stat_path_(std::move(stat_path)) {}
+
+std::optional<OsLoadSampler::Counters> OsLoadSampler::read() const {
+  std::ifstream in(stat_path_);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  std::istringstream fields(line);
+  std::string cpu;
+  fields >> cpu;
+  if (cpu != "cpu") return std::nullopt;
+  // user nice system idle iowait irq softirq steal [guest guest_nice]
+  std::uint64_t value = 0;
+  Counters counters;
+  int index = 0;
+  while (fields >> value && index < 8) {
+    counters.total += value;
+    if (index == 3 || index == 4) counters.idle += value;  // idle + iowait
+    ++index;
+  }
+  if (index < 4) return std::nullopt;
+  return counters;
+}
+
+std::optional<double> OsLoadSampler::sample() {
+  const auto current = read();
+  if (!current) return std::nullopt;
+  if (!have_prev_) {
+    prev_ = *current;
+    have_prev_ = true;
+    return std::nullopt;
+  }
+  const auto total_delta = current->total - prev_.total;
+  const auto idle_delta = current->idle - prev_.idle;
+  prev_ = *current;
+  if (total_delta == 0) return std::nullopt;
+  const double busy =
+      1.0 - static_cast<double>(idle_delta) / static_cast<double>(total_delta);
+  return busy < 0.0 ? 0.0 : (busy > 1.0 ? 1.0 : busy);
+}
+
+}  // namespace numashare::agent

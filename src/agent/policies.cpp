@@ -1,0 +1,187 @@
+#include "agent/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "core/app_spec.hpp"
+#include "core/placement.hpp"
+
+namespace numashare::agent {
+
+std::vector<Directive> OversubscribedPolicy::decide(const topo::Machine&,
+                                                    const std::vector<AppView>& views) {
+  std::vector<Directive> out(views.size(), Directive::none());
+  if (!cleared_) {
+    for (auto& d : out) d = Directive::clear();
+    cleared_ = true;
+  }
+  return out;
+}
+
+std::vector<Directive> FairSharePolicy::decide(const topo::Machine& machine,
+                                               const std::vector<AppView>& views) {
+  std::vector<Directive> out(views.size(), Directive::none());
+  if (views.empty()) return out;
+  if (issued_ && last_app_count_ == views.size()) return out;
+
+  const auto apps = static_cast<std::uint32_t>(views.size());
+  if (flavor_ == Flavor::kTotalThreads) {
+    // Equal split of the whole machine; remainder cores to the first apps so
+    // the total equals the core count (the paper's no-oversubscription sum).
+    const std::uint32_t base = machine.core_count() / apps;
+    const std::uint32_t extra = machine.core_count() % apps;
+    for (std::uint32_t a = 0; a < apps; ++a) {
+      out[a] = Directive::total(base + (a < extra ? 1 : 0));
+    }
+  } else {
+    for (std::uint32_t a = 0; a < apps; ++a) {
+      std::vector<std::uint32_t> per_node(machine.node_count());
+      for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
+        const std::uint32_t base = machine.cores_in_node(n) / apps;
+        const std::uint32_t extra = machine.cores_in_node(n) % apps;
+        per_node[n] = base + (a < extra ? 1 : 0);
+      }
+      out[a] = Directive::per_node(std::move(per_node));
+    }
+  }
+  issued_ = true;
+  last_app_count_ = views.size();
+  return out;
+}
+
+std::vector<Directive> StaticPartitionPolicy::decide(const topo::Machine& machine,
+                                                     const std::vector<AppView>& views) {
+  NS_REQUIRE(targets_.size() == views.size(), "one target row per app");
+  std::vector<Directive> out(views.size(), Directive::none());
+  if (issued_) return out;
+  for (std::size_t a = 0; a < views.size(); ++a) {
+    NS_REQUIRE(targets_[a].size() == machine.node_count(), "one target per node");
+    out[a] = Directive::per_node(targets_[a]);
+  }
+  issued_ = true;
+  return out;
+}
+
+std::vector<Directive> ProducerConsumerPolicy::decide(const topo::Machine& machine,
+                                                      const std::vector<AppView>& views) {
+  NS_REQUIRE(options_.producer < views.size() && options_.consumer < views.size(),
+             "producer/consumer indices out of range");
+  NS_REQUIRE(options_.producer != options_.consumer, "producer must differ from consumer");
+  std::vector<Directive> out(views.size(), Directive::none());
+
+  const auto& producer = views[options_.producer];
+  const auto& consumer = views[options_.consumer];
+  if (!producer.has_telemetry || !consumer.has_telemetry) return out;
+
+  const std::uint32_t cores = machine.core_count();
+  if (!initialized_) {
+    producer_threads_ = cores / 2;
+    consumer_threads_ = cores - producer_threads_;
+    initialized_ = true;
+    out[options_.producer] = Directive::total(producer_threads_);
+    out[options_.consumer] = Directive::total(consumer_threads_);
+    return out;
+  }
+
+  // The paper's [10] controller: keep the producer "only ahead by a small
+  // number of iterations". Shift one thread per tick toward whichever side
+  // is falling out of the band — gentle moves favour stability (§V).
+  const std::uint64_t produced = producer.latest.progress;
+  const std::uint64_t consumed = consumer.latest.progress;
+  const std::uint64_t lead = produced > consumed ? produced - consumed : 0;
+
+  std::int32_t shift = 0;  // positive = toward the consumer
+  if (lead > options_.max_lead) shift = 1;
+  else if (lead < options_.min_lead) shift = -1;
+  if (shift == 0) return out;
+
+  const std::uint32_t min_threads = options_.min_threads;
+  if (shift > 0 && producer_threads_ > min_threads) {
+    --producer_threads_;
+    ++consumer_threads_;
+  } else if (shift < 0 && consumer_threads_ > min_threads) {
+    ++producer_threads_;
+    --consumer_threads_;
+  } else {
+    return out;
+  }
+  NS_LOG_DEBUG("agent", "producer-consumer lead={} -> producer={} consumer={}", lead,
+               producer_threads_, consumer_threads_);
+  out[options_.producer] = Directive::total(producer_threads_);
+  out[options_.consumer] = Directive::total(consumer_threads_);
+  return out;
+}
+
+std::vector<Directive> ModelGuidedPolicy::decide(const topo::Machine& machine,
+                                                 const std::vector<AppView>& views) {
+  std::vector<Directive> out(views.size(), Directive::none());
+
+  std::vector<double> ai(views.size(), 0.0);
+  for (std::size_t a = 0; a < views.size(); ++a) {
+    if (!views[a].has_telemetry || views[a].latest.ai_estimate <= 0.0) {
+      return out;  // wait until every app has advertised an AI
+    }
+    ai[a] = views[a].latest.ai_estimate;
+  }
+
+  if (!last_ai_.empty() && last_ai_.size() == ai.size()) {
+    bool drifted = false;
+    for (std::size_t a = 0; a < ai.size(); ++a) {
+      if (std::abs(ai[a] - last_ai_[a]) > options_.ai_drift_threshold * last_ai_[a]) {
+        drifted = true;
+        break;
+      }
+    }
+    if (!drifted) return out;
+  }
+
+  std::vector<model::AppSpec> specs;
+  specs.reserve(views.size());
+  for (std::size_t a = 0; a < views.size(); ++a) {
+    const auto home = views[a].latest.data_home_node;
+    if (home < machine.node_count()) {
+      specs.push_back(model::AppSpec::numa_bad(views[a].name, ai[a], home));
+    } else {
+      specs.push_back(model::AppSpec::numa_perfect(views[a].name, ai[a]));
+    }
+  }
+
+  model::Allocation allocation;
+  double predicted = 0.0;
+  std::vector<std::uint32_t> suggested_home(views.size(), kMaxNodes);
+  if (options_.advise_data_placement) {
+    auto joint = model::advise_joint(machine, specs, options_.objective,
+                                     options_.min_threads_per_app);
+    allocation = joint.allocation;
+    predicted = joint.solution.total_gflops;
+    for (std::size_t a = 0; a < views.size(); ++a) {
+      if (joint.apps[a].placement == model::Placement::kNumaBad &&
+          joint.apps[a].home_node != specs[a].home_node) {
+        suggested_home[a] = joint.apps[a].home_node;
+      }
+    }
+  } else {
+    auto result = model::exhaustive_search(machine, specs, options_.objective,
+                                           /*require_full=*/true,
+                                           options_.min_threads_per_app);
+    allocation = result.allocation;
+    predicted = result.solution.total_gflops;
+  }
+  last_ai_ = ai;
+  last_allocation_ = allocation;
+  NS_LOG_INFO("agent", "model-guided allocation: {} ({} GFLOPS predicted)",
+              allocation.to_string(), predicted);
+  for (std::size_t a = 0; a < views.size(); ++a) {
+    std::vector<std::uint32_t> per_node(machine.node_count());
+    for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
+      per_node[n] = allocation.threads(static_cast<model::AppId>(a), n);
+    }
+    out[a] = Directive::per_node(std::move(per_node));
+    out[a].suggested_data_home = suggested_home[a];
+  }
+  return out;
+}
+
+}  // namespace numashare::agent

@@ -1,0 +1,127 @@
+// The concrete allocation policies the paper discusses.
+//
+//  * OversubscribedPolicy — the baseline: no control at all, every app runs
+//    as many threads as there are cores and the OS sorts it out. This is the
+//    configuration the paper's §II argues creates "significant
+//    over-subscription".
+//  * FairSharePolicy — "a simple core allocation strategy would be to give
+//    each application a fair share of the cores, so that the total number of
+//    worker threads across all applications is equal to the total number of
+//    available CPU cores." Option-1 (total counts) or option-3 (per-node)
+//    flavours.
+//  * StaticPartitionPolicy — fixed per-node targets, never revisited.
+//  * ProducerConsumerPolicy — the paper's [10] experiment: keep the producer
+//    "only ahead by a small number of iterations" by shifting threads
+//    between the two applications based on their progress counters.
+//  * ModelGuidedPolicy — the NUMA-aware brain of §III: feed per-app
+//    arithmetic intensities (self-advertised in telemetry) to the roofline
+//    model's optimizer and issue per-node thread targets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "agent/policy.hpp"
+#include "core/optimizer.hpp"
+
+namespace numashare::agent {
+
+class OversubscribedPolicy final : public Policy {
+ public:
+  const char* name() const override { return "oversubscribed"; }
+  std::vector<Directive> decide(const topo::Machine&,
+                                const std::vector<AppView>& views) override;
+
+ private:
+  bool cleared_ = false;
+};
+
+class FairSharePolicy final : public Policy {
+ public:
+  enum class Flavor { kTotalThreads, kPerNode };
+  explicit FairSharePolicy(Flavor flavor = Flavor::kPerNode) : flavor_(flavor) {}
+
+  const char* name() const override { return "fair-share"; }
+  std::vector<Directive> decide(const topo::Machine& machine,
+                                const std::vector<AppView>& views) override;
+
+ private:
+  Flavor flavor_;
+  bool issued_ = false;
+  std::size_t last_app_count_ = 0;
+};
+
+class StaticPartitionPolicy final : public Policy {
+ public:
+  /// targets[app][node]
+  explicit StaticPartitionPolicy(std::vector<std::vector<std::uint32_t>> targets)
+      : targets_(std::move(targets)) {}
+
+  const char* name() const override { return "static-partition"; }
+  std::vector<Directive> decide(const topo::Machine& machine,
+                                const std::vector<AppView>& views) override;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> targets_;
+  bool issued_ = false;
+};
+
+struct ProducerConsumerOptions {
+  std::size_t producer = 0;  // index into the agent's app list
+  std::size_t consumer = 1;
+  /// Keep producer progress ahead of consumer progress within this band.
+  std::uint64_t min_lead = 2;
+  std::uint64_t max_lead = 8;
+  /// Each app always keeps at least this many threads.
+  std::uint32_t min_threads = 1;
+};
+
+class ProducerConsumerPolicy final : public Policy {
+ public:
+  using Options = ProducerConsumerOptions;
+  explicit ProducerConsumerPolicy(ProducerConsumerOptions options = {}) : options_(options) {}
+
+  const char* name() const override { return "producer-consumer"; }
+  std::vector<Directive> decide(const topo::Machine& machine,
+                                const std::vector<AppView>& views) override;
+
+  std::uint32_t producer_threads() const { return producer_threads_; }
+
+ private:
+  ProducerConsumerOptions options_;
+  bool initialized_ = false;
+  std::uint32_t producer_threads_ = 0;
+  std::uint32_t consumer_threads_ = 0;
+};
+
+struct ModelGuidedOptions {
+  model::Objective objective = model::Objective::kTotalGflops;
+  std::uint32_t min_threads_per_app = 1;
+  /// Re-run the optimizer when an AI estimate drifts by this fraction.
+  double ai_drift_threshold = 0.10;
+  /// Also co-optimize data placement (core/placement.hpp) and attach
+  /// kSuggestDataHome suggestions for NUMA-bad apps whose advertised home
+  /// differs from the recommended one.
+  bool advise_data_placement = false;
+};
+
+class ModelGuidedPolicy final : public Policy {
+ public:
+  using Options = ModelGuidedOptions;
+  explicit ModelGuidedPolicy(ModelGuidedOptions options = {}) : options_(options) {}
+
+  const char* name() const override { return "model-guided"; }
+  std::vector<Directive> decide(const topo::Machine& machine,
+                                const std::vector<AppView>& views) override;
+
+  /// The allocation behind the last issued directives (empty before then).
+  const std::optional<model::Allocation>& last_allocation() const { return last_allocation_; }
+
+ private:
+  ModelGuidedOptions options_;
+  std::vector<double> last_ai_;
+  std::optional<model::Allocation> last_allocation_;
+};
+
+}  // namespace numashare::agent

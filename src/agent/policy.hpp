@@ -1,0 +1,68 @@
+// Policy interface: the decision brain the agent runs on each tick.
+//
+// A policy sees one AppView per managed application (latest telemetry plus
+// smoothed rates) and answers with one Directive per application. Directives
+// map one-to-one onto the paper's thread-blocking options.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/protocol.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::agent {
+
+struct AppView {
+  std::string name;
+  bool has_telemetry = false;
+  Telemetry latest;
+  /// EWMA rates, per second of agent time.
+  double task_rate = 0.0;
+  double progress_rate = 0.0;
+};
+
+struct Directive {
+  enum class Kind : std::uint8_t { kNone, kTotalThreads, kNodeThreads, kClear };
+  Kind kind = Kind::kNone;
+  std::uint32_t total_threads = 0;
+  std::vector<std::uint32_t> node_threads;
+  /// Optional data-placement suggestion riding along with (or without) a
+  /// thread directive; kMaxNodes = none. Sent as a kSuggestDataHome command.
+  std::uint32_t suggested_data_home = kMaxNodes;
+
+  static Directive none() { return {}; }
+  static Directive clear() {
+    Directive d;
+    d.kind = Kind::kClear;
+    return d;
+  }
+  static Directive total(std::uint32_t threads) {
+    Directive d;
+    d.kind = Kind::kTotalThreads;
+    d.total_threads = threads;
+    return d;
+  }
+  static Directive per_node(std::vector<std::uint32_t> threads) {
+    Directive d;
+    d.kind = Kind::kNodeThreads;
+    d.node_threads = std::move(threads);
+    return d;
+  }
+
+  bool operator==(const Directive& other) const = default;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual const char* name() const = 0;
+  /// One directive per app (same order as `views`); kNone = leave alone.
+  virtual std::vector<Directive> decide(const topo::Machine& machine,
+                                        const std::vector<AppView>& views) = 0;
+};
+
+using PolicyPtr = std::unique_ptr<Policy>;
+
+}  // namespace numashare::agent

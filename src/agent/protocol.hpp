@@ -1,0 +1,70 @@
+// The agent <-> runtime wire protocol (paper Figure 1).
+//
+// The agent "receives information about the execution from the runtimes
+// (number of tasks executed, number of running threads, etc.) and it issues
+// commands instructing the runtimes to use a specified number of threads."
+//
+// Both message types are trivially copyable PODs with fixed-size payloads so
+// the very same structs could live in a shared-memory segment between real
+// processes; the in-process build moves them through lock-free SPSC rings.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace numashare::agent {
+
+inline constexpr std::uint32_t kMaxNodes = 16;
+inline constexpr std::uint32_t kMaxCoreWords = 4;  // 256 cores
+
+enum class CommandType : std::uint32_t {
+  kSetTotalThreads = 1,  // option 1
+  kBlockCores = 2,       // option 2
+  kSetNodeThreads = 3,   // option 3
+  kClearControls = 4,
+  /// §III.A: "there should be a way to ... influence where the application
+  /// stores its data". The agent *suggests*; the application decides whether
+  /// and when to migrate (it alone knows its phase boundaries).
+  kSuggestDataHome = 5,
+};
+
+struct Command {
+  CommandType type = CommandType::kClearControls;
+  std::uint32_t total_threads = 0;
+  std::uint32_t node_count = 0;
+  std::uint32_t node_threads[kMaxNodes] = {};
+  std::uint64_t core_mask[kMaxCoreWords] = {};
+  /// kSuggestDataHome payload (kMaxNodes = no suggestion).
+  std::uint32_t suggested_home = kMaxNodes;
+  /// Monotonic per-channel sequence; lets the runtime detect gaps.
+  std::uint64_t seq = 0;
+};
+static_assert(std::is_trivially_copyable_v<Command>);
+
+struct Telemetry {
+  std::uint64_t seq = 0;
+  double timestamp = 0.0;  // sender's monotonic seconds
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_spawned = 0;
+  /// Application-defined progress units (e.g. iterations).
+  std::uint64_t progress = 0;
+  std::uint32_t total_workers = 0;
+  std::uint32_t running_threads = 0;
+  std::uint32_t blocked_threads = 0;
+  std::uint32_t node_count = 0;
+  std::uint32_t running_per_node[kMaxNodes] = {};
+  std::uint64_t ready_queue_depth = 0;
+  std::uint64_t outstanding_tasks = 0;
+  /// Cumulative application-accounted work and traffic (report_work).
+  double gflop_done = 0.0;
+  double gbytes_moved = 0.0;
+  /// Arithmetic intensity estimate (FLOPs/byte): either app-declared or
+  /// derived by the adapter from the work/traffic counters; 0 = unknown.
+  /// Feeds the model-guided policy.
+  double ai_estimate = 0.0;
+  /// Optional NUMA-bad home node (kMaxNodes = "NUMA-perfect / unknown").
+  std::uint32_t data_home_node = kMaxNodes;
+};
+static_assert(std::is_trivially_copyable_v<Telemetry>);
+
+}  // namespace numashare::agent

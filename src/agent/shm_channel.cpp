@@ -1,0 +1,111 @@
+#include "agent/shm_channel.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/format.hpp"
+
+namespace numashare::agent {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x6e756d6173686172ull;  // "numashar"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+struct ShmChannel::Layout {
+  std::atomic<std::uint64_t> magic;
+  std::uint32_t version;
+  ShmRing<Command, kCommandSlots> commands;
+  ShmRing<Telemetry, kTelemetrySlots> telemetry;
+};
+
+ShmChannel::ShmChannel(std::string name, Layout* layout, bool creator)
+    : name_(std::move(name)), layout_(layout), creator_(creator) {}
+
+std::unique_ptr<ShmChannel> ShmChannel::create(const std::string& name, std::string* error) {
+  const auto fail = [&](const std::string& what) -> std::unique_ptr<ShmChannel> {
+    if (error) *error = ns_format("{}: {}", what, std::strerror(errno));
+    return nullptr;
+  };
+  const int fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) return fail("shm_open(create)");
+  if (ftruncate(fd, sizeof(Layout)) != 0) {
+    close(fd);
+    shm_unlink(name.c_str());
+    return fail("ftruncate");
+  }
+  void* mapped = mmap(nullptr, sizeof(Layout), PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  close(fd);
+  if (mapped == MAP_FAILED) {
+    shm_unlink(name.c_str());
+    return fail("mmap");
+  }
+  auto* layout = new (mapped) Layout;
+  layout->version = kVersion;
+  layout->commands.init();
+  layout->telemetry.init();
+  // Publish the magic last: an attacher seeing it can trust the rest.
+  layout->magic.store(kMagic, std::memory_order_release);
+  return std::unique_ptr<ShmChannel>(new ShmChannel(name, layout, /*creator=*/true));
+}
+
+std::unique_ptr<ShmChannel> ShmChannel::attach(const std::string& name, std::string* error) {
+  const auto fail = [&](const std::string& what,
+                        bool use_errno = true) -> std::unique_ptr<ShmChannel> {
+    if (error) {
+      *error = use_errno ? ns_format("{}: {}", what, std::strerror(errno)) : what;
+    }
+    return nullptr;
+  };
+  const int fd = shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) return fail("shm_open(attach)");
+  struct stat st{};
+  if (fstat(fd, &st) != 0 || static_cast<std::size_t>(st.st_size) < sizeof(Layout)) {
+    close(fd);
+    return fail("segment too small for protocol layout", false);
+  }
+  void* mapped = mmap(nullptr, sizeof(Layout), PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  close(fd);
+  if (mapped == MAP_FAILED) return fail("mmap");
+  auto* layout = static_cast<Layout*>(mapped);
+  if (layout->magic.load(std::memory_order_acquire) != kMagic ||
+      layout->version != kVersion) {
+    munmap(mapped, sizeof(Layout));
+    return fail("magic/version mismatch (not a numashare channel?)", false);
+  }
+  return std::unique_ptr<ShmChannel>(new ShmChannel(name, layout, /*creator=*/false));
+}
+
+ShmChannel::~ShmChannel() {
+  if (layout_ != nullptr) {
+    munmap(layout_, sizeof(Layout));
+  }
+  if (creator_) {
+    shm_unlink(name_.c_str());
+  }
+}
+
+bool ShmChannel::push_command(const Command& command) {
+  return layout_->commands.try_push(command);
+}
+
+std::optional<Command> ShmChannel::pop_command() { return layout_->commands.try_pop(); }
+
+bool ShmChannel::push_telemetry(const Telemetry& telemetry) {
+  return layout_->telemetry.try_push(telemetry);
+}
+
+std::optional<Telemetry> ShmChannel::pop_telemetry() {
+  return layout_->telemetry.try_pop();
+}
+
+std::uint64_t ShmChannel::commands_queued() const { return layout_->commands.size(); }
+
+std::uint64_t ShmChannel::telemetry_queued() const { return layout_->telemetry.size(); }
+
+}  // namespace numashare::agent

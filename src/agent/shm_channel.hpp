@@ -1,0 +1,105 @@
+// POSIX shared-memory transport: the agent as a real separate process.
+//
+// The paper's Figure 1 runs the agent outside the applications. This
+// transport carries exactly the same POD Command/Telemetry messages as the
+// in-process Channel, but through a shm_open/mmap segment containing two
+// fixed-capacity lock-free SPSC rings built from address-free atomics —
+// legal across process boundaries on every platform we target.
+//
+// Roles: the agent create()s the segment (and unlinks it on destruction);
+// each application attach()es by name. One segment per (agent, app) pair,
+// preserving the SPSC discipline per ring.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "agent/channel.hpp"
+#include "agent/protocol.hpp"
+
+namespace numashare::agent {
+
+/// Fixed-capacity POD SPSC ring suitable for shared memory: no pointers, no
+/// heap, only address-free atomics and trivially-copyable slots.
+template <typename T, std::size_t N>
+class ShmRing {
+  static_assert((N & (N - 1)) == 0 && N >= 2, "capacity must be a power of two");
+  static_assert(std::is_trivially_copyable_v<T>, "slots must be trivially copyable");
+
+ public:
+  void init() {
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+  }
+
+  bool try_push(const T& value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= N) return false;
+    slots_[head & (N - 1)] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    T value = slots_[tail & (N - 1)];
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  std::uint64_t size() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> head_;
+  alignas(64) std::atomic<std::uint64_t> tail_;
+  T slots_[N];
+};
+
+class ShmChannel final : public ChannelBase {
+ public:
+  static constexpr std::size_t kCommandSlots = 64;
+  static constexpr std::size_t kTelemetrySlots = 256;
+
+  /// Agent side: create (exclusively) and initialize the segment. The
+  /// creating ShmChannel unlinks the name on destruction.
+  static std::unique_ptr<ShmChannel> create(const std::string& name, std::string* error = nullptr);
+  /// Application side: attach to an existing segment. Validates the magic
+  /// and protocol version before use.
+  static std::unique_ptr<ShmChannel> attach(const std::string& name, std::string* error = nullptr);
+
+  ~ShmChannel() override;
+
+  ShmChannel(const ShmChannel&) = delete;
+  ShmChannel& operator=(const ShmChannel&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool is_creator() const { return creator_; }
+
+  // ChannelBase.
+  bool push_command(const Command& command) override;
+  std::optional<Command> pop_command() override;
+  bool push_telemetry(const Telemetry& telemetry) override;
+  std::optional<Telemetry> pop_telemetry() override;
+
+  std::uint64_t commands_queued() const;
+  std::uint64_t telemetry_queued() const;
+
+ private:
+  struct Layout;
+
+  ShmChannel(std::string name, Layout* layout, bool creator);
+
+  std::string name_;
+  Layout* layout_ = nullptr;
+  bool creator_ = false;
+};
+
+}  // namespace numashare::agent

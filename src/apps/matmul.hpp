@@ -1,0 +1,69 @@
+// Blocked dense matrix multiply on the task runtime — the compute-bound
+// component application. C = A * B with square tiles; each (i,j) output
+// tile is a dependency chain over k (the accumulation order), tiles of all
+// three matrices live in runtime-managed datablocks spread across NUMA
+// nodes, and tasks are affinity-hinted to their C tile's node.
+//
+// The arithmetic intensity grows with the tile size (2*T^3 FLOPs over
+// ~3*T^2 doubles of traffic), which is exactly the knob the agent's model
+// wants advertised: ai_estimate() reports it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "runtime/runtime.hpp"
+
+namespace numashare::apps {
+
+struct MatmulConfig {
+  /// Matrix dimension; must be a multiple of tile.
+  std::uint32_t n = 128;
+  std::uint32_t tile = 32;
+};
+
+class Matmul {
+ public:
+  Matmul(rt::Runtime& runtime, MatmulConfig config = {});
+
+  /// Fill A and B with deterministic pseudo-values and zero C.
+  void initialize();
+
+  /// Execute C = A * B to completion.
+  void run();
+
+  double a(std::uint32_t r, std::uint32_t c) const { return at(a_, r, c); }
+  double b(std::uint32_t r, std::uint32_t c) const { return at(b_, r, c); }
+  double c(std::uint32_t r, std::uint32_t c) const { return at(c_, r, c); }
+
+  /// Reference check against a straightforward triple loop over a sample of
+  /// entries (full check for small n). Returns the max absolute error.
+  double verify_sample(std::uint32_t samples = 64) const;
+
+  double gflop_total() const {
+    const double n = config_.n;
+    return 2.0 * n * n * n / 1e9;
+  }
+  /// 2*T^3 FLOPs per tile-multiply over 3*T^2 * 8 bytes of tile traffic.
+  ArithmeticIntensity ai_estimate() const {
+    return (2.0 * config_.tile) / (3.0 * 8.0);
+  }
+
+ private:
+  using TileGrid = std::vector<rt::DatablockPtr>;  // row-major tiles
+
+  double at(const TileGrid& grid, std::uint32_t r, std::uint32_t c) const;
+  rt::DatablockPtr& tile(TileGrid& grid, std::uint32_t ti, std::uint32_t tj);
+  const rt::DatablockPtr& tile(const TileGrid& grid, std::uint32_t ti,
+                               std::uint32_t tj) const;
+
+  rt::Runtime& runtime_;
+  MatmulConfig config_;
+  std::uint32_t tiles_ = 0;  // per dimension
+  TileGrid a_;
+  TileGrid b_;
+  TileGrid c_;
+};
+
+}  // namespace numashare::apps

@@ -1,0 +1,142 @@
+#include "apps/stencil.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace numashare::apps {
+
+Stencil::Stencil(rt::Runtime& runtime, StencilConfig config)
+    : runtime_(runtime), config_(config) {
+  NS_REQUIRE(config_.rows >= 3 && config_.cols >= 3, "grid too small for a 5-point stencil");
+  NS_REQUIRE(config_.row_blocks >= 1 && config_.row_blocks <= config_.rows,
+             "row_blocks must be in [1, rows]");
+
+  const std::uint32_t nodes = runtime_.machine().node_count();
+  const std::uint32_t base = config_.rows / config_.row_blocks;
+  std::uint32_t assigned = 0;
+  for (std::uint32_t b = 0; b < config_.row_blocks; ++b) {
+    Block block;
+    block.first_row = assigned;
+    block.rows = base + (b < config_.rows % config_.row_blocks ? 1 : 0);
+    block.node = b % nodes;
+    const std::size_t bytes =
+        static_cast<std::size_t>(block.rows) * config_.cols * sizeof(double);
+    block.current = runtime_.create_datablock(bytes, block.node);
+    block.next = runtime_.create_datablock(bytes, block.node);
+    assigned += block.rows;
+    blocks_.push_back(std::move(block));
+  }
+  NS_ASSERT(assigned == config_.rows);
+
+  // Initialize: boundary ring at `boundary`, interior at `interior`.
+  for (auto& block : blocks_) {
+    for (std::uint32_t lr = 0; lr < block.rows; ++lr) {
+      const std::uint32_t r = block.first_row + lr;
+      double* row = block.current->as_span<double>().data() + std::size_t(lr) * config_.cols;
+      double* next_row = block.next->as_span<double>().data() + std::size_t(lr) * config_.cols;
+      for (std::uint32_t c = 0; c < config_.cols; ++c) {
+        const bool edge = r == 0 || r == config_.rows - 1 || c == 0 || c == config_.cols - 1;
+        row[c] = edge ? config_.boundary : config_.interior;
+        next_row[c] = row[c];
+      }
+    }
+  }
+}
+
+void Stencil::run(std::uint32_t sweeps) {
+  NS_REQUIRE(sweeps > 0, "need at least one sweep");
+
+  // Per-sweep completion events per block; sweep s of block b depends on
+  // sweep s-1 of blocks b-1, b, b+1 (flow *and* anti dependencies — a
+  // neighbour's previous-sweep task must also have finished *reading* our
+  // parity buffer before we overwrite it).
+  std::vector<rt::EventPtr> previous(blocks_.size());
+  std::vector<rt::EventPtr> current(blocks_.size());
+
+  for (std::uint32_t s = 0; s < sweeps; ++s) {
+    const std::uint32_t parity = (sweeps_done_ + s) % 2;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      std::vector<rt::EventPtr> deps;
+      if (s > 0) {
+        if (b > 0) deps.push_back(previous[b - 1]);
+        deps.push_back(previous[b]);
+        if (b + 1 < blocks_.size()) deps.push_back(previous[b + 1]);
+      }
+      current[b] = runtime_.spawn(
+          [this, b, parity](rt::TaskContext&) {
+            // Row pointer tables across all blocks for this parity: the
+            // block's edge rows read into the neighbouring blocks' buffers,
+            // which the dependency structure has made safe.
+            std::vector<const double*> read_rows(config_.rows);
+            std::vector<double*> write_rows(config_.rows);
+            for (auto& other : blocks_) {
+              auto read_span = (parity == 0 ? other.current : other.next)->as_span<double>();
+              auto write_span = (parity == 0 ? other.next : other.current)->as_span<double>();
+              for (std::uint32_t lr = 0; lr < other.rows; ++lr) {
+                read_rows[other.first_row + lr] =
+                    read_span.data() + std::size_t(lr) * config_.cols;
+                write_rows[other.first_row + lr] =
+                    write_span.data() + std::size_t(lr) * config_.cols;
+              }
+            }
+            const auto& block = blocks_[b];
+            for (std::uint32_t lr = 0; lr < block.rows; ++lr) {
+              const std::uint32_t r = block.first_row + lr;
+              double* out = write_rows[r];
+              if (r == 0 || r == config_.rows - 1) {
+                std::copy(read_rows[r], read_rows[r] + config_.cols, out);
+                continue;
+              }
+              const double* up = read_rows[r - 1];
+              const double* down = read_rows[r + 1];
+              const double* self = read_rows[r];
+              out[0] = self[0];
+              out[config_.cols - 1] = self[config_.cols - 1];
+              for (std::uint32_t c = 1; c + 1 < config_.cols; ++c) {
+                out[c] = 0.25 * (up[c] + down[c] + self[c - 1] + self[c + 1]);
+              }
+            }
+          },
+          deps, blocks_[b].node);
+    }
+    previous = current;
+  }
+  // Wait for the final sweep across all blocks.
+  auto latch = runtime_.create_latch(static_cast<std::uint32_t>(blocks_.size()));
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    runtime_.spawn([latch](rt::TaskContext&) { latch->count_down(); }, {current[b]});
+  }
+  latch->wait();
+
+  sweeps_done_ += sweeps;
+  const std::uint64_t interior =
+      static_cast<std::uint64_t>(config_.rows - 2) * (config_.cols - 2);
+  cells_updated_ += static_cast<std::uint64_t>(sweeps) * interior;
+  runtime_.report_progress(sweeps);
+  // 4 FLOPs and ~16 streamed bytes per interior cell per sweep.
+  const double cells = static_cast<double>(sweeps) * static_cast<double>(interior);
+  runtime_.report_work(4.0 * cells / 1e9, 16.0 * cells / 1e9);
+}
+
+double Stencil::at(std::uint32_t r, std::uint32_t c) const {
+  NS_REQUIRE(r < config_.rows && c < config_.cols, "cell out of range");
+  for (const auto& block : blocks_) {
+    if (r >= block.first_row && r < block.first_row + block.rows) {
+      const auto& buffer = (sweeps_done_ % 2 == 0) ? block.current : block.next;
+      return buffer->as_span<double>()[std::size_t(r - block.first_row) * config_.cols + c];
+    }
+  }
+  NS_ASSERT_MSG(false, "unreachable: row not covered by any block");
+  return 0.0;
+}
+
+double Stencil::checksum() const {
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < config_.rows; ++r) {
+    for (std::uint32_t c = 0; c < config_.cols; ++c) total += at(r, c);
+  }
+  return total;
+}
+
+}  // namespace numashare::apps

@@ -1,0 +1,34 @@
+// Assertion macros used across numashare.
+//
+// NS_ASSERT is active in all build types: the invariants it guards are cheap
+// relative to the work they protect (allocation solvers, schedulers), and a
+// silently-wrong resource arbiter is worse than an aborted one.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace numashare::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "numashare assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace numashare::detail
+
+#define NS_ASSERT(expr)                                                       \
+  do {                                                                        \
+    if (!(expr)) ::numashare::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define NS_ASSERT_MSG(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr)) ::numashare::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+// For conditions that indicate caller error rather than internal corruption.
+#define NS_REQUIRE(expr, msg) NS_ASSERT_MSG(expr, msg)

@@ -1,0 +1,40 @@
+#include "common/csv.hpp"
+
+#include "common/assert.hpp"
+
+namespace numashare {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  NS_REQUIRE(!header_written_, "CSV header already written");
+  columns_ = columns.size();
+  header_written_ = true;
+  emit(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  NS_REQUIRE(header_written_, "write the CSV header first");
+  NS_REQUIRE(cells.size() == columns_, "CSV row width must match header");
+  emit(cells);
+}
+
+}  // namespace numashare

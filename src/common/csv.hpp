@@ -1,0 +1,31 @@
+// CSV emission for machine-readable experiment output.
+//
+// Each bench writes its series to stdout as a table and optionally to a .csv
+// so plots can be regenerated without re-running.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace numashare {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void header(const std::vector<std::string>& columns);
+  void row(const std::vector<std::string>& cells);
+
+  /// RFC-4180 quoting: wrap in quotes when the cell contains , " or newline.
+  static std::string escape(const std::string& cell);
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+
+  std::ostream& os_;
+  std::size_t columns_ = 0;
+  bool header_written_ = false;
+};
+
+}  // namespace numashare

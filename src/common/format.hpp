@@ -1,0 +1,69 @@
+// Minimal "{}" formatting (libstdc++ 12 ships no <format>).
+//
+// ns_format("x={} y={}", 1, 2.5) -> "x=1 y=2.5"
+// Numeric helpers fmt_fixed / fmt_sig give the fixed-point / significant-digit
+// renderings the paper's tables use.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace numashare {
+
+namespace detail {
+
+inline void format_value(std::ostream& os) { (void)os; }
+
+template <typename T>
+void append_one(std::ostream& os, const T& v) {
+  os << v;
+}
+
+inline void format_rec(std::ostream& os, std::string_view fmt) {
+  // No arguments left: emit the remainder verbatim (any "{}" left is a bug in
+  // the call site, surfaced literally rather than by UB).
+  os << fmt;
+}
+
+template <typename T, typename... Rest>
+void format_rec(std::ostream& os, std::string_view fmt, const T& first, const Rest&... rest) {
+  const auto pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    os << fmt;  // more args than placeholders; extra args ignored
+    return;
+  }
+  os << fmt.substr(0, pos);
+  append_one(os, first);
+  format_rec(os, fmt.substr(pos + 2), rest...);
+}
+
+}  // namespace detail
+
+template <typename... Args>
+std::string ns_format(std::string_view fmt, const Args&... args) {
+  std::ostringstream os;
+  detail::format_rec(os, fmt, args...);
+  return os.str();
+}
+
+/// Fixed-point rendering, e.g. fmt_fixed(63.5, 2) == "63.50".
+inline std::string fmt_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// Compact rendering: fixed with trailing zeros trimmed ("63.5", "254", "4.53").
+inline std::string fmt_compact(double v, int max_precision = 6) {
+  std::string s = fmt_fixed(v, max_precision);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace numashare

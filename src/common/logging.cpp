@@ -1,0 +1,61 @@
+#include "common/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace numashare {
+
+double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point origin = clock::now();
+  return std::chrono::duration<double>(clock::now() - origin).count();
+}
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("NUMASHARE_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(level_from_env()), start_seconds_(monotonic_seconds()) {}
+
+void Logger::set_level(LogLevel level) { level_ = level; }
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
+  const double t = monotonic_seconds() - start_seconds_;
+  std::scoped_lock lock(mutex_);
+  std::fprintf(stderr, "[%10.4f] %s [%.*s] %.*s\n", t, level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace numashare

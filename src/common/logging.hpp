@@ -1,0 +1,55 @@
+// Thread-safe leveled logger.
+//
+// Components log through NS_LOG_* macros; the level is process-global and can
+// be raised by tests/benches that want quiet output. Messages carry a
+// monotonic timestamp (seconds since logger construction) and the logical
+// component name, which matters for reading agent/runtime interleavings.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/format.hpp"
+
+namespace numashare {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const { return level_; }
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger();
+
+  std::mutex mutex_;
+  LogLevel level_;
+  double start_seconds_ = 0.0;
+};
+
+/// Current monotonic time in seconds (steady clock).
+double monotonic_seconds();
+
+}  // namespace numashare
+
+#define NS_LOG(level, component, ...)                                          \
+  do {                                                                         \
+    auto& ns_logger_ = ::numashare::Logger::instance();                        \
+    if (ns_logger_.enabled(level)) {                                           \
+      ns_logger_.log(level, component, ::numashare::ns_format(__VA_ARGS__));   \
+    }                                                                          \
+  } while (0)
+
+#define NS_LOG_TRACE(component, ...) NS_LOG(::numashare::LogLevel::kTrace, component, __VA_ARGS__)
+#define NS_LOG_DEBUG(component, ...) NS_LOG(::numashare::LogLevel::kDebug, component, __VA_ARGS__)
+#define NS_LOG_INFO(component, ...) NS_LOG(::numashare::LogLevel::kInfo, component, __VA_ARGS__)
+#define NS_LOG_WARN(component, ...) NS_LOG(::numashare::LogLevel::kWarn, component, __VA_ARGS__)
+#define NS_LOG_ERROR(component, ...) NS_LOG(::numashare::LogLevel::kError, component, __VA_ARGS__)

@@ -1,0 +1,68 @@
+// Single-producer single-consumer lock-free ring buffer.
+//
+// This is the agent <-> runtime transport (one ring per direction per
+// runtime). It deliberately has shared-memory-compatible semantics: only the
+// producer writes head_, only the consumer writes tail_, values are moved
+// through a fixed-size slab — so the same code would work across a process
+// boundary with T restricted to trivially-copyable messages.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace numashare {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity must be a power of two (index masking).
+  explicit SpscRing(std::size_t capacity) : mask_(capacity - 1), slots_(capacity) {
+    NS_REQUIRE(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+               "SpscRing capacity must be a power of two >= 2");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full (message dropped by caller's
+  /// choice — the agent treats a full ring as backpressure).
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Approximate size; exact when called from either endpoint's thread.
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t mask_;
+  std::vector<T> slots_;
+};
+
+}  // namespace numashare

@@ -1,0 +1,42 @@
+// ASCII table rendering for the experiment harness.
+//
+// The paper reports results as tables (Table I-III); every bench prints its
+// reproduction through this class so output stays diffable run to run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace numashare {
+
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Default alignment is left for column 0, right for the rest (the usual
+  /// label-then-numbers layout); override per column if needed.
+  void set_align(std::size_t column, Align align);
+
+  void add_row(std::vector<std::string> cells);
+  /// A horizontal rule between row groups.
+  void add_separator();
+
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string render() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace numashare

@@ -1,0 +1,59 @@
+#include "common/threading.hpp"
+
+#include <chrono>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace numashare {
+
+void Parker::park() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return permit_; });
+  permit_ = false;
+}
+
+bool Parker::park_for_us(std::int64_t timeout_us) {
+  std::unique_lock lock(mutex_);
+  const bool woken =
+      cv_.wait_for(lock, std::chrono::microseconds(timeout_us), [&] { return permit_; });
+  if (woken) permit_ = false;
+  return woken;
+}
+
+void Parker::unpark() {
+  {
+    std::scoped_lock lock(mutex_);
+    permit_ = true;
+  }
+  cv_.notify_one();
+}
+
+void set_current_thread_name(const std::string& name) {
+#if defined(__linux__)
+  // The kernel limit is 15 characters + NUL.
+  std::string truncated = name.substr(0, 15);
+  pthread_setname_np(pthread_self(), truncated.c_str());
+#else
+  (void)name;
+#endif
+}
+
+void Backoff::pause() {
+  if (count_ < 6) {
+    for (unsigned i = 0; i < (1u << count_); ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::this_thread::yield();
+#endif
+    }
+    ++count_;
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace numashare

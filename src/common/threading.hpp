@@ -1,0 +1,47 @@
+// Thread parking and naming primitives shared by the runtime's worker pool.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace numashare {
+
+/// One-slot park/unpark, with the "permit" semantics of LockSupport: an
+/// unpark delivered before the park makes the next park return immediately,
+/// so the waker/sleeper race is benign. This is what makes the paper's
+/// "unblocking ... is also nearly immediate" property hold in our runtime.
+class Parker {
+ public:
+  /// Blocks until unparked (or returns immediately if a permit is pending).
+  void park();
+
+  /// Blocks at most `timeout_us` microseconds. Returns true if unparked,
+  /// false on timeout.
+  bool park_for_us(std::int64_t timeout_us);
+
+  /// Wake the parked thread (or store a permit).
+  void unpark();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool permit_ = false;
+};
+
+/// Set the calling thread's name (visible in /proc and debuggers).
+void set_current_thread_name(const std::string& name);
+
+/// Exponential spin-then-yield backoff for contended retry loops.
+class Backoff {
+ public:
+  void pause();
+  void reset() { count_ = 0; }
+
+ private:
+  unsigned count_ = 0;
+};
+
+}  // namespace numashare

@@ -1,0 +1,32 @@
+// The quantities the paper's model is written in, as plain doubles with
+// named accessors rather than heavy strong types: the solver does enough
+// arithmetic that wrapper types would obscure it, but the *names* keep
+// GB/s and GFLOPS from being crossed accidentally at API boundaries.
+#pragma once
+
+namespace numashare {
+
+/// Gigabytes per second (memory bandwidth).
+using GBps = double;
+/// Giga floating-point operations per second.
+using GFlops = double;
+/// FLOPs per byte moved to/from memory (the roofline's x axis).
+using ArithmeticIntensity = double;
+
+/// peak demand rule from the paper (assumption 3): a core running code with
+/// arithmetic intensity `ai` at peak `gflops` wants gflops/ai GB/s.
+inline GBps demand_gbps(GFlops peak_gflops, ArithmeticIntensity ai) {
+  return peak_gflops / ai;
+}
+
+/// Achieved performance from achieved bandwidth (memory-bound leg of the
+/// roofline), capped at the compute peak.
+inline GFlops achieved_gflops(GBps bandwidth, ArithmeticIntensity ai, GFlops peak_gflops) {
+  const GFlops mem_limited = bandwidth * ai;
+  return mem_limited < peak_gflops ? mem_limited : peak_gflops;
+}
+
+inline constexpr double kBytesPerGB = 1e9;
+inline constexpr double kFlopsPerGFlop = 1e9;
+
+}  // namespace numashare

@@ -1,0 +1,210 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace numashare::model {
+
+double score(const Solution& solution, Objective objective) {
+  switch (objective) {
+    case Objective::kTotalGflops:
+      return solution.total_gflops;
+    case Objective::kMinAppGflops: {
+      double worst = std::numeric_limits<double>::infinity();
+      for (auto g : solution.app_gflops) worst = std::min(worst, g);
+      return solution.app_gflops.empty() ? 0.0 : worst;
+    }
+    case Objective::kProportionalFairness: {
+      double total = 0.0;
+      for (auto g : solution.app_gflops) {
+        // An app at zero would dominate everything; floor far below any real
+        // throughput so such allocations rank last but stay comparable.
+        total += std::log(std::max(g, 1e-12));
+      }
+      return total;
+    }
+  }
+  NS_ASSERT_MSG(false, "unknown objective");
+  return 0.0;
+}
+
+const char* to_string(Objective objective) {
+  switch (objective) {
+    case Objective::kTotalGflops: return "total-gflops";
+    case Objective::kMinAppGflops: return "min-app-gflops";
+    case Objective::kProportionalFairness: return "proportional-fairness";
+  }
+  return "?";
+}
+
+namespace {
+
+void compose(std::uint32_t apps_left, std::uint32_t budget, bool require_full,
+             std::uint32_t min_per_app, std::vector<std::uint32_t>& current,
+             std::vector<std::vector<std::uint32_t>>& out) {
+  if (apps_left == 1) {
+    if (require_full) {
+      if (budget >= min_per_app) {
+        current.push_back(budget);
+        out.push_back(current);
+        current.pop_back();
+      }
+    } else {
+      for (std::uint32_t c = min_per_app; c <= budget; ++c) {
+        current.push_back(c);
+        out.push_back(current);
+        current.pop_back();
+      }
+    }
+    return;
+  }
+  for (std::uint32_t c = min_per_app; c <= budget; ++c) {
+    current.push_back(c);
+    compose(apps_left - 1, budget - c, require_full, min_per_app, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Allocation> enumerate_uniform(const topo::Machine& machine, std::uint32_t apps,
+                                          bool require_full,
+                                          std::uint32_t min_threads_per_app) {
+  NS_REQUIRE(apps > 0, "need at least one app");
+  std::uint32_t min_cores = machine.cores_in_node(0);
+  for (topo::NodeId n = 1; n < machine.node_count(); ++n) {
+    min_cores = std::min(min_cores, machine.cores_in_node(n));
+  }
+  NS_REQUIRE(min_threads_per_app * apps <= min_cores,
+             "min_threads_per_app infeasible on the smallest node");
+  std::vector<std::vector<std::uint32_t>> compositions;
+  std::vector<std::uint32_t> current;
+  compose(apps, min_cores, require_full, min_threads_per_app, current, compositions);
+
+  std::vector<Allocation> out;
+  out.reserve(compositions.size());
+  for (auto& counts : compositions) {
+    out.push_back(Allocation::uniform_per_node(machine, counts));
+  }
+  return out;
+}
+
+std::vector<Allocation> enumerate_node_permutations(const topo::Machine& machine) {
+  std::vector<topo::NodeId> order(machine.node_count());
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<Allocation> out;
+  do {
+    out.push_back(Allocation::node_per_app(machine, order));
+  } while (std::next_permutation(order.begin(), order.end()));
+  return out;
+}
+
+SearchResult exhaustive_search(const topo::Machine& machine, const std::vector<AppSpec>& apps,
+                               Objective objective, bool require_full,
+                               std::uint32_t min_threads_per_app) {
+  // Clamp an infeasible per-app minimum (more apps than cores per node)
+  // rather than refusing: policies run against whatever machine they find.
+  std::uint32_t min_cores = machine.cores_in_node(0);
+  for (topo::NodeId n = 1; n < machine.node_count(); ++n) {
+    min_cores = std::min(min_cores, machine.cores_in_node(n));
+  }
+  const auto apps_n = static_cast<std::uint32_t>(apps.size());
+  min_threads_per_app = std::min(min_threads_per_app, min_cores / std::max(1u, apps_n));
+  auto candidates = enumerate_uniform(machine, apps_n, require_full, min_threads_per_app);
+  // Node permutations hand each app a full node, so they satisfy any
+  // per-app minimum and are always admissible when counts line up.
+  if (apps.size() == machine.node_count()) {
+    auto perms = enumerate_node_permutations(machine);
+    candidates.insert(candidates.end(), perms.begin(), perms.end());
+  }
+  NS_REQUIRE(!candidates.empty(), "no candidate allocations");
+
+  SearchResult best;
+  best.objective_value = -std::numeric_limits<double>::infinity();
+  for (const auto& candidate : candidates) {
+    Solution solution = solve(machine, apps, candidate);
+    ++best.evaluated;
+    const double value = score(solution, objective);
+    if (value > best.objective_value) {
+      best.objective_value = value;
+      best.allocation = candidate;
+      best.solution = std::move(solution);
+    }
+  }
+  return best;
+}
+
+SearchResult greedy_search(const topo::Machine& machine, const std::vector<AppSpec>& apps,
+                           const Allocation& start, const GreedyOptions& options) {
+  std::string error;
+  NS_REQUIRE(start.validate(machine, &error), error.c_str());
+
+  SearchResult best;
+  best.allocation = start;
+  best.solution = solve(machine, apps, start);
+  best.evaluated = 1;
+  best.objective_value = score(best.solution, options.objective);
+
+  const auto apps_n = static_cast<AppId>(apps.size());
+  for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
+    Allocation round_best_alloc = best.allocation;
+    Solution round_best_solution;
+    double round_best_value = best.objective_value;
+    bool improved = false;
+
+    const auto consider = [&](Allocation candidate) {
+      if (!candidate.validate(machine)) return;
+      Solution solution = solve(machine, apps, candidate);
+      ++best.evaluated;
+      const double value = score(solution, options.objective);
+      const double threshold =
+          round_best_value + std::abs(round_best_value) * options.min_relative_gain + 1e-15;
+      if (value > threshold) {
+        round_best_value = value;
+        round_best_alloc = std::move(candidate);
+        round_best_solution = std::move(solution);
+        improved = true;
+      }
+    };
+
+    for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
+      const std::uint32_t used = best.allocation.node_total(n);
+      for (AppId a = 0; a < apps_n; ++a) {
+        const std::uint32_t have = best.allocation.threads(a, n);
+        // Add a thread on a free core.
+        if (used < machine.cores_in_node(n)) {
+          Allocation candidate = best.allocation;
+          candidate.set_threads(a, n, have + 1);
+          consider(std::move(candidate));
+        }
+        if (have == 0) continue;
+        // Drop a thread (helps sub-linear-scaling mixes).
+        {
+          Allocation candidate = best.allocation;
+          candidate.set_threads(a, n, have - 1);
+          consider(std::move(candidate));
+        }
+        // Shift a thread to another app on the same node.
+        for (AppId b = 0; b < apps_n; ++b) {
+          if (b == a) continue;
+          Allocation candidate = best.allocation;
+          candidate.set_threads(a, n, have - 1);
+          candidate.set_threads(b, n, candidate.threads(b, n) + 1);
+          consider(std::move(candidate));
+        }
+      }
+    }
+
+    if (!improved) break;
+    best.allocation = std::move(round_best_alloc);
+    best.solution = std::move(round_best_solution);
+    best.objective_value = round_best_value;
+  }
+  return best;
+}
+
+}  // namespace numashare::model

@@ -1,0 +1,77 @@
+// Allocation search over the model — what a model-guided agent runs to pick
+// per-node thread counts (paper §III: "we need to be aware of the NUMA
+// architecture and also of the way memory is used by the application").
+//
+// Two engines:
+//  * exhaustive enumeration over restricted-but-expressive families
+//    (uniform-per-node counts; node-permutation assignments), matching the
+//    shapes the paper discusses, and
+//  * greedy hill-climbing over single-thread moves for general machines,
+//    where full enumeration is combinatorial.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/roofline.hpp"
+
+namespace numashare::model {
+
+enum class Objective {
+  /// Maximize machine throughput (the paper's comparison metric).
+  kTotalGflops,
+  /// Maximize the slowest application (egalitarian fairness).
+  kMinAppGflops,
+  /// Maximize sum of log(app GFLOPS) (proportional fairness).
+  kProportionalFairness,
+};
+
+double score(const Solution& solution, Objective objective);
+const char* to_string(Objective objective);
+
+struct SearchResult {
+  Allocation allocation;
+  Solution solution;
+  double objective_value = 0.0;
+  std::uint64_t evaluated = 0;  // model solves performed
+};
+
+/// All allocations where app `a` runs counts[a] threads on *every* node, the
+/// per-node sum not exceeding the core count. `require_full` keeps only
+/// allocations using every core (the paper's no-idle-cores scenarios).
+/// `min_threads_per_app` excludes allocations that starve an application
+/// below that per-node count — the paper's scenarios implicitly keep every
+/// app running, without which pure-throughput search degenerates to handing
+/// the whole machine to the most compute-bound code.
+std::vector<Allocation> enumerate_uniform(const topo::Machine& machine, std::uint32_t apps,
+                                          bool require_full,
+                                          std::uint32_t min_threads_per_app = 0);
+
+/// All assignments of whole nodes to apps (apps == node_count), i.e. every
+/// permutation in Figure 2c style. Distinguishable only when some app is
+/// NUMA-bad or the machine is asymmetric.
+std::vector<Allocation> enumerate_node_permutations(const topo::Machine& machine);
+
+/// Exhaustive search over the union of the two families above.
+SearchResult exhaustive_search(const topo::Machine& machine, const std::vector<AppSpec>& apps,
+                               Objective objective, bool require_full = false,
+                               std::uint32_t min_threads_per_app = 0);
+
+struct GreedyOptions {
+  Objective objective = Objective::kTotalGflops;
+  std::uint32_t max_rounds = 1000;
+  /// Improvements smaller than this (relative) do not count, preventing
+  /// floating-point ping-pong.
+  double min_relative_gain = 1e-9;
+};
+
+/// Hill-climb from `start` using single-thread moves: remove a thread,
+/// add one on a free core, or shift one between apps on the same node.
+/// Terminates at a local optimum.
+SearchResult greedy_search(const topo::Machine& machine, const std::vector<AppSpec>& apps,
+                           const Allocation& start, const GreedyOptions& options = {});
+
+}  // namespace numashare::model

@@ -1,0 +1,145 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+
+namespace numashare::model {
+
+std::vector<DerivationClass> classes_from(const std::vector<AppSpec>& apps,
+                                          const std::vector<std::uint32_t>& per_node_counts) {
+  NS_REQUIRE(apps.size() == per_node_counts.size(),
+             "one per-node thread count per app");
+  std::vector<DerivationClass> classes;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    NS_REQUIRE(apps[i].placement == Placement::kNumaPerfect,
+               "derivation tables cover NUMA-perfect apps only");
+    auto it = std::find_if(classes.begin(), classes.end(), [&](const DerivationClass& c) {
+      return c.ai == apps[i].ai && c.threads_per_node == per_node_counts[i];
+    });
+    if (it != classes.end()) {
+      ++it->instances;
+    } else {
+      DerivationClass c;
+      c.label = apps[i].name;
+      c.ai = apps[i].ai;
+      c.instances = 1;
+      c.threads_per_node = per_node_counts[i];
+      classes.push_back(c);
+    }
+  }
+  return classes;
+}
+
+Derivation derive(const topo::Machine& machine, std::vector<DerivationClass> classes) {
+  NS_REQUIRE(machine.is_symmetric(), "derivation requires a symmetric machine");
+  NS_REQUIRE(!classes.empty(), "need at least one app class");
+
+  const GBps node_bw = machine.node(0).memory_bandwidth;
+  const auto cores = static_cast<double>(machine.cores_in_node(0));
+  const GFlops core_peak = machine.core(machine.node(0).cores.front()).peak_gflops;
+
+  std::uint32_t threads_used = 0;
+  for (const auto& c : classes) threads_used += c.instances * c.threads_per_node;
+  NS_REQUIRE(threads_used <= machine.cores_in_node(0), "node oversubscribed");
+
+  Derivation d;
+  d.classes = std::move(classes);
+
+  // Rows 4-6: per-thread / per-instance / all-instances peak demand.
+  for (auto& c : d.classes) {
+    c.peak_bw_per_thread = demand_gbps(core_peak, c.ai);
+    c.peak_bw_per_instance = c.peak_bw_per_thread * c.threads_per_node;
+    c.total_bw_all_instances = c.peak_bw_per_instance * c.instances;
+    d.total_required_bw += c.total_bw_all_instances;
+  }
+
+  // Rows 7-9: baseline grants. The paper divides the *full* node bandwidth by
+  // the core count even when some cores sit idle.
+  d.baseline_per_thread = node_bw / cores;
+  for (auto& c : d.classes) {
+    c.allocated_baseline_per_thread = std::min(c.peak_bw_per_thread, d.baseline_per_thread);
+    d.allocated_node_bw +=
+        c.instances * c.threads_per_node * c.allocated_baseline_per_thread;
+  }
+  d.remaining_node_bw = node_bw - d.allocated_node_bw;
+
+  // Rows 10-12: unmet demand and the proportional remainder. The paper's
+  // split is proportional to the per-thread deficit; with equal deficits it
+  // degenerates to remaining / unsatisfied-thread-count, which is how the
+  // tables phrase it.
+  double weighted_deficit = 0.0;
+  for (auto& c : d.classes) {
+    c.still_required_per_thread = c.peak_bw_per_thread - c.allocated_baseline_per_thread;
+    d.still_required_total += c.instances * c.threads_per_node * c.still_required_per_thread;
+    weighted_deficit += c.instances * c.threads_per_node * c.still_required_per_thread;
+  }
+  for (auto& c : d.classes) {
+    if (weighted_deficit > 0.0 && c.still_required_per_thread > 0.0) {
+      const GBps share =
+          d.remaining_node_bw * c.still_required_per_thread / weighted_deficit;
+      c.remainder_per_thread = std::min(c.still_required_per_thread, share);
+    } else {
+      c.remainder_per_thread = 0.0;
+    }
+    c.total_per_thread = c.allocated_baseline_per_thread + c.remainder_per_thread;
+  }
+
+  // Rows 13-16: the roofline conversion and totals.
+  for (auto& c : d.classes) {
+    c.gflops_per_thread = achieved_gflops(c.total_per_thread, c.ai, core_peak);
+    c.gflops_per_app = c.gflops_per_thread * c.threads_per_node;
+    d.gflops_per_node += c.gflops_per_app * c.instances;
+  }
+  d.total_gflops = d.gflops_per_node * machine.node_count();
+  return d;
+}
+
+std::string Derivation::render() const {
+  std::vector<std::string> headers{"row"};
+  for (const auto& c : classes) headers.push_back(c.label);
+  TextTable table(std::move(headers));
+
+  const auto per_class = [&](const std::string& label, auto getter, int precision = 6) {
+    std::vector<std::string> row{label};
+    for (const auto& c : classes) row.push_back(fmt_compact(getter(c), precision));
+    table.add_row(std::move(row));
+  };
+  const auto spanned = [&](const std::string& label, double value) {
+    std::vector<std::string> row{label};
+    row.push_back(fmt_compact(value));
+    for (std::size_t i = 1; i < classes.size(); ++i) row.push_back("\"");
+    table.add_row(std::move(row));
+  };
+
+  per_class("arithmetic intensity (AI)", [](const auto& c) { return c.ai; });
+  per_class("number of instances", [](const auto& c) { return double(c.instances); });
+  per_class("threads per NUMA node", [](const auto& c) { return double(c.threads_per_node); });
+  per_class("peak memory bandwidth per thread",
+            [](const auto& c) { return c.peak_bw_per_thread; });
+  per_class("peak memory bandwidth per instance",
+            [](const auto& c) { return c.peak_bw_per_instance; });
+  per_class("total memory bandwidth of all instances",
+            [](const auto& c) { return c.total_bw_all_instances; });
+  spanned("total required bandwidth", total_required_bw);
+  spanned("baseline GB/s per thread", baseline_per_thread);
+  per_class("allocated baseline per thread",
+            [](const auto& c) { return c.allocated_baseline_per_thread; });
+  spanned("allocated node GB/s", allocated_node_bw);
+  spanned("remaining node GB/s", remaining_node_bw);
+  per_class("still required GB/s per thread",
+            [](const auto& c) { return c.still_required_per_thread; });
+  spanned("still required GB/s", still_required_total);
+  per_class("remainder given to a thread",
+            [](const auto& c) { return c.remainder_per_thread; });
+  per_class("total allocated to each thread", [](const auto& c) { return c.total_per_thread; });
+  per_class("GFLOPS per thread", [](const auto& c) { return c.gflops_per_thread; });
+  per_class("GFLOPS per application", [](const auto& c) { return c.gflops_per_app; });
+  spanned("total GFLOPS per node", gflops_per_node);
+  spanned("total GFLOPS", total_gflops);
+  return table.render();
+}
+
+}  // namespace numashare::model

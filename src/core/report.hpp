@@ -1,0 +1,63 @@
+// Derivation reports mirroring the paper's Tables I and II.
+//
+// For a symmetric machine where every app is NUMA-perfect and runs the same
+// thread count on every node, the whole model reduces to one node's
+// arithmetic; the paper's tables walk that arithmetic row by row. This
+// module reproduces exactly those rows (same labels, same order) so the
+// bench output can be compared against the paper side by side. Tests assert
+// the derivation is consistent with the general solver.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/app_spec.hpp"
+#include "core/roofline.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::model {
+
+/// One column of the paper's tables: a class of identical applications.
+struct DerivationClass {
+  std::string label;         // e.g. "memory-bound"
+  ArithmeticIntensity ai = 0;
+  std::uint32_t instances = 0;
+  std::uint32_t threads_per_node = 0;
+
+  // Filled in by derive():
+  GBps peak_bw_per_thread = 0;
+  GBps peak_bw_per_instance = 0;
+  GBps total_bw_all_instances = 0;
+  GBps allocated_baseline_per_thread = 0;
+  GBps still_required_per_thread = 0;
+  GBps remainder_per_thread = 0;
+  GBps total_per_thread = 0;
+  GFlops gflops_per_thread = 0;
+  GFlops gflops_per_app = 0;  // per node, as in the paper
+};
+
+struct Derivation {
+  std::vector<DerivationClass> classes;
+  GBps total_required_bw = 0;
+  GBps baseline_per_thread = 0;   // node_bw / cores ("baseline GB/s per thread")
+  GBps allocated_node_bw = 0;     // after baseline grants
+  GBps remaining_node_bw = 0;
+  GBps still_required_total = 0;
+  GFlops gflops_per_node = 0;
+  GFlops total_gflops = 0;        // gflops_per_node * node_count
+
+  /// Rendered with the paper's row labels.
+  std::string render() const;
+};
+
+/// Compute the derivation. Requirements (asserted): symmetric machine, all
+/// apps NUMA-perfect, every class running `threads_per_node` on each node.
+/// The classes' instances/threads must not oversubscribe a node.
+Derivation derive(const topo::Machine& machine, std::vector<DerivationClass> classes);
+
+/// Convenience: build classes from specs + uniform per-node counts, grouping
+/// apps with identical (ai, count) into one class like the paper does.
+std::vector<DerivationClass> classes_from(const std::vector<AppSpec>& apps,
+                                          const std::vector<std::uint32_t>& per_node_counts);
+
+}  // namespace numashare::model

@@ -1,0 +1,189 @@
+#include "core/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+namespace numashare::model {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+GFlops core_peak_on_node(const topo::Machine& machine, topo::NodeId node) {
+  const auto& n = machine.node(node);
+  NS_ASSERT(!n.cores.empty());
+  return machine.core(n.cores.front()).peak_gflops;
+}
+
+}  // namespace
+
+const GroupResult* Solution::find_group(AppId app, topo::NodeId exec_node) const {
+  for (const auto& g : groups) {
+    if (g.app == app && g.exec_node == exec_node) return &g;
+  }
+  return nullptr;
+}
+
+std::string Solution::describe(const std::vector<AppSpec>& apps) const {
+  std::string out;
+  for (AppId a = 0; a < app_gflops.size(); ++a) {
+    const std::string& name = a < apps.size() ? apps[a].name : "app";
+    out += ns_format("  {} ({}): {} GFLOPS\n", name, a, fmt_compact(app_gflops[a], 4));
+  }
+  out += ns_format("  total: {} GFLOPS\n", fmt_compact(total_gflops, 4));
+  return out;
+}
+
+Solution solve(const topo::Machine& machine, const std::vector<AppSpec>& apps,
+               const Allocation& allocation, const SolveOptions& options) {
+  std::string error;
+  NS_REQUIRE(machine.validate(&error), error.c_str());
+  NS_REQUIRE(apps.size() == allocation.app_count(),
+             "app specs must index-match the allocation");
+  NS_REQUIRE(allocation.validate(machine, &error), error.c_str());
+  for (const auto& app : apps) {
+    NS_REQUIRE(app.ai > 0.0, "arithmetic intensity must be positive");
+    if (app.placement == Placement::kNumaBad) {
+      NS_REQUIRE(app.home_node < machine.node_count(), "NUMA-bad home node out of range");
+    }
+  }
+
+  Solution solution;
+  solution.app_gflops.assign(apps.size(), 0.0);
+  solution.nodes.resize(machine.node_count());
+
+  // 1. Build homogeneous thread groups.
+  for (AppId a = 0; a < apps.size(); ++a) {
+    for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
+      const std::uint32_t t = allocation.threads(a, n);
+      if (t == 0) continue;
+      GroupResult group;
+      group.app = a;
+      group.exec_node = n;
+      group.memory_node = apps[a].memory_node(n);
+      group.threads = t;
+      group.per_thread_demand = demand_gbps(core_peak_on_node(machine, n), apps[a].ai);
+      solution.groups.push_back(group);
+    }
+  }
+
+  // 2. Solve each memory controller independently (the model couples nodes
+  //    only through the static link caps, so controllers are separable).
+  for (topo::NodeId m = 0; m < machine.node_count(); ++m) {
+    auto& breakdown = solution.nodes[m];
+    breakdown.node = m;
+    breakdown.bandwidth = machine.node(m).memory_bandwidth;
+
+    std::vector<GroupResult*> remote_groups;
+    std::vector<GroupResult*> local_groups;
+    for (auto& g : solution.groups) {
+      if (g.memory_node != m) continue;
+      (g.exec_node == m ? local_groups : remote_groups).push_back(&g);
+    }
+
+    // 2a. Remote flows first, each capped by its directed link.
+    std::vector<GBps> flow_grant(remote_groups.size(), 0.0);
+    GBps remote_total = 0.0;
+    for (std::size_t i = 0; i < remote_groups.size(); ++i) {
+      const auto& g = *remote_groups[i];
+      const GBps flow_demand = g.per_thread_demand * g.threads;
+      const GBps link = machine.link_bandwidth(g.exec_node, m);
+      flow_grant[i] = std::min(flow_demand, link);
+      breakdown.remote_demand += flow_demand;
+      remote_total += flow_grant[i];
+    }
+    // The paper does not say what happens when the links together exceed the
+    // controller; we scale the flows proportionally so the controller's peak
+    // is never exceeded.
+    if (remote_total > breakdown.bandwidth + kEps) {
+      const double scale = breakdown.bandwidth / remote_total;
+      for (auto& grant : flow_grant) grant *= scale;
+      remote_total = breakdown.bandwidth;
+    }
+    breakdown.remote_granted = remote_total;
+    for (std::size_t i = 0; i < remote_groups.size(); ++i) {
+      remote_groups[i]->per_thread_granted = flow_grant[i] / remote_groups[i]->threads;
+    }
+
+    // 2b. Locals split the remainder: equal per-core baseline ...
+    const GBps remaining = std::max(0.0, breakdown.bandwidth - remote_total);
+    const double cores = machine.cores_in_node(m);
+    breakdown.baseline_per_core = remaining / cores;
+    GBps pool = remaining;
+    for (auto* g : local_groups) {
+      breakdown.local_demand += g->per_thread_demand * g->threads;
+      g->per_thread_granted = std::min(g->per_thread_demand, breakdown.baseline_per_core);
+      pool -= g->per_thread_granted * g->threads;
+      breakdown.local_baseline_granted += g->per_thread_granted * g->threads;
+    }
+
+    // 2c. ... then the leftover, proportional to unmet demand (water-fill).
+    for (std::uint32_t round = 0; round < options.max_waterfill_rounds; ++round) {
+      if (pool <= kEps) break;
+      double weighted_deficit = 0.0;
+      for (auto* g : local_groups) {
+        weighted_deficit += (g->per_thread_demand - g->per_thread_granted) * g->threads;
+      }
+      if (weighted_deficit <= kEps) break;
+      GBps distributed = 0.0;
+      for (auto* g : local_groups) {
+        const GBps deficit = g->per_thread_demand - g->per_thread_granted;
+        if (deficit <= kEps) continue;
+        const GBps share_per_thread = pool * deficit / weighted_deficit;
+        const GBps take = std::min(deficit, share_per_thread);
+        g->per_thread_granted += take;
+        distributed += take * g->threads;
+      }
+      breakdown.local_remainder_granted += distributed;
+      pool -= distributed;
+      if (options.single_shot_remainder) break;
+      if (distributed <= kEps) break;
+    }
+    breakdown.total_granted = breakdown.remote_granted + breakdown.local_baseline_granted +
+                              breakdown.local_remainder_granted;
+    NS_ASSERT(breakdown.total_granted <= breakdown.bandwidth * (1.0 + 1e-9) + kEps);
+  }
+
+  // 3. Roofline: bandwidth -> GFLOPS, capped at the compute peak.
+  for (auto& g : solution.groups) {
+    const GFlops peak = core_peak_on_node(machine, g.exec_node);
+    g.per_thread_gflops = achieved_gflops(g.per_thread_granted, apps[g.app].ai, peak);
+  }
+
+  // 3b. Sub-linear scaling (paper §II): an app with a serial fraction cannot
+  //     exceed peak x Amdahl-effective-threads regardless of bandwidth; when
+  //     the cap binds, every group of that app is derated proportionally
+  //     (the stalled time is spread over its threads).
+  for (AppId a = 0; a < apps.size(); ++a) {
+    if (apps[a].serial_fraction <= 0.0) continue;
+    NS_REQUIRE(apps[a].serial_fraction < 1.0, "serial fraction must be in [0, 1)");
+    GFlops raw = 0.0;
+    GFlops peak_sum = 0.0;
+    std::uint32_t threads = 0;
+    for (const auto& g : solution.groups) {
+      if (g.app != a) continue;
+      raw += g.group_gflops();
+      threads += g.threads;
+      peak_sum = std::max(peak_sum, core_peak_on_node(machine, g.exec_node));
+    }
+    if (threads == 0 || raw <= 0.0) continue;
+    const GFlops cap = peak_sum * apps[a].effective_threads(threads);
+    if (raw <= cap) continue;
+    const double derate = cap / raw;
+    for (auto& g : solution.groups) {
+      if (g.app == a) g.per_thread_gflops *= derate;
+    }
+  }
+
+  for (auto& g : solution.groups) {
+    solution.app_gflops[g.app] += g.group_gflops();
+    solution.nodes[g.exec_node].node_gflops += g.group_gflops();
+    solution.total_gflops += g.group_gflops();
+  }
+  return solution;
+}
+
+}  // namespace numashare::model

@@ -1,0 +1,90 @@
+// The paper's roofline-based NUMA bandwidth-sharing model (§III.A).
+//
+// Given a machine, a set of application specs and a thread allocation, the
+// solver predicts per-thread achieved bandwidth and GFLOPS using the paper's
+// five assumptions plus its remote-access extension:
+//
+//   1. every thread demands peak_gflops / AI  GB/s;
+//   2. a node's memory first serves requests arriving from *other* nodes,
+//      each directed flow capped by that pair's link bandwidth (and the sum
+//      capped by the node bandwidth, shared proportionally when links
+//      oversubscribe the controller — the paper leaves this corner open);
+//   3. the remaining bandwidth is split among locally-accessing threads:
+//      every core is guaranteed an equal baseline share
+//      (remaining / cores_in_node), each thread takes
+//      min(demand, baseline), and the leftover is distributed proportionally
+//      to the still-unmet demand, water-filling until a fixed point;
+//   4. achieved GFLOPS = min(granted_bandwidth * AI, peak_gflops).
+//
+// On the paper's examples (all unmet demands equal) step 3 reduces to the
+// single proportional split the tables show; the iteration only matters for
+// heterogeneous mixes and is covered by tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/app_spec.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::model {
+
+struct SolveOptions {
+  /// Stop water-filling after this many rounds (each round either exhausts
+  /// the pool or satisfies at least one thread group, so node_count rounds
+  /// always suffice; the cap is a safety net).
+  std::uint32_t max_waterfill_rounds = 64;
+  /// When true, the remainder is handed out in one proportional shot with no
+  /// re-distribution of overshoot — the paper's literal Table I/II procedure.
+  /// Identical to water-filling whenever no thread's demand is exceeded.
+  bool single_shot_remainder = false;
+};
+
+/// One homogeneous group of threads: all threads of `app` executing on
+/// `exec_node` (they are interchangeable under the model's assumptions).
+struct GroupResult {
+  AppId app = 0;
+  topo::NodeId exec_node = 0;
+  topo::NodeId memory_node = 0;  // == exec_node unless the app is NUMA-bad
+  std::uint32_t threads = 0;
+  GBps per_thread_demand = 0.0;
+  GBps per_thread_granted = 0.0;
+  GFlops per_thread_gflops = 0.0;
+
+  bool remote() const { return exec_node != memory_node; }
+  GBps group_granted() const { return per_thread_granted * threads; }
+  GFlops group_gflops() const { return per_thread_gflops * threads; }
+};
+
+/// Per-memory-controller accounting, retained for the derivation reports.
+struct NodeBreakdown {
+  topo::NodeId node = 0;
+  GBps bandwidth = 0.0;            // the controller's peak
+  GBps remote_demand = 0.0;        // requested by threads on other nodes
+  GBps remote_granted = 0.0;       // served to them (first, link-capped)
+  GBps local_demand = 0.0;         // requested by locally-running threads
+  GBps baseline_per_core = 0.0;    // (bandwidth - remote_granted) / cores
+  GBps local_baseline_granted = 0.0;
+  GBps local_remainder_granted = 0.0;
+  GBps total_granted = 0.0;        // remote + local grants
+  GFlops node_gflops = 0.0;        // by *execution* node, the paper's per-node rows
+};
+
+struct Solution {
+  std::vector<GroupResult> groups;
+  std::vector<NodeBreakdown> nodes;
+  std::vector<GFlops> app_gflops;  // indexed by AppId
+  GFlops total_gflops = 0.0;
+
+  const GroupResult* find_group(AppId app, topo::NodeId exec_node) const;
+  std::string describe(const std::vector<AppSpec>& apps) const;
+};
+
+/// Solve the model. `allocation` must validate against `machine`; app specs
+/// index-match the allocation's rows.
+Solution solve(const topo::Machine& machine, const std::vector<AppSpec>& apps,
+               const Allocation& allocation, const SolveOptions& options = {});
+
+}  // namespace numashare::model

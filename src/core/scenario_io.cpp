@@ -1,0 +1,143 @@
+#include "core/scenario_io.hpp"
+
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+
+#include "common/format.hpp"
+
+namespace numashare::model {
+
+std::optional<ScenarioDescription> scenario_from_config(const Config& config,
+                                                        std::string* error) {
+  const auto fail = [&](std::string message) -> std::optional<ScenarioDescription> {
+    if (error) *error = std::move(message);
+    return std::nullopt;
+  };
+
+  const auto nodes = config.get_int_or("machine.nodes", 0);
+  const auto cores = config.get_int_or("machine.cores_per_node", 0);
+  if (nodes <= 0 || cores <= 0) {
+    return fail("missing or invalid [machine] nodes / cores_per_node");
+  }
+  const double gflops = config.get_double_or("machine.core_gflops", 0.0);
+  const double bandwidth = config.get_double_or("machine.node_bandwidth", 0.0);
+  if (gflops <= 0.0 || bandwidth <= 0.0) {
+    return fail("missing or invalid [machine] core_gflops / node_bandwidth");
+  }
+
+  ScenarioDescription scenario;
+  scenario.machine = topo::Machine::symmetric(
+      static_cast<std::uint32_t>(nodes), static_cast<std::uint32_t>(cores), gflops,
+      bandwidth, config.get_double_or("machine.link_bandwidth", 0.0),
+      config.get_or("machine.name", "ini-machine"));
+
+  for (const auto& section : config.sections()) {
+    if (section.rfind("app.", 0) != 0) continue;
+    const std::string name = section.substr(4);
+    if (name.empty()) return fail("empty app name in [app.] section");
+    const auto ai = config.get_double(section + ".ai");
+    if (!ai || *ai <= 0.0) {
+      return fail(ns_format("app '{}': missing or invalid ai", name));
+    }
+    const std::string placement = config.get_or(section + ".placement", "perfect");
+    AppSpec spec;
+    if (placement == "bad") {
+      const auto home = config.get_int_or(section + ".home", 0);
+      if (home < 0 || home >= nodes) {
+        return fail(ns_format("app '{}': home node {} out of range", name, home));
+      }
+      spec = AppSpec::numa_bad(name, *ai, static_cast<topo::NodeId>(home));
+    } else if (placement == "perfect") {
+      spec = AppSpec::numa_perfect(name, *ai);
+    } else {
+      return fail(ns_format("app '{}': unknown placement '{}'", name, placement));
+    }
+    const double serial = config.get_double_or(section + ".serial", 0.0);
+    if (serial < 0.0 || serial >= 1.0) {
+      return fail(ns_format("app '{}': serial fraction must be in [0, 1)", name));
+    }
+    scenario.apps.push_back(spec.with_serial_fraction(serial));
+  }
+  if (scenario.apps.empty()) return fail("no [app.*] sections found");
+  return scenario;
+}
+
+std::optional<ScenarioDescription> load_scenario(const std::string& path,
+                                                 std::string* error) {
+  const auto config = Config::load(path, error);
+  if (!config) return std::nullopt;
+  return scenario_from_config(*config, error);
+}
+
+std::optional<Allocation> parse_allocation(const std::string& spec,
+                                           const ScenarioDescription& scenario,
+                                           std::string* error) {
+  const auto fail = [&](std::string message) -> std::optional<Allocation> {
+    if (error) *error = std::move(message);
+    return std::nullopt;
+  };
+  const auto apps = static_cast<std::uint32_t>(scenario.apps.size());
+
+  if (spec == "even") return Allocation::even(scenario.machine, apps);
+  if (spec == "nodeperapp") {
+    if (apps != scenario.machine.node_count()) {
+      return fail("nodeperapp needs exactly one app per node");
+    }
+    std::vector<topo::NodeId> order(apps);
+    std::iota(order.begin(), order.end(), 0u);
+    return Allocation::node_per_app(scenario.machine, order);
+  }
+  if (spec.rfind("uniform:", 0) == 0) {
+    std::vector<std::uint32_t> counts;
+    std::istringstream in(spec.substr(8));
+    std::string item;
+    while (std::getline(in, item, ',')) {
+      char* end = nullptr;
+      const long parsed = std::strtol(item.c_str(), &end, 10);
+      if (end == item.c_str() || *end != '\0' || parsed < 0) {
+        return fail(ns_format("bad count '{}' in allocation spec", item));
+      }
+      counts.push_back(static_cast<std::uint32_t>(parsed));
+    }
+    if (counts.size() != apps) {
+      return fail(ns_format("allocation spec names {} apps, scenario has {}",
+                            counts.size(), apps));
+    }
+    auto allocation = Allocation::uniform_per_node(scenario.machine, counts);
+    std::string validation;
+    if (!allocation.validate(scenario.machine, &validation)) return fail(validation);
+    return allocation;
+  }
+  return fail(ns_format("unknown allocation spec '{}'", spec));
+}
+
+std::string scenario_to_ini(const ScenarioDescription& scenario) {
+  const auto& machine = scenario.machine;
+  std::string out = "[machine]\n";
+  out += ns_format("name = {}\n", machine.name());
+  out += ns_format("nodes = {}\n", machine.node_count());
+  out += ns_format("cores_per_node = {}\n", machine.cores_in_node(0));
+  out += ns_format("core_gflops = {}\n", fmt_compact(machine.core(0).peak_gflops, 6));
+  out += ns_format("node_bandwidth = {}\n",
+                   fmt_compact(machine.node(0).memory_bandwidth, 6));
+  out += ns_format(
+      "link_bandwidth = {}\n",
+      fmt_compact(machine.node_count() > 1 ? machine.link_bandwidth(0, 1) : 0.0, 6));
+  for (const auto& app : scenario.apps) {
+    out += ns_format("\n[app.{}]\n", app.name);
+    out += ns_format("ai = {}\n", fmt_compact(app.ai, 9));
+    if (app.placement == Placement::kNumaBad) {
+      out += "placement = bad\n";
+      out += ns_format("home = {}\n", app.home_node);
+    } else {
+      out += "placement = perfect\n";
+    }
+    if (app.serial_fraction > 0.0) {
+      out += ns_format("serial = {}\n", fmt_compact(app.serial_fraction, 6));
+    }
+  }
+  return out;
+}
+
+}  // namespace numashare::model

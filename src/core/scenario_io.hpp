@@ -1,0 +1,55 @@
+// Loading machines and application mixes from INI descriptions — the
+// interchange format of the command-line tools and examples.
+//
+//   [machine]
+//   nodes = 4
+//   cores_per_node = 8
+//   core_gflops = 10
+//   node_bandwidth = 32
+//   link_bandwidth = 10
+//   name = my-box            ; optional
+//
+//   [app.stream]             ; one section per app; the suffix is the name
+//   ai = 0.5
+//   placement = perfect      ; or: bad
+//   home = 0                 ; only for placement = bad
+//
+// Allocation specs (for the CLI's --alloc flag):
+//   "even"            -> Allocation::even
+//   "nodeperapp"      -> node i to app i (apps == nodes)
+//   "uniform:1,1,1,5" -> per-app per-node counts
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/allocation.hpp"
+#include "core/app_spec.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::model {
+
+struct ScenarioDescription {
+  topo::Machine machine;
+  std::vector<AppSpec> apps;
+};
+
+/// Parse from preloaded config; std::nullopt + error message on bad input.
+std::optional<ScenarioDescription> scenario_from_config(const Config& config,
+                                                        std::string* error = nullptr);
+
+/// Load and parse an INI file.
+std::optional<ScenarioDescription> load_scenario(const std::string& path,
+                                                 std::string* error = nullptr);
+
+/// Parse an allocation spec string (see header comment) against a scenario.
+std::optional<Allocation> parse_allocation(const std::string& spec,
+                                           const ScenarioDescription& scenario,
+                                           std::string* error = nullptr);
+
+/// Render a scenario back to INI text (round-trips through the parser).
+std::string scenario_to_ini(const ScenarioDescription& scenario);
+
+}  // namespace numashare::model

@@ -1,0 +1,109 @@
+#include "dist/cluster.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace numashare::dist {
+
+namespace {
+
+void check(const ClusterWorkload& w) {
+  NS_REQUIRE(!w.node_speedups.empty(), "need at least one node");
+  NS_REQUIRE(w.barrier_fraction >= 0.0 && w.barrier_fraction <= 1.0,
+             "barrier_fraction in [0,1]");
+  NS_REQUIRE(w.iterations > 0, "need at least one iteration");
+  for (double s : w.node_speedups) NS_REQUIRE(s > 0.0, "speedups must be positive");
+}
+
+}  // namespace
+
+double overall_speedup(const ClusterWorkload& workload, Distribution distribution) {
+  check(workload);
+  const auto& s = workload.node_speedups;
+  const double nodes = static_cast<double>(s.size());
+  const double b = workload.barrier_fraction;
+
+  // Baseline per-iteration time is 1 (each node does 1 unit of work).
+  double slowest = 1e300;
+  double throughput = 0.0;
+  for (double si : s) {
+    slowest = std::min(slowest, si);
+    throughput += si;
+  }
+
+  double iteration_time = 0.0;
+  switch (distribution) {
+    case Distribution::kStatic:
+      // Statically partitioned: both parts wait for the slowest node.
+      iteration_time = 1.0 / slowest;
+      break;
+    case Distribution::kDynamic:
+      // Barriered part still advances at the slowest node's pace; the
+      // independent part is a shared pool draining at aggregate speed.
+      iteration_time = b / slowest + (1.0 - b) * nodes / throughput;
+      break;
+  }
+  return 1.0 / iteration_time;
+}
+
+double baseline_makespan(const ClusterWorkload& workload, std::uint32_t tasks_per_iteration) {
+  check(workload);
+  NS_REQUIRE(tasks_per_iteration > 0, "need at least one task per iteration");
+  // Every node processes tasks_per_iteration unit tasks per iteration at
+  // speed 1: each task costs 1/tasks_per_iteration baseline time.
+  return static_cast<double>(workload.iterations);
+}
+
+double simulate_makespan(const ClusterWorkload& workload, Distribution distribution,
+                         std::uint32_t tasks_per_iteration) {
+  check(workload);
+  NS_REQUIRE(tasks_per_iteration > 0, "need at least one task per iteration");
+  const auto& speeds = workload.node_speedups;
+  const std::size_t nodes = speeds.size();
+  const double task_cost = 1.0 / tasks_per_iteration;  // baseline time per task
+  const double b = workload.barrier_fraction;
+
+  double elapsed = 0.0;
+  for (std::uint32_t iter = 0; iter < workload.iterations; ++iter) {
+    // Tightly synchronized part: lock-step, everyone waits for the slowest.
+    double barrier_time = 0.0;
+    for (double s : speeds) barrier_time = std::max(barrier_time, b / s);
+
+    // Independent part: nodes x tasks_per_iteration unit tasks, scaled by
+    // (1-b). Static pre-partitions per node; dynamic list-schedules.
+    double independent_time = 0.0;
+    const double part_cost = (1.0 - b) * task_cost;
+    if (part_cost > 0.0) {
+      if (distribution == Distribution::kStatic) {
+        for (double s : speeds) {
+          independent_time =
+              std::max(independent_time, tasks_per_iteration * part_cost / s);
+        }
+      } else {
+        // Greedy list scheduling: min-heap of node-available times.
+        const std::uint64_t total_tasks =
+            static_cast<std::uint64_t>(nodes) * tasks_per_iteration;
+        // With identical task sizes, assigning each next task to the node
+        // that frees up first is optimal among non-preemptive schedules.
+        using Slot = std::pair<double, std::size_t>;  // (free time, node)
+        std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+        for (std::size_t n = 0; n < nodes; ++n) heap.emplace(0.0, n);
+        double finish = 0.0;
+        for (std::uint64_t t = 0; t < total_tasks; ++t) {
+          auto [free_at, n] = heap.top();
+          heap.pop();
+          const double done = free_at + part_cost / speeds[n];
+          finish = std::max(finish, done);
+          heap.emplace(done, n);
+        }
+        independent_time = finish;
+      }
+    }
+    elapsed += barrier_time + independent_time;
+  }
+  return elapsed;
+}
+
+}  // namespace numashare::dist

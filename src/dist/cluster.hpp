@@ -1,0 +1,50 @@
+// Distributed-environment model (paper §V).
+//
+// The paper's argument, made executable: a composed MPI application runs on
+// N compute nodes; dynamic on-node core allocation gives node i a local
+// speedup s_i (possibly uneven). How much of that local speedup survives at
+// scale depends on how work is distributed:
+//
+//  * static distribution + per-iteration barrier: every iteration waits for
+//    the slowest node, so the overall speedup collapses to min(s_i);
+//  * dynamic (work-pool) distribution: nodes pull work at their own pace and
+//    the overall speedup approaches mean(s_i);
+//  * real codes sit in between — `barrier_fraction` interpolates: that
+//    fraction of each iteration is tightly synchronized, the rest is
+//    independent-task work.
+//
+// Both a closed form and a discrete list-scheduling simulation are provided;
+// they agree in the limit and the simulation additionally exposes integer-
+// granularity imbalance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace numashare::dist {
+
+enum class Distribution : std::uint8_t { kStatic, kDynamic };
+
+struct ClusterWorkload {
+  /// Per-node local speedup factors from on-node dynamic core allocation
+  /// (1.0 = no change). Size = node count.
+  std::vector<double> node_speedups;
+  /// Fraction of each iteration inside the tightly synchronized (barrier)
+  /// region; 0 = embarrassingly parallel, 1 = lock-step.
+  double barrier_fraction = 0.0;
+  std::uint32_t iterations = 1;
+};
+
+/// Overall application speedup (vs all-speedups-1.0 baseline), closed form.
+double overall_speedup(const ClusterWorkload& workload, Distribution distribution);
+
+/// Discrete simulation: `tasks_per_iteration` equal work units per node per
+/// iteration; the independent part is list-scheduled greedily (dynamic) or
+/// pre-partitioned (static). Returns the makespan in baseline time units.
+double simulate_makespan(const ClusterWorkload& workload, Distribution distribution,
+                         std::uint32_t tasks_per_iteration);
+
+/// Baseline makespan (all speedups 1) for the same shape.
+double baseline_makespan(const ClusterWorkload& workload, std::uint32_t tasks_per_iteration);
+
+}  // namespace numashare::dist

@@ -1,0 +1,72 @@
+#include "runtime/arena.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace numashare::rt {
+
+Arena::Arena(Runtime& runtime, std::uint32_t max_concurrency)
+    : runtime_(runtime), max_concurrency_(max_concurrency) {
+  if (max_concurrency_ > 0) runtime_.set_total_thread_target(max_concurrency_);
+}
+
+void Arena::set_max_concurrency(std::uint32_t max_concurrency) {
+  max_concurrency_ = max_concurrency;
+  if (max_concurrency_ == 0) {
+    runtime_.clear_thread_controls();
+  } else {
+    runtime_.set_total_thread_target(max_concurrency_);
+  }
+}
+
+void Arena::execute(TaskFn fn) {
+  auto done = runtime_.spawn(std::move(fn));
+  runtime_.wait_and_assist(done);
+}
+
+void Arena::parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                         const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  NS_REQUIRE(grain > 0, "grain must be positive");
+  if (begin >= end) return;
+  const std::uint64_t chunks = (end - begin + grain - 1) / grain;
+  auto latch = runtime_.create_latch(static_cast<std::uint32_t>(chunks));
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t lo = begin + c * grain;
+    const std::uint64_t hi = std::min(end, lo + grain);
+    runtime_.spawn([latch, lo, hi, &body](TaskContext&) {
+      body(lo, hi);
+      latch->count_down();
+    });
+  }
+  runtime_.wait_and_assist(latch);
+}
+
+NodeArenaSet::NodeArenaSet(Runtime& runtime)
+    : runtime_(runtime), sizes_(runtime.machine().node_count()) {
+  for (topo::NodeId n = 0; n < runtime_.machine().node_count(); ++n) {
+    sizes_[n] = runtime_.machine().cores_in_node(n);
+  }
+}
+
+std::uint32_t NodeArenaSet::node_count() const {
+  return runtime_.machine().node_count();
+}
+
+std::uint32_t NodeArenaSet::size(topo::NodeId node) const {
+  NS_REQUIRE(node < sizes_.size(), "node out of range");
+  return sizes_[node];
+}
+
+void NodeArenaSet::resize(const std::vector<std::uint32_t>& sizes) {
+  NS_REQUIRE(sizes.size() == sizes_.size(), "one size per node");
+  sizes_ = sizes;
+  runtime_.set_node_thread_targets(sizes_);
+}
+
+EventPtr NodeArenaSet::submit(topo::NodeId node, TaskFn fn) {
+  NS_REQUIRE(node < sizes_.size(), "node out of range");
+  return runtime_.spawn(std::move(fn), {}, node);
+}
+
+}  // namespace numashare::rt

@@ -1,0 +1,70 @@
+// Arena façade — the paper's TBB argument made concrete (§II):
+//
+//   "TBB has Resource Management Layer (RML), which can dynamically allocate
+//    threads to arenas … by binding all threads in an arena to a NUMA node
+//    and using RML to adjust the number of threads in the arenas, we should
+//    also be able to get something very similar to option 3 of OCR-Vx."
+//
+// Arena exposes exactly that surface on top of Runtime: a max-concurrency
+// knob (option 1 in arena clothes) and per-node arenas whose sizes map to
+// option 3. It also provides TBB-style parallel_for/execute helpers so an
+// application written against arenas never touches the task API directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace numashare::rt {
+
+class Arena {
+ public:
+  /// An arena spanning the whole machine; `max_concurrency` caps the worker
+  /// count RML-style (0 = unlimited).
+  explicit Arena(Runtime& runtime, std::uint32_t max_concurrency = 0);
+
+  /// Adjust the cap at runtime — the RML "dynamically allocate threads to
+  /// arenas" operation.
+  void set_max_concurrency(std::uint32_t max_concurrency);
+  std::uint32_t max_concurrency() const { return max_concurrency_; }
+
+  /// Run `fn` inside the arena and wait for it (and the tasks it spawns
+  /// through the passed context) to finish. The calling thread assists,
+  /// mirroring TBB's master-thread participation (paper §IV).
+  void execute(TaskFn fn);
+
+  /// Blocked-range parallel_for over [begin, end) with a grain size;
+  /// the calling thread assists until completion.
+  void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                    const std::function<void(std::uint64_t, std::uint64_t)>& body);
+
+  Runtime& runtime() { return runtime_; }
+
+ private:
+  Runtime& runtime_;
+  std::uint32_t max_concurrency_;
+};
+
+/// One arena per NUMA node, sized dynamically — the paper's option-3
+/// equivalence. resize() maps directly to Runtime per-node targets.
+class NodeArenaSet {
+ public:
+  explicit NodeArenaSet(Runtime& runtime);
+
+  std::uint32_t node_count() const;
+  /// Current size (thread target) of a node's arena.
+  std::uint32_t size(topo::NodeId node) const;
+  /// Set all arena sizes at once (one per node).
+  void resize(const std::vector<std::uint32_t>& sizes);
+
+  /// Submit work pinned to a node's arena; completion via returned event.
+  EventPtr submit(topo::NodeId node, TaskFn fn);
+
+ private:
+  Runtime& runtime_;
+  std::vector<std::uint32_t> sizes_;
+};
+
+}  // namespace numashare::rt

@@ -1,0 +1,64 @@
+#include "runtime/datablock.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace numashare::rt {
+
+Datablock::Datablock(DatablockRegistry* registry, std::uint64_t id, std::size_t size,
+                     topo::NodeId node)
+    : registry_(registry), id_(id), size_(size), node_(node),
+      data_(new std::byte[size]()) {}
+
+Datablock::~Datablock() { registry_->on_destroy(size_, node_.load()); }
+
+std::size_t Datablock::move_to(topo::NodeId target) {
+  const topo::NodeId from = node_.load(std::memory_order_acquire);
+  if (from == target) return 0;
+  // On real hardware: allocate on `target` (mbind / numa_alloc_onnode) and
+  // copy; the copy is the honest cost either way.
+  std::unique_ptr<std::byte[]> moved(new std::byte[size_]);
+  std::memcpy(moved.get(), data_.get(), size_);
+  data_ = std::move(moved);
+  node_.store(target, std::memory_order_release);
+  registry_->on_move(size_, from, target);
+  return size_;
+}
+
+DatablockRegistry::DatablockRegistry(std::uint32_t nodes) : bytes_per_node_(nodes) {
+  NS_REQUIRE(nodes > 0, "registry needs at least one node");
+  for (auto& b : bytes_per_node_) b.store(0, std::memory_order_relaxed);
+}
+
+DatablockPtr DatablockRegistry::create(std::size_t size_bytes, topo::NodeId node) {
+  NS_REQUIRE(node < bytes_per_node_.size(), "placement node out of range");
+  NS_REQUIRE(size_bytes > 0, "empty datablocks are not allowed");
+  const auto id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  live_.fetch_add(1, std::memory_order_relaxed);
+  bytes_per_node_[node].fetch_add(size_bytes, std::memory_order_relaxed);
+  return DatablockPtr(new Datablock(this, id, size_bytes, node));
+}
+
+std::uint64_t DatablockRegistry::bytes_on_node(topo::NodeId node) const {
+  NS_REQUIRE(node < bytes_per_node_.size(), "node out of range");
+  return bytes_per_node_[node].load(std::memory_order_relaxed);
+}
+
+std::uint64_t DatablockRegistry::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& b : bytes_per_node_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+void DatablockRegistry::on_destroy(std::size_t size, topo::NodeId node) {
+  live_.fetch_sub(1, std::memory_order_relaxed);
+  bytes_per_node_[node].fetch_sub(size, std::memory_order_relaxed);
+}
+
+void DatablockRegistry::on_move(std::size_t size, topo::NodeId from, topo::NodeId to) {
+  bytes_per_node_[from].fetch_sub(size, std::memory_order_relaxed);
+  bytes_per_node_[to].fetch_add(size, std::memory_order_relaxed);
+}
+
+}  // namespace numashare::rt

@@ -1,0 +1,87 @@
+// Runtime-managed data blocks — the OCR trait the paper leans on in §III:
+// "the application should be able to move the data to a different NUMA node.
+// This would easily be possible in OCR, where the runtime system is also in
+// charge of managing the data."
+//
+// A Datablock owns a buffer and carries a NUMA placement. On machines where
+// real page placement is controllable the runtime would mbind/first-touch;
+// here the placement is tracked intent (what the model and the agent reason
+// about) and move_to() physically reallocates+copies so the cost shape is
+// right. Per-node byte accounting feeds the agent's placement decisions.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "topology/machine.hpp"
+
+namespace numashare::rt {
+
+class DatablockRegistry;
+
+class Datablock {
+ public:
+  Datablock(const Datablock&) = delete;
+  Datablock& operator=(const Datablock&) = delete;
+  ~Datablock();
+
+  std::uint64_t id() const { return id_; }
+  std::size_t size_bytes() const { return size_; }
+  topo::NodeId node() const { return node_.load(std::memory_order_acquire); }
+
+  /// Raw access. The runtime does not mediate per-task acquire/release (OCR
+  /// does; our experiments don't need it) — callers synchronize via events.
+  std::byte* data() { return data_.get(); }
+  const std::byte* data() const { return data_.get(); }
+
+  template <typename T>
+  std::span<T> as_span() {
+    return {reinterpret_cast<T*>(data_.get()), size_ / sizeof(T)};
+  }
+
+  /// Relocate to another NUMA node: allocate there, copy, retarget. Returns
+  /// the bytes copied (0 when already resident). Not thread-safe against
+  /// concurrent readers of data() — schedule moves between task phases.
+  std::size_t move_to(topo::NodeId node);
+
+ private:
+  friend class DatablockRegistry;
+  Datablock(DatablockRegistry* registry, std::uint64_t id, std::size_t size,
+            topo::NodeId node);
+
+  DatablockRegistry* registry_;
+  std::uint64_t id_;
+  std::size_t size_;
+  std::atomic<topo::NodeId> node_;
+  std::unique_ptr<std::byte[]> data_;
+};
+
+using DatablockPtr = std::shared_ptr<Datablock>;
+
+/// Tracks every live datablock and the per-node resident byte totals.
+class DatablockRegistry {
+ public:
+  explicit DatablockRegistry(std::uint32_t nodes);
+
+  DatablockPtr create(std::size_t size_bytes, topo::NodeId node);
+
+  std::uint64_t live_blocks() const { return live_.load(std::memory_order_relaxed); }
+  std::uint64_t bytes_on_node(topo::NodeId node) const;
+  std::uint64_t total_bytes() const;
+
+ private:
+  friend class Datablock;
+  void on_destroy(std::size_t size, topo::NodeId node);
+  void on_move(std::size_t size, topo::NodeId from, topo::NodeId to);
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> live_{0};
+  std::vector<std::atomic<std::uint64_t>> bytes_per_node_;
+};
+
+}  // namespace numashare::rt

@@ -1,0 +1,52 @@
+#include "runtime/event.hpp"
+
+#include <chrono>
+
+#include "common/assert.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/task.hpp"
+
+namespace numashare::rt {
+
+void Event::satisfy() {
+  std::vector<std::pair<Runtime*, TaskNode*>> waiters;
+  {
+    std::scoped_lock lock(mutex_);
+    NS_REQUIRE(!satisfied_.load(std::memory_order_relaxed),
+               "events have single-assignment semantics");
+    satisfied_.store(true, std::memory_order_release);
+    waiters.swap(waiters_);
+  }
+  cv_.notify_all();
+  for (auto [runtime, task] : waiters) runtime->on_dependency_satisfied(task);
+}
+
+void Event::wait() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return satisfied_.load(std::memory_order_acquire); });
+}
+
+bool Event::wait_for_us(std::int64_t timeout_us) {
+  std::unique_lock lock(mutex_);
+  return cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                      [&] { return satisfied_.load(std::memory_order_acquire); });
+}
+
+void Event::add_waiter(Runtime* runtime, TaskNode* task) {
+  {
+    std::scoped_lock lock(mutex_);
+    if (!satisfied_.load(std::memory_order_acquire)) {
+      waiters_.emplace_back(runtime, task);
+      return;
+    }
+  }
+  runtime->on_dependency_satisfied(task);
+}
+
+void LatchEvent::count_down() {
+  const auto before = remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  NS_REQUIRE(before > 0, "latch counted below zero");
+  if (before == 1) satisfy();
+}
+
+}  // namespace numashare::rt

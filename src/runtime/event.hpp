@@ -1,0 +1,71 @@
+// OCR-style events: the synchronization objects tasks depend on.
+//
+// An Event is satisfied exactly once; tasks registered as waiters have one
+// pending-dependency slot consumed when it fires. A LatchEvent satisfies
+// itself after `count` decrements (OCR's latch). External (non-worker)
+// threads can block on an event via wait(), which is how a main thread joins
+// a task graph (paper §IV).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace numashare::rt {
+
+class Runtime;
+struct TaskNode;
+
+class Event {
+ public:
+  virtual ~Event() = default;
+
+  /// Fire the event. Idempotence is a caller error (asserted): OCR "once"
+  /// events have single-assignment semantics.
+  void satisfy();
+
+  bool satisfied() const { return satisfied_.load(std::memory_order_acquire); }
+
+  /// Block the calling thread until satisfied. For external threads; workers
+  /// never call this (they would deadlock the pool).
+  void wait();
+
+  /// Timed variant; true when satisfied within the budget.
+  bool wait_for_us(std::int64_t timeout_us);
+
+ protected:
+  friend class Runtime;
+
+  /// Registers `task` (one pending slot). If the event already fired, the
+  /// slot is consumed immediately. Called by Runtime during task creation.
+  void add_waiter(Runtime* runtime, TaskNode* task);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::atomic<bool> satisfied_{false};
+  std::vector<std::pair<Runtime*, TaskNode*>> waiters_;
+};
+
+using EventPtr = std::shared_ptr<Event>;
+
+/// Counts down from `count`; the underlying event fires on reaching zero.
+class LatchEvent : public Event {
+ public:
+  explicit LatchEvent(std::uint32_t count) : remaining_(count) {}
+
+  /// Decrement; fires satisfy() on the transition to zero.
+  void count_down();
+
+  std::uint32_t remaining() const { return remaining_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<std::uint32_t> remaining_;
+};
+
+using LatchEventPtr = std::shared_ptr<LatchEvent>;
+
+}  // namespace numashare::rt

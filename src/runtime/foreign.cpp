@@ -1,0 +1,96 @@
+#include "runtime/foreign.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace numashare::rt {
+
+const char* to_string(ForeignRole role) {
+  switch (role) {
+    case ForeignRole::kCompute: return "compute";
+    case ForeignRole::kIo: return "io";
+  }
+  return "?";
+}
+
+ForeignThreadHandle::ForeignThreadHandle(ForeignThreadRegistry* registry, std::uint64_t id,
+                                         std::string name, ForeignRole role)
+    : registry_(registry), id_(id), name_(std::move(name)), role_(role) {}
+
+ForeignThreadHandle::~ForeignThreadHandle() { registry_->deregister(id_); }
+
+bool ForeignThreadHandle::poll() {
+  const topo::NodeId desired = desired_.load(std::memory_order_acquire);
+  if (desired == bound_.load(std::memory_order_acquire)) return false;
+  if (desired != topo::kInvalidNode) {
+    topo::bind_current_thread(topo::CpuSet::whole_node(registry_->machine_, desired));
+  }
+  bound_.store(desired, std::memory_order_release);
+  return true;
+}
+
+ForeignThreadRegistry::ForeignThreadRegistry(const topo::Machine& machine)
+    : machine_(machine) {}
+
+ForeignThreadPtr ForeignThreadRegistry::enroll(std::string name, ForeignRole role) {
+  const auto id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  ForeignThreadPtr handle(new ForeignThreadHandle(this, id, std::move(name), role));
+  std::scoped_lock lock(mutex_);
+  threads_.push_back(handle.get());
+  return handle;
+}
+
+void ForeignThreadRegistry::deregister(std::uint64_t id) {
+  std::scoped_lock lock(mutex_);
+  threads_.erase(std::remove_if(threads_.begin(), threads_.end(),
+                                [&](const ForeignThreadHandle* h) { return h->id() == id; }),
+                 threads_.end());
+}
+
+bool ForeignThreadRegistry::request_bind(std::uint64_t id, topo::NodeId node) {
+  NS_REQUIRE(node < machine_.node_count(), "node out of range");
+  std::scoped_lock lock(mutex_);
+  for (auto* thread : threads_) {
+    if (thread->id() == id) {
+      thread->desired_.store(node, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint32_t ForeignThreadRegistry::count() const {
+  std::scoped_lock lock(mutex_);
+  return static_cast<std::uint32_t>(threads_.size());
+}
+
+std::uint32_t ForeignThreadRegistry::count(ForeignRole role) const {
+  std::scoped_lock lock(mutex_);
+  return static_cast<std::uint32_t>(
+      std::count_if(threads_.begin(), threads_.end(),
+                    [&](const ForeignThreadHandle* h) { return h->role() == role; }));
+}
+
+std::vector<std::uint32_t> ForeignThreadRegistry::compute_bound_per_node() const {
+  std::vector<std::uint32_t> out(machine_.node_count(), 0);
+  std::scoped_lock lock(mutex_);
+  for (const auto* thread : threads_) {
+    if (thread->role() != ForeignRole::kCompute) continue;
+    const auto node = thread->bound_node();
+    if (node < machine_.node_count()) ++out[node];
+  }
+  return out;
+}
+
+std::vector<ForeignThreadRegistry::Entry> ForeignThreadRegistry::list() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(threads_.size());
+  for (const auto* thread : threads_) {
+    out.push_back({thread->id(), thread->name(), thread->role(), thread->bound_node()});
+  }
+  return out;
+}
+
+}  // namespace numashare::rt

@@ -1,0 +1,111 @@
+// Non-worker threads (paper §IV).
+//
+// Real applications have threads the task runtime does not own: a TBB-style
+// main thread, I/O threads blocked in syscalls, or compute threads of a
+// library that never adopted tasks. The paper's §IV: "We might still be able
+// to use thread affinities provided by the operating system to move such
+// threads."
+//
+// ForeignThreadRegistry lets such threads *enroll* with the runtime: they
+// declare a role (compute or I/O) and get a handle the arbitration layer can
+// steer — re-binding them to a NUMA node's cpuset and counting them in the
+// per-node accounting so the agent sees the whole picture, not just workers.
+// Enrollment is cooperative: the foreign thread polls its handle at points
+// of its choosing (the paper's observation that "we would probably not be
+// able to fully stop such threads" — we bound, we do not block).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "topology/affinity.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::rt {
+
+enum class ForeignRole : std::uint8_t {
+  kCompute,  // burns CPU; counts against node budgets
+  kIo,       // mostly blocked; tracked but not budgeted
+};
+
+const char* to_string(ForeignRole role);
+
+class ForeignThreadRegistry;
+
+/// Handle owned by the enrolled thread. The controller writes the desired
+/// node; the thread applies it at its next poll() call.
+class ForeignThreadHandle {
+ public:
+  ~ForeignThreadHandle();
+
+  ForeignThreadHandle(const ForeignThreadHandle&) = delete;
+  ForeignThreadHandle& operator=(const ForeignThreadHandle&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  ForeignRole role() const { return role_; }
+
+  /// Node this thread is currently (intended to be) bound to; kInvalidNode
+  /// when unbound.
+  topo::NodeId bound_node() const { return bound_.load(std::memory_order_acquire); }
+
+  /// Called by the enrolled thread: applies any pending re-bind to the
+  /// calling thread's affinity. Returns true when a re-bind was applied.
+  bool poll();
+
+ private:
+  friend class ForeignThreadRegistry;
+  ForeignThreadHandle(ForeignThreadRegistry* registry, std::uint64_t id, std::string name,
+                      ForeignRole role);
+
+  ForeignThreadRegistry* registry_;
+  std::uint64_t id_;
+  std::string name_;
+  ForeignRole role_;
+  std::atomic<topo::NodeId> desired_{topo::kInvalidNode};
+  std::atomic<topo::NodeId> bound_{topo::kInvalidNode};
+};
+
+using ForeignThreadPtr = std::shared_ptr<ForeignThreadHandle>;
+
+class ForeignThreadRegistry {
+ public:
+  explicit ForeignThreadRegistry(const topo::Machine& machine);
+
+  /// Enroll the *calling* thread. Keep the handle alive for the thread's
+  /// lifetime; destruction deregisters.
+  ForeignThreadPtr enroll(std::string name, ForeignRole role);
+
+  /// Controller side: request that thread `id` run on `node` (applied at the
+  /// thread's next poll). Returns false for unknown ids.
+  bool request_bind(std::uint64_t id, topo::NodeId node);
+
+  std::uint32_t count() const;
+  std::uint32_t count(ForeignRole role) const;
+  /// Compute-role threads currently bound to each node (the numbers an agent
+  /// must subtract from the node budgets it hands to task runtimes).
+  std::vector<std::uint32_t> compute_bound_per_node() const;
+
+  struct Entry {
+    std::uint64_t id;
+    std::string name;
+    ForeignRole role;
+    topo::NodeId bound_node;
+  };
+  std::vector<Entry> list() const;
+
+ private:
+  friend class ForeignThreadHandle;
+  void deregister(std::uint64_t id);
+
+  const topo::Machine& machine_;
+  mutable std::mutex mutex_;
+  std::vector<ForeignThreadHandle*> threads_;
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+}  // namespace numashare::rt

@@ -1,0 +1,70 @@
+// Runtime telemetry counters.
+//
+// These are the numbers the paper's Figure 1 shows flowing from each runtime
+// to the agent ("number of tasks executed, number of running threads,
+// etc."). Counters are relaxed atomics: the agent consumes snapshots, never
+// exact cross-counter consistency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace numashare::rt {
+
+struct Metrics {
+  std::atomic<std::uint64_t> tasks_spawned{0};
+  std::atomic<std::uint64_t> tasks_executed{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> failed_steal_rounds{0};
+  std::atomic<std::uint64_t> idle_parks{0};
+  std::atomic<std::uint64_t> blocks{0};    // policy-driven thread blocks
+  std::atomic<std::uint64_t> unblocks{0};
+  /// Application-reported progress (e.g. iterations completed); the unit is
+  /// up to the application, the agent only compares rates.
+  std::atomic<std::uint64_t> progress{0};
+  /// Application-reported work and memory traffic, in micro-GFLOP /
+  /// micro-GB (fixed-point so the counters stay lock-free). Ratio = the
+  /// app's *measured* arithmetic intensity — §III.A's "figure out the
+  /// access patterns" without the app having to know its own roofline.
+  std::atomic<std::uint64_t> micro_gflop{0};
+  std::atomic<std::uint64_t> micro_gbytes{0};
+};
+
+/// Point-in-time copy handed to the agent.
+struct MetricsSnapshot {
+  std::uint64_t tasks_spawned = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t failed_steal_rounds = 0;
+  std::uint64_t idle_parks = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t unblocks = 0;
+  std::uint64_t progress = 0;
+  double gflop_done = 0.0;
+  double gbytes_moved = 0.0;
+  std::uint32_t total_workers = 0;
+  std::uint32_t running_threads = 0;  // not policy-blocked
+  std::uint32_t blocked_threads = 0;
+  std::vector<std::uint32_t> running_per_node;
+  std::uint64_t outstanding_tasks = 0;
+  std::uint64_t ready_queue_depth = 0;  // approximate
+};
+
+inline MetricsSnapshot snapshot(const Metrics& m) {
+  MetricsSnapshot s;
+  s.tasks_spawned = m.tasks_spawned.load(std::memory_order_relaxed);
+  s.tasks_executed = m.tasks_executed.load(std::memory_order_relaxed);
+  s.steals = m.steals.load(std::memory_order_relaxed);
+  s.failed_steal_rounds = m.failed_steal_rounds.load(std::memory_order_relaxed);
+  s.idle_parks = m.idle_parks.load(std::memory_order_relaxed);
+  s.blocks = m.blocks.load(std::memory_order_relaxed);
+  s.unblocks = m.unblocks.load(std::memory_order_relaxed);
+  s.progress = m.progress.load(std::memory_order_relaxed);
+  s.gflop_done = static_cast<double>(m.micro_gflop.load(std::memory_order_relaxed)) * 1e-6;
+  s.gbytes_moved =
+      static_cast<double>(m.micro_gbytes.load(std::memory_order_relaxed)) * 1e-6;
+  return s;
+}
+
+}  // namespace numashare::rt

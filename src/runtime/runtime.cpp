@@ -1,0 +1,536 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+#include "common/logging.hpp"
+
+namespace numashare::rt {
+
+namespace {
+thread_local Runtime* tl_runtime = nullptr;
+thread_local std::uint32_t tl_worker_id = kExternalWorker;
+}  // namespace
+
+const char* to_string(ControlMode mode) {
+  switch (mode) {
+    case ControlMode::kNone: return "none";
+    case ControlMode::kTotalCount: return "total-count";
+    case ControlMode::kCoreSet: return "core-set";
+    case ControlMode::kPerNode: return "per-node";
+  }
+  return "?";
+}
+
+Runtime::Runtime(topo::Machine machine, RuntimeOptions options)
+    : machine_(std::move(machine)),
+      options_(std::move(options)),
+      datablocks_(machine_.node_count()),
+      blocked_per_node_(machine_.node_count()),
+      control_rng_(options_.steal_seed ^ 0x3c6ef372fe94f82bull) {
+  std::string error;
+  NS_REQUIRE(machine_.validate(&error), error.c_str());
+  for (auto& b : blocked_per_node_) b.store(0, std::memory_order_relaxed);
+
+  node_queues_.reserve(machine_.node_count());
+  for (topo::NodeId n = 0; n < machine_.node_count(); ++n) {
+    node_queues_.push_back(std::make_unique<NodeQueues>());
+  }
+
+  total_target_ = machine_.core_count();
+  node_targets_.resize(machine_.node_count());
+  for (topo::NodeId n = 0; n < machine_.node_count(); ++n) {
+    node_targets_[n] = machine_.cores_in_node(n);
+  }
+
+  workers_.reserve(machine_.core_count());
+  for (const auto& core : machine_.cores()) {
+    auto w = std::make_unique<Worker>();
+    w->id = static_cast<std::uint32_t>(workers_.size());
+    w->core = core.id;
+    w->node = core.node;
+    w->rng = Xoshiro256(options_.steal_seed + 0x9e3779b9u * (w->id + 1));
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { worker_main(*worker); });
+  }
+  NS_LOG_DEBUG("rt", "runtime '{}' started with {} workers on {} nodes", options_.name,
+               workers_.size(), machine_.node_count());
+}
+
+Runtime::~Runtime() {
+  stop_.store(true, std::memory_order_release);
+  wake_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  // Reclaim tasks whose dependencies never fired or that were still queued.
+  std::scoped_lock lock(registry_mutex_);
+  for (TaskNode* task : registry_) delete task;
+  registry_.clear();
+}
+
+// --- task graph ------------------------------------------------------------
+
+EventPtr Runtime::spawn(TaskFn fn, const std::vector<EventPtr>& deps, topo::NodeId affinity) {
+  NS_REQUIRE(fn != nullptr, "task function must be callable");
+  NS_REQUIRE(affinity == kAnyNode || affinity < machine_.node_count(),
+             "affinity node out of range");
+  auto* task = new TaskNode(std::move(fn), static_cast<std::uint32_t>(deps.size()), affinity);
+  EventPtr done = task->done;
+  {
+    std::scoped_lock lock(registry_mutex_);
+    registry_.insert(task);
+  }
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  metrics_.tasks_spawned.fetch_add(1, std::memory_order_relaxed);
+  if (deps.empty()) {
+    enqueue_ready(task);
+  } else {
+    for (const auto& dep : deps) {
+      NS_REQUIRE(dep != nullptr, "null dependency event");
+      dep->add_waiter(this, task);
+    }
+  }
+  return done;
+}
+
+EventPtr Runtime::spawn_with_data(TaskFn fn, const std::vector<DataAccess>& accesses,
+                                  const std::vector<EventPtr>& deps,
+                                  topo::NodeId affinity) {
+  NS_REQUIRE(!accesses.empty(), "spawn_with_data needs at least one access");
+  std::vector<EventPtr> all_deps = deps;
+
+  for (const auto& access : accesses) {
+    NS_REQUIRE(access.db != nullptr, "null datablock in access list");
+  }
+  // Derive the affinity hint from the data when the caller gave none: the
+  // first written block wins (that is where the new bytes land), else the
+  // first read block.
+  topo::NodeId hint = affinity;
+  if (hint == kAnyNode) {
+    for (const auto& access : accesses) {
+      if (access.mode == DataAccess::Mode::kWrite) {
+        hint = access.db->node();
+        break;
+      }
+    }
+    if (hint == kAnyNode) hint = accesses.front().db->node();
+  }
+
+  // Collect derived dependencies under the chain lock, then spawn, then
+  // publish the task's completion into the chains (still under the lock so
+  // two spawns touching the same block serialize their chain updates).
+  std::scoped_lock lock(data_chain_mutex_);
+  for (const auto& access : accesses) {
+    auto& chain = data_chains_[access.db->id()];
+    if (access.mode == DataAccess::Mode::kRead) {
+      if (chain.last_write) all_deps.push_back(chain.last_write);
+    } else {
+      if (chain.last_write) all_deps.push_back(chain.last_write);
+      for (auto& reader : chain.readers_since_write) all_deps.push_back(reader);
+    }
+  }
+  EventPtr done = spawn(std::move(fn), all_deps, hint);
+  for (const auto& access : accesses) {
+    auto& chain = data_chains_[access.db->id()];
+    if (access.mode == DataAccess::Mode::kRead) {
+      chain.readers_since_write.push_back(done);
+    } else {
+      chain.last_write = done;
+      chain.readers_since_write.clear();
+    }
+  }
+  return done;
+}
+
+EventPtr Runtime::create_event() { return std::make_shared<Event>(); }
+
+LatchEventPtr Runtime::create_latch(std::uint32_t count) {
+  NS_REQUIRE(count > 0, "latch needs a positive count");
+  return std::make_shared<LatchEvent>(count);
+}
+
+void Runtime::on_dependency_satisfied(TaskNode* task) {
+  if (task->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    enqueue_ready(task);
+  }
+}
+
+void Runtime::enqueue_ready(TaskNode* task) {
+  // Same-runtime worker thread with compatible affinity: push locally.
+  if (tl_runtime == this && tl_worker_id != kExternalWorker) {
+    Worker& w = *workers_[tl_worker_id];
+    if (task->affinity == kAnyNode || task->affinity == w.node) {
+      w.deque.push(task);
+      wake_one_idle(w.node);
+      return;
+    }
+  }
+  static std::atomic<std::uint32_t> spread{0};
+  const topo::NodeId node =
+      task->affinity != kAnyNode
+          ? task->affinity
+          : spread.fetch_add(1, std::memory_order_relaxed) % machine_.node_count();
+  {
+    std::scoped_lock lock(node_queues_[node]->mutex);
+    node_queues_[node]->injection.push_back(task);
+  }
+  wake_one_idle(node);
+}
+
+TaskNode* Runtime::pop_injection(topo::NodeId node) {
+  auto& q = *node_queues_[node];
+  std::scoped_lock lock(q.mutex);
+  if (q.injection.empty()) return nullptr;
+  TaskNode* task = q.injection.back();
+  q.injection.pop_back();
+  return task;
+}
+
+TaskNode* Runtime::find_task(Worker& w) {
+  if (TaskNode* task = w.deque.pop()) return task;
+  if (TaskNode* task = pop_injection(w.node)) return task;
+
+  // Steal: same NUMA node first (locality), then the rest of the machine.
+  const auto try_steal_range = [&](const std::vector<topo::CoreId>& victims) -> TaskNode* {
+    if (victims.empty()) return nullptr;
+    const auto start = static_cast<std::size_t>(w.rng.uniform_u64(victims.size()));
+    for (std::size_t k = 0; k < victims.size(); ++k) {
+      Worker& victim = *workers_[victims[(start + k) % victims.size()]];
+      if (victim.id == w.id) continue;
+      if (TaskNode* task = victim.deque.steal()) {
+        metrics_.steals.fetch_add(1, std::memory_order_relaxed);
+        return task;
+      }
+    }
+    return nullptr;
+  };
+
+  if (TaskNode* task = try_steal_range(machine_.node(w.node).cores)) return task;
+
+  // Cross-node work is a last resort, and a *reluctant* one: respect other
+  // nodes' affinity hints until this worker has come up dry a few times.
+  if (w.dry_rounds >= options_.cross_node_reluctance) {
+    for (topo::NodeId n = 0; n < machine_.node_count(); ++n) {
+      if (n == w.node) continue;
+      if (TaskNode* task = pop_injection(n)) return task;
+    }
+    std::vector<topo::CoreId> others;
+    others.reserve(machine_.core_count());
+    for (const auto& core : machine_.cores()) {
+      if (core.node != w.node) others.push_back(core.id);
+    }
+    if (TaskNode* task = try_steal_range(others)) return task;
+  }
+
+  metrics_.failed_steal_rounds.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void Runtime::run_task(TaskNode* task, TaskContext& context) {
+  {
+    const std::uint32_t lane =
+        context.worker_id == kExternalWorker ? worker_count() : context.worker_id;
+    trace::Span span(options_.tracer, "task", "rt", lane);
+    task->fn(context);
+  }
+  metrics_.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  task->done->satisfy();
+  {
+    std::scoped_lock lock(registry_mutex_);
+    registry_.erase(task);
+  }
+  delete task;
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Pairing lock: a waiter must not check-and-sleep between our decrement
+    // and notify.
+    { std::scoped_lock lock(idle_mutex_); }
+    idle_cv_.notify_all();
+  }
+}
+
+void Runtime::wait_idle() {
+  NS_REQUIRE(tl_runtime != this || tl_worker_id == kExternalWorker,
+             "wait_idle from a worker thread would deadlock the pool");
+  std::unique_lock lock(idle_mutex_);
+  idle_cv_.wait(lock, [&] { return outstanding_.load(std::memory_order_acquire) == 0; });
+}
+
+void Runtime::wait_and_assist(const EventPtr& event) {
+  NS_REQUIRE(event != nullptr, "null event");
+  NS_REQUIRE(tl_runtime != this || tl_worker_id == kExternalWorker,
+             "workers must not wait_and_assist");
+  TaskContext context{*this, kExternalWorker, 0};
+  std::uint32_t next_node = 0;
+  while (!event->satisfied()) {
+    TaskNode* task = nullptr;
+    for (std::uint32_t i = 0; i < machine_.node_count() && !task; ++i) {
+      task = pop_injection((next_node + i) % machine_.node_count());
+    }
+    next_node = (next_node + 1) % machine_.node_count();
+    if (!task) {
+      for (auto& w : workers_) {
+        if ((task = w->deque.steal()) != nullptr) break;
+      }
+    }
+    if (task) {
+      run_task(task, context);
+    } else {
+      event->wait_for_us(200);
+    }
+  }
+}
+
+DatablockPtr Runtime::create_datablock(std::size_t bytes, topo::NodeId node) {
+  return datablocks_.create(bytes, node);
+}
+
+// --- worker loop -------------------------------------------------------
+
+void Runtime::worker_main(Worker& w) {
+  tl_runtime = this;
+  tl_worker_id = w.id;
+  set_current_thread_name(ns_format("{}/w{}", options_.name.substr(0, 9), w.id));
+  switch (options_.bind_mode) {
+    case BindMode::kNone:
+      break;
+    case BindMode::kPerCore:
+      topo::bind_current_thread(topo::CpuSet::single(w.core));
+      break;
+    case BindMode::kPerNode:
+      topo::bind_current_thread(topo::CpuSet::whole_node(machine_, w.node));
+      break;
+  }
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    maybe_block(w);
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    TaskContext context{*this, w.id, w.node};
+    if (TaskNode* task = find_task(w)) {
+      w.dry_rounds = 0;
+      run_task(task, context);
+      continue;
+    }
+    ++w.dry_rounds;
+    // Nothing found: publish idleness, re-check (to close the submit/park
+    // race), then park briefly.
+    w.idle.store(true, std::memory_order_release);
+    if (TaskNode* task = find_task(w)) {
+      w.idle.store(false, std::memory_order_release);
+      w.dry_rounds = 0;
+      run_task(task, context);
+      continue;
+    }
+    metrics_.idle_parks.fetch_add(1, std::memory_order_relaxed);
+    w.parker.park_for_us(options_.idle_park_us);
+    w.idle.store(false, std::memory_order_release);
+  }
+  tl_runtime = nullptr;
+  tl_worker_id = kExternalWorker;
+}
+
+bool Runtime::over_block_budget(const Worker& w) const {
+  switch (mode_) {
+    case ControlMode::kNone:
+      return false;
+    case ControlMode::kTotalCount:
+      return worker_count() - blocked_count_.load(std::memory_order_relaxed) > total_target_;
+    case ControlMode::kCoreSet:
+      return blocked_cores_.contains(w.core);
+    case ControlMode::kPerNode:
+      return machine_.cores_in_node(w.node) -
+                 blocked_per_node_[w.node].load(std::memory_order_relaxed) >
+             node_targets_[w.node];
+  }
+  return false;
+}
+
+void Runtime::maybe_block(Worker& w) {
+  if (!controls_engaged_.load(std::memory_order_acquire)) return;
+  {
+    std::scoped_lock lock(control_mutex_);
+    if (!over_block_budget(w)) return;
+    w.block_requested.store(false, std::memory_order_relaxed);
+    w.policy_blocked.store(true, std::memory_order_release);
+    blocked_count_.fetch_add(1, std::memory_order_relaxed);
+    blocked_per_node_[w.node].fetch_add(1, std::memory_order_relaxed);
+    metrics_.blocks.fetch_add(1, std::memory_order_relaxed);
+  }
+  NS_LOG_TRACE("rt", "{} worker {} blocked", options_.name, w.id);
+  {
+    trace::Span span(options_.tracer, "blocked", "rt", w.id);
+    while (w.policy_blocked.load(std::memory_order_acquire) &&
+           !stop_.load(std::memory_order_acquire)) {
+      w.parker.park_for_us(10'000);
+    }
+  }
+}
+
+void Runtime::wake_one_idle(topo::NodeId preferred_node) {
+  // Same-node idle workers first, then anyone.
+  for (auto core : machine_.node(preferred_node).cores) {
+    Worker& w = *workers_[core];
+    if (w.idle.load(std::memory_order_acquire)) {
+      w.parker.unpark();
+      return;
+    }
+  }
+  for (auto& w : workers_) {
+    if (w->idle.load(std::memory_order_acquire)) {
+      w->parker.unpark();
+      return;
+    }
+  }
+}
+
+void Runtime::wake_all() {
+  for (auto& w : workers_) {
+    if (stop_.load(std::memory_order_acquire)) {
+      w->policy_blocked.store(false, std::memory_order_release);
+    }
+    w->parker.unpark();
+  }
+}
+
+// --- agent control surface ----------------------------------------------
+
+void Runtime::set_total_thread_target(std::uint32_t target) {
+  std::scoped_lock lock(control_mutex_);
+  mode_ = ControlMode::kTotalCount;
+  controls_engaged_.store(true, std::memory_order_release);
+  total_target_ = std::min(target, worker_count());
+  rebalance_blocking_locked();
+}
+
+void Runtime::set_blocked_cores(const topo::CpuSet& cores) {
+  std::scoped_lock lock(control_mutex_);
+  mode_ = ControlMode::kCoreSet;
+  controls_engaged_.store(true, std::memory_order_release);
+  blocked_cores_ = cores;
+  rebalance_blocking_locked();
+}
+
+void Runtime::set_node_thread_targets(const std::vector<std::uint32_t>& targets) {
+  NS_REQUIRE(targets.size() == machine_.node_count(), "one target per NUMA node");
+  std::scoped_lock lock(control_mutex_);
+  mode_ = ControlMode::kPerNode;
+  controls_engaged_.store(true, std::memory_order_release);
+  for (topo::NodeId n = 0; n < machine_.node_count(); ++n) {
+    node_targets_[n] = std::min(targets[n], machine_.cores_in_node(n));
+  }
+  rebalance_blocking_locked();
+}
+
+void Runtime::clear_thread_controls() {
+  std::scoped_lock lock(control_mutex_);
+  mode_ = ControlMode::kNone;
+  controls_engaged_.store(false, std::memory_order_release);
+  rebalance_blocking_locked();
+}
+
+void Runtime::rebalance_blocking_locked() {
+  if (options_.tracer != nullptr) {
+    options_.tracer->instant("control-change", "rt", worker_count() + 1);
+  }
+  // Unblock whatever the new policy no longer wants blocked. Blocking in the
+  // other direction stays lazy (workers block at task boundaries; nothing is
+  // preempted — the paper's option 1 semantics).
+  std::vector<Worker*> blocked;
+  for (auto& w : workers_) {
+    if (w->policy_blocked.load(std::memory_order_acquire)) blocked.push_back(w.get());
+  }
+
+  const auto unblock = [&](Worker* w) {
+    w->policy_blocked.store(false, std::memory_order_release);
+    blocked_count_.fetch_sub(1, std::memory_order_relaxed);
+    blocked_per_node_[w->node].fetch_sub(1, std::memory_order_relaxed);
+    metrics_.unblocks.fetch_add(1, std::memory_order_relaxed);
+    w->parker.unpark();
+  };
+
+  switch (mode_) {
+    case ControlMode::kNone:
+      for (auto* w : blocked) unblock(w);
+      break;
+    case ControlMode::kTotalCount: {
+      // "These threads are selected randomly" — shuffle the blocked list and
+      // release from the front until the running count reaches the target.
+      for (std::size_t i = blocked.size(); i > 1; --i) {
+        std::swap(blocked[i - 1], blocked[control_rng_.uniform_u64(i)]);
+      }
+      std::size_t k = 0;
+      while (k < blocked.size() &&
+             worker_count() - blocked_count_.load(std::memory_order_relaxed) < total_target_) {
+        unblock(blocked[k++]);
+      }
+      break;
+    }
+    case ControlMode::kCoreSet:
+      for (auto* w : blocked) {
+        if (!blocked_cores_.contains(w->core)) unblock(w);
+      }
+      break;
+    case ControlMode::kPerNode: {
+      for (std::size_t i = blocked.size(); i > 1; --i) {
+        std::swap(blocked[i - 1], blocked[control_rng_.uniform_u64(i)]);
+      }
+      for (auto* w : blocked) {
+        const auto running = machine_.cores_in_node(w->node) -
+                             blocked_per_node_[w->node].load(std::memory_order_relaxed);
+        if (running < node_targets_[w->node]) unblock(w);
+      }
+      break;
+    }
+  }
+
+  // Kick idle workers so newly-applicable blocks are noticed "almost
+  // immediately" even on an idle pool.
+  for (auto& w : workers_) {
+    if (!w->policy_blocked.load(std::memory_order_acquire)) w->parker.unpark();
+  }
+}
+
+ControlMode Runtime::control_mode() const {
+  std::scoped_lock lock(control_mutex_);
+  return mode_;
+}
+
+std::uint32_t Runtime::running_threads() const {
+  return worker_count() - blocked_count_.load(std::memory_order_acquire);
+}
+
+std::uint32_t Runtime::blocked_threads() const {
+  return blocked_count_.load(std::memory_order_acquire);
+}
+
+std::vector<std::uint32_t> Runtime::running_per_node() const {
+  std::vector<std::uint32_t> out(machine_.node_count());
+  for (topo::NodeId n = 0; n < machine_.node_count(); ++n) {
+    out[n] =
+        machine_.cores_in_node(n) - blocked_per_node_[n].load(std::memory_order_acquire);
+  }
+  return out;
+}
+
+MetricsSnapshot Runtime::stats() const {
+  MetricsSnapshot s = snapshot(metrics_);
+  s.total_workers = worker_count();
+  s.running_threads = running_threads();
+  s.blocked_threads = blocked_threads();
+  s.running_per_node = running_per_node();
+  s.outstanding_tasks = outstanding_.load(std::memory_order_acquire);
+  std::uint64_t depth = 0;
+  for (const auto& w : workers_) depth += w->deque.size_approx();
+  for (topo::NodeId n = 0; n < machine_.node_count(); ++n) {
+    std::scoped_lock lock(node_queues_[n]->mutex);
+    depth += node_queues_[n]->injection.size();
+  }
+  s.ready_queue_depth = depth;
+  return s;
+}
+
+}  // namespace numashare::rt

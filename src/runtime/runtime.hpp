@@ -1,0 +1,260 @@
+// The task-based runtime — an OCR-Vx-style engine built for dynamic CPU core
+// allocation (paper §II).
+//
+// One worker thread per core of the (possibly virtual) machine description.
+// Work distribution is NUMA-aware work stealing: each worker owns a
+// Chase-Lev deque, each node owns an injection queue for affinity-hinted and
+// external submissions, and steal victims are tried same-node first.
+//
+// The paper's three thread-blocking options are first-class controls:
+//
+//  * Option 1 — set_total_thread_target(k): workers block on *inactivity*
+//    (at a task boundary or while idle) whenever more than k are running;
+//    nothing preempts a running task. Raising the target unblocks randomly
+//    chosen workers immediately.
+//  * Option 2 — set_blocked_cores(set): the worker bound to each named core
+//    parks as soon as its current task finishes (or at once if idle).
+//  * Option 3 — set_node_thread_targets(counts): option 1 applied per NUMA
+//    node, with workers bound to node-wide cpusets rather than single cores.
+//
+// All controls may be driven externally (the agent) while tasks are running.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/threading.hpp"
+#include "runtime/datablock.hpp"
+#include "runtime/event.hpp"
+#include "runtime/foreign.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/task.hpp"
+#include "runtime/wsdeque.hpp"
+#include "topology/affinity.hpp"
+#include "topology/machine.hpp"
+#include "trace/trace.hpp"
+
+namespace numashare::rt {
+
+/// How worker threads are pinned (paper §II option descriptions).
+enum class BindMode {
+  kNone,     // unbound; the OS places threads
+  kPerCore,  // one worker hard-bound per core (option 2 style)
+  kPerNode,  // workers bound to their node's cpuset (option 3 style)
+};
+
+/// Which blocking control is active.
+enum class ControlMode : std::uint8_t {
+  kNone,        // all workers run
+  kTotalCount,  // option 1
+  kCoreSet,     // option 2
+  kPerNode,     // option 3
+};
+
+struct RuntimeOptions {
+  std::string name = "app";
+  BindMode bind_mode = BindMode::kNone;
+  /// Park timeout for idle workers; bounds wakeup latency without busy-wait.
+  std::int64_t idle_park_us = 500;
+  /// A worker only pulls work homed on *other* NUMA nodes after this many
+  /// consecutive empty-handed rounds — locality hints stay sticky while the
+  /// home node has runnable workers, yet starvation is impossible (blocked
+  /// or overloaded nodes get helped within a few idle periods).
+  std::uint32_t cross_node_reluctance = 2;
+  std::uint64_t steal_seed = 0x715e;
+  /// Optional execution tracer (non-owning; must outlive the runtime).
+  /// Records one span per task execution and per blocking episode, plus
+  /// instants for control changes — lanes are worker ids.
+  trace::Tracer* tracer = nullptr;
+};
+
+class Runtime {
+ public:
+  Runtime(topo::Machine machine, RuntimeOptions options = {});
+  /// Stops workers after their current task; undrained tasks are reclaimed.
+  /// Call wait_idle() first for graceful completion.
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  const topo::Machine& machine() const { return machine_; }
+  const std::string& name() const { return options_.name; }
+  std::uint32_t worker_count() const { return static_cast<std::uint32_t>(workers_.size()); }
+
+  // --- task graph API -------------------------------------------------
+  /// Create a task depending on `deps`; runs when all fire. Returns the
+  /// task's completion event. `affinity` hints the execution node.
+  EventPtr spawn(TaskFn fn, const std::vector<EventPtr>& deps = {},
+                 topo::NodeId affinity = kAnyNode);
+
+  /// Declared datablock access for spawn_with_data.
+  struct DataAccess {
+    DatablockPtr db;
+    enum class Mode : std::uint8_t { kRead, kWrite } mode = Mode::kRead;
+    static DataAccess read(DatablockPtr block) {
+      return {std::move(block), Mode::kRead};
+    }
+    static DataAccess write(DatablockPtr block) {
+      return {std::move(block), Mode::kWrite};
+    }
+  };
+
+  /// OCR-style data-driven spawn: dependencies are *derived* from the
+  /// declared accesses — a reader waits for the block's last writer;
+  /// a writer additionally waits for every reader since (anti-dependency).
+  /// Reads of the same block run concurrently. Unless `affinity` is given,
+  /// the task is hinted to the first written (else first read) block's node.
+  /// Extra event dependencies compose via `deps`.
+  EventPtr spawn_with_data(TaskFn fn, const std::vector<DataAccess>& accesses,
+                           const std::vector<EventPtr>& deps = {},
+                           topo::NodeId affinity = kAnyNode);
+
+  /// A user-controlled once event (OCR "once event").
+  EventPtr create_event();
+  /// A latch firing after `count` count_down() calls.
+  LatchEventPtr create_latch(std::uint32_t count);
+
+  /// Block the external caller until every created task has finished.
+  void wait_idle();
+
+  /// External-thread assist (paper §IV: a main thread running tasks while it
+  /// waits): executes queued tasks until `event` fires.
+  void wait_and_assist(const EventPtr& event);
+
+  // --- data API ---------------------------------------------------------
+  DatablockPtr create_datablock(std::size_t bytes, topo::NodeId node = 0);
+  DatablockRegistry& datablocks() { return datablocks_; }
+
+  // --- non-worker threads (paper §IV) -------------------------------------
+  /// Registry for threads the runtime does not own (main/I-O/legacy compute
+  /// threads); the agent can steer their NUMA binding through it.
+  ForeignThreadRegistry& foreign_threads() { return foreign_; }
+
+  // --- agent control surface (the paper's three options) -----------------
+  void set_total_thread_target(std::uint32_t target);                // option 1
+  void set_blocked_cores(const topo::CpuSet& cores);                 // option 2
+  void set_node_thread_targets(const std::vector<std::uint32_t>& targets);  // option 3
+  /// Back to "all threads run".
+  void clear_thread_controls();
+
+  ControlMode control_mode() const;
+  std::uint32_t running_threads() const;  // workers not policy-blocked
+  std::uint32_t blocked_threads() const;
+  std::vector<std::uint32_t> running_per_node() const;
+
+  // --- telemetry ----------------------------------------------------------
+  Metrics& metrics() { return metrics_; }
+  /// Application code calls this to expose domain progress (iterations).
+  void report_progress(std::uint64_t amount = 1) {
+    metrics_.progress.fetch_add(amount, std::memory_order_relaxed);
+  }
+  /// Application code accounts its work and memory traffic here; the agent
+  /// derives the app's arithmetic intensity from the running ratio (§III.A
+  /// access-pattern detection). Negative values are a caller error.
+  void report_work(double gflop, double gbytes) {
+    if (gflop > 0.0) {
+      metrics_.micro_gflop.fetch_add(static_cast<std::uint64_t>(gflop * 1e6),
+                                     std::memory_order_relaxed);
+    }
+    if (gbytes > 0.0) {
+      metrics_.micro_gbytes.fetch_add(static_cast<std::uint64_t>(gbytes * 1e6),
+                                      std::memory_order_relaxed);
+    }
+  }
+  MetricsSnapshot stats() const;
+
+ private:
+  struct Worker {
+    std::uint32_t id = 0;
+    topo::CoreId core = 0;
+    topo::NodeId node = 0;
+    WsDeque<TaskNode> deque;
+    Parker parker;
+    Xoshiro256 rng{0};
+    /// Policy block flag; set under control_mutex_, cleared by the worker.
+    std::atomic<bool> block_requested{false};
+    std::atomic<bool> policy_blocked{false};
+    std::atomic<bool> idle{false};
+    /// Consecutive find_task failures; gates cross-node poaching.
+    std::uint32_t dry_rounds = 0;
+    std::thread thread;
+  };
+
+  struct NodeQueues {
+    std::mutex mutex;
+    std::vector<TaskNode*> injection;  // LIFO; order is not a fairness promise
+  };
+
+  // Worker internals.
+  void worker_main(Worker& w);
+  TaskNode* find_task(Worker& w);
+  TaskNode* pop_injection(topo::NodeId node);
+  void run_task(TaskNode* task, TaskContext& context);
+  void maybe_block(Worker& w);
+  bool over_block_budget(const Worker& w) const;  // fast pre-check, racy
+  void wake_one_idle(topo::NodeId preferred_node);
+  void wake_all();
+
+  // Dependency plumbing (called by Event).
+  friend class Event;
+  void on_dependency_satisfied(TaskNode* task);
+  void enqueue_ready(TaskNode* task);
+
+  // Control plumbing; control_mutex_ held.
+  void rebalance_blocking_locked();
+
+  topo::Machine machine_;
+  RuntimeOptions options_;
+  Metrics metrics_;
+  DatablockRegistry datablocks_;
+  ForeignThreadRegistry foreign_{machine_};
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<NodeQueues>> node_queues_;
+
+  // Registry of live tasks (see task.hpp ownership protocol).
+  std::mutex registry_mutex_;
+  std::unordered_set<TaskNode*> registry_;
+
+  // Per-datablock access chains for spawn_with_data.
+  struct DataChain {
+    EventPtr last_write;
+    std::vector<EventPtr> readers_since_write;
+  };
+  std::mutex data_chain_mutex_;
+  std::unordered_map<std::uint64_t, DataChain> data_chains_;
+
+  // Outstanding = created but not yet finished.
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+
+  // Blocking controls.
+  mutable std::mutex control_mutex_;
+  /// Lock-free hot-path gate: false means mode_ == kNone and workers skip
+  /// the control lock entirely at task boundaries.
+  std::atomic<bool> controls_engaged_{false};
+  ControlMode mode_ = ControlMode::kNone;
+  std::uint32_t total_target_ = 0;
+  std::vector<std::uint32_t> node_targets_;
+  topo::CpuSet blocked_cores_;
+  std::atomic<std::uint32_t> blocked_count_{0};
+  std::vector<std::atomic<std::uint32_t>> blocked_per_node_;
+  Xoshiro256 control_rng_{0xa9e47};
+
+  std::atomic<bool> stop_{false};
+};
+
+const char* to_string(ControlMode mode);
+
+}  // namespace numashare::rt

@@ -1,0 +1,47 @@
+// Task node: one unit of work plus its dependency bookkeeping.
+//
+// Ownership protocol: the Runtime's registry owns every live TaskNode; queues
+// and events hold raw pointers. A node becomes ready when its pending count
+// hits zero, is executed by exactly one worker, and is unregistered (freed)
+// after its completion event fires. The registry also lets shutdown reclaim
+// tasks whose dependencies never fired.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "runtime/event.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::rt {
+
+class Runtime;
+
+inline constexpr topo::NodeId kAnyNode = topo::kInvalidNode;
+inline constexpr std::uint32_t kExternalWorker = ~0u;
+
+/// Passed to every task body; identifies where it runs and gives access to
+/// the runtime for nested spawns.
+struct TaskContext {
+  Runtime& runtime;
+  std::uint32_t worker_id;  // kExternalWorker when run by an assisting thread
+  topo::NodeId node;        // node of the executing worker
+};
+
+using TaskFn = std::function<void(TaskContext&)>;
+
+struct TaskNode {
+  TaskNode(TaskFn f, std::uint32_t deps, topo::NodeId affinity_hint)
+      : fn(std::move(f)), pending(deps), affinity(affinity_hint),
+        done(std::make_shared<Event>()) {}
+
+  TaskFn fn;
+  std::atomic<std::uint32_t> pending;
+  /// Preferred execution node (data locality); kAnyNode = no preference.
+  topo::NodeId affinity;
+  /// Satisfied after fn returns — the task's output event in OCR terms.
+  EventPtr done;
+};
+
+}  // namespace numashare::rt

@@ -1,0 +1,120 @@
+// Chase-Lev work-stealing deque (Lê et al., "Correct and Efficient
+// Work-Stealing for Weak Memory Models", PPoPP'13 memory orders).
+//
+// Owner thread pushes/pops at the bottom; thieves steal from the top. The
+// buffer grows on demand; retired buffers are kept until destruction so a
+// concurrent thief can never touch freed memory (the standard leak-free
+// reclamation dodge for this structure).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace numashare::rt {
+
+template <typename T>
+class WsDeque {
+ public:
+  explicit WsDeque(std::int64_t initial_capacity = 64) {
+    NS_REQUIRE(initial_capacity >= 2 && (initial_capacity & (initial_capacity - 1)) == 0,
+               "capacity must be a power of two");
+    buffers_.push_back(std::make_unique<Buffer>(initial_capacity));
+    buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
+  }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  /// Owner only.
+  void push(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= buf->capacity - 1) {
+      buf = grow(buf, b, t);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Returns nullptr when empty.
+  T* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was already empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread. Returns nullptr when empty or when losing a race.
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    T* item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return item;
+  }
+
+  /// Approximate (racy) size; used for telemetry only.
+  std::size_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T*>[cap]) {}
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+
+    T* get(std::int64_t i) const { return slots[i & mask].load(std::memory_order_relaxed); }
+    void put(std::int64_t i, T* v) { slots[i & mask].store(v, std::memory_order_relaxed); }
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t b, std::int64_t t) {
+    auto grown = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) grown->put(i, old->get(i));
+    Buffer* raw = grown.get();
+    buffers_.push_back(std::move(grown));  // owner-only mutation
+    buffer_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Buffer*> buffer_{nullptr};
+  std::vector<std::unique_ptr<Buffer>> buffers_;  // owner-only; retired kept alive
+};
+
+}  // namespace numashare::rt

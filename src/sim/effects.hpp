@@ -1,0 +1,50 @@
+// Second-order hardware effects the analytic model ignores.
+//
+// The paper's Table III shows its model tracking real hardware within ~1% on
+// NUMA-perfect scenarios but overestimating the NUMA-bad scenarios by ~5%.
+// The simulator reproduces that gap structure with four physically-motivated
+// effects; all are configurable and all default to magnitudes in the range
+// reported for Skylake-SP class machines. SimEffects::none() disables
+// everything, in which case the simulator must agree with the analytic model
+// to solver precision — a cross-validation invariant covered by tests.
+#pragma once
+
+namespace numashare::sim {
+
+struct SimEffects {
+  /// Sustained per-core compute throughput as a fraction of nominal peak
+  /// (pipeline bubbles, AVX frequency effects).
+  double compute_efficiency = 0.985;
+
+  /// Achieved fraction of a QPI/UPI link's nominal bandwidth for a
+  /// latency-limited remote stream (limited outstanding requests).
+  double remote_link_efficiency = 0.85;
+
+  /// Bandwidth fraction achieved by a NUMA-bad application's accesses: one
+  /// monolithic far allocation suffers page-crossing/TLB and directory
+  /// overheads that NUMA-perfect streaming does not.
+  double numa_bad_locality = 0.88;
+
+  /// When a controller is heavily oversubscribed (demand >= saturation_ratio
+  /// x capacity) steady full-tilt streaming slightly exceeds the *estimated*
+  /// peak (prefetch trains, open-page hits): granted local bandwidth is
+  /// scaled by this factor.
+  double saturation_boost = 1.01;
+  double saturation_ratio = 1.5;
+
+  /// Amplitude of deterministic per-epoch multiplicative bandwidth jitter.
+  double bandwidth_jitter = 0.004;
+
+  static SimEffects none() {
+    SimEffects e;
+    e.compute_efficiency = 1.0;
+    e.remote_link_efficiency = 1.0;
+    e.numa_bad_locality = 1.0;
+    e.saturation_boost = 1.0;
+    e.saturation_ratio = 1e30;
+    e.bandwidth_jitter = 0.0;
+    return e;
+  }
+};
+
+}  // namespace numashare::sim

@@ -1,0 +1,83 @@
+#include "synth/harness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/threading.hpp"
+#include "topology/affinity.hpp"
+
+namespace numashare::synth {
+
+KernelConfig kernel_for_ai(ArithmeticIntensity ai, std::size_t elements) {
+  NS_REQUIRE(ai > 0.0, "arithmetic intensity must be positive");
+  KernelConfig config;
+  config.elements = elements;
+  config.write_back = true;  // 16 bytes/element
+  const double flops = ai * 16.0;
+  auto rounded = static_cast<std::uint32_t>(flops + 0.5);
+  rounded = std::max(2u, rounded + (rounded % 2));  // even, >= 2
+  config.flops_per_element = rounded;
+  return config;
+}
+
+HostScenarioResult run_host_scenario(const topo::Machine& machine,
+                                     const std::vector<HostApp>& apps,
+                                     const model::Allocation& allocation, double seconds) {
+  std::string error;
+  NS_REQUIRE(allocation.validate(machine, &error), error.c_str());
+  NS_REQUIRE(apps.size() == allocation.app_count(), "apps must index-match allocation");
+  NS_REQUIRE(seconds > 0.0, "duration must be positive");
+
+  struct ThreadSlot {
+    std::size_t app = 0;
+    topo::NodeId node = 0;
+    KernelResult result;
+    std::thread thread;
+  };
+  std::vector<ThreadSlot> slots;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
+      const auto count = allocation.threads(static_cast<model::AppId>(a), n);
+      for (std::uint32_t t = 0; t < count; ++t) {
+        ThreadSlot slot;
+        slot.app = a;
+        slot.node = n;
+        slots.push_back(std::move(slot));
+      }
+    }
+  }
+
+  std::atomic<bool> go{false};
+  for (auto& slot : slots) {
+    slot.thread = std::thread([&, &slot = slot] {
+      set_current_thread_name("ns-synth");
+      topo::bind_current_thread(topo::CpuSet::whole_node(machine, slot.node));
+      TunableKernel kernel(apps[slot.app].kernel);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      slot.result = kernel.run_for(seconds);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& slot : slots) slot.thread.join();
+
+  HostScenarioResult result;
+  result.seconds = seconds;
+  result.apps.resize(apps.size());
+  for (std::size_t a = 0; a < apps.size(); ++a) result.apps[a].name = apps[a].name;
+  for (const auto& slot : slots) {
+    auto& app = result.apps[slot.app];
+    app.gflop += slot.result.gflop;
+    app.gbytes += slot.result.gbytes;
+    ++app.threads;
+  }
+  for (auto& app : result.apps) {
+    app.gflops = app.gflop / seconds;
+    app.gbps = app.gbytes / seconds;
+    result.total_gflops += app.gflops;
+  }
+  return result;
+}
+
+}  // namespace numashare::synth

@@ -1,0 +1,53 @@
+// Host scenario harness: run a model-style app mix on the actual machine.
+//
+// Each application is a set of threads running the tunable-AI kernel; thread
+// counts follow a model::Allocation row and threads are (best-effort) bound
+// per the allocation's nodes. On the paper's 4-socket box this is the
+// §III.B experiment verbatim; on a small CI host it still runs end to end
+// and reports whatever the hardware gives (absolute numbers are never
+// asserted — the simulator provides the reproducible "real" column).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/app_spec.hpp"
+#include "synth/kernel.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::synth {
+
+struct HostApp {
+  std::string name;
+  /// Kernel flavour approximating the AI (see kernel_for_ai).
+  KernelConfig kernel;
+};
+
+struct HostAppResult {
+  std::string name;
+  double gflop = 0.0;
+  double gbytes = 0.0;
+  GFlops gflops = 0.0;
+  GBps gbps = 0.0;
+  std::uint32_t threads = 0;
+};
+
+struct HostScenarioResult {
+  std::vector<HostAppResult> apps;
+  GFlops total_gflops = 0.0;
+  double seconds = 0.0;
+};
+
+/// Kernel configuration whose nominal AI approximates `ai` (rounded to the
+/// nearest even FLOP count; with write-back, AI = flops/16).
+KernelConfig kernel_for_ai(ArithmeticIntensity ai, std::size_t elements = 1u << 20);
+
+/// Run every app's threads concurrently for `seconds`, binding each thread
+/// to its allocation node (best effort). Returns per-app achieved rates.
+HostScenarioResult run_host_scenario(const topo::Machine& machine,
+                                     const std::vector<HostApp>& apps,
+                                     const model::Allocation& allocation, double seconds);
+
+}  // namespace numashare::synth

@@ -1,0 +1,85 @@
+#include "synth/kernel.hpp"
+
+#include <chrono>
+
+#include "common/assert.hpp"
+
+namespace numashare::synth {
+
+namespace {
+using clock = std::chrono::steady_clock;
+}
+
+TunableKernel::TunableKernel(KernelConfig config) : config_(config) {
+  NS_REQUIRE(config_.elements > 0, "kernel buffer must be non-empty");
+  NS_REQUIRE(config_.flops_per_element >= 2 && config_.flops_per_element % 2 == 0,
+             "flops_per_element must be an even count >= 2 (FMA steps)");
+  buffer_.resize(config_.elements);
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    buffer_[i] = 1.0 + static_cast<double>(i % 97) * 1e-3;
+  }
+}
+
+ArithmeticIntensity TunableKernel::configured_ai() const {
+  return flop_per_pass() / bytes_per_pass();
+}
+
+double TunableKernel::bytes_per_pass() const {
+  const double per_element = config_.write_back ? 16.0 : 8.0;
+  return per_element * static_cast<double>(config_.elements);
+}
+
+double TunableKernel::flop_per_pass() const {
+  return static_cast<double>(config_.flops_per_element) *
+         static_cast<double>(config_.elements);
+}
+
+double TunableKernel::pass() {
+  const std::uint32_t steps = config_.flops_per_element / 2;  // one FMA = 2 FLOPs
+  double acc = 0.0;
+  double* __restrict__ data = buffer_.data();
+  const std::size_t n = buffer_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = data[i];
+    for (std::uint32_t k = 0; k < steps; ++k) {
+      v = v * 1.0000001 + 1e-9;  // stays finite over any run length
+    }
+    acc += v;
+    if (config_.write_back) data[i] = v;
+  }
+  return acc;
+}
+
+KernelResult TunableKernel::run_passes(std::uint64_t passes) {
+  NS_REQUIRE(passes > 0, "need at least one pass");
+  KernelResult result;
+  const auto start = clock::now();
+  for (std::uint64_t p = 0; p < passes; ++p) result.checksum += pass();
+  result.seconds = std::chrono::duration<double>(clock::now() - start).count();
+  result.gflop = flop_per_pass() * static_cast<double>(passes) / kFlopsPerGFlop;
+  result.gbytes = bytes_per_pass() * static_cast<double>(passes) / kBytesPerGB;
+  if (result.seconds > 0.0) {
+    result.gflops = result.gflop / result.seconds;
+    result.gbps = result.gbytes / result.seconds;
+  }
+  return result;
+}
+
+KernelResult TunableKernel::run_for(double min_seconds) {
+  NS_REQUIRE(min_seconds > 0.0, "duration must be positive");
+  KernelResult total;
+  const auto start = clock::now();
+  std::uint64_t passes = 0;
+  do {
+    total.checksum += pass();
+    ++passes;
+    total.seconds = std::chrono::duration<double>(clock::now() - start).count();
+  } while (total.seconds < min_seconds);
+  total.gflop = flop_per_pass() * static_cast<double>(passes) / kFlopsPerGFlop;
+  total.gbytes = bytes_per_pass() * static_cast<double>(passes) / kBytesPerGB;
+  total.gflops = total.gflop / total.seconds;
+  total.gbps = total.gbytes / total.seconds;
+  return total;
+}
+
+}  // namespace numashare::synth

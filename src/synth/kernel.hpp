@@ -1,0 +1,65 @@
+// The tunable-arithmetic-intensity kernel (paper §III.B):
+//
+//   "we have implemented a simple synthetic benchmark that can behave like
+//    the applications used to evaluate the model"
+//
+// The kernel streams over a buffer and performs a configurable number of
+// FMA-chain FLOPs per element, which dials the arithmetic intensity from
+// STREAM-like (AI ~ 1/16) to compute-bound (AI >> 1). Real measurements on
+// the host exercise the exact code path the paper ran on its Skylake box;
+// the absolute numbers depend on the host and are reported, not asserted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace numashare::synth {
+
+struct KernelConfig {
+  /// Elements in the working buffer; sized to defeat LLC by default.
+  std::size_t elements = 1u << 22;  // 32 MiB of doubles
+  /// FLOPs performed per element (2 per FMA step, >= 2).
+  std::uint32_t flops_per_element = 2;
+  /// Write the result back (doubles the bytes moved, halves the AI).
+  bool write_back = true;
+};
+
+struct KernelResult {
+  double seconds = 0.0;
+  double gflop = 0.0;    // work performed
+  double gbytes = 0.0;   // memory traffic generated (nominal)
+  GFlops gflops = 0.0;   // rate
+  GBps gbps = 0.0;       // rate
+  double checksum = 0.0; // defeats dead-code elimination; value is arbitrary
+};
+
+class TunableKernel {
+ public:
+  explicit TunableKernel(KernelConfig config = {});
+
+  const KernelConfig& config() const { return config_; }
+
+  /// The kernel's nominal arithmetic intensity, FLOPs per byte.
+  ArithmeticIntensity configured_ai() const;
+
+  /// Bytes touched per full pass over the buffer.
+  double bytes_per_pass() const;
+  double flop_per_pass() const;
+
+  /// Run full passes until `min_seconds` elapse (at least one pass).
+  KernelResult run_for(double min_seconds);
+
+  /// Run exactly `passes` passes.
+  KernelResult run_passes(std::uint64_t passes);
+
+ private:
+  double pass();  // one sweep; returns the checksum contribution
+
+  KernelConfig config_;
+  std::vector<double> buffer_;
+};
+
+}  // namespace numashare::synth

@@ -1,0 +1,126 @@
+#include "synth/stream.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace numashare::synth {
+
+namespace {
+using clock = std::chrono::steady_clock;
+constexpr double kScalar = 3.0;
+}  // namespace
+
+const char* to_string(StreamKernel kernel) {
+  switch (kernel) {
+    case StreamKernel::kCopy: return "Copy";
+    case StreamKernel::kScale: return "Scale";
+    case StreamKernel::kAdd: return "Add";
+    case StreamKernel::kTriad: return "Triad";
+  }
+  return "?";
+}
+
+Stream::Stream(StreamConfig config) : config_(config) {
+  NS_REQUIRE(config_.elements > 0, "STREAM arrays must be non-empty");
+  NS_REQUIRE(config_.trials > 0, "need at least one trial");
+  a_.assign(config_.elements, 1.0);
+  b_.assign(config_.elements, 2.0);
+  c_.assign(config_.elements, 0.0);
+}
+
+double Stream::bytes_per_iteration(StreamKernel kernel) const {
+  const double n = static_cast<double>(config_.elements) * sizeof(double);
+  switch (kernel) {
+    case StreamKernel::kCopy:
+    case StreamKernel::kScale:
+      return 2.0 * n;
+    case StreamKernel::kAdd:
+    case StreamKernel::kTriad:
+      return 3.0 * n;
+  }
+  return 0.0;
+}
+
+void Stream::copy() {
+  const std::size_t n = config_.elements;
+  double* __restrict__ c = c_.data();
+  const double* __restrict__ a = a_.data();
+  for (std::size_t i = 0; i < n; ++i) c[i] = a[i];
+}
+
+void Stream::scale() {
+  const std::size_t n = config_.elements;
+  double* __restrict__ b = b_.data();
+  const double* __restrict__ c = c_.data();
+  for (std::size_t i = 0; i < n; ++i) b[i] = kScalar * c[i];
+}
+
+void Stream::add() {
+  const std::size_t n = config_.elements;
+  double* __restrict__ c = c_.data();
+  const double* __restrict__ a = a_.data();
+  const double* __restrict__ b = b_.data();
+  for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+}
+
+void Stream::triad() {
+  const std::size_t n = config_.elements;
+  double* __restrict__ a = a_.data();
+  const double* __restrict__ b = b_.data();
+  const double* __restrict__ c = c_.data();
+  for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + kScalar * c[i];
+}
+
+bool Stream::verify() const {
+  // Spot-check a handful of positions against the closed-form expectation.
+  const std::size_t n = config_.elements;
+  for (std::size_t i : {std::size_t{0}, n / 2, n - 1}) {
+    if (std::abs(a_[i] - expected_a_) > 1e-9) return false;
+    if (std::abs(b_[i] - expected_b_) > 1e-9) return false;
+    if (std::abs(c_[i] - expected_c_) > 1e-9) return false;
+  }
+  return true;
+}
+
+std::vector<StreamResult> Stream::run() {
+  std::vector<StreamResult> results;
+  const StreamKernel kernels[] = {StreamKernel::kCopy, StreamKernel::kScale,
+                                  StreamKernel::kAdd, StreamKernel::kTriad};
+  for (auto kernel : kernels) {
+    StreamResult result;
+    result.kernel = kernel;
+    double best = 1e300;
+    double sum = 0.0;
+    for (std::uint32_t trial = 0; trial < config_.trials; ++trial) {
+      const auto start = clock::now();
+      switch (kernel) {
+        case StreamKernel::kCopy: copy(); break;
+        case StreamKernel::kScale: scale(); break;
+        case StreamKernel::kAdd: add(); break;
+        case StreamKernel::kTriad: triad(); break;
+      }
+      const double seconds = std::chrono::duration<double>(clock::now() - start).count();
+      best = std::min(best, seconds);
+      sum += seconds;
+    }
+    // Track expected values through the kernel sequence (STREAM order).
+    switch (kernel) {
+      case StreamKernel::kCopy: expected_c_ = expected_a_; break;
+      case StreamKernel::kScale: expected_b_ = kScalar * expected_c_; break;
+      case StreamKernel::kAdd: expected_c_ = expected_a_ + expected_b_; break;
+      case StreamKernel::kTriad: expected_a_ = expected_b_ + kScalar * expected_c_; break;
+    }
+    const double bytes = bytes_per_iteration(kernel);
+    result.best_seconds = best;
+    result.best_gbps = best > 0 ? bytes / best / kBytesPerGB : 0.0;
+    const double avg = sum / config_.trials;
+    result.avg_gbps = avg > 0 ? bytes / avg / kBytesPerGB : 0.0;
+    result.verified = verify();
+    results.push_back(result);
+  }
+  return results;
+}
+
+}  // namespace numashare::synth

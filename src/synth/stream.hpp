@@ -1,0 +1,63 @@
+// STREAM (McCalpin) — the benchmark the paper used to shape its remote-first
+// bandwidth rule ("captures to some degree experimental results that we have
+// obtained using the STREAM benchmark on a four socket server").
+//
+// A from-scratch implementation of the four kernels (Copy, Scale, Add,
+// Triad) with the standard best-of-N-trials reporting and a correctness
+// verification pass.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace numashare::synth {
+
+enum class StreamKernel : std::uint8_t { kCopy, kScale, kAdd, kTriad };
+
+const char* to_string(StreamKernel kernel);
+
+struct StreamConfig {
+  std::size_t elements = 1u << 22;
+  std::uint32_t trials = 5;  // best-of, per STREAM convention
+};
+
+struct StreamResult {
+  StreamKernel kernel = StreamKernel::kCopy;
+  GBps best_gbps = 0.0;
+  GBps avg_gbps = 0.0;
+  double best_seconds = 0.0;
+  bool verified = false;
+};
+
+class Stream {
+ public:
+  explicit Stream(StreamConfig config = {});
+
+  /// Run all four kernels, trials times each, returning per-kernel results
+  /// in kernel order. verify() correctness is folded into each result.
+  std::vector<StreamResult> run();
+
+  /// Bytes moved by one execution of `kernel` (STREAM's official counting).
+  double bytes_per_iteration(StreamKernel kernel) const;
+
+ private:
+  void copy();
+  void scale();
+  void add();
+  void triad();
+  bool verify() const;
+
+  StreamConfig config_;
+  std::vector<double> a_;
+  std::vector<double> b_;
+  std::vector<double> c_;
+  double expected_a_ = 1.0;
+  double expected_b_ = 2.0;
+  double expected_c_ = 0.0;
+};
+
+}  // namespace numashare::synth

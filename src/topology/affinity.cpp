@@ -1,0 +1,153 @@
+#include "topology/affinity.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace numashare::topo {
+
+void CpuSet::ensure(std::size_t word) {
+  if (words_.size() <= word) words_.resize(word + 1, 0);
+}
+
+CpuSet CpuSet::single(CoreId core) {
+  CpuSet set;
+  set.set(core);
+  return set;
+}
+
+CpuSet CpuSet::whole_node(const Machine& machine, NodeId node) {
+  CpuSet set;
+  for (auto core : machine.node(node).cores) set.set(core);
+  return set;
+}
+
+CpuSet CpuSet::all(const Machine& machine) {
+  CpuSet set;
+  for (const auto& core : machine.cores()) set.set(core.id);
+  return set;
+}
+
+void CpuSet::set(CoreId core) {
+  ensure(core / 64);
+  words_[core / 64] |= (1ull << (core % 64));
+}
+
+void CpuSet::clear(CoreId core) {
+  if (core / 64 < words_.size()) words_[core / 64] &= ~(1ull << (core % 64));
+}
+
+bool CpuSet::contains(CoreId core) const {
+  if (core / 64 >= words_.size()) return false;
+  return (words_[core / 64] >> (core % 64)) & 1u;
+}
+
+std::size_t CpuSet::count() const {
+  std::size_t total = 0;
+  for (auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+  return total;
+}
+
+CpuSet CpuSet::operator|(const CpuSet& other) const {
+  CpuSet out;
+  out.words_.resize(std::max(words_.size(), other.words_.size()), 0);
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    std::uint64_t w = 0;
+    if (i < words_.size()) w |= words_[i];
+    if (i < other.words_.size()) w |= other.words_[i];
+    out.words_[i] = w;
+  }
+  return out;
+}
+
+CpuSet CpuSet::operator&(const CpuSet& other) const {
+  CpuSet out;
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  out.words_.resize(n, 0);
+  for (std::size_t i = 0; i < n; ++i) out.words_[i] = words_[i] & other.words_[i];
+  return out;
+}
+
+bool CpuSet::operator==(const CpuSet& other) const {
+  const std::size_t n = std::max(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+    const std::uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+std::vector<CoreId> CpuSet::cores() const {
+  std::vector<CoreId> out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t bits = words_[w];
+    while (bits) {
+      const int bit = __builtin_ctzll(bits);
+      out.push_back(static_cast<CoreId>(w * 64 + static_cast<std::size_t>(bit)));
+      bits &= bits - 1;
+    }
+  }
+  return out;
+}
+
+std::string CpuSet::to_string() const {
+  const auto ids = cores();
+  if (ids.empty()) return "";
+  std::string out;
+  std::size_t i = 0;
+  while (i < ids.size()) {
+    std::size_t j = i;
+    while (j + 1 < ids.size() && ids[j + 1] == ids[j] + 1) ++j;
+    if (!out.empty()) out += ",";
+    if (j == i) out += ns_format("{}", ids[i]);
+    else out += ns_format("{}-{}", ids[i], ids[j]);
+    i = j + 1;
+  }
+  return out;
+}
+
+BindResult bind_current_thread(const CpuSet& set) {
+  NS_REQUIRE(!set.empty(), "cannot bind to an empty cpu set");
+#if defined(__linux__)
+  cpu_set_t native;
+  CPU_ZERO(&native);
+  for (auto core : set.cores()) {
+    if (core < CPU_SETSIZE) CPU_SET(core, &native);
+  }
+  if (sched_setaffinity(0, sizeof(native), &native) == 0) return BindResult::kApplied;
+  return BindResult::kFailed;
+#else
+  return BindResult::kUnsupported;
+#endif
+}
+
+CpuSet current_thread_affinity() {
+  CpuSet set;
+#if defined(__linux__)
+  cpu_set_t native;
+  CPU_ZERO(&native);
+  if (sched_getaffinity(0, sizeof(native), &native) == 0) {
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+      if (CPU_ISSET(c, &native)) set.set(static_cast<CoreId>(c));
+    }
+  }
+#endif
+  return set;
+}
+
+const char* to_string(BindResult result) {
+  switch (result) {
+    case BindResult::kApplied: return "applied";
+    case BindResult::kUnsupported: return "unsupported";
+    case BindResult::kFailed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace numashare::topo

@@ -1,0 +1,65 @@
+// CPU affinity: the mechanism behind the paper's three binding styles —
+// bound to an individual core (option 2), bound to all cores of a NUMA node
+// (option 3), or unbound (option 1 may leave threads unbound).
+//
+// CpuSet is a plain bitmask over logical core ids; apply() maps it onto
+// sched_setaffinity on Linux and is a recorded no-op elsewhere (the runtime
+// still tracks the *intended* binding, which is what the scheduler and the
+// agent reason about — essential on the single-core CI machines this repo
+// must run on).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/machine.hpp"
+
+namespace numashare::topo {
+
+class CpuSet {
+ public:
+  CpuSet() = default;
+
+  static CpuSet single(CoreId core);
+  static CpuSet whole_node(const Machine& machine, NodeId node);
+  static CpuSet all(const Machine& machine);
+
+  void set(CoreId core);
+  void clear(CoreId core);
+  bool contains(CoreId core) const;
+  std::size_t count() const;
+  bool empty() const { return count() == 0; }
+
+  CpuSet operator|(const CpuSet& other) const;
+  CpuSet operator&(const CpuSet& other) const;
+  bool operator==(const CpuSet& other) const;
+
+  std::vector<CoreId> cores() const;
+
+  /// Linux cpulist rendering ("0-3,8").
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> words_;
+
+  void ensure(std::size_t word);
+};
+
+/// Result of trying to apply a binding to the calling thread.
+enum class BindResult {
+  kApplied,      // sched_setaffinity succeeded
+  kUnsupported,  // non-Linux build: binding recorded but not enforced
+  kFailed,       // syscall failed (e.g. cpuset excludes those cores)
+};
+
+/// Bind the calling thread to `set`. Never throws; the runtime treats
+/// kFailed/kUnsupported as "intended binding only" and continues.
+BindResult bind_current_thread(const CpuSet& set);
+
+/// The affinity mask the calling thread currently has (empty when unknown).
+CpuSet current_thread_affinity();
+
+const char* to_string(BindResult result);
+
+}  // namespace numashare::topo

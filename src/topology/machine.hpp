@@ -1,0 +1,95 @@
+// Machine topology description — the hwloc-equivalent substrate.
+//
+// A Machine is the single source of truth for "what does the node look
+// like": NUMA nodes, the cores in each, per-node memory bandwidth, the
+// inter-node link bandwidth matrix, and the per-core compute peak. The
+// analytic model (core/), the machine simulator (sim/) and the runtime's
+// binding logic (runtime/) all consume the same description, so a scenario
+// configured once behaves consistently across all three.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace numashare::topo {
+
+using NodeId = std::uint32_t;
+using CoreId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~0u;
+inline constexpr CoreId kInvalidCore = ~0u;
+
+struct NumaNode {
+  NodeId id = kInvalidNode;
+  std::vector<CoreId> cores;
+  /// Peak bandwidth of this node's memory controller, GB/s.
+  GBps memory_bandwidth = 0.0;
+  /// Installed memory, GB (informational; the paper assumes capacity is ample).
+  double memory_gb = 0.0;
+};
+
+struct Core {
+  CoreId id = kInvalidCore;
+  NodeId node = kInvalidNode;
+  /// Peak compute throughput of this core, GFLOPS. The paper's assumption 1:
+  /// identical for every application.
+  GFlops peak_gflops = 0.0;
+};
+
+class Machine {
+ public:
+  /// Builder for symmetric machines (all paper machines are symmetric).
+  /// `link_bandwidth` is the peak of each *directed* inter-node link, GB/s;
+  /// pass 0 for "no cross-node traffic modelled" (single-node machines).
+  static Machine symmetric(std::uint32_t nodes, std::uint32_t cores_per_node,
+                           GFlops core_peak_gflops, GBps node_bandwidth,
+                           GBps link_bandwidth = 0.0, std::string name = "symmetric");
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::uint32_t node_count() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  std::uint32_t core_count() const { return static_cast<std::uint32_t>(cores_.size()); }
+  std::uint32_t cores_in_node(NodeId node) const;
+
+  const NumaNode& node(NodeId id) const;
+  const Core& core(CoreId id) const;
+  const std::vector<NumaNode>& nodes() const { return nodes_; }
+  const std::vector<Core>& cores() const { return cores_; }
+
+  /// Directed link bandwidth `from` -> `to`, GB/s. Diagonal entries are 0 by
+  /// convention (local traffic uses the node's memory_bandwidth instead).
+  GBps link_bandwidth(NodeId from, NodeId to) const;
+  void set_link_bandwidth(NodeId from, NodeId to, GBps bandwidth);
+
+  /// True when every node has the same core count, bandwidth and core peaks.
+  bool is_symmetric() const;
+
+  /// Total compute peak across all cores (the machine's roofline ceiling).
+  GFlops total_peak_gflops() const;
+  GBps total_memory_bandwidth() const;
+
+  /// Appends a node; used by the builder and by /sys discovery.
+  NodeId add_node(std::uint32_t core_count, GFlops core_peak_gflops, GBps node_bandwidth,
+                  double memory_gb = 0.0);
+
+  /// Human-readable multi-line summary.
+  std::string describe() const;
+
+  /// Validity: every core belongs to exactly one node, ids are dense,
+  /// bandwidths are non-negative. Called by consumers that accept external
+  /// descriptions.
+  bool validate(std::string* error = nullptr) const;
+
+ private:
+  std::string name_ = "machine";
+  std::vector<NumaNode> nodes_;
+  std::vector<Core> cores_;
+  /// Row-major node_count x node_count directed link peaks.
+  std::vector<GBps> links_;
+};
+
+}  // namespace numashare::topo

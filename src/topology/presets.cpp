@@ -1,0 +1,34 @@
+#include "topology/presets.hpp"
+
+namespace numashare::topo {
+
+Machine paper_model_machine() {
+  return Machine::symmetric(/*nodes=*/4, /*cores_per_node=*/8,
+                            /*core_peak_gflops=*/10.0, /*node_bandwidth=*/32.0,
+                            /*link_bandwidth=*/10.0, "paper-model-4x8");
+}
+
+Machine paper_numabad_machine() {
+  return Machine::symmetric(/*nodes=*/4, /*cores_per_node=*/8,
+                            /*core_peak_gflops=*/10.0, /*node_bandwidth=*/60.0,
+                            /*link_bandwidth=*/10.0, "paper-numabad-4x8");
+}
+
+Machine paper_skylake_machine() {
+  return Machine::symmetric(/*nodes=*/4, /*cores_per_node=*/20,
+                            /*core_peak_gflops=*/0.29, /*node_bandwidth=*/100.0,
+                            /*link_bandwidth=*/10.0, "paper-skylake-4x20");
+}
+
+Machine knl_snc4_machine() {
+  return Machine::symmetric(/*nodes=*/4, /*cores_per_node=*/16,
+                            /*core_peak_gflops=*/3.0, /*node_bandwidth=*/85.0,
+                            /*link_bandwidth=*/25.0, "knl-snc4-4x16");
+}
+
+Machine flat_machine(std::uint32_t cores, GFlops core_peak_gflops, GBps bandwidth) {
+  return Machine::symmetric(/*nodes=*/1, cores, core_peak_gflops, bandwidth,
+                            /*link_bandwidth=*/0.0, "flat");
+}
+
+}  // namespace numashare::topo

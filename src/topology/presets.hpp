@@ -1,0 +1,35 @@
+// The machines the paper uses, reconstructed from its text (see DESIGN.md §3
+// for how the unstated parameters were recovered).
+#pragma once
+
+#include "topology/machine.hpp"
+
+namespace numashare::topo {
+
+/// Tables I & II / Figure 2 machine: 4 NUMA nodes x 8 cores, 10 GFLOPS per
+/// core, 32 GB/s per node. The table *captions* say 40 GB/s but every number
+/// in the table bodies is computed with 32; we follow the bodies. Links are
+/// irrelevant for these examples (all apps NUMA-perfect) and set to 10 GB/s.
+Machine paper_model_machine();
+
+/// Figure 3 / NUMA-bad model example machine: same layout but 60 GB/s per
+/// node and 10 GB/s per directed link — the unique parameters that reproduce
+/// the paper's 150 GFLOPS (exactly) and 138 GFLOPS (138.75, printed
+/// truncated) results.
+Machine paper_numabad_machine();
+
+/// Table III machine: the paper's 4-socket Xeon Gold 6138 as *estimated by
+/// the authors from measurements*: 4 nodes x 20 cores, 0.29 GFLOPS per
+/// thread, 100 GB/s per node; link bandwidth recovered as 10 GB/s.
+Machine paper_skylake_machine();
+
+/// A Knights-Landing-flavoured machine (the paper's earlier testbed) in SNC-4
+/// mode: 4 nodes x 16 cores, modest per-core peak, high aggregate bandwidth.
+/// Used by ablation benches, not by any paper table.
+Machine knl_snc4_machine();
+
+/// Machine with NUMA "switched off" (single node) — the KNL non-NUMA mode the
+/// paper mentions; used to demonstrate that allocation choices stop mattering.
+Machine flat_machine(std::uint32_t cores, GFlops core_peak_gflops, GBps bandwidth);
+
+}  // namespace numashare::topo

@@ -1,0 +1,161 @@
+#include "agent/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "topology/presets.hpp"
+
+namespace numashare::agent {
+namespace {
+
+using namespace std::chrono_literals;
+
+topo::Machine machine_2x2() { return topo::Machine::symmetric(2, 2, 1.0, 10.0); }
+
+template <typename F>
+bool eventually(F predicate) {
+  for (int i = 0; i < 400; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return predicate();
+}
+
+TEST(Channel, CommandsApplyToRuntime) {
+  rt::Runtime runtime(machine_2x2());
+  Channel channel;
+  RuntimeAdapter adapter(runtime, channel);
+
+  Command cmd;
+  cmd.type = CommandType::kSetTotalThreads;
+  cmd.total_threads = 1;
+  cmd.seq = 1;
+  ASSERT_TRUE(channel.commands.try_push(cmd));
+  EXPECT_EQ(adapter.pump(), 1u);
+  EXPECT_EQ(adapter.commands_applied(), 1u);
+  EXPECT_EQ(adapter.last_command_seq(), 1u);
+  EXPECT_TRUE(eventually([&] { return runtime.running_threads() == 1; }));
+}
+
+TEST(Channel, NodeThreadsCommand) {
+  rt::Runtime runtime(machine_2x2());
+  Channel channel;
+  RuntimeAdapter adapter(runtime, channel);
+
+  Command cmd;
+  cmd.type = CommandType::kSetNodeThreads;
+  cmd.node_count = 2;
+  cmd.node_threads[0] = 2;
+  cmd.node_threads[1] = 0;
+  channel.commands.try_push(cmd);
+  adapter.pump();
+  EXPECT_TRUE(eventually([&] { return runtime.running_per_node()[1] == 0; }));
+  EXPECT_EQ(runtime.control_mode(), rt::ControlMode::kPerNode);
+}
+
+TEST(Channel, BlockCoresCommandRoundTripsMask) {
+  rt::Runtime runtime(machine_2x2());
+  Channel channel;
+  RuntimeAdapter adapter(runtime, channel);
+
+  Command cmd;
+  cmd.type = CommandType::kBlockCores;
+  cmd.core_mask[0] = 0b1001;  // cores 0 and 3
+  channel.commands.try_push(cmd);
+  adapter.pump();
+  EXPECT_TRUE(eventually([&] { return runtime.blocked_threads() == 2; }));
+  const auto per_node = runtime.running_per_node();
+  EXPECT_EQ(per_node[0], 1u);
+  EXPECT_EQ(per_node[1], 1u);
+}
+
+TEST(Channel, EmptyCoreMaskClears) {
+  rt::Runtime runtime(machine_2x2());
+  Channel channel;
+  RuntimeAdapter adapter(runtime, channel);
+  runtime.set_total_thread_target(0);
+  Command cmd;
+  cmd.type = CommandType::kBlockCores;  // all-zero mask
+  channel.commands.try_push(cmd);
+  adapter.pump();
+  EXPECT_TRUE(eventually([&] { return runtime.running_threads() == 4; }));
+  EXPECT_EQ(runtime.control_mode(), rt::ControlMode::kNone);
+}
+
+TEST(Channel, TelemetryReflectsRuntime) {
+  rt::Runtime runtime(machine_2x2(), {.name = "tel"});
+  Channel channel;
+  RuntimeAdapter adapter(runtime, channel, /*app_ai=*/0.5, /*data_home_node=*/1);
+
+  runtime.spawn([](rt::TaskContext&) {})->wait();
+  runtime.wait_idle();
+  runtime.report_progress(7);
+  adapter.pump();
+  const auto t = channel.telemetry.try_pop();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->seq, 1u);
+  EXPECT_EQ(t->tasks_executed, 1u);
+  EXPECT_EQ(t->progress, 7u);
+  EXPECT_EQ(t->total_workers, 4u);
+  EXPECT_EQ(t->running_threads, 4u);
+  EXPECT_EQ(t->node_count, 2u);
+  EXPECT_EQ(t->running_per_node[0], 2u);
+  EXPECT_DOUBLE_EQ(t->ai_estimate, 0.5);
+  EXPECT_EQ(t->data_home_node, 1u);
+  EXPECT_GT(t->timestamp, 0.0);
+}
+
+TEST(Channel, TelemetrySequencesIncrement) {
+  rt::Runtime runtime(machine_2x2());
+  Channel channel;
+  RuntimeAdapter adapter(runtime, channel);
+  adapter.pump();
+  adapter.pump();
+  adapter.pump();
+  std::uint64_t expected = 1;
+  while (auto t = channel.telemetry.try_pop()) {
+    EXPECT_EQ(t->seq, expected++);
+  }
+  EXPECT_EQ(expected, 4u);
+}
+
+TEST(Channel, AiEstimateUpdatable) {
+  rt::Runtime runtime(machine_2x2());
+  Channel channel;
+  RuntimeAdapter adapter(runtime, channel, 1.0);
+  adapter.set_ai_estimate(2.5);
+  adapter.pump();
+  const auto t = channel.telemetry.try_pop();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(t->ai_estimate, 2.5);
+}
+
+TEST(Channel, BackgroundPumpDeliversCommands) {
+  rt::Runtime runtime(machine_2x2());
+  Channel channel;
+  RuntimeAdapter adapter(runtime, channel);
+  adapter.start(/*period_us=*/500);
+  Command cmd;
+  cmd.type = CommandType::kSetTotalThreads;
+  cmd.total_threads = 2;
+  channel.commands.try_push(cmd);
+  EXPECT_TRUE(eventually([&] { return runtime.running_threads() == 2; }));
+  EXPECT_TRUE(eventually([&] { return !channel.telemetry.empty(); }));
+  adapter.stop();
+}
+
+TEST(ChannelDeath, NodeCountMismatchRejected) {
+  rt::Runtime runtime(machine_2x2());
+  Channel channel;
+  RuntimeAdapter adapter(runtime, channel);
+  Command cmd;
+  cmd.type = CommandType::kSetNodeThreads;
+  cmd.node_count = 5;
+  channel.commands.try_push(cmd);
+  EXPECT_DEATH(adapter.pump(), "mismatch");
+}
+
+}  // namespace
+}  // namespace numashare::agent

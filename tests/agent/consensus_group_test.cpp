@@ -1,0 +1,101 @@
+#include "agent/consensus_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "topology/presets.hpp"
+
+namespace numashare::agent {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <typename F>
+bool eventually(F predicate) {
+  for (int i = 0; i < 400; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return predicate();
+}
+
+TEST(ConsensusGroup, TwoRuntimesSplitTheMachine) {
+  const auto machine = topo::Machine::symmetric(2, 2, 1.0, 10.0);
+  rt::Runtime a(machine, {.name = "cg-a"});
+  rt::Runtime b(machine, {.name = "cg-b"});
+  ConsensusGroup group(machine);
+  group.join(a, {2, 2});  // both want everything
+  group.join(b, {2, 2});
+  const auto allocation = group.apply();
+  EXPECT_TRUE(allocation.validate(machine));
+  EXPECT_EQ(allocation.total(), 4u);
+  EXPECT_EQ(allocation.app_total(0), 2u);
+  EXPECT_EQ(allocation.app_total(1), 2u);
+  // Both runtimes end up under option-3 control at their agreed rows.
+  EXPECT_TRUE(eventually([&] {
+    const auto pa = a.running_per_node();
+    const auto pb = b.running_per_node();
+    for (topo::NodeId n = 0; n < 2; ++n) {
+      if (pa[n] != allocation.threads(0, n)) return false;
+      if (pb[n] != allocation.threads(1, n)) return false;
+    }
+    return true;
+  }));
+  EXPECT_EQ(a.control_mode(), rt::ControlMode::kPerNode);
+}
+
+TEST(ConsensusGroup, AiDerivedProposals) {
+  // Memory-bound app asks for few threads per node (its bandwidth saturates
+  // quickly); compute-bound asks for everything.
+  const auto machine = topo::Machine::symmetric(2, 8, 10.0, 32.0, 10.0);
+  rt::Runtime mem(machine, {.name = "cg-mem"});
+  rt::Runtime compute(machine, {.name = "cg-cpu"});
+  ConsensusGroup group(machine);
+  group.join_with_ai(mem, 0.5);      // wants ceil(32/20) = 2 per node
+  group.join_with_ai(compute, 10.0); // wants min(8, ceil(32/1)) = 8 per node
+  const auto allocation = group.agree();
+  EXPECT_EQ(allocation.threads(0, 0), 2u);
+  EXPECT_EQ(allocation.threads(1, 0), 6u);  // the rest of the node
+  EXPECT_TRUE(allocation.validate(machine));
+}
+
+TEST(ConsensusGroup, UpdateProposalShiftsAgreement) {
+  const auto machine = topo::Machine::symmetric(1, 4, 1.0, 10.0);
+  rt::Runtime a(machine, {.name = "cg-u1"});
+  rt::Runtime b(machine, {.name = "cg-u2"});
+  ConsensusGroup group(machine);
+  const auto id_a = group.join(a, {4});
+  group.join(b, {4});
+  EXPECT_EQ(group.agree().app_total(0), 2u);
+  group.update_proposal(id_a, {1});  // phase change: a needs only one thread
+  const auto after = group.agree();
+  EXPECT_EQ(after.app_total(0), 1u);
+  EXPECT_EQ(after.app_total(1), 3u);  // b soaks up the released core
+}
+
+TEST(ConsensusGroup, EveryParticipantComputesSameAgreement) {
+  const auto machine = topo::paper_model_machine();
+  rt::Runtime r1(machine, {.name = "cg-s1"});
+  rt::Runtime r2(machine, {.name = "cg-s2"});
+  ConsensusGroup group(machine);
+  group.join(r1, {8, 8, 8, 8});
+  group.join(r2, {8, 8, 8, 8});
+  const auto first = group.agree();
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(group.agree() == first);
+}
+
+TEST(ConsensusGroupDeath, BadInputsRejected) {
+  const auto machine = topo::Machine::symmetric(2, 2, 1.0, 10.0);
+  ConsensusGroup group(machine);
+  EXPECT_DEATH(group.agree(), "no participants");
+  rt::Runtime r(machine, {.name = "cg-bad"});
+  EXPECT_DEATH(group.join(r, {1}), "every node");
+  EXPECT_DEATH(group.join_with_ai(r, 0.0), "positive");
+  group.join(r, {1, 1});
+  EXPECT_DEATH(group.update_proposal(5, {1, 1}), "unknown participant");
+}
+
+}  // namespace
+}  // namespace numashare::agent

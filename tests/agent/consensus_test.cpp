@@ -1,0 +1,116 @@
+#include "agent/consensus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.hpp"
+
+namespace numashare::agent {
+namespace {
+
+TEST(Consensus, FairProposalsFillMachineEvenly) {
+  const auto machine = topo::paper_model_machine();  // 4x8
+  std::vector<Proposal> proposals;
+  for (std::uint32_t a = 0; a < 4; ++a) proposals.push_back(fair_proposal(machine, a, 4));
+  const auto allocation = arbitrate(machine, proposals);
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    for (topo::NodeId n = 0; n < 4; ++n) EXPECT_EQ(allocation.threads(a, n), 2u);
+  }
+  EXPECT_TRUE(allocation.validate(machine));
+}
+
+TEST(Consensus, DeterministicAcrossParticipants) {
+  // Each participant computes arbitrate() independently; all must agree.
+  const auto machine = topo::paper_model_machine();
+  std::vector<Proposal> proposals;
+  for (std::uint32_t a = 0; a < 4; ++a) proposals.push_back(fair_proposal(machine, a, 4));
+  const auto first = arbitrate(machine, proposals);
+  for (int participant = 0; participant < 4; ++participant) {
+    EXPECT_TRUE(arbitrate(machine, proposals) == first);
+  }
+}
+
+TEST(Consensus, SymmetryBreaking) {
+  // Everyone asks for one whole node (8 threads on every node would be
+  // fine). They must NOT all land on node 0 — the paper's explicit worry.
+  const auto machine = topo::paper_model_machine();
+  std::vector<Proposal> proposals;
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    Proposal p;
+    p.app = a;
+    p.desired_per_node.assign(4, 8);  // wants everything, anywhere
+    proposals.push_back(std::move(p));
+  }
+  const auto allocation = arbitrate(machine, proposals);
+  EXPECT_TRUE(allocation.validate(machine));
+  // Full machine handed out...
+  EXPECT_EQ(allocation.total(), 32u);
+  // ...and each app's first-choice region differs: every app gets cores on
+  // its own starting node.
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    EXPECT_GT(allocation.threads(a, a), 0u) << "app " << a;
+  }
+}
+
+TEST(Consensus, RespectsCapacityUnderOverAsk) {
+  const auto machine = topo::Machine::symmetric(2, 3, 1.0, 10.0);
+  std::vector<Proposal> proposals;
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    Proposal p;
+    p.app = a;
+    p.desired_per_node.assign(2, 99);
+    proposals.push_back(std::move(p));
+  }
+  const auto allocation = arbitrate(machine, proposals);
+  EXPECT_TRUE(allocation.validate(machine));
+  EXPECT_EQ(allocation.total(), 6u);
+  // Round-robin grants: everyone ends up with 2 of the 6 cores.
+  for (std::uint32_t a = 0; a < 3; ++a) EXPECT_EQ(allocation.app_total(a), 2u);
+}
+
+TEST(Consensus, PartialDesiresHonored) {
+  const auto machine = topo::Machine::symmetric(2, 4, 1.0, 10.0);
+  Proposal wants_node1;
+  wants_node1.app = 0;
+  wants_node1.desired_per_node = {0, 3};
+  Proposal wants_anything;
+  wants_anything.app = 1;
+  wants_anything.desired_per_node = {4, 4};
+  const auto allocation = arbitrate(machine, {wants_node1, wants_anything});
+  EXPECT_EQ(allocation.threads(0, 0), 0u);  // never granted what it didn't ask
+  // Node 1 is contended and splits round-robin fair (2 each); app 1 also
+  // soaks up all of node 0, which app 0 declined.
+  EXPECT_EQ(allocation.threads(0, 1), 2u);
+  EXPECT_EQ(allocation.threads(1, 1), 2u);
+  EXPECT_EQ(allocation.app_total(1), 6u);
+  EXPECT_EQ(allocation.total(), 8u);
+  EXPECT_TRUE(allocation.validate(machine));
+}
+
+TEST(Consensus, SingleParticipantGetsItsAsk) {
+  const auto machine = topo::Machine::symmetric(2, 4, 1.0, 10.0);
+  Proposal p;
+  p.app = 0;
+  p.desired_per_node = {2, 1};
+  const auto allocation = arbitrate(machine, {p});
+  EXPECT_EQ(allocation.threads(0, 0), 2u);
+  EXPECT_EQ(allocation.threads(0, 1), 1u);
+}
+
+TEST(ConsensusDeath, UnorderedProposalsRejected) {
+  const auto machine = topo::Machine::symmetric(2, 4, 1.0, 10.0);
+  Proposal p;
+  p.app = 1;  // not dense
+  p.desired_per_node = {1, 1};
+  EXPECT_DEATH(arbitrate(machine, {p}), "dense");
+}
+
+TEST(ConsensusDeath, WrongNodeCountRejected) {
+  const auto machine = topo::Machine::symmetric(2, 4, 1.0, 10.0);
+  Proposal p;
+  p.app = 0;
+  p.desired_per_node = {1};
+  EXPECT_DEATH(arbitrate(machine, {p}), "every node");
+}
+
+}  // namespace
+}  // namespace numashare::agent

@@ -1,0 +1,100 @@
+#include "agent/os_load.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace numashare::agent {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FakeStat {
+ public:
+  FakeStat() {
+    path_ = fs::temp_directory_path() /
+            ("numashare-stat-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter_++));
+  }
+  ~FakeStat() {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+
+  void write(std::uint64_t user, std::uint64_t system, std::uint64_t idle,
+             std::uint64_t iowait) {
+    std::ofstream out(path_);
+    out << "cpu  " << user << " 0 " << system << " " << idle << " " << iowait
+        << " 0 0 0 0 0\n";
+    out << "cpu0 " << user << " 0 " << system << " " << idle << " " << iowait
+        << " 0 0 0 0 0\n";
+  }
+
+  std::string path() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+  static inline int counter_ = 0;
+};
+
+TEST(OsLoad, FirstSampleIsNullopt) {
+  FakeStat stat;
+  stat.write(100, 50, 800, 50);
+  OsLoadSampler sampler(stat.path());
+  EXPECT_FALSE(sampler.sample().has_value());
+}
+
+TEST(OsLoad, ComputesBusyFraction) {
+  FakeStat stat;
+  stat.write(100, 50, 800, 50);
+  OsLoadSampler sampler(stat.path());
+  sampler.sample();
+  // +150 busy (user+system), +50 idle: 75% busy.
+  stat.write(200, 100, 840, 60);
+  const auto load = sampler.sample();
+  ASSERT_TRUE(load.has_value());
+  EXPECT_NEAR(*load, 0.75, 1e-9);
+}
+
+TEST(OsLoad, FullyIdleDelta) {
+  FakeStat stat;
+  stat.write(10, 10, 100, 0);
+  OsLoadSampler sampler(stat.path());
+  sampler.sample();
+  stat.write(10, 10, 200, 0);
+  const auto load = sampler.sample();
+  ASSERT_TRUE(load.has_value());
+  EXPECT_NEAR(*load, 0.0, 1e-9);
+}
+
+TEST(OsLoad, MissingFileReturnsNullopt) {
+  OsLoadSampler sampler("/nonexistent/stat");
+  EXPECT_FALSE(sampler.sample().has_value());
+  EXPECT_FALSE(sampler.sample().has_value());
+}
+
+TEST(OsLoad, NoDeltaReturnsNullopt) {
+  FakeStat stat;
+  stat.write(100, 50, 800, 50);
+  OsLoadSampler sampler(stat.path());
+  sampler.sample();
+  const auto load = sampler.sample();  // identical counters
+  EXPECT_FALSE(load.has_value());
+}
+
+TEST(OsLoad, RealProcStatIfPresent) {
+  OsLoadSampler sampler;
+  sampler.sample();
+  // Burn a little CPU so the delta is non-degenerate.
+  volatile double x = 0;
+  for (int i = 0; i < 2000000; ++i) x = x + 1.0;
+  const auto load = sampler.sample();
+  if (!load.has_value()) GTEST_SKIP() << "no /proc/stat";
+  EXPECT_GE(*load, 0.0);
+  EXPECT_LE(*load, 1.0);
+}
+
+}  // namespace
+}  // namespace numashare::agent

@@ -1,0 +1,98 @@
+#include "apps/matmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.hpp"
+
+namespace numashare::apps {
+namespace {
+
+rt::Runtime make_runtime() {
+  return rt::Runtime(topo::Machine::symmetric(2, 2, 1.0, 10.0), {.name = "matmul"});
+}
+
+TEST(Matmul, SmallFullVerification) {
+  auto runtime = make_runtime();
+  MatmulConfig config;
+  config.n = 32;
+  config.tile = 8;
+  Matmul mm(runtime, config);
+  mm.run();
+  EXPECT_LT(mm.verify_sample(), 1e-12);  // n <= 64: full check
+}
+
+TEST(Matmul, LargerSampledVerification) {
+  auto runtime = make_runtime();
+  MatmulConfig config;
+  config.n = 96;
+  config.tile = 24;
+  Matmul mm(runtime, config);
+  mm.run();
+  EXPECT_LT(mm.verify_sample(128), 1e-11);
+}
+
+TEST(Matmul, SingleTileDegenerate) {
+  auto runtime = make_runtime();
+  MatmulConfig config;
+  config.n = 16;
+  config.tile = 16;  // one tile: the k-chain is a single task
+  Matmul mm(runtime, config);
+  mm.run();
+  EXPECT_LT(mm.verify_sample(), 1e-12);
+}
+
+TEST(Matmul, ReRunAfterReinitialize) {
+  auto runtime = make_runtime();
+  MatmulConfig config;
+  config.n = 32;
+  config.tile = 16;
+  Matmul mm(runtime, config);
+  mm.run();
+  const double first = mm.c(3, 5);
+  mm.initialize();  // zero C again
+  EXPECT_DOUBLE_EQ(mm.c(3, 5), 0.0);
+  mm.run();
+  EXPECT_DOUBLE_EQ(mm.c(3, 5), first);  // deterministic
+}
+
+TEST(Matmul, AiGrowsWithTile) {
+  auto runtime = make_runtime();
+  MatmulConfig small;
+  small.n = 32;
+  small.tile = 8;
+  MatmulConfig big;
+  big.n = 32;
+  big.tile = 32;
+  EXPECT_GT(Matmul(runtime, big).ai_estimate(), Matmul(runtime, small).ai_estimate());
+}
+
+TEST(Matmul, GflopAccounting) {
+  auto runtime = make_runtime();
+  MatmulConfig config;
+  config.n = 64;
+  config.tile = 16;
+  Matmul mm(runtime, config);
+  EXPECT_DOUBLE_EQ(mm.gflop_total(), 2.0 * 64 * 64 * 64 / 1e9);
+}
+
+TEST(Matmul, WorksUnderPerNodeControls) {
+  auto runtime = make_runtime();
+  runtime.set_node_thread_targets({2, 0});  // whole node blocked mid-everything
+  MatmulConfig config;
+  config.n = 32;
+  config.tile = 8;
+  Matmul mm(runtime, config);
+  mm.run();
+  EXPECT_LT(mm.verify_sample(), 1e-12);
+}
+
+TEST(MatmulDeath, BadConfigRejected) {
+  auto runtime = make_runtime();
+  MatmulConfig bad;
+  bad.n = 30;
+  bad.tile = 8;  // not a multiple
+  EXPECT_DEATH(Matmul(runtime, bad), "multiple");
+}
+
+}  // namespace
+}  // namespace numashare::apps

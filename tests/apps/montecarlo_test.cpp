@@ -1,0 +1,87 @@
+#include "apps/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "topology/presets.hpp"
+
+namespace numashare::apps {
+namespace {
+
+rt::Runtime make_runtime() {
+  return rt::Runtime(topo::Machine::symmetric(2, 2, 1.0, 10.0), {.name = "mc"});
+}
+
+TEST(MonteCarlo, EstimatesPi) {
+  auto runtime = make_runtime();
+  MonteCarloConfig config;
+  config.samples_per_task = 1u << 12;
+  config.tasks = 32;
+  MonteCarlo mc(runtime, config);
+  const double pi = mc.run();
+  EXPECT_NEAR(pi, M_PI, 0.02);
+  EXPECT_EQ(mc.samples_done(), std::uint64_t(32) * (1u << 12));
+}
+
+TEST(MonteCarlo, DeterministicAcrossSchedules) {
+  MonteCarloConfig config;
+  config.samples_per_task = 1u << 10;
+  config.tasks = 16;
+  config.seed = 77;
+
+  auto runtime_a = make_runtime();
+  MonteCarlo a(runtime_a, config);
+  const double pi_a = a.run();
+
+  auto runtime_b = make_runtime();
+  runtime_b.set_total_thread_target(1);  // totally different schedule
+  MonteCarlo b(runtime_b, config);
+  const double pi_b = b.run();
+
+  EXPECT_DOUBLE_EQ(pi_a, pi_b);
+  EXPECT_EQ(a.hits(), b.hits());
+}
+
+TEST(MonteCarlo, SeedChangesStream) {
+  MonteCarloConfig config;
+  config.samples_per_task = 1u << 10;
+  config.tasks = 8;
+  config.seed = 1;
+  auto runtime = make_runtime();
+  MonteCarlo first(runtime, config);
+  first.run();
+  config.seed = 2;
+  MonteCarlo second(runtime, config);
+  second.run();
+  EXPECT_NE(first.hits(), second.hits());
+}
+
+TEST(MonteCarlo, AccumulatesAcrossRuns) {
+  auto runtime = make_runtime();
+  MonteCarloConfig config;
+  config.samples_per_task = 1u << 10;
+  config.tasks = 8;
+  MonteCarlo mc(runtime, config);
+  mc.run();
+  const auto after_one = mc.samples_done();
+  mc.run();
+  EXPECT_EQ(mc.samples_done(), 2 * after_one);
+  EXPECT_NEAR(mc.estimate(), M_PI, 0.1);
+}
+
+TEST(MonteCarlo, EstimateBeforeRunIsZero) {
+  auto runtime = make_runtime();
+  MonteCarlo mc(runtime);
+  EXPECT_DOUBLE_EQ(mc.estimate(), 0.0);
+}
+
+TEST(MonteCarloDeath, EmptyWorkloadRejected) {
+  auto runtime = make_runtime();
+  MonteCarloConfig bad;
+  bad.tasks = 0;
+  EXPECT_DEATH(MonteCarlo(runtime, bad), "empty");
+}
+
+}  // namespace
+}  // namespace numashare::apps

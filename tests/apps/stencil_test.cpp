@@ -1,0 +1,145 @@
+#include "apps/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "topology/presets.hpp"
+
+namespace numashare::apps {
+namespace {
+
+/// Straightforward serial Jacobi reference.
+std::vector<double> reference(const StencilConfig& config, std::uint32_t sweeps) {
+  const auto rows = config.rows;
+  const auto cols = config.cols;
+  std::vector<double> grid(std::size_t(rows) * cols);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      const bool edge = r == 0 || r == rows - 1 || c == 0 || c == cols - 1;
+      grid[std::size_t(r) * cols + c] = edge ? config.boundary : config.interior;
+    }
+  }
+  std::vector<double> next = grid;
+  for (std::uint32_t s = 0; s < sweeps; ++s) {
+    for (std::uint32_t r = 1; r + 1 < rows; ++r) {
+      for (std::uint32_t c = 1; c + 1 < cols; ++c) {
+        next[std::size_t(r) * cols + c] =
+            0.25 * (grid[std::size_t(r - 1) * cols + c] + grid[std::size_t(r + 1) * cols + c] +
+                    grid[std::size_t(r) * cols + c - 1] + grid[std::size_t(r) * cols + c + 1]);
+      }
+    }
+    std::swap(grid, next);
+  }
+  return grid;
+}
+
+rt::Runtime make_runtime() {
+  return rt::Runtime(topo::Machine::symmetric(2, 2, 1.0, 10.0), {.name = "stencil"});
+}
+
+TEST(Stencil, MatchesSerialReference) {
+  auto runtime = make_runtime();
+  StencilConfig config;
+  config.rows = 24;
+  config.cols = 17;
+  config.row_blocks = 5;  // uneven split across blocks
+  Stencil stencil(runtime, config);
+  stencil.run(7);
+  const auto expected = reference(config, 7);
+  for (std::uint32_t r = 0; r < config.rows; ++r) {
+    for (std::uint32_t c = 0; c < config.cols; ++c) {
+      ASSERT_NEAR(stencil.at(r, c), expected[std::size_t(r) * config.cols + c], 1e-12)
+          << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(Stencil, IncrementalRunsEqualOneBigRun) {
+  auto runtime = make_runtime();
+  StencilConfig config;
+  config.rows = 16;
+  config.cols = 16;
+  config.row_blocks = 3;
+  Stencil split(runtime, config);
+  split.run(3);
+  split.run(4);  // 7 total, odd: exercises the parity bookkeeping
+  const auto expected = reference(config, 7);
+  for (std::uint32_t r = 0; r < config.rows; ++r) {
+    for (std::uint32_t c = 0; c < config.cols; ++c) {
+      ASSERT_NEAR(split.at(r, c), expected[std::size_t(r) * config.cols + c], 1e-12);
+    }
+  }
+  EXPECT_EQ(split.sweeps_done(), 7u);
+}
+
+TEST(Stencil, ConvergesTowardBoundary) {
+  auto runtime = make_runtime();
+  StencilConfig config;
+  config.rows = 12;
+  config.cols = 12;
+  config.boundary = 1.0;
+  config.interior = 0.0;
+  Stencil stencil(runtime, config);
+  const double before = stencil.at(6, 6);
+  stencil.run(200);
+  const double after = stencil.at(6, 6);
+  EXPECT_LT(before, after);
+  EXPECT_GT(after, 0.9);  // deep into convergence toward 1.0
+}
+
+TEST(Stencil, AccountsWorkAndProgress) {
+  auto runtime = make_runtime();
+  StencilConfig config;
+  config.rows = 10;
+  config.cols = 10;
+  Stencil stencil(runtime, config);
+  stencil.run(5);
+  EXPECT_EQ(stencil.cells_updated(), 5u * 8u * 8u);
+  EXPECT_GT(stencil.gflop_done(), 0.0);
+  EXPECT_EQ(runtime.stats().progress, 5u);
+  EXPECT_DOUBLE_EQ(stencil.ai_estimate(), 0.25);
+}
+
+TEST(Stencil, DatablocksSpreadAcrossNodes) {
+  auto runtime = make_runtime();
+  StencilConfig config;
+  config.rows = 32;
+  config.cols = 8;
+  config.row_blocks = 4;
+  Stencil stencil(runtime, config);
+  EXPECT_GT(runtime.datablocks().bytes_on_node(0), 0u);
+  EXPECT_GT(runtime.datablocks().bytes_on_node(1), 0u);
+}
+
+TEST(Stencil, WorksUnderReducedThreadTarget) {
+  auto runtime = make_runtime();
+  runtime.set_total_thread_target(1);
+  StencilConfig config;
+  config.rows = 12;
+  config.cols = 12;
+  config.row_blocks = 4;
+  Stencil stencil(runtime, config);
+  stencil.run(4);
+  const auto expected = reference(config, 4);
+  for (std::uint32_t r = 0; r < config.rows; ++r) {
+    for (std::uint32_t c = 0; c < config.cols; ++c) {
+      ASSERT_NEAR(stencil.at(r, c), expected[std::size_t(r) * config.cols + c], 1e-12);
+    }
+  }
+}
+
+TEST(StencilDeath, BadConfigRejected) {
+  auto runtime = make_runtime();
+  StencilConfig tiny;
+  tiny.rows = 2;
+  EXPECT_DEATH(Stencil(runtime, tiny), "too small");
+  StencilConfig blocks;
+  blocks.rows = 8;
+  blocks.row_blocks = 9;
+  EXPECT_DEATH(Stencil(runtime, blocks), "row_blocks");
+}
+
+}  // namespace
+}  // namespace numashare::apps

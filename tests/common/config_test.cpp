@@ -1,0 +1,84 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace numashare {
+namespace {
+
+TEST(Config, ParsesKeysSectionsComments) {
+  const char* text = R"(
+    # a comment
+    top = 1
+    [machine]
+    nodes = 4           ; trailing comment
+    bandwidth = 32.5
+    name = paper-model
+    [apps]
+    ai = 0.5, 10
+    enabled = true
+  )";
+  std::string error;
+  auto config = Config::parse(text, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_EQ(config->get_int("top"), 1);
+  EXPECT_EQ(config->get_int("machine.nodes"), 4);
+  EXPECT_DOUBLE_EQ(*config->get_double("machine.bandwidth"), 32.5);
+  EXPECT_EQ(*config->get("machine.name"), "paper-model");
+  EXPECT_EQ(config->get_bool("apps.enabled"), true);
+  const auto ais = config->get_doubles("apps.ai");
+  ASSERT_TRUE(ais.has_value());
+  EXPECT_EQ(ais->size(), 2u);
+  EXPECT_DOUBLE_EQ((*ais)[0], 0.5);
+  EXPECT_DOUBLE_EQ((*ais)[1], 10.0);
+  EXPECT_EQ(config->sections().size(), 2u);
+}
+
+TEST(Config, MalformedLineReportsLineNumber) {
+  std::string error;
+  EXPECT_FALSE(Config::parse("good = 1\nbad-line\n", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(Config, UnterminatedSectionFails) {
+  std::string error;
+  EXPECT_FALSE(Config::parse("[oops\n", &error).has_value());
+}
+
+TEST(Config, TypedGettersRejectGarbage) {
+  auto config = Config::parse("x = notanumber\nb = maybe\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_FALSE(config->get_int("x").has_value());
+  EXPECT_FALSE(config->get_double("x").has_value());
+  EXPECT_FALSE(config->get_bool("b").has_value());
+}
+
+TEST(Config, Fallbacks) {
+  auto config = Config::parse("x = 3\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->get_int_or("x", 7), 3);
+  EXPECT_EQ(config->get_int_or("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(config->get_double_or("missing", 1.5), 1.5);
+  EXPECT_EQ(config->get_or("missing", "d"), "d");
+}
+
+TEST(Config, SetOverridesAndLoadMissingFileFails) {
+  auto config = Config::parse("x = 1\n");
+  ASSERT_TRUE(config.has_value());
+  config->set("x", "9");
+  EXPECT_EQ(config->get_int("x"), 9);
+  std::string error;
+  EXPECT_FALSE(Config::load("/nonexistent/path.ini", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Config, BoolSpellings) {
+  auto config = Config::parse("a=TRUE\nb=off\nc=Yes\nd=0\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->get_bool("a"), true);
+  EXPECT_EQ(config->get_bool("b"), false);
+  EXPECT_EQ(config->get_bool("c"), true);
+  EXPECT_EQ(config->get_bool("d"), false);
+}
+
+}  // namespace
+}  // namespace numashare

@@ -1,0 +1,39 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace numashare {
+namespace {
+
+TEST(Csv, PlainCells) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.header({"a", "b"});
+  csv.row({"1", "2"});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Csv, EscapesCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvDeath, RowBeforeHeaderAborts) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  EXPECT_DEATH(csv.row({"1"}), "header");
+}
+
+TEST(CsvDeath, WidthMismatchAborts) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.header({"a", "b"});
+  EXPECT_DEATH(csv.row({"1"}), "width");
+}
+
+}  // namespace
+}  // namespace numashare

@@ -1,0 +1,46 @@
+#include "common/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace numashare {
+namespace {
+
+TEST(Format, SubstitutesInOrder) {
+  EXPECT_EQ(ns_format("a={} b={}", 1, 2), "a=1 b=2");
+  EXPECT_EQ(ns_format("{} {} {}", "x", 2.5, true), "x 2.5 1");
+}
+
+TEST(Format, NoPlaceholders) { EXPECT_EQ(ns_format("plain"), "plain"); }
+
+TEST(Format, MorePlaceholdersThanArgs) {
+  // Leftover placeholders are emitted literally, never UB.
+  EXPECT_EQ(ns_format("a={} b={}", 7), "a=7 b={}");
+}
+
+TEST(Format, MoreArgsThanPlaceholders) { EXPECT_EQ(ns_format("a={}", 1, 2, 3), "a=1"); }
+
+TEST(Format, EmptyFormat) { EXPECT_EQ(ns_format(""), ""); }
+
+TEST(Format, AdjacentPlaceholders) { EXPECT_EQ(ns_format("{}{}", "ab", "cd"), "abcd"); }
+
+TEST(FmtFixed, RendersPrecision) {
+  EXPECT_EQ(fmt_fixed(63.5, 2), "63.50");
+  EXPECT_EQ(fmt_fixed(0.125, 3), "0.125");
+  EXPECT_EQ(fmt_fixed(-1.0, 1), "-1.0");
+}
+
+TEST(FmtCompact, TrimsTrailingZeros) {
+  EXPECT_EQ(fmt_compact(254.0), "254");
+  EXPECT_EQ(fmt_compact(63.5), "63.5");
+  EXPECT_EQ(fmt_compact(138.75), "138.75");
+  EXPECT_EQ(fmt_compact(0.5), "0.5");
+  EXPECT_EQ(fmt_compact(0.0), "0");
+}
+
+TEST(FmtCompact, RespectsMaxPrecision) {
+  EXPECT_EQ(fmt_compact(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(fmt_compact(2.0, 2), "2");
+}
+
+}  // namespace
+}  // namespace numashare

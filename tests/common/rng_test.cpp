@@ -1,0 +1,79 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace numashare {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformU64InRangeAndCoversValues) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_u64(5);
+    ASSERT_LT(x, 5u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformU64One) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_u64(1), 0u);
+}
+
+TEST(Rng, JitterBounds) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double j = rng.jitter(0.01);
+    ASSERT_GE(j, 0.99);
+    ASSERT_LE(j, 1.01);
+  }
+}
+
+TEST(Rng, SplitMixSequenceKnownGood) {
+  // Reference values from the splitmix64 reference implementation, seed 0.
+  SplitMix64 mix(0);
+  EXPECT_EQ(mix.next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(mix.next(), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(mix.next(), 0x06c45d188009454full);
+}
+
+}  // namespace
+}  // namespace numashare

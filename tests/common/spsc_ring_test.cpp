@@ -1,0 +1,73 @@
+#include "common/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace numashare {
+namespace {
+
+TEST(SpscRing, PushPopSingleThread) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.try_pop(), 1);
+  EXPECT_EQ(ring.try_pop(), 2);
+  EXPECT_EQ(ring.try_pop(), std::nullopt);
+}
+
+TEST(SpscRing, FullRejectsPush) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));
+  EXPECT_EQ(ring.try_pop(), 0);
+  EXPECT_TRUE(ring.try_push(99));  // slot freed
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(i));
+    ASSERT_EQ(ring.try_pop(), i);
+  }
+}
+
+TEST(SpscRingDeath, NonPowerOfTwoCapacityAborts) {
+  EXPECT_DEATH(SpscRing<int>(3), "power of two");
+}
+
+TEST(SpscRing, MovesNonTrivialValues) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(5)));
+  auto popped = ring.try_pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(**popped, 5);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerPreservesSequence) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kCount = 100000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!ring.try_push(i)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kCount) {
+    if (auto v = ring.try_pop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace numashare

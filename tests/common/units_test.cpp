@@ -1,0 +1,33 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace numashare {
+namespace {
+
+TEST(Units, DemandFollowsRoofline) {
+  // Paper assumption 3's example: "a core with 10 GFLOPS running code with
+  // AI=2 would try to read 10/2 = 5 GB/s".
+  EXPECT_DOUBLE_EQ(demand_gbps(10.0, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(demand_gbps(10.0, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(demand_gbps(0.29, 1.0 / 32.0), 0.29 * 32.0);
+}
+
+TEST(Units, AchievedGflopsMemoryLeg) {
+  EXPECT_DOUBLE_EQ(achieved_gflops(9.0, 0.5, 10.0), 4.5);  // Table I memory row
+  EXPECT_DOUBLE_EQ(achieved_gflops(1.0, 10.0, 10.0), 10.0);  // compute row
+}
+
+TEST(Units, AchievedGflopsCappedAtPeak) {
+  EXPECT_DOUBLE_EQ(achieved_gflops(100.0, 10.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(achieved_gflops(0.0, 10.0, 10.0), 0.0);
+}
+
+TEST(Units, RoundTripDemandAchieved) {
+  // A thread granted exactly its demand runs at peak.
+  const double peak = 3.7, ai = 0.37;
+  EXPECT_NEAR(achieved_gflops(demand_gbps(peak, ai), ai, peak), peak, 1e-12);
+}
+
+}  // namespace
+}  // namespace numashare

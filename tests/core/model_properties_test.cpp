@@ -1,0 +1,192 @@
+// Property-based sweeps over the solver: invariants that must hold for any
+// machine, mix and allocation — conservation, symmetry, scale invariance,
+// and monotonicity. Parameterized over seeds; each seed generates a random
+// well-formed problem.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/roofline.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::model {
+namespace {
+
+struct Problem {
+  topo::Machine machine;
+  std::vector<AppSpec> apps;
+  Allocation allocation;
+};
+
+Problem random_problem(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const auto nodes = 1 + static_cast<std::uint32_t>(rng.uniform_u64(4));
+  const auto cores = 1 + static_cast<std::uint32_t>(rng.uniform_u64(8));
+  Problem p{topo::Machine::symmetric(nodes, cores, rng.uniform(0.25, 16.0),
+                                     rng.uniform(4.0, 150.0), rng.uniform(0.5, 40.0)),
+            {},
+            {}};
+  const auto n_apps = 1 + static_cast<std::uint32_t>(rng.uniform_u64(4));
+  for (std::uint32_t a = 0; a < n_apps; ++a) {
+    const double ai = rng.uniform(0.05, 16.0);
+    if (rng.uniform() < 0.35) {
+      p.apps.push_back(
+          AppSpec::numa_bad("bad", ai, static_cast<topo::NodeId>(rng.uniform_u64(nodes))));
+    } else {
+      p.apps.push_back(AppSpec::numa_perfect("perfect", ai));
+    }
+  }
+  p.allocation = Allocation(n_apps, nodes);
+  for (topo::NodeId n = 0; n < nodes; ++n) {
+    std::uint32_t left = cores;
+    for (std::uint32_t a = 0; a < n_apps && left > 0; ++a) {
+      const auto take = static_cast<std::uint32_t>(rng.uniform_u64(left + 1));
+      p.allocation.set_threads(a, n, take);
+      left -= take;
+    }
+  }
+  return p;
+}
+
+class ModelProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperties,
+                         ::testing::Range<std::uint64_t>(100, 130));
+
+TEST_P(ModelProperties, ConservationAndCaps) {
+  const auto p = random_problem(GetParam());
+  const auto solution = solve(p.machine, p.apps, p.allocation);
+
+  // Grants never exceed demand or controller/link capacity; GFLOPS never
+  // exceed compute peak; totals tie out between views.
+  double total_by_groups = 0.0;
+  for (const auto& g : solution.groups) {
+    EXPECT_LE(g.per_thread_granted, g.per_thread_demand * (1 + 1e-9));
+    EXPECT_GE(g.per_thread_granted, -1e-12);
+    const auto peak = p.machine.core(p.machine.node(g.exec_node).cores.front()).peak_gflops;
+    EXPECT_LE(g.per_thread_gflops, peak * (1 + 1e-9));
+    if (g.remote()) {
+      EXPECT_LE(g.group_granted(),
+                p.machine.link_bandwidth(g.exec_node, g.memory_node) * (1 + 1e-9));
+    }
+    total_by_groups += g.group_gflops();
+  }
+  EXPECT_NEAR(total_by_groups, solution.total_gflops,
+              1e-9 * std::max(1.0, solution.total_gflops));
+  for (const auto& node : solution.nodes) {
+    EXPECT_LE(node.total_granted, node.bandwidth * (1 + 1e-9));
+    EXPECT_GE(node.total_granted, -1e-12);
+  }
+  double by_apps = 0.0;
+  for (auto g : solution.app_gflops) {
+    EXPECT_GE(g, -1e-12);
+    by_apps += g;
+  }
+  EXPECT_NEAR(by_apps, solution.total_gflops, 1e-9 * std::max(1.0, solution.total_gflops));
+}
+
+TEST_P(ModelProperties, NodeRelabelingSymmetry) {
+  // Rotating every node index on a symmetric machine rotates the solution:
+  // total and sorted app GFLOPS are invariant.
+  const auto p = random_problem(GetParam());
+  const auto nodes = p.machine.node_count();
+  if (nodes < 2) return;
+
+  auto rotated_apps = p.apps;
+  for (auto& app : rotated_apps) {
+    if (app.placement == Placement::kNumaBad) {
+      app.home_node = (app.home_node + 1) % nodes;
+    }
+  }
+  Allocation rotated_alloc(p.allocation.app_count(), nodes);
+  for (AppId a = 0; a < p.allocation.app_count(); ++a) {
+    for (topo::NodeId n = 0; n < nodes; ++n) {
+      rotated_alloc.set_threads(a, (n + 1) % nodes, p.allocation.threads(a, n));
+    }
+  }
+  const auto base = solve(p.machine, p.apps, p.allocation);
+  const auto rotated = solve(p.machine, rotated_apps, rotated_alloc);
+  EXPECT_NEAR(base.total_gflops, rotated.total_gflops,
+              1e-9 * std::max(1.0, base.total_gflops));
+  for (AppId a = 0; a < p.apps.size(); ++a) {
+    EXPECT_NEAR(base.app_gflops[a], rotated.app_gflops[a],
+                1e-9 * std::max(1.0, base.app_gflops[a]));
+  }
+}
+
+TEST_P(ModelProperties, ScaleInvariance) {
+  // Doubling every bandwidth and every compute peak doubles every rate.
+  const auto p = random_problem(GetParam());
+  auto scaled_machine = topo::Machine::symmetric(
+      p.machine.node_count(), p.machine.cores_in_node(0),
+      p.machine.core(0).peak_gflops * 2.0, p.machine.node(0).memory_bandwidth * 2.0,
+      p.machine.node_count() > 1 ? p.machine.link_bandwidth(0, 1) * 2.0 : 0.0);
+  const auto base = solve(p.machine, p.apps, p.allocation);
+  const auto scaled = solve(scaled_machine, p.apps, p.allocation);
+  EXPECT_NEAR(scaled.total_gflops, 2.0 * base.total_gflops,
+              1e-9 * std::max(1.0, base.total_gflops));
+}
+
+TEST_P(ModelProperties, AddingBandwidthNeverHurts) {
+  const auto p = random_problem(GetParam());
+  auto bigger = topo::Machine::symmetric(
+      p.machine.node_count(), p.machine.cores_in_node(0), p.machine.core(0).peak_gflops,
+      p.machine.node(0).memory_bandwidth * 1.5,
+      p.machine.node_count() > 1 ? p.machine.link_bandwidth(0, 1) : 0.0);
+  const auto base = solve(p.machine, p.apps, p.allocation);
+  const auto more = solve(bigger, p.apps, p.allocation);
+  EXPECT_GE(more.total_gflops + 1e-9, base.total_gflops);
+}
+
+TEST_P(ModelProperties, FasterLinksStayWithinCapacity) {
+  // NOTE: total GFLOPS is deliberately NOT asserted monotone here — under
+  // remote-first serving, a faster link lets low-AI remote traffic displace
+  // high-AI local traffic, so faster links can *reduce* machine throughput.
+  // (That inversion is the paper's §III.A point in another guise.) What must
+  // hold: capacity conservation and per-flow link caps at any link speed.
+  const auto p = random_problem(GetParam());
+  if (p.machine.node_count() < 2) return;
+  auto faster = topo::Machine::symmetric(
+      p.machine.node_count(), p.machine.cores_in_node(0), p.machine.core(0).peak_gflops,
+      p.machine.node(0).memory_bandwidth, p.machine.link_bandwidth(0, 1) * 2.0);
+  const auto more = solve(faster, p.apps, p.allocation);
+  for (const auto& node : more.nodes) {
+    EXPECT_LE(node.total_granted, node.bandwidth * (1 + 1e-9));
+  }
+  for (const auto& g : more.groups) {
+    if (g.remote()) {
+      EXPECT_LE(g.group_granted(),
+                faster.link_bandwidth(g.exec_node, g.memory_node) * (1 + 1e-9));
+    }
+  }
+}
+
+TEST(ModelProperties, FasterLinkCanReduceTotalThroughput) {
+  // Pin the inversion explicitly: a low-AI NUMA-bad app remote into a node
+  // hosting a high-AI-starved local app. Faster link -> more low-value
+  // remote service -> less high-value local service -> lower total.
+  const auto machine_slow = topo::Machine::symmetric(2, 4, 10.0, 20.0, /*link=*/2.0);
+  const auto machine_fast = topo::Machine::symmetric(2, 4, 10.0, 20.0, /*link=*/18.0);
+  const std::vector<AppSpec> apps{AppSpec::numa_perfect("local-hi-ai", 1.0),
+                                  AppSpec::numa_bad("remote-lo-ai", 0.05, 0)};
+  Allocation allocation(2, 2);
+  allocation.set_threads(0, 0, 4);  // high-AI app local on node 0
+  allocation.set_threads(1, 1, 4);  // low-AI app remote into node 0
+  const auto slow = solve(machine_slow, apps, allocation);
+  const auto fast = solve(machine_fast, apps, allocation);
+  EXPECT_LT(fast.total_gflops, slow.total_gflops);
+}
+
+TEST_P(ModelProperties, SolverDeterministic) {
+  const auto p = random_problem(GetParam());
+  const auto a = solve(p.machine, p.apps, p.allocation);
+  const auto b = solve(p.machine, p.apps, p.allocation);
+  EXPECT_DOUBLE_EQ(a.total_gflops, b.total_gflops);
+  for (std::size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.groups[i].per_thread_granted, b.groups[i].per_thread_granted);
+  }
+}
+
+}  // namespace
+}  // namespace numashare::model

@@ -1,0 +1,123 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_scenarios.hpp"
+#include "topology/presets.hpp"
+
+namespace numashare::model {
+namespace {
+
+TEST(Report, TableIDerivationRows) {
+  const auto machine = topo::paper_model_machine();
+  auto classes = classes_from(mixes::three_mem_one_compute(), {1, 1, 1, 5});
+  ASSERT_EQ(classes.size(), 2u);  // three identical memory-bound apps group
+  const auto d = derive(machine, classes);
+  ASSERT_EQ(d.classes.size(), 2u);
+  const auto& mem = d.classes[0];
+  const auto& compute = d.classes[1];
+
+  // Every row of Table I, in order:
+  EXPECT_DOUBLE_EQ(mem.ai, 0.5);
+  EXPECT_DOUBLE_EQ(compute.ai, 10.0);
+  EXPECT_EQ(mem.instances, 3u);
+  EXPECT_EQ(compute.instances, 1u);
+  EXPECT_EQ(mem.threads_per_node, 1u);
+  EXPECT_EQ(compute.threads_per_node, 5u);
+  EXPECT_DOUBLE_EQ(mem.peak_bw_per_thread, 20.0);
+  EXPECT_DOUBLE_EQ(compute.peak_bw_per_thread, 1.0);
+  EXPECT_DOUBLE_EQ(mem.peak_bw_per_instance, 20.0);
+  EXPECT_DOUBLE_EQ(compute.peak_bw_per_instance, 5.0);
+  EXPECT_DOUBLE_EQ(mem.total_bw_all_instances, 60.0);
+  EXPECT_DOUBLE_EQ(compute.total_bw_all_instances, 5.0);
+  EXPECT_DOUBLE_EQ(d.total_required_bw, 65.0);
+  EXPECT_DOUBLE_EQ(d.baseline_per_thread, 4.0);
+  EXPECT_DOUBLE_EQ(mem.allocated_baseline_per_thread, 4.0);
+  EXPECT_DOUBLE_EQ(compute.allocated_baseline_per_thread, 1.0);
+  EXPECT_DOUBLE_EQ(d.allocated_node_bw, 17.0);
+  EXPECT_DOUBLE_EQ(d.remaining_node_bw, 15.0);
+  EXPECT_DOUBLE_EQ(mem.still_required_per_thread, 16.0);
+  EXPECT_DOUBLE_EQ(compute.still_required_per_thread, 0.0);
+  EXPECT_DOUBLE_EQ(d.still_required_total, 48.0);
+  EXPECT_DOUBLE_EQ(mem.remainder_per_thread, 5.0);
+  EXPECT_DOUBLE_EQ(compute.remainder_per_thread, 0.0);
+  EXPECT_DOUBLE_EQ(mem.total_per_thread, 9.0);
+  EXPECT_DOUBLE_EQ(compute.total_per_thread, 1.0);
+  EXPECT_DOUBLE_EQ(mem.gflops_per_thread, 4.5);
+  EXPECT_DOUBLE_EQ(compute.gflops_per_thread, 10.0);
+  EXPECT_DOUBLE_EQ(mem.gflops_per_app, 4.5);
+  EXPECT_DOUBLE_EQ(compute.gflops_per_app, 50.0);
+  EXPECT_DOUBLE_EQ(d.gflops_per_node, 63.5);
+  EXPECT_DOUBLE_EQ(d.total_gflops, 254.0);
+}
+
+TEST(Report, TableIIDerivationTotals) {
+  const auto machine = topo::paper_model_machine();
+  const auto d = derive(machine, classes_from(mixes::three_mem_one_compute(), {2, 2, 2, 2}));
+  EXPECT_DOUBLE_EQ(d.total_required_bw, 122.0);
+  EXPECT_DOUBLE_EQ(d.allocated_node_bw, 26.0);
+  EXPECT_DOUBLE_EQ(d.remaining_node_bw, 6.0);
+  EXPECT_DOUBLE_EQ(d.still_required_total, 96.0);
+  EXPECT_DOUBLE_EQ(d.classes[0].remainder_per_thread, 1.0);
+  EXPECT_DOUBLE_EQ(d.classes[0].gflops_per_thread, 2.5);
+  EXPECT_DOUBLE_EQ(d.gflops_per_node, 35.0);
+  EXPECT_DOUBLE_EQ(d.total_gflops, 140.0);
+}
+
+TEST(Report, DerivationConsistentWithSolver) {
+  // The derivation is a specialized re-derivation; it must agree with the
+  // general solver on its domain.
+  const auto machine = topo::paper_model_machine();
+  for (const auto& counts :
+       {std::vector<std::uint32_t>{1, 1, 1, 5}, std::vector<std::uint32_t>{2, 2, 2, 2},
+        std::vector<std::uint32_t>{1, 2, 3, 2}, std::vector<std::uint32_t>{0, 4, 0, 4}}) {
+    const auto apps = mixes::three_mem_one_compute();
+    const auto d = derive(machine, classes_from(apps, counts));
+    const auto solution = solve(machine, apps, Allocation::uniform_per_node(machine, counts));
+    EXPECT_NEAR(d.total_gflops, solution.total_gflops, 1e-9)
+        << "counts {" << counts[0] << counts[1] << counts[2] << counts[3] << "}";
+  }
+}
+
+TEST(Report, RenderContainsPaperRowLabels) {
+  const auto machine = topo::paper_model_machine();
+  const auto d = derive(machine, classes_from(mixes::three_mem_one_compute(), {1, 1, 1, 5}));
+  const auto text = d.render();
+  for (const char* label :
+       {"arithmetic intensity (AI)", "peak memory bandwidth per thread",
+        "total required bandwidth", "baseline GB/s per thread", "remaining node GB/s",
+        "remainder given to a thread", "GFLOPS per application", "total GFLOPS"}) {
+    EXPECT_NE(text.find(label), std::string::npos) << label;
+  }
+  EXPECT_NE(text.find("254"), std::string::npos);
+  EXPECT_NE(text.find("63.5"), std::string::npos);
+}
+
+TEST(Report, ClassesFromGroupsIdenticalApps) {
+  const auto classes = classes_from(mixes::skylake_mem_compute(), {5, 5, 5, 5});
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].instances, 3u);
+  EXPECT_EQ(classes[1].instances, 1u);
+}
+
+TEST(Report, ClassesFromKeepsDifferentCountsApart) {
+  // Same AI but different thread counts must stay separate columns.
+  const auto apps = std::vector<AppSpec>{AppSpec::numa_perfect("a", 0.5),
+                                         AppSpec::numa_perfect("b", 0.5)};
+  const auto classes = classes_from(apps, {1, 3});
+  ASSERT_EQ(classes.size(), 2u);
+}
+
+TEST(ReportDeath, OversubscribedClassesRejected) {
+  const auto machine = topo::paper_model_machine();
+  auto classes = classes_from(mixes::three_mem_one_compute(), {3, 3, 3, 3});
+  EXPECT_DEATH(derive(machine, classes), "oversubscribed");
+}
+
+TEST(ReportDeath, NumaBadAppsRejected) {
+  EXPECT_DEATH(classes_from(mixes::three_perfect_one_bad(0), {2, 2, 2, 2}),
+               "NUMA-perfect");
+}
+
+}  // namespace
+}  // namespace numashare::model

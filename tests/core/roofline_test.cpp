@@ -1,0 +1,189 @@
+// Solver invariants and corner cases beyond the paper's literal numbers.
+#include "core/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.hpp"
+
+namespace numashare::model {
+namespace {
+
+class RooflineInvariants : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST(Roofline, SingleSatisfiedApp) {
+  const auto machine = topo::Machine::symmetric(1, 4, 10.0, 100.0);
+  const auto apps = std::vector<AppSpec>{AppSpec::numa_perfect("a", 10.0)};  // wants 1 GB/s/thread
+  const auto solution = solve(machine, apps, Allocation::uniform_per_node(machine, {4}));
+  EXPECT_NEAR(solution.total_gflops, 40.0, 1e-12);  // all threads at peak
+  EXPECT_NEAR(solution.nodes[0].total_granted, 4.0, 1e-12);
+}
+
+TEST(Roofline, SingleSaturatingApp) {
+  const auto machine = topo::Machine::symmetric(1, 4, 10.0, 8.0);
+  const auto apps = std::vector<AppSpec>{AppSpec::numa_perfect("a", 0.5)};  // wants 20 GB/s/thread
+  const auto solution = solve(machine, apps, Allocation::uniform_per_node(machine, {4}));
+  // Entire 8 GB/s consumed, 0.5 AI -> 4 GFLOPS.
+  EXPECT_NEAR(solution.total_gflops, 4.0, 1e-12);
+  EXPECT_NEAR(solution.find_group(0, 0)->per_thread_granted, 2.0, 1e-12);
+}
+
+TEST(Roofline, RemainderProportionalToDeficit) {
+  // Paper rule 5: "a code that would want to make twice as many memory
+  // operations above the baseline will end up getting twice as much of the
+  // remaining bandwidth" — the leftover splits by deficit, not per capita.
+  const auto machine = topo::Machine::symmetric(1, 4, 10.0, 24.0);
+  const auto apps = std::vector<AppSpec>{
+      AppSpec::numa_perfect("small-deficit", 10.0 / 7.0),  // wants 7 GB/s
+      AppSpec::numa_perfect("starving", 0.1),              // wants 100 GB/s
+  };
+  // 1 thread each, 2 cores idle -> baseline 24/4 = 6 per thread, pool 12.
+  // Deficits 1 and 94 -> shares 12/95 and 12*94/95 on top of the baseline.
+  const auto solution = solve(machine, apps, Allocation::uniform_per_node(machine, {1, 1}));
+  EXPECT_NEAR(solution.find_group(0, 0)->per_thread_granted, 6.0 + 12.0 / 95.0, 1e-9);
+  EXPECT_NEAR(solution.find_group(1, 0)->per_thread_granted, 6.0 + 12.0 * 94.0 / 95.0, 1e-9);
+  EXPECT_NEAR(solution.nodes[0].total_granted, 24.0, 1e-9);
+}
+
+TEST(Roofline, PoolBeyondDeficitLeavesBandwidthUnused) {
+  // When the leftover exceeds the total deficit, every thread is capped at
+  // its demand and the surplus bandwidth stays unallocated.
+  const auto machine = topo::Machine::symmetric(1, 4, 10.0, 40.0);
+  const auto apps = std::vector<AppSpec>{AppSpec::numa_perfect("modest", 1.0)};  // 10 GB/s
+  const auto solution = solve(machine, apps, Allocation::uniform_per_node(machine, {2}));
+  EXPECT_NEAR(solution.find_group(0, 0)->per_thread_granted, 10.0, 1e-9);
+  EXPECT_NEAR(solution.nodes[0].total_granted, 20.0, 1e-9);  // 20 of 40 used
+  EXPECT_NEAR(solution.total_gflops, 20.0, 1e-9);
+}
+
+TEST(Roofline, SingleShotMatchesPaperProcedureOnEqualDeficits) {
+  const auto machine = topo::paper_model_machine();
+  const auto apps = mixes::three_mem_one_compute();
+  const auto allocation = Allocation::uniform_per_node(machine, {1, 1, 1, 5});
+  SolveOptions single_shot;
+  single_shot.single_shot_remainder = true;
+  const auto a = solve(machine, apps, allocation);
+  const auto b = solve(machine, apps, allocation, single_shot);
+  EXPECT_NEAR(a.total_gflops, b.total_gflops, 1e-12);
+}
+
+TEST(Roofline, GflopsNeverExceedPeak) {
+  const auto machine = topo::paper_numabad_machine();
+  const auto apps = mixes::three_perfect_one_bad(0);
+  for (const auto& allocation :
+       {Allocation::uniform_per_node(machine, {2, 2, 2, 2}),
+        Allocation::node_per_app(machine, {1, 2, 3, 0}),
+        Allocation::uniform_per_node(machine, {1, 1, 1, 1})}) {
+    const auto solution = solve(machine, apps, allocation);
+    for (const auto& g : solution.groups) {
+      EXPECT_LE(g.per_thread_gflops, 10.0 + 1e-12);
+      EXPECT_LE(g.per_thread_granted, g.per_thread_demand + 1e-12);
+    }
+  }
+}
+
+TEST(Roofline, NodeBandwidthConserved) {
+  const auto machine = topo::paper_skylake_machine();
+  const auto apps = mixes::skylake_perfect_bad(0);
+  const auto solution =
+      solve(machine, apps, Allocation::uniform_per_node(machine, {5, 5, 5, 5}));
+  for (const auto& node : solution.nodes) {
+    EXPECT_LE(node.total_granted, node.bandwidth + 1e-9);
+  }
+  // Total granted via groups must equal total granted via node breakdowns.
+  double by_groups = 0.0;
+  for (const auto& g : solution.groups) by_groups += g.group_granted();
+  double by_nodes = 0.0;
+  for (const auto& node : solution.nodes) by_nodes += node.total_granted;
+  EXPECT_NEAR(by_groups, by_nodes, 1e-9);
+}
+
+TEST(Roofline, RemoteFlowsCappedByLink) {
+  auto machine = topo::Machine::symmetric(2, 4, 10.0, 100.0, /*link=*/3.0);
+  const auto apps = std::vector<AppSpec>{AppSpec::numa_bad("bad", 1.0, 0)};
+  // All 4 threads on node 1, data on node 0: demand 40 GB/s over a 3 GB/s link.
+  auto allocation = Allocation(1, 2);
+  allocation.set_threads(0, 1, 4);
+  const auto solution = solve(machine, apps, allocation);
+  EXPECT_NEAR(solution.nodes[0].remote_granted, 3.0, 1e-12);
+  EXPECT_NEAR(solution.find_group(0, 1)->per_thread_granted, 0.75, 1e-12);
+  EXPECT_NEAR(solution.total_gflops, 3.0, 1e-12);
+}
+
+TEST(Roofline, RemoteOversubscriptionScaledToController) {
+  // Controller weaker than the sum of incoming links: flows scale down
+  // proportionally and locals get nothing beyond zero.
+  auto machine = topo::Machine::symmetric(3, 2, 10.0, 4.0, /*link=*/3.0);
+  const auto apps = std::vector<AppSpec>{AppSpec::numa_bad("b1", 0.1, 0),
+                                         AppSpec::numa_bad("b2", 0.1, 0)};
+  auto allocation = Allocation(2, 3);
+  allocation.set_threads(0, 1, 2);
+  allocation.set_threads(1, 2, 2);
+  const auto solution = solve(machine, apps, allocation);
+  EXPECT_NEAR(solution.nodes[0].remote_granted, 4.0, 1e-12);
+  // Symmetric flows -> 2 GB/s each.
+  EXPECT_NEAR(solution.find_group(0, 1)->per_thread_granted, 1.0, 1e-12);
+  EXPECT_NEAR(solution.find_group(1, 2)->per_thread_granted, 1.0, 1e-12);
+}
+
+TEST(Roofline, NumaBadOnHomeNodeIsLocal) {
+  const auto machine = topo::Machine::symmetric(2, 4, 10.0, 50.0, 10.0);
+  const auto apps = std::vector<AppSpec>{AppSpec::numa_bad("bad", 1.0, 0)};
+  auto allocation = Allocation(1, 2);
+  allocation.set_threads(0, 0, 4);
+  const auto solution = solve(machine, apps, allocation);
+  const auto* g = solution.find_group(0, 0);
+  EXPECT_FALSE(g->remote());
+  EXPECT_NEAR(solution.total_gflops, 40.0, 1e-12);  // 4 threads x 10 GB/s x AI 1
+}
+
+TEST(Roofline, EmptyNodesContributeNothing) {
+  const auto machine = topo::paper_model_machine();
+  const auto apps = std::vector<AppSpec>{AppSpec::numa_perfect("a", 1.0)};
+  auto allocation = Allocation(1, 4);
+  allocation.set_threads(0, 2, 3);
+  const auto solution = solve(machine, apps, allocation);
+  EXPECT_EQ(solution.groups.size(), 1u);
+  EXPECT_NEAR(solution.nodes[0].node_gflops, 0.0, 1e-12);
+  EXPECT_NEAR(solution.nodes[2].node_gflops, 30.0, 1e-12);
+}
+
+TEST(RooflineDeath, MismatchedAppsRejected) {
+  const auto machine = topo::paper_model_machine();
+  const auto apps = std::vector<AppSpec>{AppSpec::numa_perfect("a", 1.0)};
+  const auto allocation = Allocation::uniform_per_node(machine, {1, 1});
+  EXPECT_DEATH(solve(machine, apps, allocation), "index-match");
+}
+
+TEST(RooflineDeath, BadHomeNodeRejected) {
+  const auto machine = topo::paper_model_machine();
+  const auto apps = std::vector<AppSpec>{AppSpec::numa_bad("a", 1.0, 99)};
+  const auto allocation = Allocation::uniform_per_node(machine, {1});
+  EXPECT_DEATH(solve(machine, apps, allocation), "home node");
+}
+
+TEST(RooflineDeath, ZeroAiRejected) {
+  const auto machine = topo::paper_model_machine();
+  const auto apps = std::vector<AppSpec>{AppSpec::numa_perfect("a", 0.0)};
+  const auto allocation = Allocation::uniform_per_node(machine, {1});
+  EXPECT_DEATH(solve(machine, apps, allocation), "intensity");
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenCounts, RooflineInvariants, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST_P(RooflineInvariants, ScalingMonotoneInThreads) {
+  // More threads for a lone app never reduces its model throughput.
+  const auto machine = topo::Machine::symmetric(1, 8, 10.0, 40.0);
+  const auto apps = std::vector<AppSpec>{AppSpec::numa_perfect("a", 0.5)};
+  const std::uint32_t t = GetParam();
+  const auto now = solve(machine, apps, Allocation::uniform_per_node(machine, {t}));
+  if (t > 1) {
+    const auto fewer = solve(machine, apps, Allocation::uniform_per_node(machine, {t - 1}));
+    EXPECT_GE(now.total_gflops + 1e-12, fewer.total_gflops);
+  }
+  // And the aggregate never exceeds roofline ceilings.
+  EXPECT_LE(now.total_gflops, 40.0 * 0.5 + 1e-12);  // bandwidth ceiling
+  EXPECT_LE(now.total_gflops, 10.0 * t + 1e-12);    // compute ceiling
+}
+
+}  // namespace
+}  // namespace numashare::model

@@ -1,0 +1,111 @@
+// Sub-linear scaling (Amdahl extension of the model) — the paper's §II
+// argument that a poorly-scaling app should hand its cores to someone who
+// can use them.
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "core/roofline.hpp"
+#include "topology/presets.hpp"
+
+namespace numashare::model {
+namespace {
+
+TEST(Scaling, EffectiveThreadsAmdahl) {
+  AppSpec app = AppSpec::numa_perfect("a", 1.0).with_serial_fraction(0.25);
+  EXPECT_DOUBLE_EQ(app.effective_threads(1), 1.0);
+  EXPECT_DOUBLE_EQ(app.effective_threads(4), 1.0 / (0.25 + 0.75 / 4.0));  // ~2.29
+  // Asymptote: 1/serial = 4.
+  EXPECT_LT(app.effective_threads(1000), 4.0);
+  EXPECT_GT(app.effective_threads(1000), 3.9);
+  // Perfectly parallel app is unchanged.
+  EXPECT_DOUBLE_EQ(AppSpec::numa_perfect("b", 1.0).effective_threads(8), 8.0);
+}
+
+TEST(Scaling, CapBindsOnComputeBoundApp) {
+  // 8 compute-bound threads with serial fraction 0.5: effective 1.78
+  // threads, so ~17.8 GFLOPS instead of 80.
+  const auto machine = topo::Machine::symmetric(1, 8, 10.0, 1000.0);
+  const std::vector<AppSpec> apps{
+      AppSpec::numa_perfect("amdahl", 10.0).with_serial_fraction(0.5)};
+  const auto solution = solve(machine, apps, Allocation::uniform_per_node(machine, {8}));
+  EXPECT_NEAR(solution.total_gflops, 10.0 / (0.5 + 0.5 / 8.0), 1e-9);
+}
+
+TEST(Scaling, CapDoesNotBindWhenBandwidthAlreadyLimits) {
+  // Memory-starved app achieving far below its Amdahl cap: unchanged.
+  const auto machine = topo::Machine::symmetric(1, 8, 10.0, 8.0);
+  const std::vector<AppSpec> plain{AppSpec::numa_perfect("mem", 0.5)};
+  const std::vector<AppSpec> amdahl{
+      AppSpec::numa_perfect("mem", 0.5).with_serial_fraction(0.1)};
+  const auto allocation = Allocation::uniform_per_node(machine, {8});
+  const auto a = solve(machine, plain, allocation);
+  const auto b = solve(machine, amdahl, allocation);
+  // bandwidth-limited at 4 GFLOPS; Amdahl cap = 10 x 4.7 = 47 >> 4.
+  EXPECT_NEAR(a.total_gflops, b.total_gflops, 1e-9);
+}
+
+TEST(Scaling, SingleThreadNeverDerated) {
+  const auto machine = topo::Machine::symmetric(1, 8, 10.0, 1000.0);
+  const std::vector<AppSpec> apps{
+      AppSpec::numa_perfect("a", 10.0).with_serial_fraction(0.9)};
+  const auto solution = solve(machine, apps, Allocation::uniform_per_node(machine, {1}));
+  EXPECT_NEAR(solution.total_gflops, 10.0, 1e-9);
+}
+
+TEST(Scaling, MonotoneButDiminishing) {
+  const auto machine = topo::Machine::symmetric(1, 8, 10.0, 1000.0);
+  const std::vector<AppSpec> apps{
+      AppSpec::numa_perfect("a", 10.0).with_serial_fraction(0.3)};
+  double previous = 0.0;
+  double previous_gain = 1e300;
+  for (std::uint32_t t = 1; t <= 8; ++t) {
+    const auto solution =
+        solve(machine, apps, Allocation::uniform_per_node(machine, {t}));
+    EXPECT_GT(solution.total_gflops, previous);  // more threads always help...
+    const double gain = solution.total_gflops - previous;
+    EXPECT_LE(gain, previous_gain + 1e-9);       // ...by less and less
+    previous = solution.total_gflops;
+    previous_gain = gain;
+  }
+}
+
+TEST(Scaling, OptimizerShiftsCoresAwayFromPoorScaler) {
+  // The paper's argument verbatim: two compute-bound apps, one scaling
+  // poorly. Pure throughput search gives the poor scaler fewer cores.
+  const auto machine = topo::Machine::symmetric(1, 8, 10.0, 1000.0);
+  const std::vector<AppSpec> apps{
+      AppSpec::numa_perfect("scales", 10.0),
+      AppSpec::numa_perfect("stalls", 10.0).with_serial_fraction(0.4)};
+  const auto result = exhaustive_search(machine, apps, Objective::kTotalGflops,
+                                        /*require_full=*/true, /*min_threads=*/1);
+  EXPECT_GT(result.allocation.app_total(0), result.allocation.app_total(1));
+  // And beats the even split.
+  const auto even = solve(machine, apps, Allocation::uniform_per_node(machine, {4, 4}));
+  EXPECT_GT(result.solution.total_gflops, even.total_gflops);
+}
+
+TEST(Scaling, AppGflopsAndNodeTotalsStayConsistent) {
+  const auto machine = topo::Machine::symmetric(2, 4, 10.0, 1000.0, 10.0);
+  const std::vector<AppSpec> apps{
+      AppSpec::numa_perfect("a", 10.0).with_serial_fraction(0.5),
+      AppSpec::numa_perfect("b", 10.0)};
+  const auto solution =
+      solve(machine, apps, Allocation::uniform_per_node(machine, {2, 2}));
+  double by_nodes = 0.0;
+  for (const auto& node : solution.nodes) by_nodes += node.node_gflops;
+  double by_apps = 0.0;
+  for (auto g : solution.app_gflops) by_apps += g;
+  EXPECT_NEAR(by_nodes, solution.total_gflops, 1e-9);
+  EXPECT_NEAR(by_apps, solution.total_gflops, 1e-9);
+}
+
+TEST(ScalingDeath, SerialFractionOneRejected) {
+  const auto machine = topo::Machine::symmetric(1, 2, 10.0, 100.0);
+  const std::vector<AppSpec> apps{
+      AppSpec::numa_perfect("a", 1.0).with_serial_fraction(1.0)};
+  EXPECT_DEATH(solve(machine, apps, Allocation::uniform_per_node(machine, {2})),
+               "serial fraction");
+}
+
+}  // namespace
+}  // namespace numashare::model

@@ -1,0 +1,145 @@
+#include "core/scenario_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace numashare::model {
+namespace {
+
+const char* kValid = R"(
+[machine]
+nodes = 2
+cores_per_node = 4
+core_gflops = 10
+node_bandwidth = 32
+link_bandwidth = 5
+name = test-box
+
+[app.stream]
+ai = 0.5
+
+[app.sink]
+ai = 2
+placement = bad
+home = 1
+)";
+
+ScenarioDescription parse_valid() {
+  auto config = Config::parse(kValid);
+  std::string error;
+  auto scenario = scenario_from_config(*config, &error);
+  EXPECT_TRUE(scenario.has_value()) << error;
+  return *scenario;
+}
+
+TEST(ScenarioIo, ParsesMachineAndApps) {
+  const auto scenario = parse_valid();
+  EXPECT_EQ(scenario.machine.node_count(), 2u);
+  EXPECT_EQ(scenario.machine.cores_in_node(0), 4u);
+  EXPECT_DOUBLE_EQ(scenario.machine.link_bandwidth(0, 1), 5.0);
+  EXPECT_EQ(scenario.machine.name(), "test-box");
+  ASSERT_EQ(scenario.apps.size(), 2u);
+  EXPECT_EQ(scenario.apps[0].name, "stream");
+  EXPECT_EQ(scenario.apps[0].placement, Placement::kNumaPerfect);
+  EXPECT_EQ(scenario.apps[1].placement, Placement::kNumaBad);
+  EXPECT_EQ(scenario.apps[1].home_node, 1u);
+}
+
+TEST(ScenarioIo, RejectsBadInput) {
+  std::string error;
+  EXPECT_FALSE(
+      scenario_from_config(*Config::parse("[machine]\nnodes=2\n"), &error).has_value());
+  EXPECT_NE(error.find("cores_per_node"), std::string::npos);
+
+  EXPECT_FALSE(scenario_from_config(
+                   *Config::parse("[machine]\nnodes=2\ncores_per_node=2\n"
+                                  "core_gflops=1\nnode_bandwidth=10\n"),
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("no [app"), std::string::npos);
+
+  const char* bad_home =
+      "[machine]\nnodes=2\ncores_per_node=2\ncore_gflops=1\nnode_bandwidth=10\n"
+      "[app.x]\nai=1\nplacement=bad\nhome=7\n";
+  EXPECT_FALSE(scenario_from_config(*Config::parse(bad_home), &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+
+  const char* bad_placement =
+      "[machine]\nnodes=2\ncores_per_node=2\ncore_gflops=1\nnode_bandwidth=10\n"
+      "[app.x]\nai=1\nplacement=weird\n";
+  EXPECT_FALSE(scenario_from_config(*Config::parse(bad_placement), &error).has_value());
+}
+
+TEST(ScenarioIo, AllocationSpecs) {
+  const auto scenario = parse_valid();
+  std::string error;
+  const auto even = parse_allocation("even", scenario, &error);
+  ASSERT_TRUE(even.has_value()) << error;
+  EXPECT_EQ(even->threads(0, 0), 2u);
+
+  const auto node_per_app = parse_allocation("nodeperapp", scenario, &error);
+  ASSERT_TRUE(node_per_app.has_value()) << error;
+  EXPECT_EQ(node_per_app->threads(0, 0), 4u);
+  EXPECT_EQ(node_per_app->threads(1, 1), 4u);
+
+  const auto uniform = parse_allocation("uniform:1,3", scenario, &error);
+  ASSERT_TRUE(uniform.has_value()) << error;
+  EXPECT_EQ(uniform->threads(1, 0), 3u);
+}
+
+TEST(ScenarioIo, AllocationSpecErrors) {
+  const auto scenario = parse_valid();
+  std::string error;
+  EXPECT_FALSE(parse_allocation("bogus", scenario, &error).has_value());
+  EXPECT_FALSE(parse_allocation("uniform:1", scenario, &error).has_value());
+  EXPECT_NE(error.find("names 1 apps"), std::string::npos);
+  EXPECT_FALSE(parse_allocation("uniform:9,9", scenario, &error).has_value());
+  EXPECT_FALSE(parse_allocation("uniform:1,x", scenario, &error).has_value());
+}
+
+TEST(ScenarioIo, RoundTripThroughIni) {
+  const auto original = parse_valid();
+  const auto ini = scenario_to_ini(original);
+  std::string error;
+  const auto config = Config::parse(ini, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  const auto reparsed = scenario_from_config(*config, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->machine.node_count(), original.machine.node_count());
+  EXPECT_DOUBLE_EQ(reparsed->machine.node(0).memory_bandwidth,
+                   original.machine.node(0).memory_bandwidth);
+  ASSERT_EQ(reparsed->apps.size(), original.apps.size());
+  for (std::size_t a = 0; a < original.apps.size(); ++a) {
+    EXPECT_EQ(reparsed->apps[a].name, original.apps[a].name);
+    EXPECT_DOUBLE_EQ(reparsed->apps[a].ai, original.apps[a].ai);
+    EXPECT_EQ(reparsed->apps[a].placement, original.apps[a].placement);
+  }
+}
+
+TEST(ScenarioIo, SerialFractionParsedAndRoundTripped) {
+  const char* text =
+      "[machine]\nnodes=1\ncores_per_node=4\ncore_gflops=10\nnode_bandwidth=100\n"
+      "[app.stalls]\nai=4\nserial=0.3\n";
+  std::string error;
+  const auto scenario = scenario_from_config(*Config::parse(text), &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_DOUBLE_EQ(scenario->apps[0].serial_fraction, 0.3);
+  const auto reparsed =
+      scenario_from_config(*Config::parse(scenario_to_ini(*scenario)), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_DOUBLE_EQ(reparsed->apps[0].serial_fraction, 0.3);
+
+  const char* bad =
+      "[machine]\nnodes=1\ncores_per_node=4\ncore_gflops=10\nnode_bandwidth=100\n"
+      "[app.x]\nai=4\nserial=1.0\n";
+  EXPECT_FALSE(scenario_from_config(*Config::parse(bad), &error).has_value());
+  EXPECT_NE(error.find("serial"), std::string::npos);
+}
+
+TEST(ScenarioIo, LoadMissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(load_scenario("/nonexistent/mix.ini", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace numashare::model

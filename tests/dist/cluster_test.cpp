@@ -1,0 +1,105 @@
+#include "dist/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace numashare::dist {
+namespace {
+
+TEST(Cluster, UniformSpeedupPassesThroughBothDistributions) {
+  ClusterWorkload w;
+  w.node_speedups = {1.5, 1.5, 1.5, 1.5};
+  w.barrier_fraction = 1.0;
+  EXPECT_NEAR(overall_speedup(w, Distribution::kStatic), 1.5, 1e-12);
+  EXPECT_NEAR(overall_speedup(w, Distribution::kDynamic), 1.5, 1e-12);
+}
+
+TEST(Cluster, StaticBarrierCollapsesToSlowestNode) {
+  // The paper: "If the code requires a barrier ... the benefit of speeding
+  // up the iteration body on some of the nodes is rather limited."
+  ClusterWorkload w;
+  w.node_speedups = {2.0, 2.0, 2.0, 1.0};  // one node gains nothing
+  w.barrier_fraction = 1.0;
+  EXPECT_NEAR(overall_speedup(w, Distribution::kStatic), 1.0, 1e-12);
+}
+
+TEST(Cluster, DynamicLooseSyncApproachesMeanSpeedup) {
+  // "If the synchronization is loose ... most of the local speedup should
+  // translate to overall speedup."
+  ClusterWorkload w;
+  w.node_speedups = {2.0, 2.0, 2.0, 1.0};
+  w.barrier_fraction = 0.0;
+  EXPECT_NEAR(overall_speedup(w, Distribution::kDynamic), (2 + 2 + 2 + 1) / 4.0, 1e-12);
+}
+
+TEST(Cluster, BarrierFractionInterpolatesMonotonically) {
+  ClusterWorkload w;
+  w.node_speedups = {2.0, 1.2, 1.8, 1.0};
+  double previous = 1e300;
+  for (double b : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    w.barrier_fraction = b;
+    const double s = overall_speedup(w, Distribution::kDynamic);
+    EXPECT_LE(s, previous + 1e-12) << "b=" << b;
+    previous = s;
+  }
+  // Extremes: mean at b=0, min at b=1.
+  w.barrier_fraction = 0.0;
+  EXPECT_NEAR(overall_speedup(w, Distribution::kDynamic), 1.5, 1e-12);
+  w.barrier_fraction = 1.0;
+  EXPECT_NEAR(overall_speedup(w, Distribution::kDynamic), 1.0, 1e-12);
+}
+
+TEST(Cluster, DynamicNeverWorseThanStatic) {
+  ClusterWorkload w;
+  w.node_speedups = {1.0, 1.3, 1.9, 2.5, 1.1};
+  for (double b : {0.0, 0.3, 0.7, 1.0}) {
+    w.barrier_fraction = b;
+    EXPECT_GE(overall_speedup(w, Distribution::kDynamic) + 1e-12,
+              overall_speedup(w, Distribution::kStatic));
+  }
+}
+
+TEST(Cluster, SimulationMatchesClosedFormStatic) {
+  ClusterWorkload w;
+  w.node_speedups = {2.0, 1.0, 1.5};
+  w.barrier_fraction = 0.4;
+  w.iterations = 10;
+  const double makespan = simulate_makespan(w, Distribution::kStatic, 100);
+  const double expected = baseline_makespan(w, 100) / overall_speedup(w, Distribution::kStatic);
+  EXPECT_NEAR(makespan, expected, 1e-9);
+}
+
+TEST(Cluster, SimulationApproachesClosedFormDynamicWithFineTasks) {
+  ClusterWorkload w;
+  w.node_speedups = {2.0, 1.0, 1.5, 1.2};
+  w.barrier_fraction = 0.2;
+  w.iterations = 4;
+  const double ideal = baseline_makespan(w, 1000) / overall_speedup(w, Distribution::kDynamic);
+  const double fine = simulate_makespan(w, Distribution::kDynamic, 1000);
+  EXPECT_NEAR(fine, ideal, ideal * 0.01);  // within 1% at fine granularity
+  // Coarse tasks show integer imbalance: never faster than ideal.
+  const double coarse = simulate_makespan(w, Distribution::kDynamic, 2);
+  EXPECT_GE(coarse, ideal - 1e-9);
+}
+
+TEST(Cluster, BaselineMakespanIsIterations) {
+  ClusterWorkload w;
+  w.node_speedups = {1.0, 1.0};
+  w.iterations = 7;
+  EXPECT_DOUBLE_EQ(baseline_makespan(w, 10), 7.0);
+  EXPECT_NEAR(simulate_makespan(w, Distribution::kStatic, 10), 7.0, 1e-9);
+  EXPECT_NEAR(simulate_makespan(w, Distribution::kDynamic, 10), 7.0, 1e-9);
+}
+
+TEST(ClusterDeath, BadInputsRejected) {
+  ClusterWorkload w;
+  EXPECT_DEATH(overall_speedup(w, Distribution::kStatic), "at least one node");
+  w.node_speedups = {1.0};
+  w.barrier_fraction = 1.5;
+  EXPECT_DEATH(overall_speedup(w, Distribution::kStatic), "barrier_fraction");
+  w.barrier_fraction = 0.5;
+  w.node_speedups = {0.0};
+  EXPECT_DEATH(overall_speedup(w, Distribution::kStatic), "positive");
+}
+
+}  // namespace
+}  // namespace numashare::dist

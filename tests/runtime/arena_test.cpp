@@ -1,0 +1,99 @@
+#include "runtime/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "topology/presets.hpp"
+
+namespace numashare::rt {
+namespace {
+
+topo::Machine machine_2x2() { return topo::Machine::symmetric(2, 2, 1.0, 10.0); }
+
+TEST(Arena, ExecuteRunsAndWaits) {
+  Runtime rt(machine_2x2());
+  Arena arena(rt);
+  std::atomic<bool> ran{false};
+  arena.execute([&](TaskContext&) { ran.store(true); });
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Arena, MaxConcurrencyMapsToOption1) {
+  Runtime rt(machine_2x2());
+  Arena arena(rt, /*max_concurrency=*/2);
+  EXPECT_EQ(arena.max_concurrency(), 2u);
+  EXPECT_EQ(rt.control_mode(), ControlMode::kTotalCount);
+  arena.set_max_concurrency(0);
+  EXPECT_EQ(rt.control_mode(), ControlMode::kNone);
+}
+
+TEST(Arena, ParallelForCoversRangeExactlyOnce) {
+  Runtime rt(machine_2x2());
+  Arena arena(rt);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  arena.parallel_for(0, 1000, 64, [&](std::uint64_t lo, std::uint64_t hi) {
+    EXPECT_LE(hi - lo, 64u);
+    for (std::uint64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Arena, ParallelForEmptyRange) {
+  Runtime rt(machine_2x2());
+  Arena arena(rt);
+  int calls = 0;
+  arena.parallel_for(5, 5, 10, [&](std::uint64_t, std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Arena, ParallelForWorksWithZeroWorkers) {
+  // With every worker blocked, the calling thread must finish the loop alone
+  // (TBB master-thread semantics).
+  Runtime rt(machine_2x2());
+  Arena arena(rt, /*max_concurrency=*/0);
+  rt.set_total_thread_target(0);
+  std::atomic<std::uint64_t> sum{0};
+  arena.parallel_for(0, 100, 7, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(NodeArenaSet, ResizeMapsToOption3) {
+  Runtime rt(machine_2x2());
+  NodeArenaSet arenas(rt);
+  EXPECT_EQ(arenas.node_count(), 2u);
+  EXPECT_EQ(arenas.size(0), 2u);
+  arenas.resize({1, 2});
+  EXPECT_EQ(arenas.size(0), 1u);
+  EXPECT_EQ(rt.control_mode(), ControlMode::kPerNode);
+}
+
+TEST(NodeArenaSet, SubmitPinsToNode) {
+  Runtime rt(machine_2x2());
+  NodeArenaSet arenas(rt);
+  std::atomic<int> off_node{0};
+  std::vector<EventPtr> dones;
+  for (int i = 0; i < 50; ++i) {
+    dones.push_back(arenas.submit(1, [&](TaskContext& ctx) {
+      if (ctx.node != 1) off_node.fetch_add(1);
+    }));
+  }
+  for (auto& d : dones) d->wait();
+  EXPECT_LT(off_node.load(), 25);  // hint honored in the common case
+}
+
+TEST(NodeArenaSetDeath, WrongSizeVector) {
+  Runtime rt(machine_2x2());
+  NodeArenaSet arenas(rt);
+  EXPECT_DEATH(arenas.resize({1}), "one size per node");
+}
+
+}  // namespace
+}  // namespace numashare::rt

@@ -1,0 +1,206 @@
+// The paper's three thread-blocking options (§II), exercised against the
+// live worker pool. Timing assertions use generous budgets: the CI host may
+// be a single hardware core running all virtual workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "runtime/runtime.hpp"
+#include "topology/presets.hpp"
+
+namespace numashare::rt {
+namespace {
+
+using namespace std::chrono_literals;
+
+topo::Machine machine_2x2() { return topo::Machine::symmetric(2, 2, 1.0, 10.0); }
+
+/// Poll until `predicate` holds or ~2s elapse.
+template <typename F>
+bool eventually(F predicate) {
+  for (int i = 0; i < 400; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return predicate();
+}
+
+TEST(BlockingOption1, IdleWorkersBlockToTarget) {
+  Runtime rt(machine_2x2());
+  rt.set_total_thread_target(1);
+  EXPECT_TRUE(eventually([&] { return rt.running_threads() == 1; }))
+      << "running=" << rt.running_threads();
+  EXPECT_EQ(rt.blocked_threads(), 3u);
+  EXPECT_EQ(rt.control_mode(), ControlMode::kTotalCount);
+}
+
+TEST(BlockingOption1, RaisingTargetUnblocksImmediately) {
+  Runtime rt(machine_2x2());
+  rt.set_total_thread_target(0);
+  ASSERT_TRUE(eventually([&] { return rt.running_threads() == 0; }));
+  const auto start = std::chrono::steady_clock::now();
+  rt.set_total_thread_target(4);
+  EXPECT_TRUE(eventually([&] { return rt.running_threads() == 4; }));
+  // "If the target number of threads is raised, the required number of extra
+  // threads are unblocked almost immediately."
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 500ms);
+  EXPECT_GE(rt.stats().unblocks, 4u);
+}
+
+TEST(BlockingOption1, TasksStillCompleteUnderReducedTarget) {
+  Runtime rt(machine_2x2());
+  rt.set_total_thread_target(1);
+  ASSERT_TRUE(eventually([&] { return rt.running_threads() == 1; }));
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 200; ++i) {
+    rt.spawn([&](TaskContext&) { executed.fetch_add(1); });
+  }
+  rt.wait_idle();
+  EXPECT_EQ(executed.load(), 200);
+  EXPECT_EQ(rt.running_threads(), 1u);  // target survives the burst
+}
+
+TEST(BlockingOption1, NoPreemptionOfRunningTask) {
+  // A long task keeps running after the target drops below the worker count;
+  // blocking is inactivity-based (paper: "without preempting tasks").
+  Runtime rt(machine_2x2());
+  std::atomic<bool> release{false};
+  std::atomic<bool> long_task_done{false};
+  auto done = rt.spawn([&](TaskContext&) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    long_task_done.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  rt.set_total_thread_target(0);
+  // The long task's worker must not be preempted.
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(long_task_done.load());
+  EXPECT_GE(rt.running_threads(), 1u);  // its worker still counts as running
+  release.store(true);
+  done->wait();
+  EXPECT_TRUE(long_task_done.load());
+  // Now the worker hits the task boundary and blocks too.
+  EXPECT_TRUE(eventually([&] { return rt.running_threads() == 0; }));
+}
+
+TEST(BlockingOption2, NamedCoresBlock) {
+  Runtime rt(machine_2x2());
+  topo::CpuSet blocked;
+  blocked.set(0);
+  blocked.set(3);
+  rt.set_blocked_cores(blocked);
+  EXPECT_TRUE(eventually([&] { return rt.blocked_threads() == 2; }));
+  const auto per_node = rt.running_per_node();
+  EXPECT_EQ(per_node[0], 1u);  // core 0 blocked on node 0
+  EXPECT_EQ(per_node[1], 1u);  // core 3 blocked on node 1
+  EXPECT_EQ(rt.control_mode(), ControlMode::kCoreSet);
+}
+
+TEST(BlockingOption2, ShrinkingSetUnblocksThoseCores) {
+  Runtime rt(machine_2x2());
+  topo::CpuSet blocked;
+  blocked.set(0);
+  blocked.set(1);
+  rt.set_blocked_cores(blocked);
+  ASSERT_TRUE(eventually([&] { return rt.blocked_threads() == 2; }));
+  topo::CpuSet fewer;
+  fewer.set(1);
+  rt.set_blocked_cores(fewer);
+  EXPECT_TRUE(eventually([&] { return rt.blocked_threads() == 1; }));
+  EXPECT_EQ(rt.running_per_node()[0], 1u);
+}
+
+TEST(BlockingOption3, PerNodeTargets) {
+  Runtime rt(machine_2x2());
+  rt.set_node_thread_targets({2, 0});
+  EXPECT_TRUE(eventually([&] {
+    const auto per_node = rt.running_per_node();
+    return per_node[0] == 2 && per_node[1] == 0;
+  }));
+  EXPECT_EQ(rt.control_mode(), ControlMode::kPerNode);
+
+  // The paper's example move: 4 threads in node A, 2 in node B -> rebalance.
+  rt.set_node_thread_targets({1, 2});
+  EXPECT_TRUE(eventually([&] {
+    const auto per_node = rt.running_per_node();
+    return per_node[0] == 1 && per_node[1] == 2;
+  }));
+}
+
+TEST(BlockingOption3, TargetsClampedToNodeSize) {
+  Runtime rt(machine_2x2());
+  rt.set_node_thread_targets({99, 99});
+  EXPECT_EQ(rt.running_per_node()[0], 2u);
+  EXPECT_EQ(rt.blocked_threads(), 0u);
+}
+
+TEST(BlockingOption3, WorkFlowsToAllowedNode) {
+  Runtime rt(machine_2x2());
+  rt.set_node_thread_targets({0, 2});  // node 0 fully blocked
+  ASSERT_TRUE(eventually([&] { return rt.running_per_node()[0] == 0; }));
+  std::atomic<int> on_node0{0};
+  std::atomic<int> executed{0};
+  auto latch = rt.create_latch(100);
+  for (int i = 0; i < 100; ++i) {
+    rt.spawn([&](TaskContext& ctx) {
+      if (ctx.node == 0) on_node0.fetch_add(1);
+      executed.fetch_add(1);
+      latch->count_down();
+    });
+  }
+  latch->wait();
+  EXPECT_EQ(executed.load(), 100);
+  EXPECT_EQ(on_node0.load(), 0);  // blocked node ran nothing
+}
+
+TEST(BlockingControls, ClearRestoresAllWorkers) {
+  Runtime rt(machine_2x2());
+  rt.set_total_thread_target(0);
+  ASSERT_TRUE(eventually([&] { return rt.running_threads() == 0; }));
+  rt.clear_thread_controls();
+  EXPECT_TRUE(eventually([&] { return rt.running_threads() == 4; }));
+  EXPECT_EQ(rt.control_mode(), ControlMode::kNone);
+}
+
+TEST(BlockingControls, SwitchingModesRebalances) {
+  Runtime rt(machine_2x2());
+  rt.set_total_thread_target(1);
+  ASSERT_TRUE(eventually([&] { return rt.running_threads() == 1; }));
+  // Switch to per-node control wanting everything on node 1.
+  rt.set_node_thread_targets({0, 2});
+  EXPECT_TRUE(eventually([&] {
+    const auto per_node = rt.running_per_node();
+    return per_node[0] == 0 && per_node[1] == 2;
+  }));
+}
+
+TEST(BlockingControls, ModeNames) {
+  EXPECT_STREQ(to_string(ControlMode::kNone), "none");
+  EXPECT_STREQ(to_string(ControlMode::kTotalCount), "total-count");
+  EXPECT_STREQ(to_string(ControlMode::kCoreSet), "core-set");
+  EXPECT_STREQ(to_string(ControlMode::kPerNode), "per-node");
+}
+
+TEST(BlockingOption1, BusyPoolReachesTargetAtTaskBoundaries) {
+  // Workers in the middle of tasks block only as tasks end; with a stream of
+  // short tasks the pool converges onto the target quickly.
+  Runtime rt(machine_2x2());
+  std::atomic<bool> stop{false};
+  std::atomic<int> executed{0};
+  std::function<void(TaskContext&)> replenish = [&](TaskContext& ctx) {
+    executed.fetch_add(1);
+    if (!stop.load()) ctx.runtime.spawn(replenish);
+  };
+  for (int i = 0; i < 8; ++i) rt.spawn(replenish);
+  std::this_thread::sleep_for(20ms);
+  rt.set_total_thread_target(2);
+  EXPECT_TRUE(eventually([&] { return rt.running_threads() == 2; }));
+  stop.store(true);
+  rt.wait_idle();
+  EXPECT_GT(executed.load(), 8);
+}
+
+}  // namespace
+}  // namespace numashare::rt

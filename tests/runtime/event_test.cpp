@@ -1,0 +1,88 @@
+#include "runtime/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace numashare::rt {
+namespace {
+
+TEST(Event, SatisfyFlagsAndWakes) {
+  Event event;
+  EXPECT_FALSE(event.satisfied());
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    event.wait();
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(woke.load());
+  event.satisfy();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_TRUE(event.satisfied());
+}
+
+TEST(Event, WaitForTimesOut) {
+  Event event;
+  EXPECT_FALSE(event.wait_for_us(2000));
+  event.satisfy();
+  EXPECT_TRUE(event.wait_for_us(2000));
+}
+
+TEST(Event, WaitAfterSatisfyReturnsImmediately) {
+  Event event;
+  event.satisfy();
+  event.wait();  // must not block
+  SUCCEED();
+}
+
+TEST(Event, ManyWaitersAllWake) {
+  Event event;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 8; ++i) {
+    waiters.emplace_back([&] {
+      event.wait();
+      woke.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  event.satisfy();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(woke.load(), 8);
+}
+
+TEST(Latch, RemainingCountsDown) {
+  LatchEvent latch(2);
+  EXPECT_EQ(latch.remaining(), 2u);
+  latch.count_down();
+  EXPECT_EQ(latch.remaining(), 1u);
+  EXPECT_FALSE(latch.satisfied());
+  latch.count_down();
+  EXPECT_TRUE(latch.satisfied());
+}
+
+TEST(Latch, ConcurrentCountDownFiresOnce) {
+  for (int round = 0; round < 20; ++round) {
+    LatchEvent latch(8);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 8; ++i) {
+      threads.emplace_back([&] { latch.count_down(); });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_TRUE(latch.satisfied());
+    EXPECT_EQ(latch.remaining(), 0u);
+  }
+}
+
+TEST(LatchDeath, UnderflowRejected) {
+  LatchEvent latch(1);
+  latch.count_down();
+  EXPECT_DEATH(latch.count_down(), "below zero");
+}
+
+}  // namespace
+}  // namespace numashare::rt

@@ -1,0 +1,115 @@
+#include "runtime/foreign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/runtime.hpp"
+#include "topology/presets.hpp"
+
+namespace numashare::rt {
+namespace {
+
+TEST(ForeignThreads, EnrollAndDeregister) {
+  const auto machine = topo::Machine::symmetric(2, 2, 1.0, 10.0);
+  ForeignThreadRegistry registry(machine);
+  EXPECT_EQ(registry.count(), 0u);
+  {
+    auto io = registry.enroll("io-thread", ForeignRole::kIo);
+    auto compute = registry.enroll("legacy-solver", ForeignRole::kCompute);
+    EXPECT_EQ(registry.count(), 2u);
+    EXPECT_EQ(registry.count(ForeignRole::kIo), 1u);
+    EXPECT_EQ(registry.count(ForeignRole::kCompute), 1u);
+    EXPECT_NE(io->id(), compute->id());
+    EXPECT_EQ(io->bound_node(), topo::kInvalidNode);
+  }
+  EXPECT_EQ(registry.count(), 0u);  // handles dropped
+}
+
+TEST(ForeignThreads, BindRequestAppliedAtPoll) {
+  const auto machine = topo::Machine::symmetric(2, 2, 1.0, 10.0);
+  ForeignThreadRegistry registry(machine);
+  auto handle = registry.enroll("worker", ForeignRole::kCompute);
+  EXPECT_FALSE(handle->poll());  // nothing requested yet
+  ASSERT_TRUE(registry.request_bind(handle->id(), 1));
+  EXPECT_EQ(handle->bound_node(), topo::kInvalidNode);  // not yet applied
+  EXPECT_TRUE(handle->poll());
+  EXPECT_EQ(handle->bound_node(), 1u);
+  EXPECT_FALSE(handle->poll());  // idempotent until the next request
+}
+
+TEST(ForeignThreads, UnknownIdRejected) {
+  const auto machine = topo::Machine::symmetric(2, 2, 1.0, 10.0);
+  ForeignThreadRegistry registry(machine);
+  EXPECT_FALSE(registry.request_bind(12345, 0));
+}
+
+TEST(ForeignThreads, PerNodeAccountingCountsComputeOnly) {
+  const auto machine = topo::Machine::symmetric(2, 2, 1.0, 10.0);
+  ForeignThreadRegistry registry(machine);
+  auto compute1 = registry.enroll("c1", ForeignRole::kCompute);
+  auto compute2 = registry.enroll("c2", ForeignRole::kCompute);
+  auto io = registry.enroll("io", ForeignRole::kIo);
+  registry.request_bind(compute1->id(), 0);
+  registry.request_bind(compute2->id(), 0);
+  registry.request_bind(io->id(), 1);
+  compute1->poll();
+  compute2->poll();
+  io->poll();
+  const auto per_node = registry.compute_bound_per_node();
+  EXPECT_EQ(per_node[0], 2u);
+  EXPECT_EQ(per_node[1], 0u);  // the I/O thread is not budgeted
+}
+
+TEST(ForeignThreads, ListSnapshot) {
+  const auto machine = topo::Machine::symmetric(2, 2, 1.0, 10.0);
+  ForeignThreadRegistry registry(machine);
+  auto handle = registry.enroll("main-thread", ForeignRole::kCompute);
+  const auto entries = registry.list();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "main-thread");
+  EXPECT_EQ(entries[0].role, ForeignRole::kCompute);
+  EXPECT_EQ(entries[0].bound_node, topo::kInvalidNode);
+}
+
+TEST(ForeignThreads, RealThreadAppliesAffinity) {
+  // An actual foreign thread polling its handle: the bind must stick (or be
+  // a recorded no-op on constrained hosts) without crashing.
+  const auto machine = topo::Machine::symmetric(1, 1, 1.0, 10.0);
+  ForeignThreadRegistry registry(machine);
+  std::atomic<bool> bound{false};
+  std::thread foreign([&] {
+    auto handle = registry.enroll("real", ForeignRole::kCompute);
+    while (!handle->poll()) std::this_thread::yield();
+    bound.store(handle->bound_node() == 0);
+  });
+  while (registry.count() == 0) std::this_thread::yield();
+  ASSERT_TRUE(registry.request_bind(registry.list()[0].id, 0));
+  foreign.join();
+  EXPECT_TRUE(bound.load());
+}
+
+TEST(ForeignThreads, AccessibleThroughRuntime) {
+  Runtime runtime(topo::Machine::symmetric(2, 2, 1.0, 10.0), {.name = "fg"});
+  auto handle = runtime.foreign_threads().enroll("main", ForeignRole::kCompute);
+  EXPECT_EQ(runtime.foreign_threads().count(), 1u);
+  runtime.foreign_threads().request_bind(handle->id(), 1);
+  handle->poll();
+  EXPECT_EQ(runtime.foreign_threads().compute_bound_per_node()[1], 1u);
+}
+
+TEST(ForeignThreadsDeath, BadNodeRejected) {
+  const auto machine = topo::Machine::symmetric(2, 2, 1.0, 10.0);
+  ForeignThreadRegistry registry(machine);
+  auto handle = registry.enroll("x", ForeignRole::kCompute);
+  EXPECT_DEATH(registry.request_bind(handle->id(), 9), "out of range");
+}
+
+TEST(ForeignThreads, RoleNames) {
+  EXPECT_STREQ(to_string(ForeignRole::kCompute), "compute");
+  EXPECT_STREQ(to_string(ForeignRole::kIo), "io");
+}
+
+}  // namespace
+}  // namespace numashare::rt

@@ -1,0 +1,113 @@
+#include "runtime/wsdeque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace numashare::rt {
+namespace {
+
+TEST(WsDeque, LifoForOwner) {
+  WsDeque<int> d;
+  int a = 1, b = 2, c = 3;
+  d.push(&a);
+  d.push(&b);
+  d.push(&c);
+  EXPECT_EQ(d.pop(), &c);
+  EXPECT_EQ(d.pop(), &b);
+  EXPECT_EQ(d.pop(), &a);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(WsDeque, FifoForThief) {
+  WsDeque<int> d;
+  int a = 1, b = 2;
+  d.push(&a);
+  d.push(&b);
+  EXPECT_EQ(d.steal(), &a);
+  EXPECT_EQ(d.steal(), &b);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(WsDeque, GrowsPastInitialCapacity) {
+  WsDeque<int> d(/*initial_capacity=*/2);
+  std::vector<int> items(1000);
+  for (auto& item : items) d.push(&item);
+  EXPECT_EQ(d.size_approx(), items.size());
+  for (auto it = items.rbegin(); it != items.rend(); ++it) {
+    EXPECT_EQ(d.pop(), &*it);
+  }
+}
+
+TEST(WsDeque, InterleavedPushPopSteal) {
+  WsDeque<int> d;
+  std::vector<int> items(100);
+  for (int round = 0; round < 100; ++round) {
+    d.push(&items[round]);
+    if (round % 3 == 0) {
+      EXPECT_NE(d.steal(), nullptr);
+    }
+    if (round % 3 == 1) {
+      EXPECT_NE(d.pop(), nullptr);
+    }
+  }
+}
+
+TEST(WsDequeDeath, NonPowerOfTwoCapacity) {
+  EXPECT_DEATH(WsDeque<int>(3), "power of two");
+}
+
+TEST(WsDeque, ConcurrentStealersGetDistinctItems) {
+  // Owner pushes N items; 4 thieves and the owner drain them concurrently.
+  // Every item must be claimed exactly once.
+  constexpr int kItems = 20000;
+  WsDeque<int> d;
+  std::vector<int> items(kItems);
+  for (int i = 0; i < kItems; ++i) items[i] = i;
+
+  std::atomic<int> claimed{0};
+  std::vector<std::atomic<int>> claims(kItems);
+  for (auto& c : claims) c.store(0);
+
+  std::atomic<bool> done_pushing{false};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 4; ++t) {
+    thieves.emplace_back([&] {
+      while (!done_pushing.load() || claimed.load() < kItems) {
+        if (int* item = d.steal()) {
+          claims[*item].fetch_add(1);
+          claimed.fetch_add(1);
+        }
+        if (claimed.load() >= kItems) break;
+      }
+    });
+  }
+
+  for (int i = 0; i < kItems; ++i) {
+    d.push(&items[i]);
+    if (i % 7 == 0) {
+      if (int* item = d.pop()) {
+        claims[*item].fetch_add(1);
+        claimed.fetch_add(1);
+      }
+    }
+  }
+  done_pushing.store(true);
+  while (claimed.load() < kItems) {
+    if (int* item = d.pop()) {
+      claims[*item].fetch_add(1);
+      claimed.fetch_add(1);
+    }
+  }
+  for (auto& thief : thieves) thief.join();
+
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(claims[i].load(), 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace numashare::rt

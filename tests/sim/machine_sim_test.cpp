@@ -1,0 +1,136 @@
+#include "sim/machine_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.hpp"
+
+namespace numashare::sim {
+namespace {
+
+GroupLoad local_load(topo::NodeId node, std::uint32_t threads, GBps demand, double ai) {
+  GroupLoad load;
+  load.exec_node = node;
+  load.memory_node = node;
+  load.threads = threads;
+  load.per_thread_demand = demand;
+  load.ai = ai;
+  return load;
+}
+
+TEST(MachineSim, SatisfiedLoadGetsDemand) {
+  MachineSim sim(topo::Machine::symmetric(1, 4, 10.0, 100.0), SimEffects::none());
+  const auto grants = sim.epoch({local_load(0, 4, 1.0, 10.0)}, 1.0);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_NEAR(grants[0].per_thread_bandwidth, 1.0, 1e-12);
+  EXPECT_NEAR(grants[0].per_thread_gflops, 10.0, 1e-12);
+  EXPECT_NEAR(grants[0].group_gflop, 40.0, 1e-12);
+  EXPECT_NEAR(grants[0].group_gbytes, 4.0, 1e-12);
+}
+
+TEST(MachineSim, SaturatedNodeSharesBandwidth) {
+  MachineSim sim(topo::Machine::symmetric(1, 8, 10.0, 32.0), SimEffects::none());
+  const auto grants = sim.epoch({local_load(0, 8, 20.0, 0.5)}, 1.0);
+  EXPECT_NEAR(grants[0].per_thread_bandwidth, 4.0, 1e-12);
+  EXPECT_NEAR(grants[0].group_gflop, 16.0, 1e-12);  // 32 GB/s x 0.5
+}
+
+TEST(MachineSim, EpochScalesWithDt) {
+  MachineSim sim(topo::Machine::symmetric(1, 2, 10.0, 100.0), SimEffects::none());
+  const auto grants = sim.epoch({local_load(0, 2, 5.0, 2.0)}, 0.25);
+  EXPECT_NEAR(grants[0].group_gflop, 2.0 * 10.0 * 0.25, 1e-12);
+  EXPECT_NEAR(grants[0].group_gbytes, 2.0 * 5.0 * 0.25, 1e-12);
+}
+
+TEST(MachineSim, RemoteFlowCappedByLink) {
+  MachineSim sim(topo::Machine::symmetric(2, 4, 10.0, 100.0, /*link=*/5.0),
+                 SimEffects::none());
+  GroupLoad remote;
+  remote.exec_node = 1;
+  remote.memory_node = 0;
+  remote.threads = 4;
+  remote.per_thread_demand = 10.0;
+  remote.ai = 1.0;
+  const auto grants = sim.epoch({remote}, 1.0);
+  EXPECT_NEAR(grants[0].per_thread_bandwidth, 1.25, 1e-12);  // 5 GB/s over 4 threads
+}
+
+TEST(MachineSim, RemoteServedBeforeLocal) {
+  // Link-capped remote traffic shrinks what locals can take.
+  MachineSim sim(topo::Machine::symmetric(2, 4, 10.0, 20.0, /*link=*/12.0),
+                 SimEffects::none());
+  GroupLoad remote;
+  remote.exec_node = 1;
+  remote.memory_node = 0;
+  remote.threads = 4;
+  remote.per_thread_demand = 10.0;  // 40 demanded, 12 through the link
+  remote.ai = 1.0;
+  const auto local = local_load(0, 4, 10.0, 1.0);  // wants 40 of the node
+  const auto grants = sim.epoch({remote, local}, 1.0);
+  EXPECT_NEAR(grants[0].per_thread_bandwidth, 3.0, 1e-12);  // 12/4
+  EXPECT_NEAR(grants[1].per_thread_bandwidth, 2.0, 1e-12);  // (20-12)/4
+}
+
+TEST(MachineSim, ComputeEfficiencyCapsFlops) {
+  SimEffects effects = SimEffects::none();
+  effects.compute_efficiency = 0.9;
+  MachineSim sim(topo::Machine::symmetric(1, 2, 10.0, 100.0), effects);
+  const auto grants = sim.epoch({local_load(0, 2, 1.0, 10.0)}, 1.0);
+  EXPECT_NEAR(grants[0].per_thread_gflops, 9.0, 1e-12);
+}
+
+TEST(MachineSim, NumaBadLocalityPenaltyApplied) {
+  SimEffects effects = SimEffects::none();
+  effects.numa_bad_locality = 0.5;
+  MachineSim sim(topo::Machine::symmetric(1, 2, 10.0, 100.0), effects);
+  auto load = local_load(0, 2, 4.0, 1.0);
+  load.numa_bad = true;
+  const auto grants = sim.epoch({load}, 1.0);
+  EXPECT_NEAR(grants[0].per_thread_bandwidth, 2.0, 1e-12);
+  EXPECT_NEAR(grants[0].per_thread_gflops, 2.0, 1e-12);
+}
+
+TEST(MachineSim, SaturationBoostOnlyWhenSaturated) {
+  SimEffects effects = SimEffects::none();
+  effects.saturation_boost = 1.5;
+  effects.saturation_ratio = 2.0;
+  MachineSim sim(topo::Machine::symmetric(1, 4, 100.0, 10.0), effects);
+  // Demand 8 < 20 = ratio x capacity: no boost.
+  auto grants = sim.epoch({local_load(0, 4, 2.0, 1.0)}, 1.0);
+  EXPECT_NEAR(grants[0].per_thread_bandwidth, 2.0, 1e-12);
+  // Demand 40 >= 20: boost applies on top of the 2.5 per-thread share.
+  grants = sim.epoch({local_load(0, 4, 10.0, 1.0)}, 1.0);
+  EXPECT_NEAR(grants[0].per_thread_bandwidth, 2.5 * 1.5, 1e-12);
+}
+
+TEST(MachineSim, JitterBoundedAndDeterministic) {
+  SimEffects effects = SimEffects::none();
+  effects.bandwidth_jitter = 0.01;
+  MachineSim a(topo::Machine::symmetric(1, 4, 10.0, 32.0), effects, /*seed=*/7);
+  MachineSim b(topo::Machine::symmetric(1, 4, 10.0, 32.0), effects, /*seed=*/7);
+  for (int i = 0; i < 50; ++i) {
+    const auto ga = a.epoch({local_load(0, 4, 20.0, 0.5)}, 1.0);
+    const auto gb = b.epoch({local_load(0, 4, 20.0, 0.5)}, 1.0);
+    EXPECT_DOUBLE_EQ(ga[0].per_thread_bandwidth, gb[0].per_thread_bandwidth);
+    EXPECT_NEAR(ga[0].per_thread_bandwidth, 8.0, 8.0 * 0.0101);
+  }
+}
+
+TEST(MachineSim, ZeroThreadGroupsIgnored) {
+  MachineSim sim(topo::Machine::symmetric(1, 2, 10.0, 100.0), SimEffects::none());
+  auto empty = local_load(0, 0, 5.0, 1.0);
+  const auto grants = sim.epoch({empty, local_load(0, 1, 5.0, 1.0)}, 1.0);
+  EXPECT_DOUBLE_EQ(grants[0].group_gflop, 0.0);
+  EXPECT_NEAR(grants[1].group_gflop, 5.0, 1e-12);
+}
+
+TEST(MachineSimDeath, InvalidLoadRejected) {
+  MachineSim sim(topo::Machine::symmetric(1, 2, 10.0, 100.0), SimEffects::none());
+  auto bad_node = local_load(5, 1, 1.0, 1.0);
+  EXPECT_DEATH(sim.epoch({bad_node}, 1.0), "out of range");
+  auto bad_ai = local_load(0, 1, 1.0, 0.0);
+  EXPECT_DEATH(sim.epoch({bad_ai}, 1.0), "intensity");
+  EXPECT_DEATH(sim.epoch({}, 0.0), "positive");
+}
+
+}  // namespace
+}  // namespace numashare::sim

@@ -1,0 +1,99 @@
+// Cross-validation: with all second-order effects disabled, the epoch-level
+// simulator and the analytic model are independent implementations of the
+// same arbitration rules and must agree to solver precision on every paper
+// scenario and on randomized mixes.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/roofline.hpp"
+#include "sim/simulator.hpp"
+#include "topology/presets.hpp"
+
+namespace numashare::sim {
+namespace {
+
+double simulated_gflops(const model::paper::Scenario& s) {
+  const auto m = simulate_scenario(s.machine, s.apps, s.allocation, SimEffects::none(),
+                                   /*duration_s=*/0.05);
+  return m.total_gflops;
+}
+
+TEST(ModelAgreement, PaperScenariosMatch) {
+  std::vector<model::paper::Scenario> scenarios = model::paper::fig2();
+  scenarios.push_back(model::paper::fig3_even());
+  scenarios.push_back(model::paper::fig3_node_per_app());
+  for (auto& row : model::paper::table3()) scenarios.push_back(row);
+
+  for (const auto& s : scenarios) {
+    const auto analytic = model::solve(s.machine, s.apps, s.allocation);
+    EXPECT_NEAR(simulated_gflops(s), analytic.total_gflops,
+                1e-6 * std::max(1.0, analytic.total_gflops))
+        << s.id;
+  }
+}
+
+class RandomMixAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMixAgreement,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST_P(RandomMixAgreement, RandomAppsAndAllocationsMatch) {
+  numashare::Xoshiro256 rng(GetParam());
+  const auto machine = topo::Machine::symmetric(
+      /*nodes=*/2 + static_cast<std::uint32_t>(rng.uniform_u64(3)),
+      /*cores_per_node=*/2 + static_cast<std::uint32_t>(rng.uniform_u64(7)),
+      /*core_peak=*/rng.uniform(0.2, 20.0),
+      /*node_bw=*/rng.uniform(5.0, 120.0),
+      /*link_bw=*/rng.uniform(1.0, 30.0));
+
+  const auto n_apps = 1 + static_cast<std::uint32_t>(rng.uniform_u64(4));
+  std::vector<model::AppSpec> apps;
+  for (std::uint32_t a = 0; a < n_apps; ++a) {
+    const double ai = rng.uniform(0.02, 12.0);
+    if (rng.uniform() < 0.3) {
+      apps.push_back(model::AppSpec::numa_bad(
+          "bad", ai, static_cast<topo::NodeId>(rng.uniform_u64(machine.node_count()))));
+    } else {
+      apps.push_back(model::AppSpec::numa_perfect("perfect", ai));
+    }
+    if (rng.uniform() < 0.3) {
+      apps.back().serial_fraction = rng.uniform(0.05, 0.9);
+    }
+  }
+
+  model::Allocation allocation(n_apps, machine.node_count());
+  for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
+    std::uint32_t left = machine.cores_in_node(n);
+    for (std::uint32_t a = 0; a < n_apps && left > 0; ++a) {
+      const auto take = static_cast<std::uint32_t>(rng.uniform_u64(left + 1));
+      allocation.set_threads(a, n, take);
+      left -= take;
+    }
+  }
+
+  const auto analytic = model::solve(machine, apps, allocation);
+  const auto sim = simulate_scenario(machine, apps, allocation, SimEffects::none(), 0.02);
+  EXPECT_NEAR(sim.total_gflops, analytic.total_gflops,
+              1e-6 * std::max(1.0, analytic.total_gflops));
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    EXPECT_NEAR(sim.app_gflops[a], analytic.app_gflops[a],
+                1e-6 * std::max(1.0, analytic.app_gflops[a]));
+  }
+}
+
+TEST(ModelAgreement, EffectsChangeNumaBadScenariosDownward) {
+  // With the default effects on, the simulator lands *below* the analytic
+  // model on the NUMA-bad scenarios — the direction Table III reports.
+  const auto s4 = model::paper::table3()[3];
+  const auto s5 = model::paper::table3()[4];
+  for (const auto& s : {s4, s5}) {
+    const auto analytic = model::solve(s.machine, s.apps, s.allocation);
+    const auto sim = simulate_scenario(s.machine, s.apps, s.allocation, SimEffects{}, 0.1);
+    EXPECT_LT(sim.total_gflops, analytic.total_gflops) << s.id;
+    EXPECT_GT(sim.total_gflops, 0.8 * analytic.total_gflops) << s.id;
+  }
+}
+
+}  // namespace
+}  // namespace numashare::sim

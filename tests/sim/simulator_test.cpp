@@ -1,0 +1,108 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.hpp"
+
+namespace numashare::sim {
+namespace {
+
+Simulation make_simple(double node_bw = 32.0) {
+  auto machine = topo::Machine::symmetric(1, 4, 10.0, node_bw);
+  std::vector<model::AppSpec> apps{model::AppSpec::numa_perfect("a", 0.5),
+                                   model::AppSpec::numa_perfect("b", 10.0)};
+  auto allocation = model::Allocation::uniform_per_node(machine, {2, 2});
+  return Simulation(MachineSim(std::move(machine), SimEffects::none()), std::move(apps),
+                    std::move(allocation));
+}
+
+TEST(Simulator, AccumulatesWorkLinearly) {
+  auto sim = make_simple();
+  const auto m = sim.run(/*duration_s=*/0.1, /*dt=*/1e-3);
+  EXPECT_NEAR(m.duration_s, 0.1, 1e-12);
+  EXPECT_EQ(m.epochs, 100u);
+  // Compute app: 2 threads at peak (demand 2 GB/s satisfied) = 20 GFLOPS.
+  EXPECT_NEAR(m.app_gflops[1], 20.0, 1e-9);
+  EXPECT_NEAR(m.app_gflop_total[1], 2.0, 1e-9);
+  EXPECT_NEAR(m.total_gflops, m.app_gflops[0] + m.app_gflops[1], 1e-9);
+}
+
+TEST(Simulator, ProgressPersistsAcrossRuns) {
+  auto sim = make_simple();
+  sim.run(0.05);
+  const double after_first = sim.progress()[1].gflop_done;
+  sim.run(0.05);
+  EXPECT_NEAR(sim.progress()[1].gflop_done, 2.0 * after_first, 1e-9);
+  EXPECT_NEAR(sim.now(), 0.1, 1e-12);
+}
+
+TEST(Simulator, ControllerSeesProgressAndCanReallocate) {
+  auto sim = make_simple();
+  int calls = 0;
+  const auto controller = [&](double now,
+                              const std::vector<AppProgress>& progress)
+      -> std::optional<model::Allocation> {
+    ++calls;
+    EXPECT_GT(now, 0.0);
+    EXPECT_GT(progress[1].recent_gflops, 0.0);
+    if (calls == 1) {
+      // Shift everything to the compute-bound app.
+      auto a = model::Allocation(2, 1);
+      a.set_threads(1, 0, 4);
+      return a;
+    }
+    return std::nullopt;
+  };
+  const auto m = sim.run(0.1, 1e-3, controller, /*control_interval_s=*/0.02);
+  EXPECT_EQ(m.reallocations, 1u);
+  EXPECT_GE(calls, 4);
+  // After the switch the memory app stops accumulating.
+  const double mem_work = m.app_gflop_total[0];
+  const auto m2 = sim.run(0.05, 1e-3);
+  EXPECT_NEAR(m2.app_gflop_total[0], 0.0, 1e-12);
+  EXPECT_GT(mem_work, 0.0);
+}
+
+TEST(Simulator, ReallocationChangesRates) {
+  auto sim = make_simple();
+  const auto before = sim.run(0.05);
+  auto all_compute = model::Allocation(2, 1);
+  all_compute.set_threads(1, 0, 4);
+  sim.set_allocation(all_compute);
+  const auto after = sim.run(0.05);
+  EXPECT_NEAR(after.app_gflops[1], 40.0, 1e-9);  // 4 threads at peak
+  EXPECT_GT(after.app_gflops[1], before.app_gflops[1]);
+  EXPECT_NEAR(after.app_gflops[0], 0.0, 1e-12);
+}
+
+TEST(Simulator, IdenticalAllocationNotCountedAsReallocation) {
+  auto sim = make_simple();
+  const auto controller = [&](double, const std::vector<AppProgress>&) {
+    return std::optional<model::Allocation>(sim.allocation());
+  };
+  const auto m = sim.run(0.05, 1e-3, controller, 0.01);
+  EXPECT_EQ(m.reallocations, 0u);
+}
+
+TEST(Simulator, PartialTrailingEpochHandled) {
+  auto sim = make_simple();
+  // 0.0105 s with dt 1e-3: ten full epochs plus a 0.5 ms tail.
+  const auto m = sim.run(0.0105, 1e-3);
+  EXPECT_EQ(m.epochs, 11u);
+  EXPECT_NEAR(m.app_gflop_total[1], 20.0 * 0.0105, 1e-9);
+}
+
+TEST(SimulatorDeath, InvalidAllocationRejected) {
+  auto sim = make_simple();
+  auto bad = model::Allocation(2, 1);
+  bad.set_threads(0, 0, 99);
+  EXPECT_DEATH(sim.set_allocation(bad), "oversubscribed");
+}
+
+TEST(SimulatorDeath, NonPositiveDurationRejected) {
+  auto sim = make_simple();
+  EXPECT_DEATH(sim.run(0.0), "positive");
+}
+
+}  // namespace
+}  // namespace numashare::sim

@@ -1,0 +1,59 @@
+#include "synth/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.hpp"
+
+namespace numashare::synth {
+namespace {
+
+TEST(Harness, KernelForAiRounding) {
+  EXPECT_EQ(kernel_for_ai(0.5).flops_per_element, 8u);   // 8/16 = 0.5
+  EXPECT_EQ(kernel_for_ai(1.0).flops_per_element, 16u);
+  EXPECT_EQ(kernel_for_ai(10.0).flops_per_element, 160u);
+  // Below the floor: clamps to the minimum even count.
+  EXPECT_EQ(kernel_for_ai(1.0 / 32.0).flops_per_element, 2u);
+  EXPECT_TRUE(kernel_for_ai(0.5).write_back);
+}
+
+TEST(Harness, RunsScenarioAndAccounts) {
+  // Tiny machine + tiny kernels: the point is the plumbing, not bandwidth.
+  const auto machine = topo::Machine::symmetric(2, 2, 1.0, 10.0);
+  std::vector<HostApp> apps;
+  apps.push_back({"mem", kernel_for_ai(0.5, 1u << 12)});
+  apps.push_back({"compute", kernel_for_ai(4.0, 1u << 12)});
+  const auto allocation = model::Allocation::uniform_per_node(machine, {1, 0});
+  auto with_second = allocation;
+  with_second.set_threads(1, 1, 1);  // compute app on node 1 only
+
+  const auto result = run_host_scenario(machine, apps, with_second, 0.02);
+  ASSERT_EQ(result.apps.size(), 2u);
+  EXPECT_EQ(result.apps[0].threads, 2u);
+  EXPECT_EQ(result.apps[1].threads, 1u);
+  EXPECT_GT(result.apps[0].gflops, 0.0);
+  EXPECT_GT(result.apps[1].gflops, 0.0);
+  EXPECT_NEAR(result.total_gflops, result.apps[0].gflops + result.apps[1].gflops, 1e-9);
+  // Achieved AI ratio matches each app's configured kernel.
+  EXPECT_NEAR(result.apps[0].gflops / result.apps[0].gbps, 0.5, 1e-6);
+}
+
+TEST(Harness, ZeroThreadAppContributesNothing) {
+  const auto machine = topo::Machine::symmetric(1, 2, 1.0, 10.0);
+  std::vector<HostApp> apps;
+  apps.push_back({"active", kernel_for_ai(1.0, 1u << 12)});
+  apps.push_back({"idle", kernel_for_ai(1.0, 1u << 12)});
+  const auto allocation = model::Allocation::uniform_per_node(machine, {2, 0});
+  const auto result = run_host_scenario(machine, apps, allocation, 0.02);
+  EXPECT_EQ(result.apps[1].threads, 0u);
+  EXPECT_DOUBLE_EQ(result.apps[1].gflops, 0.0);
+}
+
+TEST(HarnessDeath, MismatchedAppsRejected) {
+  const auto machine = topo::Machine::symmetric(1, 2, 1.0, 10.0);
+  std::vector<HostApp> apps{{"only-one", kernel_for_ai(1.0, 1u << 10)}};
+  const auto allocation = model::Allocation::uniform_per_node(machine, {1, 1});
+  EXPECT_DEATH(run_host_scenario(machine, apps, allocation, 0.01), "index-match");
+}
+
+}  // namespace
+}  // namespace numashare::synth

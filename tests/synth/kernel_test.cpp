@@ -1,0 +1,78 @@
+#include "synth/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace numashare::synth {
+namespace {
+
+TEST(Kernel, ConfiguredAiArithmetic) {
+  KernelConfig config;
+  config.elements = 1000;
+  config.flops_per_element = 8;
+  config.write_back = true;
+  TunableKernel kernel(config);
+  EXPECT_DOUBLE_EQ(kernel.configured_ai(), 0.5);  // 8 flops / 16 bytes
+  EXPECT_DOUBLE_EQ(kernel.bytes_per_pass(), 16000.0);
+  EXPECT_DOUBLE_EQ(kernel.flop_per_pass(), 8000.0);
+
+  config.write_back = false;
+  TunableKernel read_only(config);
+  EXPECT_DOUBLE_EQ(read_only.configured_ai(), 1.0);  // 8 flops / 8 bytes
+}
+
+TEST(Kernel, RunPassesAccountsWork) {
+  KernelConfig config;
+  config.elements = 1u << 12;  // small: fast test
+  config.flops_per_element = 4;
+  TunableKernel kernel(config);
+  const auto result = kernel.run_passes(10);
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.gflop, kernel.flop_per_pass() * 10 / 1e9);
+  EXPECT_DOUBLE_EQ(result.gbytes, kernel.bytes_per_pass() * 10 / 1e9);
+  EXPECT_GT(result.gflops, 0.0);
+  EXPECT_GT(result.gbps, 0.0);
+  EXPECT_NE(result.checksum, 0.0);
+  // Rates are consistent with the configured AI by construction.
+  EXPECT_NEAR(result.gflops / result.gbps, kernel.configured_ai(), 1e-9);
+}
+
+TEST(Kernel, RunForMeetsDeadline) {
+  KernelConfig config;
+  config.elements = 1u << 12;
+  TunableKernel kernel(config);
+  const auto result = kernel.run_for(0.01);
+  EXPECT_GE(result.seconds, 0.01);
+  EXPECT_GT(result.gflop, 0.0);
+}
+
+TEST(Kernel, HigherFlopsPerElementRaisesAi) {
+  KernelConfig low;
+  low.elements = 1u << 12;
+  low.flops_per_element = 2;
+  KernelConfig high = low;
+  high.flops_per_element = 64;
+  EXPECT_GT(TunableKernel(high).configured_ai(), TunableKernel(low).configured_ai());
+}
+
+TEST(Kernel, ChecksumStableForSameConfig) {
+  KernelConfig config;
+  config.elements = 1u << 10;
+  config.write_back = false;  // read-only keeps the buffer unchanged
+  TunableKernel a(config), b(config);
+  EXPECT_DOUBLE_EQ(a.run_passes(3).checksum, b.run_passes(3).checksum);
+}
+
+TEST(KernelDeath, BadConfigRejected) {
+  KernelConfig empty;
+  empty.elements = 0;
+  EXPECT_DEATH(TunableKernel{empty}, "non-empty");
+  KernelConfig odd;
+  odd.flops_per_element = 3;
+  EXPECT_DEATH(TunableKernel{odd}, "even");
+  TunableKernel ok;
+  EXPECT_DEATH(ok.run_passes(0), "at least one");
+  EXPECT_DEATH(ok.run_for(0.0), "positive");
+}
+
+}  // namespace
+}  // namespace numashare::synth

@@ -1,0 +1,52 @@
+#include "synth/stream.hpp"
+
+#include <gtest/gtest.h>
+
+namespace numashare::synth {
+namespace {
+
+TEST(Stream, RunsAllFourKernelsVerified) {
+  StreamConfig config;
+  config.elements = 1u << 14;  // small and fast
+  config.trials = 2;
+  Stream stream(config);
+  const auto results = stream.run();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].kernel, StreamKernel::kCopy);
+  EXPECT_EQ(results[3].kernel, StreamKernel::kTriad);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.verified) << to_string(r.kernel);
+    EXPECT_GT(r.best_gbps, 0.0) << to_string(r.kernel);
+    EXPECT_GE(r.best_gbps, r.avg_gbps * 0.999) << to_string(r.kernel);
+    EXPECT_GT(r.best_seconds, 0.0);
+  }
+}
+
+TEST(Stream, ByteCountingFollowsConvention) {
+  StreamConfig config;
+  config.elements = 1000;
+  Stream stream(config);
+  EXPECT_DOUBLE_EQ(stream.bytes_per_iteration(StreamKernel::kCopy), 16000.0);
+  EXPECT_DOUBLE_EQ(stream.bytes_per_iteration(StreamKernel::kScale), 16000.0);
+  EXPECT_DOUBLE_EQ(stream.bytes_per_iteration(StreamKernel::kAdd), 24000.0);
+  EXPECT_DOUBLE_EQ(stream.bytes_per_iteration(StreamKernel::kTriad), 24000.0);
+}
+
+TEST(Stream, KernelNames) {
+  EXPECT_STREQ(to_string(StreamKernel::kCopy), "Copy");
+  EXPECT_STREQ(to_string(StreamKernel::kScale), "Scale");
+  EXPECT_STREQ(to_string(StreamKernel::kAdd), "Add");
+  EXPECT_STREQ(to_string(StreamKernel::kTriad), "Triad");
+}
+
+TEST(StreamDeath, BadConfigRejected) {
+  StreamConfig empty;
+  empty.elements = 0;
+  EXPECT_DEATH(Stream{empty}, "non-empty");
+  StreamConfig no_trials;
+  no_trials.trials = 0;
+  EXPECT_DEATH(Stream{no_trials}, "trial");
+}
+
+}  // namespace
+}  // namespace numashare::synth

@@ -1,0 +1,103 @@
+#include "topology/affinity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.hpp"
+
+namespace numashare::topo {
+namespace {
+
+TEST(CpuSet, SetClearContains) {
+  CpuSet set;
+  EXPECT_TRUE(set.empty());
+  set.set(3);
+  set.set(64);  // crosses the word boundary
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_TRUE(set.contains(64));
+  EXPECT_FALSE(set.contains(4));
+  EXPECT_EQ(set.count(), 2u);
+  set.clear(3);
+  EXPECT_FALSE(set.contains(3));
+  EXPECT_EQ(set.count(), 1u);
+}
+
+TEST(CpuSet, ClearBeyondAllocatedIsNoop) {
+  CpuSet set;
+  set.clear(500);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(CpuSet, WholeNodeAndAll) {
+  const auto m = paper_model_machine();
+  const auto node1 = CpuSet::whole_node(m, 1);
+  EXPECT_EQ(node1.count(), 8u);
+  EXPECT_TRUE(node1.contains(8));
+  EXPECT_TRUE(node1.contains(15));
+  EXPECT_FALSE(node1.contains(7));
+  EXPECT_EQ(CpuSet::all(m).count(), 32u);
+}
+
+TEST(CpuSet, UnionIntersection) {
+  const auto a = CpuSet::single(1) | CpuSet::single(2);
+  const auto b = CpuSet::single(2) | CpuSet::single(3);
+  EXPECT_EQ((a | b).count(), 3u);
+  const auto both = a & b;
+  EXPECT_EQ(both.count(), 1u);
+  EXPECT_TRUE(both.contains(2));
+}
+
+TEST(CpuSet, EqualityIgnoresTrailingZeros) {
+  CpuSet a;
+  a.set(1);
+  CpuSet b;
+  b.set(1);
+  b.set(100);
+  b.clear(100);  // same logical content, longer word vector
+  EXPECT_TRUE(a == b);
+}
+
+TEST(CpuSet, ToStringRanges) {
+  CpuSet set;
+  for (CoreId c : {0u, 1u, 2u, 3u, 8u, 10u, 11u}) set.set(c);
+  EXPECT_EQ(set.to_string(), "0-3,8,10-11");
+  EXPECT_EQ(CpuSet().to_string(), "");
+  EXPECT_EQ(CpuSet::single(5).to_string(), "5");
+}
+
+TEST(CpuSet, CoresSorted) {
+  CpuSet set;
+  set.set(70);
+  set.set(2);
+  const auto cores = set.cores();
+  ASSERT_EQ(cores.size(), 2u);
+  EXPECT_EQ(cores[0], 2u);
+  EXPECT_EQ(cores[1], 70u);
+}
+
+TEST(Affinity, BindToCurrentMaskSucceeds) {
+  // Binding to whatever we already have must be accepted by the kernel.
+  const auto current = current_thread_affinity();
+  if (current.empty()) GTEST_SKIP() << "affinity introspection unavailable";
+  const auto result = bind_current_thread(current);
+  EXPECT_NE(to_string(result), std::string("?"));
+#if defined(__linux__)
+  EXPECT_EQ(result, BindResult::kApplied);
+#endif
+}
+
+TEST(Affinity, BindToForeignCoreFailsGracefully) {
+  const auto current = current_thread_affinity();
+  if (current.empty()) GTEST_SKIP() << "affinity introspection unavailable";
+  // A core id far beyond the machine: the syscall must fail, not crash, and
+  // the original mask must survive.
+  const auto result = bind_current_thread(CpuSet::single(1023));
+  EXPECT_NE(result, BindResult::kApplied);
+  EXPECT_TRUE(current_thread_affinity() == current);
+}
+
+TEST(AffinityDeath, EmptySetRejected) {
+  EXPECT_DEATH(bind_current_thread(CpuSet{}), "empty");
+}
+
+}  // namespace
+}  // namespace numashare::topo

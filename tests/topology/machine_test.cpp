@@ -1,0 +1,82 @@
+#include "topology/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace numashare::topo {
+namespace {
+
+TEST(Machine, SymmetricBuilderShape) {
+  const auto m = Machine::symmetric(4, 8, 10.0, 32.0, 10.0, "m");
+  EXPECT_EQ(m.node_count(), 4u);
+  EXPECT_EQ(m.core_count(), 32u);
+  EXPECT_EQ(m.cores_in_node(2), 8u);
+  EXPECT_TRUE(m.is_symmetric());
+  EXPECT_EQ(m.name(), "m");
+}
+
+TEST(Machine, CoreNodeMembership) {
+  const auto m = Machine::symmetric(2, 3, 1.0, 10.0);
+  for (CoreId c = 0; c < 3; ++c) EXPECT_EQ(m.core(c).node, 0u);
+  for (CoreId c = 3; c < 6; ++c) EXPECT_EQ(m.core(c).node, 1u);
+  EXPECT_EQ(m.node(1).cores.size(), 3u);
+  EXPECT_EQ(m.node(1).cores.front(), 3u);
+}
+
+TEST(Machine, LinkMatrix) {
+  auto m = Machine::symmetric(3, 2, 1.0, 10.0, 5.0);
+  EXPECT_DOUBLE_EQ(m.link_bandwidth(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.link_bandwidth(0, 0), 0.0);  // diagonal fixed at 0
+  m.set_link_bandwidth(0, 1, 7.5);
+  EXPECT_DOUBLE_EQ(m.link_bandwidth(0, 1), 7.5);
+  EXPECT_DOUBLE_EQ(m.link_bandwidth(1, 0), 5.0);  // directed: other way unchanged
+}
+
+TEST(Machine, AddNodePreservesLinks) {
+  auto m = Machine::symmetric(2, 2, 1.0, 10.0, 3.0);
+  m.set_link_bandwidth(0, 1, 4.0);
+  m.add_node(2, 1.0, 10.0);
+  EXPECT_EQ(m.node_count(), 3u);
+  EXPECT_DOUBLE_EQ(m.link_bandwidth(0, 1), 4.0);   // preserved
+  EXPECT_DOUBLE_EQ(m.link_bandwidth(0, 2), 0.0);   // new links default 0
+}
+
+TEST(Machine, Totals) {
+  const auto m = Machine::symmetric(4, 8, 10.0, 32.0);
+  EXPECT_DOUBLE_EQ(m.total_peak_gflops(), 320.0);
+  EXPECT_DOUBLE_EQ(m.total_memory_bandwidth(), 128.0);
+}
+
+TEST(Machine, AsymmetricDetected) {
+  auto m = Machine::symmetric(2, 2, 1.0, 10.0);
+  m.add_node(4, 1.0, 10.0);
+  EXPECT_FALSE(m.is_symmetric());
+}
+
+TEST(Machine, ValidatePasses) {
+  const auto m = Machine::symmetric(2, 4, 1.0, 10.0, 2.0);
+  std::string error;
+  EXPECT_TRUE(m.validate(&error)) << error;
+}
+
+TEST(Machine, ValidateRejectsEmpty) {
+  Machine m;
+  EXPECT_FALSE(m.validate());
+}
+
+TEST(Machine, DescribeMentionsShape) {
+  const auto m = Machine::symmetric(2, 4, 1.0, 10.0, 2.0, "demo");
+  const auto text = m.describe();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("2 NUMA node"), std::string::npos);
+  EXPECT_NE(text.find("link bandwidth"), std::string::npos);
+}
+
+TEST(MachineDeath, OutOfRangeAccessAborts) {
+  const auto m = Machine::symmetric(2, 2, 1.0, 10.0);
+  EXPECT_DEATH(m.node(5), "out of range");
+  EXPECT_DEATH(m.core(99), "out of range");
+  EXPECT_DEATH(m.link_bandwidth(0, 9), "out of range");
+}
+
+}  // namespace
+}  // namespace numashare::topo

@@ -1,0 +1,49 @@
+#include "topology/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace numashare::topo {
+namespace {
+
+TEST(Presets, PaperModelMachineMatchesTables) {
+  const auto m = paper_model_machine();
+  EXPECT_EQ(m.node_count(), 4u);
+  EXPECT_EQ(m.cores_in_node(0), 8u);
+  EXPECT_DOUBLE_EQ(m.core(0).peak_gflops, 10.0);
+  // Table bodies compute with 32 GB/s (captions say 40; see DESIGN.md §3).
+  EXPECT_DOUBLE_EQ(m.node(0).memory_bandwidth, 32.0);
+  EXPECT_TRUE(m.validate());
+}
+
+TEST(Presets, NumaBadMachineRecoveredParameters) {
+  const auto m = paper_numabad_machine();
+  EXPECT_DOUBLE_EQ(m.node(0).memory_bandwidth, 60.0);
+  EXPECT_DOUBLE_EQ(m.link_bandwidth(1, 0), 10.0);
+  EXPECT_EQ(m.core_count(), 32u);
+}
+
+TEST(Presets, SkylakeMachineMatchesSectionIIIB) {
+  const auto m = paper_skylake_machine();
+  EXPECT_EQ(m.node_count(), 4u);
+  EXPECT_EQ(m.cores_in_node(0), 20u);
+  EXPECT_DOUBLE_EQ(m.core(0).peak_gflops, 0.29);
+  EXPECT_DOUBLE_EQ(m.node(0).memory_bandwidth, 100.0);
+  EXPECT_DOUBLE_EQ(m.link_bandwidth(2, 0), 10.0);
+}
+
+TEST(Presets, FlatMachineSingleNode) {
+  const auto m = flat_machine(16, 2.0, 50.0);
+  EXPECT_EQ(m.node_count(), 1u);
+  EXPECT_EQ(m.core_count(), 16u);
+  EXPECT_TRUE(m.validate());
+}
+
+TEST(Presets, KnlMachineValid) {
+  const auto m = knl_snc4_machine();
+  EXPECT_EQ(m.node_count(), 4u);
+  EXPECT_EQ(m.core_count(), 64u);
+  EXPECT_TRUE(m.validate());
+}
+
+}  // namespace
+}  // namespace numashare::topo

@@ -1,0 +1,89 @@
+// Tracer integration with the runtime: tasks and blocking episodes appear in
+// the trace with the right lanes and categories.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/runtime.hpp"
+#include "topology/presets.hpp"
+#include "trace/trace.hpp"
+
+namespace numashare::rt {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(RuntimeTrace, TasksProduceSpans) {
+  trace::Tracer tracer;
+  Runtime rt(topo::Machine::symmetric(2, 2, 1.0, 10.0),
+             {.name = "traced", .tracer = &tracer});
+  constexpr int kTasks = 25;
+  auto latch = rt.create_latch(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    rt.spawn([&](TaskContext&) { latch->count_down(); });
+  }
+  latch->wait();
+  rt.wait_idle();
+
+  int task_spans = 0;
+  for (const auto& event : tracer.snapshot()) {
+    if (event.phase == trace::Phase::kSpan && std::string(event.name) == "task") {
+      ++task_spans;
+      EXPECT_STREQ(event.category, "rt");
+      EXPECT_LE(event.thread, rt.worker_count());  // worker lanes (+external)
+    }
+  }
+  EXPECT_EQ(task_spans, kTasks);
+}
+
+TEST(RuntimeTrace, BlockingEpisodesTraced) {
+  trace::Tracer tracer;
+  Runtime rt(topo::Machine::symmetric(2, 2, 1.0, 10.0),
+             {.name = "blocked", .tracer = &tracer});
+  rt.set_total_thread_target(1);
+  std::this_thread::sleep_for(50ms);
+  rt.set_total_thread_target(4);
+  std::this_thread::sleep_for(20ms);
+
+  int blocked_spans = 0;
+  int control_instants = 0;
+  for (const auto& event : tracer.snapshot()) {
+    if (std::string(event.name) == "blocked") {
+      ++blocked_spans;
+      EXPECT_GT(event.duration_us, 0.0);
+    }
+    if (std::string(event.name) == "control-change") ++control_instants;
+  }
+  EXPECT_EQ(blocked_spans, 3);      // three workers blocked and released
+  EXPECT_EQ(control_instants, 2);   // two control changes
+}
+
+TEST(RuntimeTrace, NoTracerMeansNoOverheadPath) {
+  Runtime rt(topo::Machine::symmetric(1, 2, 1.0, 10.0), {.name = "untraced"});
+  rt.spawn([](TaskContext&) {})->wait();
+  rt.wait_idle();
+  SUCCEED();
+}
+
+TEST(RuntimeTrace, TimelineRendersWorkerLanes) {
+  trace::Tracer tracer;
+  Runtime rt(topo::Machine::symmetric(1, 2, 1.0, 10.0),
+             {.name = "lanes", .tracer = &tracer});
+  auto latch = rt.create_latch(10);
+  for (int i = 0; i < 10; ++i) {
+    rt.spawn([&](TaskContext&) {
+      volatile double x = 1.0;
+      for (int k = 0; k < 20000; ++k) x = x * 1.0000001;
+      latch->count_down();
+    });
+  }
+  latch->wait();
+  rt.wait_idle();
+  const auto timeline = tracer.ascii_timeline(60);
+  EXPECT_NE(timeline.find("lane 0"), std::string::npos);
+  EXPECT_NE(timeline.find('t'), std::string::npos);  // "task" glyph
+}
+
+}  // namespace
+}  // namespace numashare::rt

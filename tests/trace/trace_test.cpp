@@ -1,0 +1,137 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+namespace numashare::trace {
+namespace {
+
+TEST(Trace, SpanRecordsDuration) {
+  Tracer tracer;
+  {
+    Span span(&tracer, "work", "test", 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "work");
+  EXPECT_EQ(events[0].phase, Phase::kSpan);
+  EXPECT_GE(events[0].duration_us, 1500.0);
+}
+
+TEST(Trace, NullTracerSpanIsNoop) {
+  Span span(nullptr, "x", "y", 0);
+  SUCCEED();
+}
+
+TEST(Trace, InstantAndCounter) {
+  Tracer tracer;
+  tracer.instant("tick", "test", 3);
+  tracer.counter("queue-depth", "test", 3, 42.0);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, Phase::kInstant);
+  EXPECT_EQ(events[1].phase, Phase::kCounter);
+  EXPECT_DOUBLE_EQ(events[1].value, 42.0);
+  EXPECT_EQ(events[1].thread, 3u);
+}
+
+TEST(Trace, SnapshotSortedByTime) {
+  Tracer tracer;
+  for (int i = 0; i < 20; ++i) tracer.instant("e", "t", 0);
+  const auto events = tracer.snapshot();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_us, events[i - 1].start_us);
+  }
+}
+
+TEST(Trace, CapacityDropsAreCounted) {
+  Tracer tracer(/*capacity_per_thread=*/4);
+  for (int i = 0; i < 10; ++i) tracer.instant("e", "t", 0);
+  EXPECT_EQ(tracer.snapshot().size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+}
+
+TEST(Trace, MultiThreadedRecording) {
+  Tracer tracer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        Span span(&tracer, "work", "mt", static_cast<std::uint32_t>(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(tracer.snapshot().size(), 400u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Trace, ChromeJsonShape) {
+  Tracer tracer;
+  {
+    Span span(&tracer, "task", "rt", 2);
+  }
+  tracer.instant("cmd", "agent", 0);
+  tracer.counter("depth", "rt", 1, 7.0);
+  const auto json = tracer.to_chrome_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"task")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"i")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"C")"), std::string::npos);
+  EXPECT_NE(json.find(R"("tid":2)"), std::string::npos);
+  EXPECT_NE(json.find(R"("value":7)"), std::string::npos);
+}
+
+TEST(Trace, WriteChromeJsonFile) {
+  Tracer tracer;
+  tracer.instant("x", "t", 0);
+  const auto path = std::filesystem::temp_directory_path() / "numashare-trace-test.json";
+  ASSERT_TRUE(tracer.write_chrome_json(path.string()));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("traceEvents"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, AsciiTimelineLanes) {
+  Tracer tracer;
+  {
+    Span a(&tracer, "alpha", "t", 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    Span b(&tracer, "beta", "t", 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto timeline = tracer.ascii_timeline(40);
+  EXPECT_NE(timeline.find("lane 0"), std::string::npos);
+  EXPECT_NE(timeline.find("lane 2"), std::string::npos);
+  EXPECT_NE(timeline.find('a'), std::string::npos);  // alpha glyph
+  EXPECT_NE(timeline.find('b'), std::string::npos);  // beta glyph
+}
+
+TEST(Trace, EmptyTimeline) {
+  Tracer tracer;
+  EXPECT_NE(tracer.ascii_timeline().find("no trace events"), std::string::npos);
+}
+
+TEST(Trace, TwoTracersSameThreadIndependent) {
+  Tracer a, b;
+  a.instant("only-a", "t", 0);
+  b.instant("only-b", "t", 0);
+  ASSERT_EQ(a.snapshot().size(), 1u);
+  ASSERT_EQ(b.snapshot().size(), 1u);
+  EXPECT_STREQ(a.snapshot()[0].name, "only-a");
+  EXPECT_STREQ(b.snapshot()[0].name, "only-b");
+}
+
+}  // namespace
+}  // namespace numashare::trace

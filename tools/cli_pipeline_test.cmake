@@ -1,0 +1,36 @@
+# Drives the CLI end to end: template -> solve -> optimize -> placement.
+set(mix "${WORK_DIR}/cli-pipeline-mix.ini")
+
+execute_process(COMMAND ${CLI} template OUTPUT_FILE ${mix} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "template failed: ${rc}")
+endif()
+
+execute_process(COMMAND ${CLI} solve ${mix} --alloc=uniform:1,1,1,5
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "254")
+  message(FATAL_ERROR "solve failed (rc=${rc}): ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} solve ${mix} --alloc=even
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "140")
+  message(FATAL_ERROR "solve even failed (rc=${rc}): ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} optimize ${mix} --objective=total
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "254")
+  message(FATAL_ERROR "optimize failed (rc=${rc}): ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} placement ${mix} OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "placement failed (rc=${rc}): ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} solve ${mix} --alloc=bogus
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "bogus allocation spec unexpectedly accepted")
+endif()

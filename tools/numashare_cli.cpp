@@ -1,0 +1,215 @@
+// numashare — command-line front door to the library.
+//
+//   numashare_cli probe
+//       Discover the host topology; print it with placeholder speeds.
+//   numashare_cli paper <table1|table2|table3|fig2|fig3>
+//       Print a paper reproduction (model numbers).
+//   numashare_cli solve <mix.ini> --alloc=<spec>
+//       Predict per-app GFLOPS for an allocation
+//       (spec: even | nodeperapp | uniform:c0,c1,...).
+//   numashare_cli optimize <mix.ini> [--objective=total|min|pf] [--min-threads=N]
+//       Search for the best allocation (constrained exhaustive + greedy).
+//   numashare_cli placement <mix.ini>
+//       Joint allocation + data-placement optimization.
+//   numashare_cli template
+//       Emit a starter mix.ini to stdout.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/optimizer.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/placement.hpp"
+#include "core/report.hpp"
+#include "core/roofline.hpp"
+#include "core/scenario_io.hpp"
+#include "topology/discovery.hpp"
+
+using namespace numashare;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: numashare_cli <command> [args]\n"
+               "  probe\n"
+               "  paper <table1|table2|table3|fig2|fig3>\n"
+               "  solve <mix.ini> --alloc=<even|nodeperapp|uniform:c0,c1,...>\n"
+               "  optimize <mix.ini> [--objective=total|min|pf] [--min-threads=N]\n"
+               "  placement <mix.ini>\n"
+               "  template\n");
+  return 2;
+}
+
+std::string flag_value(int argc, char** argv, const std::string& name,
+                       const std::string& fallback) {
+  const std::string prefix = name + "=";
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::string(argv[i]).substr(prefix.size());
+    }
+  }
+  return fallback;
+}
+
+void print_solution(const model::ScenarioDescription& scenario,
+                    const model::Allocation& allocation, const model::Solution& solution) {
+  TextTable table({"app", "AI", "placement", "threads", "GFLOPS"});
+  for (model::AppId a = 0; a < scenario.apps.size(); ++a) {
+    const auto& app = scenario.apps[a];
+    table.add_row({app.name, fmt_compact(app.ai, 4),
+                   app.placement == model::Placement::kNumaBad
+                       ? "bad@" + std::to_string(app.home_node)
+                       : "perfect",
+                   std::to_string(allocation.app_total(a)),
+                   fmt_fixed(solution.app_gflops[a], 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("allocation: %s\ntotal: %s GFLOPS\n", allocation.to_string().c_str(),
+              fmt_fixed(solution.total_gflops, 2).c_str());
+}
+
+int cmd_probe() {
+  const auto machine = topo::discover_host_or_flat();
+  std::printf("%s", machine.describe().c_str());
+  std::printf("\n(speeds are placeholders; calibrate with the synth tools — see "
+              "bench_synth / EXPERIMENTS.md E11)\n");
+  return 0;
+}
+
+int cmd_paper(const std::string& what) {
+  using namespace model::paper;
+  const auto show = [](const Scenario& scenario) {
+    const auto solution = model::solve(scenario.machine, scenario.apps, scenario.allocation);
+    std::printf("%s: %s GFLOPS (paper: %s)\n", scenario.description.c_str(),
+                fmt_fixed(solution.total_gflops, 2).c_str(),
+                fmt_compact(scenario.paper_model_gflops, 2).c_str());
+  };
+  if (what == "table1") {
+    const auto scenario = table1();
+    const auto derivation = model::derive(
+        scenario.machine, model::classes_from(scenario.apps, {1, 1, 1, 5}));
+    std::printf("%s", derivation.render().c_str());
+    return 0;
+  }
+  if (what == "table2") {
+    const auto scenario = table2();
+    const auto derivation = model::derive(
+        scenario.machine, model::classes_from(scenario.apps, {2, 2, 2, 2}));
+    std::printf("%s", derivation.render().c_str());
+    return 0;
+  }
+  if (what == "fig2") {
+    for (const auto& scenario : fig2()) show(scenario);
+    return 0;
+  }
+  if (what == "fig3") {
+    show(fig3_even());
+    show(fig3_node_per_app());
+    return 0;
+  }
+  if (what == "table3") {
+    for (const auto& row : table3()) show(row);
+    return 0;
+  }
+  return usage();
+}
+
+int cmd_solve(const std::string& path, int argc, char** argv) {
+  std::string error;
+  const auto scenario = model::load_scenario(path, &error);
+  if (!scenario) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const auto spec = flag_value(argc, argv, "--alloc", "even");
+  const auto allocation = model::parse_allocation(spec, *scenario, &error);
+  if (!allocation) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const auto solution = model::solve(scenario->machine, scenario->apps, *allocation);
+  print_solution(*scenario, *allocation, solution);
+  return 0;
+}
+
+int cmd_optimize(const std::string& path, int argc, char** argv) {
+  std::string error;
+  const auto scenario = model::load_scenario(path, &error);
+  if (!scenario) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const auto objective_name = flag_value(argc, argv, "--objective", "total");
+  model::Objective objective = model::Objective::kTotalGflops;
+  if (objective_name == "min") objective = model::Objective::kMinAppGflops;
+  else if (objective_name == "pf") objective = model::Objective::kProportionalFairness;
+  else if (objective_name != "total") {
+    std::fprintf(stderr, "error: unknown objective '%s'\n", objective_name.c_str());
+    return 1;
+  }
+  const auto min_threads = static_cast<std::uint32_t>(
+      std::strtoul(flag_value(argc, argv, "--min-threads", "1").c_str(), nullptr, 10));
+
+  const auto exhaustive = model::exhaustive_search(scenario->machine, scenario->apps,
+                                                   objective, true, min_threads);
+  std::printf("objective: %s, %llu candidates evaluated\n\n", model::to_string(objective),
+              static_cast<unsigned long long>(exhaustive.evaluated));
+  print_solution(*scenario, exhaustive.allocation, exhaustive.solution);
+
+  const auto greedy = model::greedy_search(
+      scenario->machine, scenario->apps,
+      model::Allocation::even(scenario->machine,
+                              static_cast<std::uint32_t>(scenario->apps.size())));
+  std::printf("\ngreedy from even (unconstrained): %s GFLOPS via %s\n",
+              fmt_fixed(greedy.solution.total_gflops, 2).c_str(),
+              greedy.allocation.to_string().c_str());
+  return 0;
+}
+
+int cmd_placement(const std::string& path) {
+  std::string error;
+  const auto scenario = model::load_scenario(path, &error);
+  if (!scenario) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const auto result = model::advise_joint(scenario->machine, scenario->apps);
+  std::printf("joint allocation + placement optimization (%u rounds):\n",
+              result.placement_rounds);
+  model::ScenarioDescription final_scenario{scenario->machine, result.apps};
+  print_solution(final_scenario, result.allocation, result.solution);
+  for (std::size_t a = 0; a < scenario->apps.size(); ++a) {
+    if (scenario->apps[a].placement == model::Placement::kNumaBad &&
+        scenario->apps[a].home_node != result.apps[a].home_node) {
+      std::printf("move: app '%s' data node %u -> %u\n", scenario->apps[a].name.c_str(),
+                  scenario->apps[a].home_node, result.apps[a].home_node);
+    }
+  }
+  return 0;
+}
+
+int cmd_template() {
+  model::ScenarioDescription scenario;
+  scenario.machine = topo::Machine::symmetric(4, 8, 10.0, 32.0, 10.0, "example");
+  scenario.apps = model::mixes::three_mem_one_compute();
+  std::printf("%s", model::scenario_to_ini(scenario).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "probe") return cmd_probe();
+  if (command == "template") return cmd_template();
+  if (command == "paper") return argc >= 3 ? cmd_paper(argv[2]) : usage();
+  if (command == "solve") return argc >= 3 ? cmd_solve(argv[2], argc, argv) : usage();
+  if (command == "optimize") return argc >= 3 ? cmd_optimize(argv[2], argc, argv) : usage();
+  if (command == "placement") return argc >= 3 ? cmd_placement(argv[2]) : usage();
+  return usage();
+}
