@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alloc_search.dir/bench_alloc_search.cpp.o"
+  "CMakeFiles/bench_alloc_search.dir/bench_alloc_search.cpp.o.d"
+  "bench_alloc_search"
+  "bench_alloc_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alloc_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

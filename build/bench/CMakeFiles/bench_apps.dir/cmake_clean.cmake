@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apps.dir/bench_apps.cpp.o"
+  "CMakeFiles/bench_apps.dir/bench_apps.cpp.o.d"
+  "bench_apps"
+  "bench_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocking.dir/bench_blocking.cpp.o"
+  "CMakeFiles/bench_blocking.dir/bench_blocking.cpp.o.d"
+  "bench_blocking"
+  "bench_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_arch.dir/bench_fig1_arch.cpp.o"
+  "CMakeFiles/bench_fig1_arch.dir/bench_fig1_arch.cpp.o.d"
+  "bench_fig1_arch"
+  "bench_fig1_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

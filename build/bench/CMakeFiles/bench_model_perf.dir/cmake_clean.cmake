@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_perf.dir/bench_model_perf.cpp.o"
+  "CMakeFiles/bench_model_perf.dir/bench_model_perf.cpp.o.d"
+  "bench_model_perf"
+  "bench_model_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nonworker.dir/bench_nonworker.cpp.o"
+  "CMakeFiles/bench_nonworker.dir/bench_nonworker.cpp.o.d"
+  "bench_nonworker"
+  "bench_nonworker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonworker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

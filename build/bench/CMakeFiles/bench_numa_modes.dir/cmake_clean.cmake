@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_numa_modes.dir/bench_numa_modes.cpp.o"
+  "CMakeFiles/bench_numa_modes.dir/bench_numa_modes.cpp.o.d"
+  "bench_numa_modes"
+  "bench_numa_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_numa_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_numa_modes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oversub.dir/bench_oversub.cpp.o"
+  "CMakeFiles/bench_oversub.dir/bench_oversub.cpp.o.d"
+  "bench_oversub"
+  "bench_oversub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oversub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_placement.dir/bench_placement.cpp.o"
+  "CMakeFiles/bench_placement.dir/bench_placement.cpp.o.d"
+  "bench_placement"
+  "bench_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

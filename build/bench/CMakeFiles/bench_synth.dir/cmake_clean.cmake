@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synth.dir/bench_synth.cpp.o"
+  "CMakeFiles/bench_synth.dir/bench_synth.cpp.o.d"
+  "bench_synth"
+  "bench_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

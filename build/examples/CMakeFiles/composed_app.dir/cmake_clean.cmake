@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composed_app.dir/composed_app.cpp.o"
+  "CMakeFiles/composed_app.dir/composed_app.cpp.o.d"
+  "composed_app"
+  "composed_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composed_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

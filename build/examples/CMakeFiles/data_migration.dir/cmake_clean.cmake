@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_migration.dir/data_migration.cpp.o"
+  "CMakeFiles/data_migration.dir/data_migration.cpp.o.d"
+  "data_migration"
+  "data_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_delegation.dir/library_delegation.cpp.o"
+  "CMakeFiles/library_delegation.dir/library_delegation.cpp.o.d"
+  "library_delegation"
+  "library_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for library_delegation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_probe.dir/numa_probe.cpp.o"
+  "CMakeFiles/numa_probe.dir/numa_probe.cpp.o.d"
+  "numa_probe"
+  "numa_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_explorer.dir/partition_explorer.cpp.o"
+  "CMakeFiles/partition_explorer.dir/partition_explorer.cpp.o.d"
+  "partition_explorer"
+  "partition_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/producer_consumer.dir/producer_consumer.cpp.o"
+  "CMakeFiles/producer_consumer.dir/producer_consumer.cpp.o.d"
+  "producer_consumer"
+  "producer_consumer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/producer_consumer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

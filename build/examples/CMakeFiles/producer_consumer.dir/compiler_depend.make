@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for producer_consumer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for producer_consumer.
+# This may be replaced when dependencies are built.

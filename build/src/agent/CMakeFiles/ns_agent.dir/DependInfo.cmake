@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/agent.cpp" "src/agent/CMakeFiles/ns_agent.dir/agent.cpp.o" "gcc" "src/agent/CMakeFiles/ns_agent.dir/agent.cpp.o.d"
+  "/root/repo/src/agent/channel.cpp" "src/agent/CMakeFiles/ns_agent.dir/channel.cpp.o" "gcc" "src/agent/CMakeFiles/ns_agent.dir/channel.cpp.o.d"
+  "/root/repo/src/agent/consensus.cpp" "src/agent/CMakeFiles/ns_agent.dir/consensus.cpp.o" "gcc" "src/agent/CMakeFiles/ns_agent.dir/consensus.cpp.o.d"
+  "/root/repo/src/agent/consensus_group.cpp" "src/agent/CMakeFiles/ns_agent.dir/consensus_group.cpp.o" "gcc" "src/agent/CMakeFiles/ns_agent.dir/consensus_group.cpp.o.d"
+  "/root/repo/src/agent/os_load.cpp" "src/agent/CMakeFiles/ns_agent.dir/os_load.cpp.o" "gcc" "src/agent/CMakeFiles/ns_agent.dir/os_load.cpp.o.d"
+  "/root/repo/src/agent/policies.cpp" "src/agent/CMakeFiles/ns_agent.dir/policies.cpp.o" "gcc" "src/agent/CMakeFiles/ns_agent.dir/policies.cpp.o.d"
+  "/root/repo/src/agent/shm_channel.cpp" "src/agent/CMakeFiles/ns_agent.dir/shm_channel.cpp.o" "gcc" "src/agent/CMakeFiles/ns_agent.dir/shm_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ns_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ns_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ns_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_agent.dir/agent.cpp.o"
+  "CMakeFiles/ns_agent.dir/agent.cpp.o.d"
+  "CMakeFiles/ns_agent.dir/channel.cpp.o"
+  "CMakeFiles/ns_agent.dir/channel.cpp.o.d"
+  "CMakeFiles/ns_agent.dir/consensus.cpp.o"
+  "CMakeFiles/ns_agent.dir/consensus.cpp.o.d"
+  "CMakeFiles/ns_agent.dir/consensus_group.cpp.o"
+  "CMakeFiles/ns_agent.dir/consensus_group.cpp.o.d"
+  "CMakeFiles/ns_agent.dir/os_load.cpp.o"
+  "CMakeFiles/ns_agent.dir/os_load.cpp.o.d"
+  "CMakeFiles/ns_agent.dir/policies.cpp.o"
+  "CMakeFiles/ns_agent.dir/policies.cpp.o.d"
+  "CMakeFiles/ns_agent.dir/shm_channel.cpp.o"
+  "CMakeFiles/ns_agent.dir/shm_channel.cpp.o.d"
+  "libns_agent.a"
+  "libns_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

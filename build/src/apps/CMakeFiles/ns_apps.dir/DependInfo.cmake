@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/matmul.cpp" "src/apps/CMakeFiles/ns_apps.dir/matmul.cpp.o" "gcc" "src/apps/CMakeFiles/ns_apps.dir/matmul.cpp.o.d"
+  "/root/repo/src/apps/montecarlo.cpp" "src/apps/CMakeFiles/ns_apps.dir/montecarlo.cpp.o" "gcc" "src/apps/CMakeFiles/ns_apps.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/apps/stencil.cpp" "src/apps/CMakeFiles/ns_apps.dir/stencil.cpp.o" "gcc" "src/apps/CMakeFiles/ns_apps.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ns_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ns_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ns_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

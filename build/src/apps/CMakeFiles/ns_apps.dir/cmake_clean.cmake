@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_apps.dir/matmul.cpp.o"
+  "CMakeFiles/ns_apps.dir/matmul.cpp.o.d"
+  "CMakeFiles/ns_apps.dir/montecarlo.cpp.o"
+  "CMakeFiles/ns_apps.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/ns_apps.dir/stencil.cpp.o"
+  "CMakeFiles/ns_apps.dir/stencil.cpp.o.d"
+  "libns_apps.a"
+  "libns_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cpp" "src/common/CMakeFiles/ns_common.dir/config.cpp.o" "gcc" "src/common/CMakeFiles/ns_common.dir/config.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/common/CMakeFiles/ns_common.dir/csv.cpp.o" "gcc" "src/common/CMakeFiles/ns_common.dir/csv.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/ns_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/ns_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/ns_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/ns_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/ns_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/ns_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/threading.cpp" "src/common/CMakeFiles/ns_common.dir/threading.cpp.o" "gcc" "src/common/CMakeFiles/ns_common.dir/threading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

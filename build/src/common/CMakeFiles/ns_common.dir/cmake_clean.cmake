@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_common.dir/config.cpp.o"
+  "CMakeFiles/ns_common.dir/config.cpp.o.d"
+  "CMakeFiles/ns_common.dir/csv.cpp.o"
+  "CMakeFiles/ns_common.dir/csv.cpp.o.d"
+  "CMakeFiles/ns_common.dir/logging.cpp.o"
+  "CMakeFiles/ns_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ns_common.dir/stats.cpp.o"
+  "CMakeFiles/ns_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ns_common.dir/table.cpp.o"
+  "CMakeFiles/ns_common.dir/table.cpp.o.d"
+  "CMakeFiles/ns_common.dir/threading.cpp.o"
+  "CMakeFiles/ns_common.dir/threading.cpp.o.d"
+  "libns_common.a"
+  "libns_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cpp" "src/core/CMakeFiles/ns_core.dir/allocation.cpp.o" "gcc" "src/core/CMakeFiles/ns_core.dir/allocation.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/ns_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/ns_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/paper_scenarios.cpp" "src/core/CMakeFiles/ns_core.dir/paper_scenarios.cpp.o" "gcc" "src/core/CMakeFiles/ns_core.dir/paper_scenarios.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/ns_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/ns_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/ns_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/ns_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/roofline.cpp" "src/core/CMakeFiles/ns_core.dir/roofline.cpp.o" "gcc" "src/core/CMakeFiles/ns_core.dir/roofline.cpp.o.d"
+  "/root/repo/src/core/scenario_io.cpp" "src/core/CMakeFiles/ns_core.dir/scenario_io.cpp.o" "gcc" "src/core/CMakeFiles/ns_core.dir/scenario_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ns_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

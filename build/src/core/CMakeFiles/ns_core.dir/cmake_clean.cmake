@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_core.dir/allocation.cpp.o"
+  "CMakeFiles/ns_core.dir/allocation.cpp.o.d"
+  "CMakeFiles/ns_core.dir/optimizer.cpp.o"
+  "CMakeFiles/ns_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ns_core.dir/paper_scenarios.cpp.o"
+  "CMakeFiles/ns_core.dir/paper_scenarios.cpp.o.d"
+  "CMakeFiles/ns_core.dir/placement.cpp.o"
+  "CMakeFiles/ns_core.dir/placement.cpp.o.d"
+  "CMakeFiles/ns_core.dir/report.cpp.o"
+  "CMakeFiles/ns_core.dir/report.cpp.o.d"
+  "CMakeFiles/ns_core.dir/roofline.cpp.o"
+  "CMakeFiles/ns_core.dir/roofline.cpp.o.d"
+  "CMakeFiles/ns_core.dir/scenario_io.cpp.o"
+  "CMakeFiles/ns_core.dir/scenario_io.cpp.o.d"
+  "libns_core.a"
+  "libns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

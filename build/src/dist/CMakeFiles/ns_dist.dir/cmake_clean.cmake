@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_dist.dir/cluster.cpp.o"
+  "CMakeFiles/ns_dist.dir/cluster.cpp.o.d"
+  "libns_dist.a"
+  "libns_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/arena.cpp" "src/runtime/CMakeFiles/ns_runtime.dir/arena.cpp.o" "gcc" "src/runtime/CMakeFiles/ns_runtime.dir/arena.cpp.o.d"
+  "/root/repo/src/runtime/datablock.cpp" "src/runtime/CMakeFiles/ns_runtime.dir/datablock.cpp.o" "gcc" "src/runtime/CMakeFiles/ns_runtime.dir/datablock.cpp.o.d"
+  "/root/repo/src/runtime/event.cpp" "src/runtime/CMakeFiles/ns_runtime.dir/event.cpp.o" "gcc" "src/runtime/CMakeFiles/ns_runtime.dir/event.cpp.o.d"
+  "/root/repo/src/runtime/foreign.cpp" "src/runtime/CMakeFiles/ns_runtime.dir/foreign.cpp.o" "gcc" "src/runtime/CMakeFiles/ns_runtime.dir/foreign.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/ns_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/ns_runtime.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ns_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ns_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

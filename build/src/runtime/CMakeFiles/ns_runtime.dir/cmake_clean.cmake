@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_runtime.dir/arena.cpp.o"
+  "CMakeFiles/ns_runtime.dir/arena.cpp.o.d"
+  "CMakeFiles/ns_runtime.dir/datablock.cpp.o"
+  "CMakeFiles/ns_runtime.dir/datablock.cpp.o.d"
+  "CMakeFiles/ns_runtime.dir/event.cpp.o"
+  "CMakeFiles/ns_runtime.dir/event.cpp.o.d"
+  "CMakeFiles/ns_runtime.dir/foreign.cpp.o"
+  "CMakeFiles/ns_runtime.dir/foreign.cpp.o.d"
+  "CMakeFiles/ns_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/ns_runtime.dir/runtime.cpp.o.d"
+  "libns_runtime.a"
+  "libns_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

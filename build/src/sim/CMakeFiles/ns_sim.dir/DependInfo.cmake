@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/machine_sim.cpp" "src/sim/CMakeFiles/ns_sim.dir/machine_sim.cpp.o" "gcc" "src/sim/CMakeFiles/ns_sim.dir/machine_sim.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/ns_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/ns_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ns_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ns_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

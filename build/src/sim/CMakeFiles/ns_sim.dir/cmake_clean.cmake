@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_sim.dir/machine_sim.cpp.o"
+  "CMakeFiles/ns_sim.dir/machine_sim.cpp.o.d"
+  "CMakeFiles/ns_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ns_sim.dir/simulator.cpp.o.d"
+  "libns_sim.a"
+  "libns_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libns_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_synth.dir/calibrate.cpp.o"
+  "CMakeFiles/ns_synth.dir/calibrate.cpp.o.d"
+  "CMakeFiles/ns_synth.dir/harness.cpp.o"
+  "CMakeFiles/ns_synth.dir/harness.cpp.o.d"
+  "CMakeFiles/ns_synth.dir/kernel.cpp.o"
+  "CMakeFiles/ns_synth.dir/kernel.cpp.o.d"
+  "CMakeFiles/ns_synth.dir/stream.cpp.o"
+  "CMakeFiles/ns_synth.dir/stream.cpp.o.d"
+  "libns_synth.a"
+  "libns_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/affinity.cpp" "src/topology/CMakeFiles/ns_topology.dir/affinity.cpp.o" "gcc" "src/topology/CMakeFiles/ns_topology.dir/affinity.cpp.o.d"
+  "/root/repo/src/topology/discovery.cpp" "src/topology/CMakeFiles/ns_topology.dir/discovery.cpp.o" "gcc" "src/topology/CMakeFiles/ns_topology.dir/discovery.cpp.o.d"
+  "/root/repo/src/topology/machine.cpp" "src/topology/CMakeFiles/ns_topology.dir/machine.cpp.o" "gcc" "src/topology/CMakeFiles/ns_topology.dir/machine.cpp.o.d"
+  "/root/repo/src/topology/presets.cpp" "src/topology/CMakeFiles/ns_topology.dir/presets.cpp.o" "gcc" "src/topology/CMakeFiles/ns_topology.dir/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

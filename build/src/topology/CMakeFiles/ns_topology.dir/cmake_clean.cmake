@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_topology.dir/affinity.cpp.o"
+  "CMakeFiles/ns_topology.dir/affinity.cpp.o.d"
+  "CMakeFiles/ns_topology.dir/discovery.cpp.o"
+  "CMakeFiles/ns_topology.dir/discovery.cpp.o.d"
+  "CMakeFiles/ns_topology.dir/machine.cpp.o"
+  "CMakeFiles/ns_topology.dir/machine.cpp.o.d"
+  "CMakeFiles/ns_topology.dir/presets.cpp.o"
+  "CMakeFiles/ns_topology.dir/presets.cpp.o.d"
+  "libns_topology.a"
+  "libns_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

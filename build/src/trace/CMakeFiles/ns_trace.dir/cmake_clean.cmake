@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_trace.dir/trace.cpp.o"
+  "CMakeFiles/ns_trace.dir/trace.cpp.o.d"
+  "libns_trace.a"
+  "libns_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

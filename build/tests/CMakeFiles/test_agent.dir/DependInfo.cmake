@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/agent/agent_test.cpp" "tests/CMakeFiles/test_agent.dir/agent/agent_test.cpp.o" "gcc" "tests/CMakeFiles/test_agent.dir/agent/agent_test.cpp.o.d"
+  "/root/repo/tests/agent/auto_ai_test.cpp" "tests/CMakeFiles/test_agent.dir/agent/auto_ai_test.cpp.o" "gcc" "tests/CMakeFiles/test_agent.dir/agent/auto_ai_test.cpp.o.d"
+  "/root/repo/tests/agent/channel_test.cpp" "tests/CMakeFiles/test_agent.dir/agent/channel_test.cpp.o" "gcc" "tests/CMakeFiles/test_agent.dir/agent/channel_test.cpp.o.d"
+  "/root/repo/tests/agent/consensus_group_test.cpp" "tests/CMakeFiles/test_agent.dir/agent/consensus_group_test.cpp.o" "gcc" "tests/CMakeFiles/test_agent.dir/agent/consensus_group_test.cpp.o.d"
+  "/root/repo/tests/agent/consensus_test.cpp" "tests/CMakeFiles/test_agent.dir/agent/consensus_test.cpp.o" "gcc" "tests/CMakeFiles/test_agent.dir/agent/consensus_test.cpp.o.d"
+  "/root/repo/tests/agent/failure_injection_test.cpp" "tests/CMakeFiles/test_agent.dir/agent/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/test_agent.dir/agent/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/agent/model_guided_integration_test.cpp" "tests/CMakeFiles/test_agent.dir/agent/model_guided_integration_test.cpp.o" "gcc" "tests/CMakeFiles/test_agent.dir/agent/model_guided_integration_test.cpp.o.d"
+  "/root/repo/tests/agent/os_load_test.cpp" "tests/CMakeFiles/test_agent.dir/agent/os_load_test.cpp.o" "gcc" "tests/CMakeFiles/test_agent.dir/agent/os_load_test.cpp.o.d"
+  "/root/repo/tests/agent/placement_flow_test.cpp" "tests/CMakeFiles/test_agent.dir/agent/placement_flow_test.cpp.o" "gcc" "tests/CMakeFiles/test_agent.dir/agent/placement_flow_test.cpp.o.d"
+  "/root/repo/tests/agent/policies_test.cpp" "tests/CMakeFiles/test_agent.dir/agent/policies_test.cpp.o" "gcc" "tests/CMakeFiles/test_agent.dir/agent/policies_test.cpp.o.d"
+  "/root/repo/tests/agent/protocol_test.cpp" "tests/CMakeFiles/test_agent.dir/agent/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/test_agent.dir/agent/protocol_test.cpp.o.d"
+  "/root/repo/tests/agent/shm_channel_test.cpp" "tests/CMakeFiles/test_agent.dir/agent/shm_channel_test.cpp.o" "gcc" "tests/CMakeFiles/test_agent.dir/agent/shm_channel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agent/CMakeFiles/ns_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ns_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ns_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ns_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ns_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agent.dir/agent/agent_test.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/agent_test.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/auto_ai_test.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/auto_ai_test.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/channel_test.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/channel_test.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/consensus_group_test.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/consensus_group_test.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/consensus_test.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/consensus_test.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/failure_injection_test.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/failure_injection_test.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/model_guided_integration_test.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/model_guided_integration_test.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/os_load_test.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/os_load_test.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/placement_flow_test.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/placement_flow_test.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/policies_test.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/policies_test.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/protocol_test.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/protocol_test.cpp.o.d"
+  "CMakeFiles/test_agent.dir/agent/shm_channel_test.cpp.o"
+  "CMakeFiles/test_agent.dir/agent/shm_channel_test.cpp.o.d"
+  "test_agent"
+  "test_agent.pdb"
+  "test_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

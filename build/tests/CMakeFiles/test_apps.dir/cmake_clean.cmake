@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/matmul_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/matmul_test.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/montecarlo_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/montecarlo_test.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/stencil_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/stencil_test.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/config_test.cpp" "tests/CMakeFiles/test_common.dir/common/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/config_test.cpp.o.d"
+  "/root/repo/tests/common/csv_test.cpp" "tests/CMakeFiles/test_common.dir/common/csv_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/csv_test.cpp.o.d"
+  "/root/repo/tests/common/format_test.cpp" "tests/CMakeFiles/test_common.dir/common/format_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/format_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/spsc_ring_test.cpp" "tests/CMakeFiles/test_common.dir/common/spsc_ring_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/spsc_ring_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/common/threading_test.cpp" "tests/CMakeFiles/test_common.dir/common/threading_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/threading_test.cpp.o.d"
+  "/root/repo/tests/common/units_test.cpp" "tests/CMakeFiles/test_common.dir/common/units_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

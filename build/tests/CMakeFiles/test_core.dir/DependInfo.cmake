@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/allocation_test.cpp" "tests/CMakeFiles/test_core.dir/core/allocation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/allocation_test.cpp.o.d"
+  "/root/repo/tests/core/asymmetric_test.cpp" "tests/CMakeFiles/test_core.dir/core/asymmetric_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/asymmetric_test.cpp.o.d"
+  "/root/repo/tests/core/model_properties_test.cpp" "tests/CMakeFiles/test_core.dir/core/model_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/model_properties_test.cpp.o.d"
+  "/root/repo/tests/core/optimizer_test.cpp" "tests/CMakeFiles/test_core.dir/core/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/optimizer_test.cpp.o.d"
+  "/root/repo/tests/core/paper_numbers_test.cpp" "tests/CMakeFiles/test_core.dir/core/paper_numbers_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/paper_numbers_test.cpp.o.d"
+  "/root/repo/tests/core/placement_test.cpp" "tests/CMakeFiles/test_core.dir/core/placement_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/placement_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/roofline_test.cpp" "tests/CMakeFiles/test_core.dir/core/roofline_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/roofline_test.cpp.o.d"
+  "/root/repo/tests/core/scaling_test.cpp" "tests/CMakeFiles/test_core.dir/core/scaling_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scaling_test.cpp.o.d"
+  "/root/repo/tests/core/scenario_io_test.cpp" "tests/CMakeFiles/test_core.dir/core/scenario_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scenario_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ns_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

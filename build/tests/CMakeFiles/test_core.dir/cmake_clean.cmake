@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/allocation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/allocation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/asymmetric_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/asymmetric_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/model_properties_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/model_properties_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/optimizer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/optimizer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/paper_numbers_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/paper_numbers_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/placement_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/placement_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/roofline_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/roofline_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scaling_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scaling_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scenario_io_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scenario_io_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/arena_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/arena_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/arena_test.cpp.o.d"
+  "/root/repo/tests/runtime/blocking_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/blocking_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/blocking_test.cpp.o.d"
+  "/root/repo/tests/runtime/data_deps_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/data_deps_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/data_deps_test.cpp.o.d"
+  "/root/repo/tests/runtime/datablock_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/datablock_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/datablock_test.cpp.o.d"
+  "/root/repo/tests/runtime/event_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/event_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/event_test.cpp.o.d"
+  "/root/repo/tests/runtime/foreign_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/foreign_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/foreign_test.cpp.o.d"
+  "/root/repo/tests/runtime/runtime_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/runtime_test.cpp.o.d"
+  "/root/repo/tests/runtime/stress_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/stress_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/stress_test.cpp.o.d"
+  "/root/repo/tests/runtime/wsdeque_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/wsdeque_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/wsdeque_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ns_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ns_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ns_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/arena_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/arena_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/blocking_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/blocking_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/data_deps_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/data_deps_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/datablock_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/datablock_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/event_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/event_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/foreign_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/foreign_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/runtime_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/runtime_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/stress_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/stress_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/wsdeque_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/wsdeque_test.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/synth/calibrate_test.cpp" "tests/CMakeFiles/test_synth.dir/synth/calibrate_test.cpp.o" "gcc" "tests/CMakeFiles/test_synth.dir/synth/calibrate_test.cpp.o.d"
+  "/root/repo/tests/synth/harness_test.cpp" "tests/CMakeFiles/test_synth.dir/synth/harness_test.cpp.o" "gcc" "tests/CMakeFiles/test_synth.dir/synth/harness_test.cpp.o.d"
+  "/root/repo/tests/synth/kernel_test.cpp" "tests/CMakeFiles/test_synth.dir/synth/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/test_synth.dir/synth/kernel_test.cpp.o.d"
+  "/root/repo/tests/synth/stream_test.cpp" "tests/CMakeFiles/test_synth.dir/synth/stream_test.cpp.o" "gcc" "tests/CMakeFiles/test_synth.dir/synth/stream_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/ns_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ns_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ns_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ns_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

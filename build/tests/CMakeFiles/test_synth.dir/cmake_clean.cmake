@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth.dir/synth/calibrate_test.cpp.o"
+  "CMakeFiles/test_synth.dir/synth/calibrate_test.cpp.o.d"
+  "CMakeFiles/test_synth.dir/synth/harness_test.cpp.o"
+  "CMakeFiles/test_synth.dir/synth/harness_test.cpp.o.d"
+  "CMakeFiles/test_synth.dir/synth/kernel_test.cpp.o"
+  "CMakeFiles/test_synth.dir/synth/kernel_test.cpp.o.d"
+  "CMakeFiles/test_synth.dir/synth/stream_test.cpp.o"
+  "CMakeFiles/test_synth.dir/synth/stream_test.cpp.o.d"
+  "test_synth"
+  "test_synth.pdb"
+  "test_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

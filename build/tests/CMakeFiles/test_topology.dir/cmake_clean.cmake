@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology.dir/topology/affinity_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/affinity_test.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/discovery_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/discovery_test.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/machine_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/machine_test.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/presets_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/presets_test.cpp.o.d"
+  "test_topology"
+  "test_topology.pdb"
+  "test_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

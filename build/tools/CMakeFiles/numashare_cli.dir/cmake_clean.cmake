@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numashare_cli.dir/numashare_cli.cpp.o"
+  "CMakeFiles/numashare_cli.dir/numashare_cli.cpp.o.d"
+  "numashare_cli"
+  "numashare_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numashare_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage "/root/repo/build/tools/numashare_cli")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_probe "/root/repo/build/tools/numashare_cli" "probe")
+set_tests_properties(cli_probe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_paper_table1 "/root/repo/build/tools/numashare_cli" "paper" "table1")
+set_tests_properties(cli_paper_table1 PROPERTIES  PASS_REGULAR_EXPRESSION "254" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_paper_table3 "/root/repo/build/tools/numashare_cli" "paper" "table3")
+set_tests_properties(cli_paper_table3 PROPERTIES  PASS_REGULAR_EXPRESSION "15.18" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_template "/root/repo/build/tools/numashare_cli" "template")
+set_tests_properties(cli_template PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pipeline "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/numashare_cli" "-DWORK_DIR=/root/repo/build/tools" "-P" "/root/repo/tools/cli_pipeline_test.cmake")
+set_tests_properties(cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
