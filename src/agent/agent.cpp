@@ -17,7 +17,11 @@ Agent::Agent(topo::Machine machine, PolicyPtr policy, Options options)
 Agent::~Agent() { stop(); }
 
 std::size_t Agent::add_app(std::string name, ChannelBase& channel) {
-  NS_REQUIRE(!running_.load(), "register apps before starting the agent loop");
+  std::lock_guard lock(membership_mutex_);
+  for (const auto& existing : apps_) {
+    // remove_app() is keyed by name; duplicates would make it ambiguous.
+    NS_REQUIRE(existing.name != name, "duplicate app name");
+  }
   ManagedApp app;
   app.name = name;
   app.channel = &channel;
@@ -25,7 +29,36 @@ std::size_t Agent::add_app(std::string name, ChannelBase& channel) {
   AppView view;
   view.name = std::move(name);
   views_.push_back(std::move(view));
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  policy_->on_membership_change();
   return apps_.size() - 1;
+}
+
+bool Agent::remove_app(const std::string& name) {
+  std::lock_guard lock(membership_mutex_);
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    if (apps_[a].name != name) continue;
+    apps_.erase(apps_.begin() + static_cast<std::ptrdiff_t>(a));
+    views_.erase(views_.begin() + static_cast<std::ptrdiff_t>(a));
+    generation_.fetch_add(1, std::memory_order_relaxed);
+    policy_->on_membership_change();
+    NS_LOG_INFO("agent", "removed app '{}' ({} remain)", name, apps_.size());
+    return true;
+  }
+  return false;
+}
+
+std::size_t Agent::find_app(const std::string& name) const {
+  std::lock_guard lock(membership_mutex_);
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    if (apps_[a].name == name) return a;
+  }
+  return apps_.size();
+}
+
+std::size_t Agent::app_count() const {
+  std::lock_guard lock(membership_mutex_);
+  return apps_.size();
 }
 
 void Agent::send(ManagedApp& app, const Directive& directive) {
@@ -78,10 +111,12 @@ void Agent::send(ManagedApp& app, const Directive& directive) {
 }
 
 std::uint32_t Agent::step(double now) {
+  std::lock_guard lock(membership_mutex_);
   // 1. Drain telemetry, keep the newest sample, update rates from deltas.
   for (std::size_t a = 0; a < apps_.size(); ++a) {
     auto& app = apps_[a];
     auto& view = views_[a];
+    view.telemetry_dropped = app.channel->telemetry_dropped();
     std::optional<Telemetry> newest;
     while (auto t = app.channel->pop_telemetry()) {
       ++telemetry_received_;

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,8 +42,24 @@ class Agent {
   Agent& operator=(const Agent&) = delete;
 
   /// Register an application; the agent keeps a non-owning channel ref.
-  /// Returns the app's index (the order policies see).
+  /// Returns the app's index (the order policies see). Safe to call while
+  /// the background loop runs; the membership change lands between steps.
   std::size_t add_app(std::string name, ChannelBase& channel);
+
+  /// Deregister the named application (join's inverse). Later apps shift
+  /// down one index; the policy is notified so it re-partitions. Returns
+  /// false when no app has that name. Safe while the loop runs.
+  bool remove_app(const std::string& name);
+
+  /// Index of the named app, or app_count() when absent.
+  std::size_t find_app(const std::string& name) const;
+
+  std::size_t app_count() const;
+
+  /// Membership generation: bumps on every add_app/remove_app. Lets
+  /// observers (and the daemon's registry) tell allocations apart across
+  /// membership changes.
+  std::uint64_t generation() const { return generation_.load(std::memory_order_relaxed); }
 
   /// One decision cycle at the given timestamp (monotonic seconds). Returns
   /// the number of commands sent.
@@ -74,8 +91,12 @@ class Agent {
   topo::Machine machine_;
   PolicyPtr policy_;
   Options options_;
+  /// Guards apps_/views_ against concurrent step vs add/remove when the
+  /// background loop is running (dynamic membership, daemon mode).
+  mutable std::mutex membership_mutex_;
   std::vector<ManagedApp> apps_;
   std::vector<AppView> views_;
+  std::atomic<std::uint64_t> generation_{0};
   std::uint64_t commands_sent_ = 0;
   std::uint64_t telemetry_received_ = 0;
   OsLoadSampler os_sampler_;

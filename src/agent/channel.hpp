@@ -35,16 +35,38 @@ class ChannelBase {
   // Runtime side.
   virtual std::optional<Command> pop_command() = 0;
   virtual bool push_telemetry(const Telemetry& telemetry) = 0;
+  // Drop accounting: cumulative try_push failures on full rings, visible
+  // from both ends so the agent can tell "quiet app" from "losing samples".
+  virtual std::uint64_t commands_dropped() const { return 0; }
+  virtual std::uint64_t telemetry_dropped() const { return 0; }
 };
 
 struct Channel final : ChannelBase {
   SpscRing<Command> commands{64};      // agent -> runtime
   SpscRing<Telemetry> telemetry{256};  // runtime -> agent
 
-  bool push_command(const Command& command) override { return commands.try_push(command); }
+  bool push_command(const Command& command) override {
+    if (commands.try_push(command)) return true;
+    commands_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   std::optional<Command> pop_command() override { return commands.try_pop(); }
-  bool push_telemetry(const Telemetry& t) override { return telemetry.try_push(t); }
+  bool push_telemetry(const Telemetry& t) override {
+    if (telemetry.try_push(t)) return true;
+    telemetry_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   std::optional<Telemetry> pop_telemetry() override { return telemetry.try_pop(); }
+  std::uint64_t commands_dropped() const override {
+    return commands_dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t telemetry_dropped() const override {
+    return telemetry_dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> commands_dropped_{0};
+  std::atomic<std::uint64_t> telemetry_dropped_{0};
 };
 
 class RuntimeAdapter {

@@ -117,6 +117,9 @@ std::vector<Directive> ProducerConsumerPolicy::decide(const topo::Machine& machi
 std::vector<Directive> ModelGuidedPolicy::decide(const topo::Machine& machine,
                                                  const std::vector<AppView>& views) {
   std::vector<Directive> out(views.size(), Directive::none());
+  // Zero apps is a legal state under dynamic membership (daemon with no
+  // clients yet); the optimizer has nothing to do.
+  if (views.empty()) return out;
 
   std::vector<double> ai(views.size(), 0.0);
   for (std::size_t a = 0; a < views.size(); ++a) {

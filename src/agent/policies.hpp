@@ -45,6 +45,7 @@ class FairSharePolicy final : public Policy {
   const char* name() const override { return "fair-share"; }
   std::vector<Directive> decide(const topo::Machine& machine,
                                 const std::vector<AppView>& views) override;
+  void on_membership_change() override { issued_ = false; }
 
  private:
   Flavor flavor_;
@@ -85,6 +86,7 @@ class ProducerConsumerPolicy final : public Policy {
   const char* name() const override { return "producer-consumer"; }
   std::vector<Directive> decide(const topo::Machine& machine,
                                 const std::vector<AppView>& views) override;
+  void on_membership_change() override { initialized_ = false; }
 
   std::uint32_t producer_threads() const { return producer_threads_; }
 
@@ -114,6 +116,10 @@ class ModelGuidedPolicy final : public Policy {
   const char* name() const override { return "model-guided"; }
   std::vector<Directive> decide(const topo::Machine& machine,
                                 const std::vector<AppView>& views) override;
+  void on_membership_change() override {
+    last_ai_.clear();
+    last_allocation_.reset();
+  }
 
   /// The allocation behind the last issued directives (empty before then).
   const std::optional<model::Allocation>& last_allocation() const { return last_allocation_; }

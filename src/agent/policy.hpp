@@ -21,6 +21,9 @@ struct AppView {
   /// EWMA rates, per second of agent time.
   double task_rate = 0.0;
   double progress_rate = 0.0;
+  /// Telemetry samples the app failed to push because the ring was full
+  /// (cumulative, from the channel's drop counter).
+  std::uint64_t telemetry_dropped = 0;
 };
 
 struct Directive {
@@ -61,6 +64,10 @@ class Policy {
   /// One directive per app (same order as `views`); kNone = leave alone.
   virtual std::vector<Directive> decide(const topo::Machine& machine,
                                         const std::vector<AppView>& views) = 0;
+  /// The agent's app set changed (join or leave). Stateful policies drop
+  /// their issued/drift caches here so the next decide() re-partitions the
+  /// machine for the new membership.
+  virtual void on_membership_change() {}
 };
 
 using PolicyPtr = std::unique_ptr<Policy>;

@@ -1,5 +1,6 @@
 #include "agent/shm_channel.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
@@ -14,7 +15,8 @@ namespace numashare::agent {
 
 namespace {
 constexpr std::uint64_t kMagic = 0x6e756d6173686172ull;  // "numashar"
-constexpr std::uint32_t kVersion = 1;
+// v2: added cross-process drop counters after the rings.
+constexpr std::uint32_t kVersion = 2;
 }  // namespace
 
 struct ShmChannel::Layout {
@@ -22,6 +24,8 @@ struct ShmChannel::Layout {
   std::uint32_t version;
   ShmRing<Command, kCommandSlots> commands;
   ShmRing<Telemetry, kTelemetrySlots> telemetry;
+  std::atomic<std::uint64_t> commands_dropped;
+  std::atomic<std::uint64_t> telemetry_dropped;
 };
 
 ShmChannel::ShmChannel(std::string name, Layout* layout, bool creator)
@@ -49,6 +53,8 @@ std::unique_ptr<ShmChannel> ShmChannel::create(const std::string& name, std::str
   layout->version = kVersion;
   layout->commands.init();
   layout->telemetry.init();
+  layout->commands_dropped.store(0, std::memory_order_relaxed);
+  layout->telemetry_dropped.store(0, std::memory_order_relaxed);
   // Publish the magic last: an attacher seeing it can trust the rest.
   layout->magic.store(kMagic, std::memory_order_release);
   return std::unique_ptr<ShmChannel>(new ShmChannel(name, layout, /*creator=*/true));
@@ -91,21 +97,59 @@ ShmChannel::~ShmChannel() {
 }
 
 bool ShmChannel::push_command(const Command& command) {
-  return layout_->commands.try_push(command);
+  if (layout_->commands.try_push(command)) return true;
+  layout_->commands_dropped.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 std::optional<Command> ShmChannel::pop_command() { return layout_->commands.try_pop(); }
 
 bool ShmChannel::push_telemetry(const Telemetry& telemetry) {
-  return layout_->telemetry.try_push(telemetry);
+  if (layout_->telemetry.try_push(telemetry)) return true;
+  layout_->telemetry_dropped.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 std::optional<Telemetry> ShmChannel::pop_telemetry() {
   return layout_->telemetry.try_pop();
 }
 
+std::uint64_t ShmChannel::commands_dropped() const {
+  return layout_->commands_dropped.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ShmChannel::telemetry_dropped() const {
+  return layout_->telemetry_dropped.load(std::memory_order_relaxed);
+}
+
 std::uint64_t ShmChannel::commands_queued() const { return layout_->commands.size(); }
 
 std::uint64_t ShmChannel::telemetry_queued() const { return layout_->telemetry.size(); }
+
+std::size_t cleanup_stale_segments(const std::string& prefix, std::string* error) {
+  // POSIX shm names live as files under /dev/shm on Linux, minus the
+  // leading '/'. Scanning the directory is the only portable-enough way to
+  // enumerate them; shm_open offers no listing API.
+  std::string want = prefix;
+  if (!want.empty() && want.front() == '/') want.erase(0, 1);
+  if (want.empty()) {
+    if (error) *error = "refusing to cleanup with an empty prefix";
+    return 0;
+  }
+  DIR* dir = opendir("/dev/shm");
+  if (dir == nullptr) {
+    if (error) *error = ns_format("opendir(/dev/shm): {}", std::strerror(errno));
+    return 0;
+  }
+  std::size_t removed = 0;
+  while (const dirent* entry = readdir(dir)) {
+    const std::string file = entry->d_name;
+    if (file.rfind(want, 0) != 0) continue;
+    const std::string shm_name = "/" + file;
+    if (shm_unlink(shm_name.c_str()) == 0) ++removed;
+  }
+  closedir(dir);
+  return removed;
+}
 
 }  // namespace numashare::agent

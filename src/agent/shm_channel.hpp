@@ -88,6 +88,10 @@ class ShmChannel final : public ChannelBase {
   std::optional<Command> pop_command() override;
   bool push_telemetry(const Telemetry& telemetry) override;
   std::optional<Telemetry> pop_telemetry() override;
+  /// Drop counters live in the segment itself, so either end sees losses
+  /// regardless of which process suffered the full ring.
+  std::uint64_t commands_dropped() const override;
+  std::uint64_t telemetry_dropped() const override;
 
   std::uint64_t commands_queued() const;
   std::uint64_t telemetry_queued() const;
@@ -101,5 +105,14 @@ class ShmChannel final : public ChannelBase {
   Layout* layout_ = nullptr;
   bool creator_ = false;
 };
+
+/// Unlink every POSIX shm segment whose name starts with `prefix` (leading
+/// '/' optional, as in shm_open). Returns the number of segments removed.
+///
+/// A crashed agent or application leaves its segments behind — only the
+/// creator's destructor unlinks, and a SIGKILL never runs it. The daemon
+/// calls this on startup with its channel prefix to reclaim /dev/shm litter
+/// from a previous incarnation before creating fresh segments.
+std::size_t cleanup_stale_segments(const std::string& prefix, std::string* error = nullptr);
 
 }  // namespace numashare::agent

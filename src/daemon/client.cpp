@@ -1,0 +1,169 @@
+#include "daemon/client.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+#include "common/logging.hpp"
+#include "common/threading.hpp"
+
+namespace numashare::nsd {
+
+DaemonClient::DaemonClient(std::string app_name, ClientConnectOptions options)
+    : app_name_(std::move(app_name)), options_(std::move(options)) {}
+
+DaemonClient::~DaemonClient() {
+  stop_heartbeat();
+  disconnect();
+}
+
+bool DaemonClient::try_join_once(std::string* error) {
+  registry_ = Registry::open(options_.registry_name, error);
+  if (registry_ == nullptr) return false;
+  if (!registry_->daemon_alive()) {
+    if (error) *error = "registry exists but its daemon is dead";
+    registry_.reset();
+    return false;
+  }
+  const auto claimed = registry_->claim_slot(app_name_, options_.advertised_ai,
+                                             options_.data_home);
+  if (!claimed) {
+    if (error) *error = "registry full";
+    registry_.reset();
+    return false;
+  }
+  const std::uint32_t index = *claimed;
+  auto& slot = registry_->slot(index);
+
+  // Wait for the daemon to mint our channel and flip the slot to kActive.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<std::int64_t>(options_.activation_timeout_s * 1e6));
+  while (slot.state.load(std::memory_order_acquire) !=
+         static_cast<std::uint32_t>(SlotState::kActive)) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // Abandon the claim — unless the daemon activates concurrently, in
+      // which case the CAS fails and we proceed with the attach below.
+      std::uint32_t expected = static_cast<std::uint32_t>(SlotState::kJoining);
+      if (slot.state.compare_exchange_strong(expected,
+                                             static_cast<std::uint32_t>(SlotState::kFree),
+                                             std::memory_order_acq_rel)) {
+        if (error) *error = "daemon did not activate the slot in time";
+        registry_.reset();
+        return false;
+      }
+      continue;  // re-check: the state changed under us
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  const std::string channel_name(slot.channel_name,
+                                 strnlen(slot.channel_name, sizeof(slot.channel_name)));
+  channel_ = agent::ShmChannel::attach(channel_name, error);
+  if (channel_ == nullptr) {
+    registry_.reset();
+    return false;
+  }
+  slot_index_ = index;
+  generation_ = slot.generation;
+  NS_LOG_INFO("daemon-client", "'{}' joined: slot {} channel '{}' generation {}", app_name_,
+              index, channel_name, generation_);
+  return true;
+}
+
+bool DaemonClient::connect(std::string* error) {
+  std::int64_t backoff_us = options_.initial_backoff_us;
+  std::string last_error;
+  for (std::uint32_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    ++connect_attempts_;
+    if (try_join_once(&last_error)) return true;
+    NS_LOG_DEBUG("daemon-client", "'{}' connect attempt {} failed: {} (backoff {} us)",
+                 app_name_, attempt + 1, last_error, backoff_us);
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min<std::int64_t>(backoff_us * 2, options_.max_backoff_us);
+  }
+  if (error) {
+    *error = ns_format("gave up after {} attempts: {}", options_.max_attempts, last_error);
+  }
+  return false;
+}
+
+topo::Machine DaemonClient::arbitration_machine() const {
+  NS_REQUIRE(registry_ != nullptr, "arbitration_machine() requires a connection");
+  const auto& header = registry_->header();
+  const auto nodes = header.node_count.load(std::memory_order_acquire);
+  NS_REQUIRE(nodes >= 1 && nodes <= agent::kMaxNodes, "registry carries no machine shape");
+  topo::Machine machine;
+  machine.set_name("arbitrated");
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    machine.add_node(header.node_cores[n].load(std::memory_order_relaxed),
+                     /*core_peak_gflops=*/1.0, /*node_bandwidth=*/10.0);
+  }
+  return machine;
+}
+
+void DaemonClient::heartbeat() {
+  if (registry_ == nullptr || slot_index_ >= kMaxClients) return;
+  registry_->slot(slot_index_).heartbeat.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DaemonClient::start_heartbeat() {
+  if (heartbeat_running_.exchange(true)) return;
+  heartbeat_thread_ = std::thread([this] {
+    set_current_thread_name("ns-heartbeat");
+    while (heartbeat_running_.load(std::memory_order_acquire)) {
+      heartbeat();
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.heartbeat_period_us));
+    }
+  });
+}
+
+void DaemonClient::stop_heartbeat() {
+  if (!heartbeat_running_.exchange(false)) return;
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+}
+
+bool DaemonClient::check_connection() {
+  if (!connected()) return false;
+  const auto& slot = registry_->slot(slot_index_);
+  const bool still_ours =
+      slot.state.load(std::memory_order_acquire) ==
+          static_cast<std::uint32_t>(SlotState::kActive) &&
+      slot.pid == static_cast<std::uint32_t>(::getpid()) && slot.generation == generation_;
+  if (still_ours && registry_->daemon_alive()) return true;
+  NS_LOG_WARN("daemon-client", "'{}' lost its slot (evicted or daemon restarted)", app_name_);
+  drop_connection();
+  return false;
+}
+
+void DaemonClient::drop_connection() {
+  channel_.reset();
+  registry_.reset();
+  slot_index_ = kMaxClients;
+  generation_ = 0;
+}
+
+void DaemonClient::disconnect() {
+  if (!connected()) return;
+  auto& slot = registry_->slot(slot_index_);
+  // Only flip to kLeaving when the slot is still our incarnation.
+  if (slot.pid == static_cast<std::uint32_t>(::getpid()) && slot.generation == generation_) {
+    std::uint32_t expected = static_cast<std::uint32_t>(SlotState::kActive);
+    slot.state.compare_exchange_strong(expected,
+                                       static_cast<std::uint32_t>(SlotState::kLeaving),
+                                       std::memory_order_acq_rel);
+  }
+  drop_connection();
+}
+
+bool DaemonClient::reconnect(std::string* error) {
+  disconnect();
+  return connect(error);
+}
+
+}  // namespace numashare::nsd

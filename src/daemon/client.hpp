@@ -1,0 +1,115 @@
+// Client-side connector: how an application joins a running ns_daemon.
+//
+// A DaemonClient hides the whole registry dance — open the registry, claim
+// a slot, publish identity, wait for the daemon to mint a ShmChannel, and
+// attach to it. connect() retries each stage with bounded exponential
+// backoff, so an app started moments before the daemon (or across a daemon
+// restart) still gets in. While connected, the app's duties are: pump its
+// RuntimeAdapter on the channel, and heartbeat() — manually or via the
+// background thread.
+//
+// Eviction and daemon restart are visible through check_connection():
+// the slot no longer carries our PID/generation (the daemon recycled it)
+// or the registry vanished. reconnect() then re-runs the join dance.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "agent/shm_channel.hpp"
+#include "daemon/registry.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::nsd {
+
+struct ClientConnectOptions {
+  std::string registry_name = kDefaultRegistryName;
+  /// Advertised arithmetic intensity (0 = unknown; the daemon's policy then
+  /// waits for telemetry-derived AI).
+  double advertised_ai = 0.0;
+  /// Advertised NUMA-bad data home (agent::kMaxNodes = perfect/unknown).
+  std::uint32_t data_home = agent::kMaxNodes;
+
+  /// Bounded exponential backoff for connect()/reconnect(): sleep
+  /// initial_backoff_us, double each failed attempt, clamp at
+  /// max_backoff_us, give up after max_attempts attempts.
+  std::uint32_t max_attempts = 12;
+  std::int64_t initial_backoff_us = 2'000;
+  std::int64_t max_backoff_us = 500'000;
+  /// How long one attempt waits for the daemon to activate a claimed slot.
+  double activation_timeout_s = 2.0;
+  /// Background heartbeat period (start_heartbeat()).
+  std::int64_t heartbeat_period_us = 100'000;
+};
+
+class DaemonClient {
+ public:
+  explicit DaemonClient(std::string app_name, ClientConnectOptions options = {});
+  /// Leaves gracefully (kLeaving) when still connected.
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  /// Join the daemon: registry open + slot claim + activation wait +
+  /// channel attach, with bounded exponential backoff across attempts.
+  bool connect(std::string* error = nullptr);
+
+  /// True after a successful connect() and before disconnect()/eviction.
+  bool connected() const { return channel_ != nullptr; }
+
+  /// Bump the registry heartbeat (call from the app's progress loop).
+  void heartbeat();
+
+  /// Background heartbeat thread at options().heartbeat_period_us.
+  void start_heartbeat();
+  void stop_heartbeat();
+
+  /// Still the owner of our slot? False after eviction, slot recycling, or
+  /// daemon restart. Cheap; safe to call every pump.
+  bool check_connection();
+
+  /// Graceful goodbye: publish kLeaving and drop the channel.
+  void disconnect();
+
+  /// Tear down whatever connection state remains and connect() again.
+  bool reconnect(std::string* error = nullptr);
+
+  /// The app side of the pair's channel (attach RuntimeAdapter here).
+  /// Null before connect().
+  agent::ChannelBase* channel() { return channel_.get(); }
+
+  /// The arbitrated machine's node layout, as published in the registry —
+  /// build the local runtime over this shape so the daemon's per-node
+  /// thread commands line up with the runtime's pools. Speeds are
+  /// placeholders (the client side never evaluates the model). Requires a
+  /// live connection.
+  topo::Machine arbitration_machine() const;
+
+  const std::string& app_name() const { return app_name_; }
+  const ClientConnectOptions& options() const { return options_; }
+  std::uint32_t slot_index() const { return slot_index_; }
+  /// Agent generation at our activation (identifies this incarnation).
+  std::uint64_t generation() const { return generation_; }
+  std::uint32_t connect_attempts() const { return connect_attempts_; }
+
+ private:
+  bool try_join_once(std::string* error);
+  void drop_connection();
+
+  std::string app_name_;
+  ClientConnectOptions options_;
+  std::unique_ptr<Registry> registry_;
+  std::unique_ptr<agent::ShmChannel> channel_;
+  std::uint32_t slot_index_ = kMaxClients;
+  std::uint64_t generation_ = 0;
+  std::uint32_t connect_attempts_ = 0;
+
+  std::atomic<bool> heartbeat_running_{false};
+  std::thread heartbeat_thread_;
+};
+
+}  // namespace numashare::nsd

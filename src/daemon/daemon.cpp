@@ -1,0 +1,331 @@
+#include "daemon/daemon.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "agent/policies.hpp"
+#include "common/assert.hpp"
+#include "common/format.hpp"
+#include "common/logging.hpp"
+#include "common/threading.hpp"
+
+namespace numashare::nsd {
+
+namespace {
+
+bool pid_is_dead(std::uint32_t pid) {
+  if (pid == 0) return true;
+  return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+}
+
+std::string slot_client_name(const ClientSlot& slot) {
+  return std::string(slot.name, strnlen(slot.name, sizeof(slot.name)));
+}
+
+}  // namespace
+
+std::vector<agent::Directive> AdvertisedAiPolicy::decide(
+    const topo::Machine& machine, const std::vector<agent::AppView>& views) {
+  std::vector<agent::AppView> patched = views;
+  for (auto& view : patched) {
+    if (view.has_telemetry && view.latest.ai_estimate > 0.0) continue;
+    const double ai = advertised_(view.name);
+    if (ai <= 0.0) continue;
+    view.latest.ai_estimate = ai;
+    view.has_telemetry = true;
+  }
+  return inner_->decide(machine, patched);
+}
+
+Daemon::Daemon(topo::Machine machine, agent::PolicyPtr policy, DaemonOptions options)
+    : machine_(std::move(machine)), options_(std::move(options)) {
+  NS_REQUIRE(policy != nullptr, "daemon needs a policy");
+  auto lookup = [this](const std::string& app_name) -> double {
+    for (const auto& client : clients_) {
+      if (client.used && client.app_name == app_name) return client.advertised_ai;
+    }
+    return 0.0;
+  };
+  auto wrapped = std::make_unique<AdvertisedAiPolicy>(std::move(policy), std::move(lookup));
+  agent::AgentOptions agent_options = options_.agent;
+  agent_ = std::make_unique<agent::Agent>(machine_, std::move(wrapped), agent_options);
+}
+
+Daemon::~Daemon() {
+  stop();
+  if (registry_ != nullptr) {
+    const double now = monotonic_seconds();
+    for (std::uint32_t i = 0; i < kMaxClients; ++i) {
+      if (clients_[i].used) retire(i, "daemon-shutdown", now);
+    }
+    journal_.record(now, "daemon-stop",
+                    {{"ticks", jnum(stats_.ticks)},
+                     {"joins", jnum(stats_.joins)},
+                     {"evictions", jnum(stats_.evictions)}});
+  }
+}
+
+bool Daemon::init(std::string* error) {
+  NS_REQUIRE(registry_ == nullptr, "daemon already initialized");
+  // A previous incarnation that crashed leaves its registry (and channel
+  // segments) behind. Reclaim them — but never rip the registry out from
+  // under a daemon that is still alive.
+  if (auto existing = Registry::open(options_.registry_name)) {
+    if (existing->daemon_alive()) {
+      if (error) {
+        *error = ns_format("registry '{}' is owned by live daemon pid {}",
+                           options_.registry_name,
+                           existing->header().daemon_pid.load(std::memory_order_relaxed));
+      }
+      return false;
+    }
+  }
+  stats_.stale_segments_cleaned = agent::cleanup_stale_segments(options_.registry_name);
+  if (stats_.stale_segments_cleaned > 0) {
+    NS_LOG_INFO("daemon", "startup cleanup removed {} stale shm segment(s)",
+                stats_.stale_segments_cleaned);
+  }
+  registry_ = Registry::create(options_.registry_name, error);
+  if (registry_ == nullptr) return false;
+  // Publish the arbitrated machine's shape so clients can build their
+  // runtime over the same node layout as the per-node commands.
+  auto& header = registry_->header();
+  for (topo::NodeId n = 0; n < machine_.node_count(); ++n) {
+    header.node_cores[n].store(machine_.cores_in_node(n), std::memory_order_relaxed);
+  }
+  header.node_count.store(machine_.node_count(), std::memory_order_release);
+  if (!options_.journal_path.empty() && !journal_.open(options_.journal_path)) {
+    if (error) *error = ns_format("cannot open journal '{}'", options_.journal_path);
+    registry_.reset();
+    return false;
+  }
+  journal_.record(monotonic_seconds(), "daemon-start",
+                  {{"registry", jstr(options_.registry_name)},
+                   {"pid", jnum(static_cast<std::uint64_t>(::getpid()))},
+                   {"machine", jstr(machine_.name())},
+                   {"nodes", jnum(machine_.node_count())},
+                   {"cores", jnum(machine_.core_count())},
+                   {"policy", jstr(agent_->policy().name())},
+                   {"cleaned_segments", jnum(static_cast<std::uint64_t>(
+                                            stats_.stale_segments_cleaned))}});
+  return true;
+}
+
+void Daemon::admit(std::uint32_t index, double now) {
+  auto& slot = registry_->slot(index);
+  if (pid_is_dead(slot.pid)) {
+    // The client crashed between claiming and our tick; recycle silently.
+    slot.state.store(static_cast<std::uint32_t>(SlotState::kFree), std::memory_order_release);
+    return;
+  }
+  const std::uint64_t join_seq = ++join_seq_;
+  const std::string channel_name =
+      ns_format("{}-chan-{}-{}", options_.registry_name, index, join_seq);
+  std::string error;
+  auto channel = agent::ShmChannel::create(channel_name, &error);
+  if (channel == nullptr) {
+    NS_LOG_ERROR("daemon", "cannot create channel '{}': {}", channel_name, error);
+    journal_.record(now, "join-failed",
+                    {{"slot", jnum(index)}, {"error", jstr(error)}});
+    slot.state.store(static_cast<std::uint32_t>(SlotState::kFree), std::memory_order_release);
+    return;
+  }
+  const std::string base = slot_client_name(slot);
+  const std::string app_name = ns_format("{}#{}.{}", base.empty() ? "app" : base, index, join_seq);
+  agent_->add_app(app_name, *channel);
+
+  auto& client = clients_[index];
+  client.used = true;
+  client.app_name = app_name;
+  client.pid = slot.pid;
+  client.advertised_ai = slot.advertised_ai;
+  client.channel = std::move(channel);
+  client.last_heartbeat = slot.heartbeat.load(std::memory_order_relaxed);
+  client.last_heartbeat_change_s = now;
+
+  slot.generation = agent_->generation();
+  std::memset(slot.channel_name, 0, sizeof(slot.channel_name));
+  std::strncpy(slot.channel_name, channel_name.c_str(), sizeof(slot.channel_name) - 1);
+  registry_->header().generation.store(agent_->generation(), std::memory_order_relaxed);
+  slot.state.store(static_cast<std::uint32_t>(SlotState::kActive), std::memory_order_release);
+
+  ++stats_.joins;
+  NS_LOG_INFO("daemon", "join: '{}' pid {} slot {} (ai={})", app_name, client.pid, index,
+              client.advertised_ai);
+  journal_.record(now, "join",
+                  {{"client", jstr(app_name)},
+                   {"pid", jnum(static_cast<std::uint64_t>(client.pid))},
+                   {"slot", jnum(index)},
+                   {"ai", jnum(client.advertised_ai)},
+                   {"channel", jstr(channel_name)},
+                   {"generation", jnum(agent_->generation())}});
+}
+
+void Daemon::retire(std::uint32_t index, const char* reason, double now) {
+  auto& client = clients_[index];
+  agent_->remove_app(client.app_name);
+  const bool eviction = std::strcmp(reason, "leave") != 0;
+  if (eviction) ++stats_.evictions;
+  else ++stats_.leaves;
+  NS_LOG_INFO("daemon", "{}: '{}' pid {} slot {} ({})", eviction ? "evict" : "leave",
+              client.app_name, client.pid, index, reason);
+  journal_.record(now, eviction ? "evict" : "leave",
+                  {{"client", jstr(client.app_name)},
+                   {"pid", jnum(static_cast<std::uint64_t>(client.pid))},
+                   {"slot", jnum(index)},
+                   {"reason", jstr(reason)},
+                   {"generation", jnum(agent_->generation())}});
+  client.channel.reset();  // creator side: unlinks the segment
+  client = Client{};
+  auto& slot = registry_->slot(index);
+  registry_->header().generation.store(agent_->generation(), std::memory_order_relaxed);
+  slot.state.store(static_cast<std::uint32_t>(SlotState::kFree), std::memory_order_release);
+}
+
+void Daemon::check_liveness(std::uint32_t index, double now) {
+  auto& slot = registry_->slot(index);
+  auto& client = clients_[index];
+  const std::uint64_t beat = slot.heartbeat.load(std::memory_order_relaxed);
+  if (beat != client.last_heartbeat) {
+    client.last_heartbeat = beat;
+    client.last_heartbeat_change_s = now;
+    return;
+  }
+  if (pid_is_dead(client.pid)) {
+    retire(index, "dead-pid", now);
+    return;
+  }
+  if (now - client.last_heartbeat_change_s > options_.heartbeat_timeout_s) {
+    retire(index, "heartbeat-timeout", now);
+  }
+}
+
+std::uint32_t Daemon::tick(double now) {
+  NS_REQUIRE(registry_ != nullptr, "Daemon::init() must succeed before tick()");
+  for (std::uint32_t i = 0; i < kMaxClients; ++i) {
+    auto& slot = registry_->slot(i);
+    const auto state = static_cast<SlotState>(slot.state.load(std::memory_order_acquire));
+    switch (state) {
+      case SlotState::kJoining:
+        admit(i, now);
+        break;
+      case SlotState::kLeaving:
+        if (clients_[i].used) {
+          retire(i, "leave", now);
+        } else {
+          slot.state.store(static_cast<std::uint32_t>(SlotState::kFree),
+                           std::memory_order_release);
+        }
+        break;
+      case SlotState::kActive:
+        if (clients_[i].used) {
+          check_liveness(i, now);
+        } else {
+          // Active slot we know nothing about: impossible after a clean
+          // startup (cleanup removed the old registry); recycle defensively.
+          slot.state.store(static_cast<std::uint32_t>(SlotState::kFree),
+                           std::memory_order_release);
+        }
+        break;
+      case SlotState::kFree:
+      case SlotState::kClaiming:
+        break;
+    }
+  }
+
+  const std::uint32_t sent = agent_->step(now);
+  ++stats_.ticks;
+  registry_->header().tick.fetch_add(1, std::memory_order_release);
+  if (sent > 0) {
+    ++stats_.reallocations;
+    journal_allocation(now);
+  }
+  if (options_.snapshot_every_ticks > 0 &&
+      stats_.ticks % options_.snapshot_every_ticks == 0) {
+    journal_snapshot(now);
+  }
+  return sent;
+}
+
+void Daemon::journal_allocation(double now) {
+  if (!journal_.ok()) return;
+  // When the (possibly wrapped) policy is model-guided, attach the actual
+  // per-node allocation behind the directives; otherwise names only.
+  agent::Policy* policy = &agent_->policy();
+  if (auto* wrapper = dynamic_cast<AdvertisedAiPolicy*>(policy)) policy = &wrapper->inner();
+  const model::Allocation* allocation = nullptr;
+  if (auto* model_guided = dynamic_cast<agent::ModelGuidedPolicy*>(policy)) {
+    if (model_guided->last_allocation()) allocation = &*model_guided->last_allocation();
+  }
+  const auto& views = agent_->views();
+  std::string apps = "[";
+  for (std::size_t a = 0; a < views.size(); ++a) {
+    if (a > 0) apps += ",";
+    apps += "{\"name\":" + jstr(views[a].name);
+    if (allocation != nullptr && a < allocation->app_count()) {
+      apps += ",\"node_threads\":[";
+      for (topo::NodeId n = 0; n < allocation->node_count(); ++n) {
+        if (n > 0) apps += ",";
+        apps += jnum(allocation->threads(static_cast<model::AppId>(a), n));
+      }
+      apps += "]";
+    }
+    apps += "}";
+  }
+  apps += "]";
+  journal_.record(now, "reallocate",
+                  {{"generation", jnum(agent_->generation())},
+                   {"apps", std::move(apps)}});
+}
+
+void Daemon::journal_snapshot(double now) {
+  if (!journal_.ok()) return;
+  const auto& views = agent_->views();
+  std::string apps = "[";
+  for (std::size_t a = 0; a < views.size(); ++a) {
+    if (a > 0) apps += ",";
+    const auto& view = views[a];
+    apps += "{\"name\":" + jstr(view.name) + ",\"task_rate\":" + jnum(view.task_rate) +
+            ",\"ai\":" + jnum(view.latest.ai_estimate) +
+            ",\"running_threads\":" + jnum(view.latest.running_threads) +
+            ",\"telemetry_dropped\":" + jnum(view.telemetry_dropped) + "}";
+  }
+  apps += "]";
+  journal_.record(now, "snapshot",
+                  {{"tick", jnum(stats_.ticks)},
+                   {"generation", jnum(agent_->generation())},
+                   {"clients", jnum(static_cast<std::uint64_t>(client_count()))},
+                   {"commands_sent", jnum(agent_->commands_sent())},
+                   {"telemetry_received", jnum(agent_->telemetry_received())},
+                   {"apps", std::move(apps)}});
+}
+
+void Daemon::start() {
+  NS_REQUIRE(registry_ != nullptr, "Daemon::init() must succeed before start()");
+  NS_REQUIRE(!running_.load(), "daemon already running");
+  running_.store(true);
+  loop_thread_ = std::thread([this] {
+    set_current_thread_name("ns-daemon");
+    while (running_.load(std::memory_order_acquire)) {
+      tick(monotonic_seconds());
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.period_us));
+    }
+  });
+}
+
+void Daemon::stop() {
+  if (!running_.exchange(false)) return;
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+std::size_t Daemon::client_count() const {
+  std::size_t used = 0;
+  for (const auto& client : clients_) used += client.used ? 1 : 0;
+  return used;
+}
+
+}  // namespace numashare::nsd

@@ -1,0 +1,145 @@
+// ns_daemon: the standalone arbitration service (paper Figure 1, deployed).
+//
+// The library Agent arbitrates a fixed set of apps wired up in one process.
+// The Daemon turns that into a service: it owns the well-known registry
+// segment where applications come and go at will, mints a dedicated
+// ShmChannel per client, and drives the wrapped Agent so policies keep
+// re-partitioning as membership changes.
+//
+// Robustness is the design center:
+//  * per-client heartbeats — the daemon watches the slot counter *change*,
+//    never comparing clocks across processes;
+//  * crash detection — heartbeat silence plus kill(pid, 0);
+//  * eviction — the dead client's app is deregistered, its channel
+//    unlinked, its cores redistributed by the policy on the next tick;
+//  * crash recovery — on startup the daemon removes every stale segment
+//    left under its name prefix by a previous incarnation (only after
+//    checking no live daemon still owns the registry);
+//  * observability — every membership event and reallocation goes to the
+//    JSONL journal (journal.hpp), and `numashare_cli daemon-status` reads
+//    live state straight out of the registry segment.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "agent/agent.hpp"
+#include "agent/shm_channel.hpp"
+#include "daemon/journal.hpp"
+#include "daemon/registry.hpp"
+
+namespace numashare::nsd {
+
+struct DaemonOptions {
+  std::string registry_name = kDefaultRegistryName;
+  /// Per-client channel segments are named <registry_name>-chan-<slot>-<gen>.
+  /// Startup cleanup unlinks everything starting with <registry_name>.
+  std::string journal_path;  ///< empty = journaling disabled
+  /// Evict a client whose heartbeat counter has not changed for this long.
+  double heartbeat_timeout_s = 2.0;
+  /// Background loop tick period.
+  std::int64_t period_us = 10'000;
+  /// Journal a full state snapshot every N ticks (0 = never).
+  std::uint64_t snapshot_every_ticks = 100;
+  agent::AgentOptions agent;
+};
+
+struct DaemonStats {
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t reallocations = 0;  ///< ticks on which commands were issued
+  std::size_t stale_segments_cleaned = 0;
+};
+
+class Daemon {
+ public:
+  Daemon(topo::Machine machine, agent::PolicyPtr policy, DaemonOptions options = {});
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Clean stale segments from a previous incarnation, create the registry,
+  /// open the journal. Fails (false + error) when a live daemon already
+  /// owns the registry name.
+  bool init(std::string* error = nullptr);
+
+  /// One service cycle at the given monotonic timestamp: admit joiners,
+  /// process leavers, evict the dead, then run one agent decision step.
+  /// Returns the number of commands the agent sent. Manual ticking (tests)
+  /// and start()'s background loop are mutually exclusive.
+  std::uint32_t tick(double now);
+
+  /// Background service loop at options().period_us.
+  void start();
+  void stop();
+
+  agent::Agent& arbitration_agent() { return *agent_; }
+  const DaemonOptions& options() const { return options_; }
+  const DaemonStats& stats() const { return stats_; }
+  std::size_t client_count() const;
+  bool initialized() const { return registry_ != nullptr; }
+
+ private:
+  struct Client {
+    bool used = false;
+    std::string app_name;   ///< unique name registered with the agent
+    std::uint32_t pid = 0;
+    double advertised_ai = 0.0;
+    std::unique_ptr<agent::ShmChannel> channel;
+    std::uint64_t last_heartbeat = 0;
+    double last_heartbeat_change_s = 0.0;
+  };
+
+  void admit(std::uint32_t index, double now);
+  void retire(std::uint32_t index, const char* reason, double now);
+  void check_liveness(std::uint32_t index, double now);
+  void journal_allocation(double now);
+  void journal_snapshot(double now);
+
+  topo::Machine machine_;
+  DaemonOptions options_;
+  std::unique_ptr<agent::Agent> agent_;
+  std::unique_ptr<Registry> registry_;
+  JournalWriter journal_;
+  Client clients_[kMaxClients];
+  DaemonStats stats_;
+  /// Monotonic join counter; makes channel names and app names unique
+  /// across slot reuse.
+  std::uint64_t join_seq_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::thread loop_thread_;
+};
+
+/// Substitutes the registry-advertised arithmetic intensity into views whose
+/// telemetry has not (yet) carried one, then delegates. This is what lets
+/// the model-guided policy act on a freshly joined client before its
+/// RuntimeAdapter publishes the first derived-AI sample.
+class AdvertisedAiPolicy final : public agent::Policy {
+ public:
+  /// `advertised` returns the advertised AI for an app name (0 = none).
+  using AiLookup = std::function<double(const std::string&)>;
+
+  AdvertisedAiPolicy(agent::PolicyPtr inner, AiLookup advertised)
+      : inner_(std::move(inner)), advertised_(std::move(advertised)) {}
+
+  const char* name() const override { return inner_->name(); }
+  std::vector<agent::Directive> decide(const topo::Machine& machine,
+                                       const std::vector<agent::AppView>& views) override;
+  void on_membership_change() override { inner_->on_membership_change(); }
+
+  agent::Policy& inner() { return *inner_; }
+
+ private:
+  agent::PolicyPtr inner_;
+  AiLookup advertised_;
+};
+
+}  // namespace numashare::nsd

@@ -1,0 +1,133 @@
+#include "daemon/journal.hpp"
+
+#include <cctype>
+#include <fstream>
+
+#include "common/format.hpp"
+
+namespace numashare::nsd {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jstr(std::string_view text) { return "\"" + json_escape(text) + "\""; }
+
+std::string jnum(double value) { return fmt_compact(value, 6); }
+std::string jnum(std::uint64_t value) { return std::to_string(value); }
+std::string jnum(std::int64_t value) { return std::to_string(value); }
+
+JournalWriter::JournalWriter(const std::string& path) { open(path); }
+
+bool JournalWriter::open(const std::string& path) {
+  if (file_ != nullptr) std::fclose(file_);
+  path_ = path;
+  file_ = std::fopen(path.c_str(), "a");
+  return file_ != nullptr;
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JournalWriter::record(double ts, std::string_view event,
+                           const std::vector<std::pair<std::string_view, std::string>>& fields) {
+  if (file_ == nullptr) return;
+  std::string line = "{\"ts\":" + jnum(ts) + ",\"event\":" + jstr(event);
+  for (const auto& [key, value] : fields) {
+    line += ",";
+    line += jstr(key);
+    line += ":";
+    line += value;
+  }
+  line += "}\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  ++lines_;
+}
+
+std::vector<JournalEntry> read_journal(const std::string& path) {
+  std::vector<JournalEntry> entries;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JournalEntry entry;
+    entry.raw = line;
+    if (auto event = journal_field(line, "event")) {
+      // Strip the quotes of the extracted string value.
+      if (event->size() >= 2 && event->front() == '"') {
+        entry.event = event->substr(1, event->size() - 2);
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::optional<std::string> journal_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + json_escape(key) + "\":";
+  // Scan outside of strings only, at nesting depth 1.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      // Potential key start at depth 1.
+      if (depth == 1 && line.compare(i, needle.size(), needle) == 0) {
+        std::size_t start = i + needle.size();
+        // Value extends to the matching comma/brace at this depth.
+        int vdepth = 0;
+        bool vstring = false;
+        for (std::size_t j = start; j < line.size(); ++j) {
+          const char v = line[j];
+          if (vstring) {
+            if (v == '\\') ++j;
+            else if (v == '"') vstring = false;
+            continue;
+          }
+          if (v == '"') vstring = true;
+          else if (v == '[' || v == '{') ++vdepth;
+          else if (v == ']' || v == '}') {
+            if (vdepth == 0) return line.substr(start, j - start);
+            --vdepth;
+          } else if (v == ',' && vdepth == 0) {
+            return line.substr(start, j - start);
+          }
+        }
+        return std::nullopt;  // torn line
+      }
+      in_string = true;
+      continue;
+    }
+    if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+  }
+  return std::nullopt;
+}
+
+}  // namespace numashare::nsd

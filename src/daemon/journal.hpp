@@ -1,0 +1,82 @@
+// Append-only JSONL event journal: the daemon's flight recorder.
+//
+// Every membership event (join, leave, evict), every reallocation the
+// policy issues, and periodic per-tick snapshots land here as one JSON
+// object per line. JSONL keeps the file greppable and tail-able while the
+// daemon runs, survives crashes mid-write (at most the last line is torn),
+// and needs no closing bracket to stay parseable.
+//
+// The writer renders values it is handed verbatim, so callers pick the
+// type: jstr() quotes-and-escapes, jnum()/jbool() emit bare literals, and
+// pre-built arrays/objects pass straight through.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace numashare::nsd {
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string json_escape(std::string_view text);
+
+/// Render helpers for JournalWriter fields.
+std::string jstr(std::string_view text);
+std::string jnum(double value);
+std::string jnum(std::uint64_t value);
+std::string jnum(std::int64_t value);
+inline std::string jnum(std::uint32_t value) { return jnum(static_cast<std::uint64_t>(value)); }
+inline std::string jbool(bool value) { return value ? "true" : "false"; }
+
+class JournalWriter {
+ public:
+  /// Disabled writer: record() is a no-op. Lets the daemon treat "no
+  /// journal configured" uniformly.
+  JournalWriter() = default;
+
+  /// Opens `path` in append mode; ok() reports whether that worked.
+  explicit JournalWriter(const std::string& path);
+  ~JournalWriter();
+
+  /// Open (or switch to) a journal file after construction.
+  bool open(const std::string& path);
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Appends {"ts":<ts>,"event":"<event>",<fields...>} and flushes, so a
+  /// crash loses at most the line being written.
+  void record(double ts, std::string_view event,
+              const std::vector<std::pair<std::string_view, std::string>>& fields = {});
+
+  std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t lines_ = 0;
+};
+
+/// One parsed journal line. `raw` is the full JSON text; `event` is the
+/// extracted event type ("" when the line is torn/unparseable).
+struct JournalEntry {
+  std::string event;
+  std::string raw;
+};
+
+/// Reads every line of a JSONL journal. Missing file -> empty vector.
+std::vector<JournalEntry> read_journal(const std::string& path);
+
+/// Extracts the raw value text of a top-level key ("123", "\"name\"",
+/// "[1,2]") from one JSON line. A deliberately small scanner — enough for
+/// tests and the status tool, not a general JSON parser.
+std::optional<std::string> journal_field(const std::string& line, const std::string& key);
+
+}  // namespace numashare::nsd

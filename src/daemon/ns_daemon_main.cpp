@@ -1,0 +1,162 @@
+// numashared — the standalone arbitration daemon.
+//
+//   numashared [flags]
+//     --registry=/name            registry segment name (default /numashare-registry)
+//     --journal=path              JSONL event journal (default: none)
+//     --policy=model|model-placement|fair   decision policy (default model)
+//     --machine=probe             discover the host topology (default)
+//     --machine=NxC:gflops:bw[:link]  symmetric machine, e.g. 4x8:10:32:10
+//     --period-ms=N               tick period (default 10)
+//     --heartbeat-timeout-ms=N    eviction timeout (default 2000)
+//     --snapshot-every=N          journal snapshot cadence in ticks (default 100)
+//     --duration-s=X              exit after X seconds (default: run until signal)
+//     --verbose                   info-level logging
+//
+// Applications join through nsd::DaemonClient (see examples/daemon_app.cpp)
+// and are free to come and go; crashes are detected by heartbeat loss and
+// evicted, with cores redistributed to the survivors.
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "agent/policies.hpp"
+#include "common/logging.hpp"
+#include "daemon/daemon.hpp"
+#include "topology/discovery.hpp"
+
+using namespace numashare;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: numashared [--registry=/name] [--journal=path]\n"
+               "                  [--policy=model|model-placement|fair]\n"
+               "                  [--machine=probe|NxC:gflops:bw[:link]]\n"
+               "                  [--period-ms=N] [--heartbeat-timeout-ms=N]\n"
+               "                  [--snapshot-every=N] [--duration-s=X] [--verbose]\n");
+  return 2;
+}
+
+std::string flag_value(int argc, char** argv, const std::string& name,
+                       const std::string& fallback) {
+  const std::string prefix = name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::string(argv[i]).substr(prefix.size());
+    }
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    if (name == argv[i]) return true;
+  }
+  return false;
+}
+
+/// "4x8:10:32:10" -> symmetric(4, 8, 10 GFLOPS, 32 GB/s, 10 GB/s).
+std::optional<topo::Machine> parse_machine(const std::string& spec) {
+  if (spec == "probe") return topo::discover_host_or_flat();
+  std::uint32_t nodes = 0, cores = 0;
+  double gflops = 0.0, bandwidth = 0.0, link = 0.0;
+  const int got = std::sscanf(spec.c_str(), "%ux%u:%lf:%lf:%lf", &nodes, &cores, &gflops,
+                              &bandwidth, &link);
+  if (got < 4 || nodes == 0 || cores == 0) return std::nullopt;
+  return topo::Machine::symmetric(nodes, cores, gflops, bandwidth, link, "cli-machine");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return usage();
+  }
+
+  Logger::instance().set_level(has_flag(argc, argv, "--verbose") ? LogLevel::kInfo
+                                                                 : LogLevel::kWarn);
+
+  const auto machine = parse_machine(flag_value(argc, argv, "--machine", "probe"));
+  if (!machine) {
+    std::fprintf(stderr, "error: bad --machine spec\n");
+    return usage();
+  }
+
+  const std::string policy_name = flag_value(argc, argv, "--policy", "model");
+  agent::PolicyPtr policy;
+  if (policy_name == "model") {
+    policy = std::make_unique<agent::ModelGuidedPolicy>();
+  } else if (policy_name == "model-placement") {
+    policy = std::make_unique<agent::ModelGuidedPolicy>(
+        agent::ModelGuidedOptions{.advise_data_placement = true});
+  } else if (policy_name == "fair") {
+    policy = std::make_unique<agent::FairSharePolicy>();
+  } else {
+    std::fprintf(stderr, "error: unknown policy '%s'\n", policy_name.c_str());
+    return usage();
+  }
+
+  nsd::DaemonOptions options;
+  options.registry_name = flag_value(argc, argv, "--registry", nsd::kDefaultRegistryName);
+  options.journal_path = flag_value(argc, argv, "--journal", "");
+  options.period_us =
+      std::strtol(flag_value(argc, argv, "--period-ms", "10").c_str(), nullptr, 10) * 1000;
+  options.heartbeat_timeout_s =
+      std::strtod(flag_value(argc, argv, "--heartbeat-timeout-ms", "2000").c_str(), nullptr) /
+      1000.0;
+  options.snapshot_every_ticks = static_cast<std::uint64_t>(
+      std::strtoul(flag_value(argc, argv, "--snapshot-every", "100").c_str(), nullptr, 10));
+  const double duration_s =
+      std::strtod(flag_value(argc, argv, "--duration-s", "0").c_str(), nullptr);
+
+  nsd::Daemon daemon(*machine, std::move(policy), options);
+  std::string error;
+  if (!daemon.init(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  signal(SIGINT, handle_signal);
+  signal(SIGTERM, handle_signal);
+
+  std::printf("numashared: registry %s, %u nodes x %u cores, policy %s%s%s\n",
+              options.registry_name.c_str(), machine->node_count(),
+              machine->core_count() / std::max(1u, machine->node_count()),
+              policy_name.c_str(), options.journal_path.empty() ? "" : ", journal ",
+              options.journal_path.c_str());
+  std::fflush(stdout);
+
+  daemon.start();
+  const auto start = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    if (duration_s > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count() >=
+            duration_s) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  daemon.stop();
+
+  const auto& stats = daemon.stats();
+  std::printf("numashared: %llu ticks, %llu joins, %llu leaves, %llu evictions, "
+              "%llu reallocations, %zu stale segments cleaned\n",
+              static_cast<unsigned long long>(stats.ticks),
+              static_cast<unsigned long long>(stats.joins),
+              static_cast<unsigned long long>(stats.leaves),
+              static_cast<unsigned long long>(stats.evictions),
+              static_cast<unsigned long long>(stats.reallocations),
+              stats.stale_segments_cleaned);
+  return 0;
+}

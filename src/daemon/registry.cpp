@@ -1,0 +1,128 @@
+#include "daemon/registry.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/format.hpp"
+
+namespace numashare::nsd {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x6e756d617372656dull;  // "numasrem" (registry member)
+constexpr std::uint32_t kVersion = 1;
+
+RegistryHeader* map_segment(int fd) {
+  void* mapped =
+      mmap(nullptr, sizeof(RegistryHeader), PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  return mapped == MAP_FAILED ? nullptr : static_cast<RegistryHeader*>(mapped);
+}
+}  // namespace
+
+Registry::Registry(std::string name, RegistryHeader* header, bool creator)
+    : name_(std::move(name)), header_(header), creator_(creator) {}
+
+std::unique_ptr<Registry> Registry::create(const std::string& name, std::string* error) {
+  const auto fail = [&](const std::string& what) -> std::unique_ptr<Registry> {
+    if (error) *error = ns_format("{}: {}", what, std::strerror(errno));
+    return nullptr;
+  };
+  const int fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) return fail("shm_open(create registry)");
+  if (ftruncate(fd, sizeof(RegistryHeader)) != 0) {
+    close(fd);
+    shm_unlink(name.c_str());
+    return fail("ftruncate(registry)");
+  }
+  auto* header = map_segment(fd);
+  close(fd);
+  if (header == nullptr) {
+    shm_unlink(name.c_str());
+    return fail("mmap(registry)");
+  }
+  new (header) RegistryHeader;
+  header->version = kVersion;
+  header->daemon_pid.store(static_cast<std::uint32_t>(::getpid()), std::memory_order_relaxed);
+  header->generation.store(0, std::memory_order_relaxed);
+  header->tick.store(0, std::memory_order_relaxed);
+  header->node_count.store(0, std::memory_order_relaxed);
+  for (auto& cores : header->node_cores) cores.store(0, std::memory_order_relaxed);
+  for (auto& slot : header->slots) {
+    slot.state.store(static_cast<std::uint32_t>(SlotState::kFree), std::memory_order_relaxed);
+    slot.heartbeat.store(0, std::memory_order_relaxed);
+  }
+  header->magic.store(kMagic, std::memory_order_release);
+  return std::unique_ptr<Registry>(new Registry(name, header, /*creator=*/true));
+}
+
+std::unique_ptr<Registry> Registry::open(const std::string& name, std::string* error) {
+  const auto fail = [&](const std::string& what,
+                        bool use_errno = true) -> std::unique_ptr<Registry> {
+    if (error) {
+      *error = use_errno ? ns_format("{}: {}", what, std::strerror(errno)) : what;
+    }
+    return nullptr;
+  };
+  const int fd = shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) return fail("shm_open(open registry)");
+  struct stat st{};
+  if (fstat(fd, &st) != 0 || static_cast<std::size_t>(st.st_size) < sizeof(RegistryHeader)) {
+    close(fd);
+    return fail("registry segment too small", false);
+  }
+  auto* header = map_segment(fd);
+  close(fd);
+  if (header == nullptr) return fail("mmap(registry)");
+  if (header->magic.load(std::memory_order_acquire) != kMagic ||
+      header->version != kVersion) {
+    munmap(header, sizeof(RegistryHeader));
+    return fail("magic/version mismatch (not a numashare registry?)", false);
+  }
+  return std::unique_ptr<Registry>(new Registry(name, header, /*creator=*/false));
+}
+
+Registry::~Registry() {
+  if (header_ != nullptr) munmap(header_, sizeof(RegistryHeader));
+  if (creator_) shm_unlink(name_.c_str());
+}
+
+std::optional<std::uint32_t> Registry::claim_slot(const std::string& client_name,
+                                                  double advertised_ai,
+                                                  std::uint32_t data_home) {
+  for (std::uint32_t i = 0; i < kMaxClients; ++i) {
+    auto& slot = header_->slots[i];
+    std::uint32_t expected = static_cast<std::uint32_t>(SlotState::kFree);
+    if (!slot.state.compare_exchange_strong(expected,
+                                            static_cast<std::uint32_t>(SlotState::kClaiming),
+                                            std::memory_order_acq_rel)) {
+      continue;
+    }
+    // We own the slot until the daemon activates it (or we abandon it).
+    slot.pid = static_cast<std::uint32_t>(::getpid());
+    std::memset(slot.name, 0, sizeof(slot.name));
+    std::strncpy(slot.name, client_name.c_str(), sizeof(slot.name) - 1);
+    slot.advertised_ai = advertised_ai;
+    slot.data_home = data_home;
+    slot.generation = 0;
+    std::memset(slot.channel_name, 0, sizeof(slot.channel_name));
+    slot.heartbeat.store(1, std::memory_order_relaxed);
+    // Identity is complete; only now may the daemon look at it.
+    slot.state.store(static_cast<std::uint32_t>(SlotState::kJoining),
+                     std::memory_order_release);
+    return i;
+  }
+  return std::nullopt;
+}
+
+bool Registry::daemon_alive() const {
+  const auto pid = header_->daemon_pid.load(std::memory_order_relaxed);
+  if (pid == 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+}
+
+}  // namespace numashare::nsd

@@ -1,0 +1,128 @@
+// The daemon's well-known shared-memory registry segment.
+//
+// The library Agent only knows static add_app(); a production host needs a
+// rendezvous point where applications come and go while the daemon runs.
+// The registry is that point: one shm segment at a well-known name holding
+// a fixed array of client slots. A client claims a free slot (CAS), writes
+// its identity (name, PID, advertised arithmetic intensity) and publishes
+// kJoining; the daemon notices on its next tick, creates a dedicated
+// ShmChannel for the pair, writes the channel name back into the slot and
+// publishes kActive. From then on the client's only registry duty is to
+// bump its heartbeat counter; losing the heartbeat (or the PID) gets the
+// slot evicted and recycled.
+//
+// Everything in the segment is address-free — plain PODs and lock-free
+// atomics — exactly like ShmChannel's rings, so the same layout works
+// across unrelated processes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "agent/protocol.hpp"
+
+namespace numashare::nsd {
+
+inline constexpr std::uint32_t kMaxClients = 32;
+inline constexpr std::uint32_t kClientNameChars = 48;
+inline constexpr std::uint32_t kShmNameChars = 64;
+inline constexpr const char* kDefaultRegistryName = "/numashare-registry";
+
+/// Slot lifecycle. Transitions:
+///   kFree -> kClaiming  (client CAS; slot reserved, fields not yet valid)
+///   kClaiming -> kJoining (client, release-published after identity fields)
+///   kJoining -> kActive (daemon, after creating the pair's channel)
+///   kJoining -> kFree   (client, activation timeout / daemon, dead PID)
+///   kActive -> kLeaving (client, graceful goodbye)
+///   kActive -> kFree    (daemon, eviction: heartbeat loss or dead PID)
+///   kLeaving -> kFree   (daemon, after deregistering the app)
+/// The daemon never reads identity fields before observing kJoining, which
+/// is store-released only after they are complete.
+enum class SlotState : std::uint32_t {
+  kFree = 0,
+  kJoining = 1,
+  kActive = 2,
+  kLeaving = 3,
+  kClaiming = 4,
+};
+
+struct ClientSlot {
+  std::atomic<std::uint32_t> state;
+
+  // Client-written before publishing kJoining.
+  std::uint32_t pid;
+  char name[kClientNameChars];
+  /// Self-advertised arithmetic intensity (FLOPs/byte), 0 = unknown. Seeds
+  /// the model-guided policy until live telemetry takes over.
+  double advertised_ai;
+  /// Advertised NUMA-bad data home; agent::kMaxNodes = perfect/unknown.
+  std::uint32_t data_home;
+
+  // Daemon-written before publishing kActive.
+  std::uint64_t generation;
+  char channel_name[kShmNameChars];
+
+  // Client-incremented while kActive; the daemon watches for *change*, so
+  // no cross-process clock comparison is ever needed.
+  std::atomic<std::uint64_t> heartbeat;
+};
+static_assert(std::is_trivially_copyable_v<SlotState>);
+
+struct RegistryHeader {
+  std::atomic<std::uint64_t> magic;
+  std::uint32_t version;
+  std::atomic<std::uint32_t> daemon_pid;
+  /// Mirrors the agent's membership generation (bumps on join/leave/evict).
+  std::atomic<std::uint64_t> generation;
+  /// Daemon liveness: incremented every tick. A status reader that sees it
+  /// stall (with a dead daemon_pid) knows the segment is stale.
+  std::atomic<std::uint64_t> tick;
+  /// The arbitrated machine's shape, daemon-written at init. Clients build
+  /// their runtime over the same shape so per-node thread commands line up
+  /// (atomic: a client may open the registry before the daemon fills this).
+  std::atomic<std::uint32_t> node_count;
+  std::atomic<std::uint32_t> node_cores[agent::kMaxNodes];
+  ClientSlot slots[kMaxClients];
+};
+
+/// RAII mapping of the registry segment. The daemon create()s (exclusively)
+/// and unlinks on destruction; clients and status tools open() an existing
+/// one. All slot-protocol helpers live on the mapped header directly.
+class Registry {
+ public:
+  static std::unique_ptr<Registry> create(const std::string& name, std::string* error = nullptr);
+  static std::unique_ptr<Registry> open(const std::string& name, std::string* error = nullptr);
+
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool is_creator() const { return creator_; }
+
+  RegistryHeader& header() { return *header_; }
+  const RegistryHeader& header() const { return *header_; }
+  ClientSlot& slot(std::uint32_t index) { return header_->slots[index]; }
+  const ClientSlot& slot(std::uint32_t index) const { return header_->slots[index]; }
+
+  /// Client side: claim a free slot, fill identity, publish kJoining.
+  /// Returns the slot index, or nullopt when the registry is full.
+  std::optional<std::uint32_t> claim_slot(const std::string& client_name, double advertised_ai,
+                                          std::uint32_t data_home);
+
+  /// True when the PID recorded as the daemon still exists.
+  bool daemon_alive() const;
+
+ private:
+  Registry(std::string name, RegistryHeader* header, bool creator);
+
+  std::string name_;
+  RegistryHeader* header_ = nullptr;
+  bool creator_ = false;
+};
+
+}  // namespace numashare::nsd

@@ -145,12 +145,13 @@ TEST(AgentDeath, PolicyRequired) {
   EXPECT_DEATH(Agent(machine_2x2(), nullptr), "policy");
 }
 
-TEST(AgentDeath, RegisterAfterStartRejected) {
+// Registration after start() is legal now (dynamic membership) — covered in
+// dynamic_membership_test.cpp. Duplicate names are still rejected.
+TEST(AgentDeath, DuplicateNameRejected) {
   Agent agent(machine_2x2(), std::make_unique<OversubscribedPolicy>());
-  Channel ch;
-  agent.start();
-  EXPECT_DEATH(agent.add_app("late", ch), "before starting");
-  agent.stop();
+  Channel ch1, ch2;
+  agent.add_app("same", ch1);
+  EXPECT_DEATH(agent.add_app("same", ch2), "duplicate");
 }
 
 }  // namespace

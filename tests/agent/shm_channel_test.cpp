@@ -91,6 +91,70 @@ TEST(ShmChannel, RingCapacityBackpressure) {
   EXPECT_TRUE(channel->push_command(cmd));  // slot freed
 }
 
+TEST(ShmChannel, DropCountersVisibleFromBothMappings) {
+  const auto name = unique_name("drops");
+  auto agent_side = ShmChannel::create(name);
+  ASSERT_NE(agent_side, nullptr);
+  auto app_side = ShmChannel::attach(name);
+  ASSERT_NE(app_side, nullptr);
+
+  // Overrun the telemetry ring from the app side; the agent side must see
+  // the same cumulative count (they live in the segment, not the process).
+  Telemetry t;
+  for (std::size_t i = 0; i < ShmChannel::kTelemetrySlots + 10; ++i) {
+    app_side->push_telemetry(t);
+  }
+  EXPECT_EQ(app_side->telemetry_dropped(), 10u);
+  EXPECT_EQ(agent_side->telemetry_dropped(), 10u);
+
+  Command cmd;
+  for (std::size_t i = 0; i < ShmChannel::kCommandSlots + 3; ++i) {
+    agent_side->push_command(cmd);
+  }
+  EXPECT_EQ(agent_side->commands_dropped(), 3u);
+  EXPECT_EQ(app_side->commands_dropped(), 3u);
+
+  // Draining frees slots; successful pushes don't move the counters.
+  while (agent_side->pop_telemetry()) {
+  }
+  EXPECT_TRUE(app_side->push_telemetry(t));
+  EXPECT_EQ(agent_side->telemetry_dropped(), 10u);
+}
+
+TEST(ShmChannel, CleanupStaleSegmentsMatchesPrefixOnly) {
+  const auto prefix = unique_name("stale");
+  // Three "orphaned" segments under the prefix (as a crashed daemon leaves
+  // behind) and one live channel under an unrelated name.
+  auto a = ShmChannel::create(prefix + "-chan-0-1");
+  auto b = ShmChannel::create(prefix + "-chan-1-2");
+  auto c = ShmChannel::create(prefix);
+  const auto other_name = unique_name("survivor");
+  auto other = ShmChannel::create(other_name);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(other, nullptr);
+
+  std::string error;
+  EXPECT_EQ(cleanup_stale_segments(prefix, &error), 3u) << error;
+  // Unlinked: new attaches fail even though our mappings remain valid.
+  EXPECT_EQ(ShmChannel::attach(prefix + "-chan-0-1"), nullptr);
+  // The unrelated segment survived and is still attachable.
+  EXPECT_NE(ShmChannel::attach(other_name), nullptr);
+  // Idempotent: nothing left to clean.
+  EXPECT_EQ(cleanup_stale_segments(prefix), 0u);
+
+  // The creators' destructors will shm_unlink names that are already gone;
+  // that must be harmless (exercised when this scope closes).
+}
+
+TEST(ShmChannel, CleanupRefusesEmptyPrefix) {
+  std::string error;
+  EXPECT_EQ(cleanup_stale_segments("", &error), 0u);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(cleanup_stale_segments("/", &error), 0u);
+}
+
 TEST(ShmChannel, TwoProcessFigureOne) {
   // Parent = agent process; child = application process with a live runtime
   // pumped through a RuntimeAdapter. The command must shrink the child's

@@ -1,0 +1,400 @@
+// ns_daemon lifecycle: dynamic join, heartbeat eviction, graceful leave,
+// crash recovery — in-process with deterministic manual ticks, plus the
+// full two-client fork round trip with SIGKILL and core reclamation.
+#include "daemon/daemon.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "agent/channel.hpp"
+#include "agent/policies.hpp"
+#include "daemon/client.hpp"
+#include "runtime/runtime.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::nsd {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string unique_registry(const char* tag) {
+  static int counter = 0;
+  return std::string("/numashare-dtest-") + tag + "-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter++);
+}
+
+std::string unique_journal(const char* tag) {
+  static int counter = 0;
+  return "/tmp/numashare-dtest-" + std::string(tag) + "-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter++) + ".jsonl";
+}
+
+topo::Machine test_machine() { return topo::Machine::symmetric(2, 2, 1.0, 10.0, 5.0); }
+
+std::size_t count_events(const std::vector<JournalEntry>& entries, const std::string& event) {
+  std::size_t n = 0;
+  for (const auto& entry : entries) n += entry.event == event ? 1 : 0;
+  return n;
+}
+
+/// Run connect() on a thread while the caller manually ticks the daemon
+/// (activation requires a daemon tick, so a single thread would deadlock).
+bool connect_with_ticks(DaemonClient& client, Daemon& daemon, double& now) {
+  bool ok = false;
+  std::thread joiner([&] { ok = client.connect(); });
+  for (int i = 0; i < 2000 && !client.connected(); ++i) {
+    daemon.tick(now += 0.001);
+    std::this_thread::sleep_for(1ms);
+  }
+  joiner.join();
+  return ok;
+}
+
+TEST(Daemon, InitRequiresNoLiveOwner) {
+  const auto registry = unique_registry("owner");
+  DaemonOptions options;
+  options.registry_name = registry;
+  Daemon first(test_machine(), std::make_unique<agent::ModelGuidedPolicy>(), options);
+  ASSERT_TRUE(first.init());
+
+  // Same registry, owner (this process) is alive: second daemon must refuse.
+  Daemon second(test_machine(), std::make_unique<agent::ModelGuidedPolicy>(), options);
+  std::string error;
+  EXPECT_FALSE(second.init(&error));
+  EXPECT_NE(error.find("live daemon"), std::string::npos) << error;
+}
+
+TEST(Daemon, StartupCleansStaleSegments) {
+  const auto registry = unique_registry("stale");
+  // Litter: a dead "registry" plus channel-looking segments from a previous
+  // incarnation that was SIGKILLed (nothing unlinked them). Raw shm_open is
+  // exactly that state. PID 0 in a real crashed registry would never be
+  // alive, but a raw segment without magic is even more broken — init()
+  // must cope with both.
+  for (const char* suffix : {"", "-chan-0-1", "-chan-3-7"}) {
+    const std::string name = registry + suffix;
+    const int fd = shm_open(name.c_str(), O_CREAT | O_RDWR, 0600);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(ftruncate(fd, 4096), 0);
+    close(fd);
+  }
+
+  DaemonOptions options;
+  options.registry_name = registry;
+  Daemon daemon(test_machine(), std::make_unique<agent::ModelGuidedPolicy>(), options);
+  std::string error;
+  ASSERT_TRUE(daemon.init(&error)) << error;
+  EXPECT_EQ(daemon.stats().stale_segments_cleaned, 3u);
+}
+
+TEST(Daemon, JoinEvictLeaveLifecycle) {
+  const auto registry = unique_registry("life");
+  const auto journal = unique_journal("life");
+  DaemonOptions options;
+  options.registry_name = registry;
+  options.journal_path = journal;
+  options.heartbeat_timeout_s = 0.5;
+  options.snapshot_every_ticks = 0;
+  double now = 0.0;
+  {
+    Daemon daemon(test_machine(), std::make_unique<agent::ModelGuidedPolicy>(), options);
+    std::string error;
+    ASSERT_TRUE(daemon.init(&error)) << error;
+
+    ClientConnectOptions copts;
+    copts.registry_name = registry;
+    copts.advertised_ai = 8.0;
+    DaemonClient alpha("alpha", copts);
+    ASSERT_TRUE(connect_with_ticks(alpha, daemon, now));
+    EXPECT_EQ(daemon.client_count(), 1u);
+    EXPECT_EQ(daemon.stats().joins, 1u);
+
+    // The registry advertises the arbitrated machine's shape.
+    const auto shape = alpha.arbitration_machine();
+    EXPECT_EQ(shape.node_count(), 2u);
+    EXPECT_EQ(shape.core_count(), 4u);
+
+    // The model-guided policy acts on the *advertised* AI before any
+    // telemetry arrives: alpha must receive per-node thread targets that
+    // cover the whole machine.
+    daemon.tick(now += 0.01);
+    std::optional<agent::Command> last;
+    while (auto cmd = alpha.channel()->pop_command()) last = *cmd;
+    ASSERT_TRUE(last.has_value());
+    EXPECT_EQ(last->type, agent::CommandType::kSetNodeThreads);
+    std::uint32_t total = 0;
+    for (std::uint32_t n = 0; n < last->node_count; ++n) total += last->node_threads[n];
+    EXPECT_EQ(total, 4u);
+
+    // A second client joins; the partition must be recomputed to cover both.
+    copts.advertised_ai = 0.5;
+    DaemonClient beta("beta", copts);
+    ASSERT_TRUE(connect_with_ticks(beta, daemon, now));
+    EXPECT_EQ(daemon.client_count(), 2u);
+    daemon.tick(now += 0.01);
+    std::uint32_t alpha_total = 0, beta_total = 0;
+    while (auto cmd = alpha.channel()->pop_command()) {
+      if (cmd->type == agent::CommandType::kSetNodeThreads) {
+        alpha_total = 0;
+        for (std::uint32_t n = 0; n < cmd->node_count; ++n) alpha_total += cmd->node_threads[n];
+      }
+    }
+    while (auto cmd = beta.channel()->pop_command()) {
+      if (cmd->type == agent::CommandType::kSetNodeThreads) {
+        beta_total = 0;
+        for (std::uint32_t n = 0; n < cmd->node_count; ++n) beta_total += cmd->node_threads[n];
+      }
+    }
+    EXPECT_EQ(alpha_total + beta_total, 4u);
+    EXPECT_GE(alpha_total, 1u);
+    EXPECT_GE(beta_total, 1u);
+
+    // alpha goes silent: heartbeats stop, and (since the PID — ours — is
+    // still alive) the heartbeat timeout must evict it. beta keeps beating.
+    beta.heartbeat();
+    daemon.tick(now += 0.1);  // observes alpha's last heartbeat value
+    beta.heartbeat();
+    daemon.tick(now += options.heartbeat_timeout_s + 0.1);
+    EXPECT_EQ(daemon.stats().evictions, 1u);
+    EXPECT_EQ(daemon.client_count(), 1u);
+    EXPECT_FALSE(alpha.check_connection());
+    EXPECT_TRUE(beta.check_connection());
+
+    // The survivor inherits the whole machine.
+    daemon.tick(now += 0.01);
+    std::optional<agent::Command> beta_last;
+    while (auto cmd = beta.channel()->pop_command()) {
+      if (cmd->type == agent::CommandType::kSetNodeThreads) beta_last = *cmd;
+    }
+    ASSERT_TRUE(beta_last.has_value());
+    std::uint32_t reclaimed = 0;
+    for (std::uint32_t n = 0; n < beta_last->node_count; ++n) {
+      reclaimed += beta_last->node_threads[n];
+    }
+    EXPECT_EQ(reclaimed, 4u);
+
+    // beta says goodbye properly.
+    beta.disconnect();
+    daemon.tick(now += 0.01);
+    EXPECT_EQ(daemon.stats().leaves, 1u);
+    EXPECT_EQ(daemon.client_count(), 0u);
+  }
+
+  const auto entries = read_journal(journal);
+  EXPECT_EQ(count_events(entries, "daemon-start"), 1u);
+  EXPECT_EQ(count_events(entries, "join"), 2u);
+  EXPECT_EQ(count_events(entries, "evict"), 1u);
+  EXPECT_EQ(count_events(entries, "leave"), 1u);
+  EXPECT_GE(count_events(entries, "reallocate"), 2u);
+  EXPECT_EQ(count_events(entries, "daemon-stop"), 1u);
+  for (const auto& entry : entries) {
+    if (entry.event != "evict") continue;
+    EXPECT_EQ(journal_field(entry.raw, "reason").value_or(""), "\"heartbeat-timeout\"");
+  }
+  std::remove(journal.c_str());
+}
+
+TEST(Daemon, ClientReconnectsAfterEviction) {
+  const auto registry = unique_registry("reconn");
+  DaemonOptions options;
+  options.registry_name = registry;
+  options.heartbeat_timeout_s = 0.2;
+  double now = 0.0;
+  Daemon daemon(test_machine(), std::make_unique<agent::ModelGuidedPolicy>(), options);
+  ASSERT_TRUE(daemon.init());
+
+  ClientConnectOptions copts;
+  copts.registry_name = registry;
+  copts.advertised_ai = 2.0;
+  DaemonClient client("phoenix", copts);
+  ASSERT_TRUE(connect_with_ticks(client, daemon, now));
+  const auto first_generation = client.generation();
+
+  // Go silent long enough to be evicted.
+  daemon.tick(now += 0.1);
+  daemon.tick(now += 1.0);
+  EXPECT_EQ(daemon.stats().evictions, 1u);
+  EXPECT_FALSE(client.check_connection());
+
+  // Reconnect lands a fresh slot/generation and a working channel.
+  bool ok = false;
+  std::thread joiner([&] { ok = client.reconnect(); });
+  for (int i = 0; i < 2000 && !client.connected(); ++i) {
+    daemon.tick(now += 0.001);
+    std::this_thread::sleep_for(1ms);
+  }
+  joiner.join();
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(client.check_connection());
+  EXPECT_NE(client.generation(), first_generation);
+  EXPECT_EQ(daemon.stats().joins, 2u);
+}
+
+TEST(Daemon, ConnectBackoffGivesUpWithoutDaemon) {
+  ClientConnectOptions copts;
+  copts.registry_name = unique_registry("nobody");
+  copts.max_attempts = 3;
+  copts.initial_backoff_us = 100;
+  copts.max_backoff_us = 200;
+  DaemonClient client("lonely", copts);
+  std::string error;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.connect(&error));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(client.connect_attempts(), 3u);
+  EXPECT_NE(error.find("gave up"), std::string::npos) << error;
+  // Backoff actually slept (100 + 200 us at minimum), but stayed bounded.
+  EXPECT_GE(elapsed, 300us);
+  EXPECT_LT(elapsed, 2s);
+}
+
+// The acceptance scenario: a real daemon thread, two forked client
+// processes with live runtimes, a SIGKILL, eviction within the heartbeat
+// timeout, core reclamation for the survivor, and a journal telling the
+// whole story. Afterwards, a restart over deliberately planted litter
+// proves startup cleanup.
+TEST(DaemonE2E, ForkKillEvictReclaim) {
+  const auto registry = unique_registry("e2e");
+  const auto journal = unique_journal("e2e");
+  const auto machine = test_machine();
+
+  DaemonOptions options;
+  options.registry_name = registry;
+  options.journal_path = journal;
+  options.heartbeat_timeout_s = 1.0;
+  options.period_us = 5'000;
+  options.snapshot_every_ticks = 50;
+
+  auto run_client = [&](const char* name, double ai, bool exit_when_whole_machine) {
+    ClientConnectOptions copts;
+    copts.registry_name = registry;
+    copts.advertised_ai = ai;
+    copts.max_attempts = 20;
+    DaemonClient client(name, copts);
+    if (!client.connect()) _exit(2);
+    rt::Runtime runtime(topo::Machine::symmetric(2, 2, 1.0, 10.0), {.name = name});
+    agent::RuntimeAdapter adapter(runtime, *client.channel(), ai);
+    bool was_constrained = false;
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      adapter.pump();
+      client.heartbeat();
+      const auto running = runtime.running_threads();
+      if (running < 4) was_constrained = true;
+      if (exit_when_whole_machine && was_constrained && running == 4) {
+        _exit(0);  // constrained first, then won the whole machine back
+      }
+      std::this_thread::sleep_for(2ms);
+    }
+    _exit(exit_when_whole_machine ? 3 : 0);
+  };
+
+  auto daemon =
+      std::make_unique<Daemon>(machine, std::make_unique<agent::ModelGuidedPolicy>(), options);
+  std::string error;
+  ASSERT_TRUE(daemon->init(&error)) << error;
+  daemon->start();
+
+  // victim: joins and runs until killed.
+  const pid_t victim = fork();
+  ASSERT_GE(victim, 0);
+  if (victim == 0) run_client("victim", 8.0, /*exit_when_whole_machine=*/false);
+
+  // survivor: exits 0 once it has seen a constrained allocation and then
+  // been given all four cores (which requires the victim's eviction).
+  const pid_t survivor = fork();
+  ASSERT_GE(survivor, 0);
+  if (survivor == 0) run_client("survivor", 0.5, /*exit_when_whole_machine=*/true);
+
+  // Wait until both clients are active (observed through a separate
+  // read-only mapping of the registry — all-atomic fields).
+  auto observer = Registry::open(registry);
+  ASSERT_NE(observer, nullptr);
+  const auto join_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  std::uint32_t active = 0;
+  while (std::chrono::steady_clock::now() < join_deadline) {
+    active = 0;
+    for (std::uint32_t i = 0; i < kMaxClients; ++i) {
+      if (observer->slot(i).state.load() == static_cast<std::uint32_t>(SlotState::kActive)) {
+        ++active;
+      }
+    }
+    if (active == 2) break;
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_EQ(active, 2u) << "both clients should register dynamically";
+
+  // Give the policy a moment to constrain both, then kill the victim.
+  std::this_thread::sleep_for(200ms);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(victim, &status, 0), victim);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  // The survivor only exits 0 after inheriting the whole machine, which
+  // bounds "eviction + reclamation + redistribution" end to end.
+  ASSERT_EQ(waitpid(survivor, &status, 0), survivor);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // The survivor exited without saying goodbye; the daemon notices the dead
+  // pid and frees its slot too. Wait for that so the stats are settled.
+  const auto drain_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < drain_deadline) {
+    active = 0;
+    for (std::uint32_t i = 0; i < kMaxClients; ++i) {
+      if (observer->slot(i).state.load() != static_cast<std::uint32_t>(SlotState::kFree)) {
+        ++active;
+      }
+    }
+    if (active == 0) break;
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(active, 0u);
+
+  daemon->stop();
+  EXPECT_EQ(daemon->stats().joins, 2u);
+  EXPECT_EQ(daemon->stats().evictions, 2u);
+  EXPECT_EQ(daemon->stats().leaves, 0u);
+  observer.reset();
+  daemon.reset();  // releases the registry so a successor can own the name
+
+  const auto entries = read_journal(journal);
+  EXPECT_EQ(count_events(entries, "join"), 2u);
+  EXPECT_EQ(count_events(entries, "evict"), 2u);
+  EXPECT_GE(count_events(entries, "reallocate"), 2u);
+  bool victim_evicted = false;
+  for (const auto& entry : entries) {
+    if (entry.event != "evict") continue;
+    const auto client_field = journal_field(entry.raw, "client").value_or("");
+    const auto reason = journal_field(entry.raw, "reason").value_or("");
+    if (client_field.find("victim") != std::string::npos) {
+      victim_evicted = reason == "\"heartbeat-timeout\"" || reason == "\"dead-pid\"";
+    }
+  }
+  EXPECT_TRUE(victim_evicted);
+
+  // Restart over planted litter: a crashed daemon's segments must be found
+  // and removed before the new registry goes live.
+  {
+    const std::string stale = registry + "-chan-9-99";
+    const int fd = shm_open(stale.c_str(), O_CREAT | O_RDWR, 0600);
+    ASSERT_GE(fd, 0);
+    close(fd);
+  }
+  Daemon restarted(machine, std::make_unique<agent::ModelGuidedPolicy>(), options);
+  ASSERT_TRUE(restarted.init(&error)) << error;
+  EXPECT_GE(restarted.stats().stale_segments_cleaned, 1u);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace numashare::nsd

@@ -1,0 +1,100 @@
+// JSONL journal: escaping, append semantics, and the line/field readers.
+#include "daemon/journal.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+namespace numashare::nsd {
+namespace {
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "/tmp/numashare-journal-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter_++) + ".jsonl";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static int counter_;
+  std::string path_;
+};
+
+int JournalTest::counter_ = 0;
+
+TEST_F(JournalTest, DisabledWriterIsNoOp) {
+  JournalWriter writer;
+  EXPECT_FALSE(writer.ok());
+  writer.record(1.0, "join");  // must not crash
+  EXPECT_EQ(writer.lines_written(), 0u);
+}
+
+TEST_F(JournalTest, WriteAndReadBack) {
+  {
+    JournalWriter writer(path_);
+    ASSERT_TRUE(writer.ok());
+    writer.record(0.5, "join",
+                  {{"client", jstr("matmul#0.1")}, {"pid", jnum(std::uint64_t{42})},
+                   {"ai", jnum(8.25)}});
+    writer.record(1.5, "evict",
+                  {{"client", jstr("matmul#0.1")}, {"reason", jstr("heartbeat-timeout")}});
+    EXPECT_EQ(writer.lines_written(), 2u);
+  }
+  const auto entries = read_journal(path_);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].event, "join");
+  EXPECT_EQ(entries[1].event, "evict");
+  EXPECT_EQ(journal_field(entries[0].raw, "pid").value_or(""), "42");
+  EXPECT_EQ(journal_field(entries[0].raw, "ai").value_or(""), "8.25");
+  EXPECT_EQ(journal_field(entries[0].raw, "client").value_or(""), "\"matmul#0.1\"");
+  EXPECT_EQ(journal_field(entries[1].raw, "reason").value_or(""), "\"heartbeat-timeout\"");
+  EXPECT_FALSE(journal_field(entries[0].raw, "absent").has_value());
+}
+
+TEST_F(JournalTest, AppendsAcrossWriters) {
+  { JournalWriter(path_).record(1.0, "daemon-start"); }
+  { JournalWriter(path_).record(2.0, "daemon-stop"); }
+  const auto entries = read_journal(path_);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].event, "daemon-start");
+  EXPECT_EQ(entries[1].event, "daemon-stop");
+}
+
+TEST_F(JournalTest, EscapesHostileStrings) {
+  const std::string hostile = "quote\" backslash\\ newline\n tab\t bell\x07";
+  {
+    JournalWriter writer(path_);
+    writer.record(0.0, "join", {{"client", jstr(hostile)}});
+  }
+  const auto entries = read_journal(path_);
+  ASSERT_EQ(entries.size(), 1u);  // escaping kept it to one line
+  EXPECT_EQ(entries[0].event, "join");
+  const auto value = journal_field(entries[0].raw, "client");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "\"quote\\\" backslash\\\\ newline\\n tab\\t bell\\u0007\"");
+}
+
+TEST_F(JournalTest, NestedValuesExtractWhole) {
+  {
+    JournalWriter writer(path_);
+    writer.record(0.0, "reallocate",
+                  {{"apps", std::string("[{\"name\":\"a\",\"node_threads\":[2,2]}]")},
+                   {"generation", jnum(std::uint64_t{7})}});
+  }
+  const auto entries = read_journal(path_);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(journal_field(entries[0].raw, "apps").value_or(""),
+            "[{\"name\":\"a\",\"node_threads\":[2,2]}]");
+  EXPECT_EQ(journal_field(entries[0].raw, "generation").value_or(""), "7");
+  // Keys inside the nested object must not shadow top-level lookups.
+  EXPECT_FALSE(journal_field(entries[0].raw, "node_threads").has_value());
+}
+
+TEST(Journal, ReadMissingFileIsEmpty) {
+  EXPECT_TRUE(read_journal("/tmp/numashare-journal-nonexistent.jsonl").empty());
+}
+
+}  // namespace
+}  // namespace numashare::nsd

@@ -1,0 +1,95 @@
+// Registry segment: creation, the slot-claim protocol, and daemon-liveness.
+#include "daemon/registry.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+namespace numashare::nsd {
+namespace {
+
+std::string unique_name(const char* tag) {
+  static int counter = 0;
+  return std::string("/numashare-regtest-") + tag + "-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter++);
+}
+
+TEST(Registry, CreateOpenRoundTrip) {
+  const auto name = unique_name("rt");
+  std::string error;
+  auto daemon_side = Registry::create(name, &error);
+  ASSERT_NE(daemon_side, nullptr) << error;
+  EXPECT_TRUE(daemon_side->is_creator());
+  EXPECT_EQ(daemon_side->header().daemon_pid.load(), static_cast<std::uint32_t>(::getpid()));
+
+  auto client_side = Registry::open(name, &error);
+  ASSERT_NE(client_side, nullptr) << error;
+  EXPECT_FALSE(client_side->is_creator());
+  EXPECT_TRUE(client_side->daemon_alive());  // we are the daemon, and alive
+}
+
+TEST(Registry, CreateTwiceFails) {
+  const auto name = unique_name("dup");
+  auto first = Registry::create(name);
+  ASSERT_NE(first, nullptr);
+  std::string error;
+  EXPECT_EQ(Registry::create(name, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Registry, OpenMissingFails) {
+  std::string error;
+  EXPECT_EQ(Registry::open(unique_name("missing"), &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Registry, CreatorUnlinksOnDestruction) {
+  const auto name = unique_name("unlink");
+  { auto registry = Registry::create(name); }
+  EXPECT_EQ(Registry::open(name), nullptr);
+}
+
+TEST(Registry, ClaimSlotPublishesIdentity) {
+  const auto name = unique_name("claim");
+  auto daemon_side = Registry::create(name);
+  ASSERT_NE(daemon_side, nullptr);
+  auto client_side = Registry::open(name);
+  ASSERT_NE(client_side, nullptr);
+
+  const auto index = client_side->claim_slot("matmul", 8.5, 1);
+  ASSERT_TRUE(index.has_value());
+
+  // The daemon-side mapping sees the published identity.
+  auto& slot = daemon_side->slot(*index);
+  EXPECT_EQ(slot.state.load(), static_cast<std::uint32_t>(SlotState::kJoining));
+  EXPECT_EQ(std::string(slot.name), "matmul");
+  EXPECT_EQ(slot.pid, static_cast<std::uint32_t>(::getpid()));
+  EXPECT_DOUBLE_EQ(slot.advertised_ai, 8.5);
+  EXPECT_EQ(slot.data_home, 1u);
+  EXPECT_GE(slot.heartbeat.load(), 1u);
+}
+
+TEST(Registry, ClaimFillsDistinctSlotsUntilFull) {
+  const auto name = unique_name("full");
+  auto registry = Registry::create(name);
+  ASSERT_NE(registry, nullptr);
+  for (std::uint32_t i = 0; i < kMaxClients; ++i) {
+    const auto index = registry->claim_slot("app", 1.0, agent::kMaxNodes);
+    ASSERT_TRUE(index.has_value());
+    EXPECT_EQ(*index, i);  // first-fit
+  }
+  EXPECT_FALSE(registry->claim_slot("overflow", 1.0, agent::kMaxNodes).has_value());
+}
+
+TEST(Registry, LongClientNameIsTruncatedSafely) {
+  const auto name = unique_name("trunc");
+  auto registry = Registry::create(name);
+  ASSERT_NE(registry, nullptr);
+  const std::string long_name(200, 'x');
+  const auto index = registry->claim_slot(long_name, 0.0, agent::kMaxNodes);
+  ASSERT_TRUE(index.has_value());
+  const auto& slot = registry->slot(*index);
+  EXPECT_EQ(std::string(slot.name).size(), kClientNameChars - 1);
+}
+
+}  // namespace
+}  // namespace numashare::nsd

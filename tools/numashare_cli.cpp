@@ -13,6 +13,8 @@
 //       Joint allocation + data-placement optimization.
 //   numashare_cli template
 //       Emit a starter mix.ini to stdout.
+//   numashare_cli daemon-status [--registry=/name]
+//       Read a running numashared's registry segment and print its state.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -26,6 +28,7 @@
 #include "core/report.hpp"
 #include "core/roofline.hpp"
 #include "core/scenario_io.hpp"
+#include "daemon/registry.hpp"
 #include "topology/discovery.hpp"
 
 using namespace numashare;
@@ -40,7 +43,8 @@ int usage() {
                "  solve <mix.ini> --alloc=<even|nodeperapp|uniform:c0,c1,...>\n"
                "  optimize <mix.ini> [--objective=total|min|pf] [--min-threads=N]\n"
                "  placement <mix.ini>\n"
-               "  template\n");
+               "  template\n"
+               "  daemon-status [--registry=/name]\n");
   return 2;
 }
 
@@ -192,6 +196,53 @@ int cmd_placement(const std::string& path) {
   return 0;
 }
 
+int cmd_daemon_status(int argc, char** argv) {
+  const auto registry_name = flag_value(argc, argv, "--registry", nsd::kDefaultRegistryName);
+  std::string error;
+  const auto registry = nsd::Registry::open(registry_name, &error);
+  if (!registry) {
+    std::fprintf(stderr, "no daemon registry at '%s': %s\n", registry_name.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const auto& header = registry->header();
+  const bool alive = registry->daemon_alive();
+  std::printf("registry:   %s\n", registry_name.c_str());
+  std::printf("daemon pid: %u (%s)\n", header.daemon_pid.load(),
+              alive ? "alive" : "DEAD — stale registry");
+  std::printf("generation: %llu\n",
+              static_cast<unsigned long long>(header.generation.load()));
+  std::printf("tick:       %llu\n\n", static_cast<unsigned long long>(header.tick.load()));
+
+  TextTable table({"slot", "state", "name", "pid", "ai", "heartbeat", "channel"});
+  std::uint32_t active = 0;
+  for (std::uint32_t i = 0; i < nsd::kMaxClients; ++i) {
+    const auto& slot = registry->slot(i);
+    const auto state = static_cast<nsd::SlotState>(slot.state.load());
+    if (state == nsd::SlotState::kFree) continue;
+    const char* state_name = "?";
+    switch (state) {
+      case nsd::SlotState::kFree: state_name = "free"; break;
+      case nsd::SlotState::kClaiming: state_name = "claiming"; break;
+      case nsd::SlotState::kJoining: state_name = "joining"; break;
+      case nsd::SlotState::kActive: state_name = "active"; ++active; break;
+      case nsd::SlotState::kLeaving: state_name = "leaving"; break;
+    }
+    table.add_row({std::to_string(i), state_name,
+                   std::string(slot.name, strnlen(slot.name, sizeof(slot.name))),
+                   std::to_string(slot.pid), fmt_compact(slot.advertised_ai, 4),
+                   std::to_string(slot.heartbeat.load()),
+                   std::string(slot.channel_name,
+                               strnlen(slot.channel_name, sizeof(slot.channel_name)))});
+  }
+  if (active == 0) {
+    std::printf("no active clients\n");
+  } else {
+    std::printf("%s", table.render().c_str());
+  }
+  return alive ? 0 : 1;
+}
+
 int cmd_template() {
   model::ScenarioDescription scenario;
   scenario.machine = topo::Machine::symmetric(4, 8, 10.0, 32.0, 10.0, "example");
@@ -211,5 +262,6 @@ int main(int argc, char** argv) {
   if (command == "solve") return argc >= 3 ? cmd_solve(argv[2], argc, argv) : usage();
   if (command == "optimize") return argc >= 3 ? cmd_optimize(argv[2], argc, argv) : usage();
   if (command == "placement") return argc >= 3 ? cmd_placement(argv[2]) : usage();
+  if (command == "daemon-status") return cmd_daemon_status(argc, argv);
   return usage();
 }
