@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "common/format.hpp"
+#include "inject/fault.hpp"
 
 namespace numashare::agent {
 
@@ -97,17 +98,63 @@ ShmChannel::~ShmChannel() {
 }
 
 bool ShmChannel::push_command(const Command& command) {
+#if NS_FAULT_ENABLED
+  // In-transit loss: report success to the sender and do NOT bump the drop
+  // counter — the receiver must detect the gap from seq alone.
+  if (inject::fire("shm.cmd.drop", command.seq)) return true;
+  if (inject::hold("shm.cmd.delay", command.seq, &command, sizeof(command))) return true;
+  if (inject::fire("shm.cmd.dup", command.seq)) {
+    if (layout_->commands.try_push(command)) {
+      // fall through: push the original below for the duplicate delivery
+    } else {
+      layout_->commands_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const bool pushed = layout_->commands.try_push(command);
+  if (!pushed) layout_->commands_dropped.fetch_add(1, std::memory_order_relaxed);
+  // A held message whose delay expired is re-injected AFTER the current
+  // push — with ticks=1 the two genuinely swap order on the wire.
+  inject::delay_tick("shm.cmd.delay");
+  Command held{};
+  while (inject::take_ready("shm.cmd.delay", &held, sizeof(held))) {
+    if (!layout_->commands.try_push(held)) {
+      layout_->commands_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return pushed;
+#else
   if (layout_->commands.try_push(command)) return true;
   layout_->commands_dropped.fetch_add(1, std::memory_order_relaxed);
   return false;
+#endif
 }
 
 std::optional<Command> ShmChannel::pop_command() { return layout_->commands.try_pop(); }
 
 bool ShmChannel::push_telemetry(const Telemetry& telemetry) {
+#if NS_FAULT_ENABLED
+  if (inject::fire("shm.tel.drop", telemetry.seq)) return true;
+  if (inject::hold("shm.tel.delay", telemetry.seq, &telemetry, sizeof(telemetry))) return true;
+  if (inject::fire("shm.tel.dup", telemetry.seq)) {
+    if (!layout_->telemetry.try_push(telemetry)) {
+      layout_->telemetry_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const bool pushed = layout_->telemetry.try_push(telemetry);
+  if (!pushed) layout_->telemetry_dropped.fetch_add(1, std::memory_order_relaxed);
+  inject::delay_tick("shm.tel.delay");
+  Telemetry held{};
+  while (inject::take_ready("shm.tel.delay", &held, sizeof(held))) {
+    if (!layout_->telemetry.try_push(held)) {
+      layout_->telemetry_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return pushed;
+#else
   if (layout_->telemetry.try_push(telemetry)) return true;
   layout_->telemetry_dropped.fetch_add(1, std::memory_order_relaxed);
   return false;
+#endif
 }
 
 std::optional<Telemetry> ShmChannel::pop_telemetry() {

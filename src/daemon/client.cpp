@@ -11,6 +11,7 @@
 #include "common/format.hpp"
 #include "common/logging.hpp"
 #include "common/threading.hpp"
+#include "inject/fault.hpp"
 
 namespace numashare::nsd {
 
@@ -23,6 +24,10 @@ DaemonClient::~DaemonClient() {
 }
 
 bool DaemonClient::try_join_once(std::string* error) {
+  if (NS_FAULT_AT("client.connect.fail")) {
+    if (error) *error = "injected connect failure";
+    return false;
+  }
   registry_ = Registry::open(options_.registry_name, error);
   if (registry_ == nullptr) return false;
   if (!registry_->daemon_alive()) {
@@ -37,30 +42,40 @@ bool DaemonClient::try_join_once(std::string* error) {
     registry_.reset();
     return false;
   }
-  const std::uint32_t index = *claimed;
+  const std::uint32_t index = claimed->index;
   auto& slot = registry_->slot(index);
+  NS_FAULT_DIE("client.die", "post_claim", 45);
 
-  // Wait for the daemon to mint our channel and flip the slot to kActive.
+  // Wait for the daemon to mint our channel. The daemon activates exactly
+  // our published word, so the one word we must see is its successor; any
+  // OTHER word means the claim was reclaimed/recycled and the slot is no
+  // longer ours to touch.
+  std::uint64_t word = claimed->joining_word;
+  const std::uint64_t activated = next_word(word, SlotState::kActive);
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::microseconds(static_cast<std::int64_t>(options_.activation_timeout_s * 1e6));
-  while (slot.state.load(std::memory_order_acquire) !=
-         static_cast<std::uint32_t>(SlotState::kActive)) {
+  for (;;) {
+    const std::uint64_t seen = slot.state_word.load(std::memory_order_acquire);
+    if (seen == activated) break;
+    if (seen != word) {
+      if (error) *error = "lost the claimed slot before activation";
+      registry_.reset();
+      return false;
+    }
     if (std::chrono::steady_clock::now() >= deadline) {
       // Abandon the claim — unless the daemon activates concurrently, in
-      // which case the CAS fails and we proceed with the attach below.
-      std::uint32_t expected = static_cast<std::uint32_t>(SlotState::kJoining);
-      if (slot.state.compare_exchange_strong(expected,
-                                             static_cast<std::uint32_t>(SlotState::kFree),
-                                             std::memory_order_acq_rel)) {
+      // which case the CAS fails and we re-check (attach proceeds above).
+      if (slot.try_transition(word, SlotState::kFree)) {
         if (error) *error = "daemon did not activate the slot in time";
         registry_.reset();
         return false;
       }
-      continue;  // re-check: the state changed under us
+      continue;  // the state changed under us; re-evaluate
     }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
+  NS_FAULT_DIE("client.die", "pre_attach", 46);
 
   const std::string channel_name(slot.channel_name,
                                  strnlen(slot.channel_name, sizeof(slot.channel_name)));
@@ -69,8 +84,11 @@ bool DaemonClient::try_join_once(std::string* error) {
     registry_.reset();
     return false;
   }
+  NS_FAULT_DIE("client.die", "post_attach", 47);
   slot_index_ = index;
-  generation_ = slot.generation;
+  generation_ = slot.generation.load(std::memory_order_relaxed);
+  active_word_ = activated;
+  connected_.store(true, std::memory_order_release);
   NS_LOG_INFO("daemon-client", "'{}' joined: slot {} channel '{}' generation {}", app_name_,
               index, channel_name, generation_);
   return true;
@@ -108,6 +126,7 @@ topo::Machine DaemonClient::arbitration_machine() const {
 }
 
 void DaemonClient::heartbeat() {
+  if (NS_FAULT_AT("client.heartbeat.suppress")) return;
   if (registry_ == nullptr || slot_index_ >= kMaxClients) return;
   registry_->slot(slot_index_).heartbeat.fetch_add(1, std::memory_order_relaxed);
 }
@@ -130,11 +149,10 @@ void DaemonClient::stop_heartbeat() {
 
 bool DaemonClient::check_connection() {
   if (!connected()) return false;
-  const auto& slot = registry_->slot(slot_index_);
+  // One acquire load answers "still our incarnation?": the slot word moves
+  // on (nonce bump) the moment anyone evicts, frees, or re-claims the slot.
   const bool still_ours =
-      slot.state.load(std::memory_order_acquire) ==
-          static_cast<std::uint32_t>(SlotState::kActive) &&
-      slot.pid == static_cast<std::uint32_t>(::getpid()) && slot.generation == generation_;
+      registry_->slot(slot_index_).state_word.load(std::memory_order_acquire) == active_word_;
   if (still_ours && registry_->daemon_alive()) return true;
   NS_LOG_WARN("daemon-client", "'{}' lost its slot (evicted or daemon restarted)", app_name_);
   drop_connection();
@@ -142,22 +160,20 @@ bool DaemonClient::check_connection() {
 }
 
 void DaemonClient::drop_connection() {
+  connected_.store(false, std::memory_order_release);
   channel_.reset();
   registry_.reset();
   slot_index_ = kMaxClients;
   generation_ = 0;
+  active_word_ = 0;
 }
 
 void DaemonClient::disconnect() {
   if (!connected()) return;
-  auto& slot = registry_->slot(slot_index_);
-  // Only flip to kLeaving when the slot is still our incarnation.
-  if (slot.pid == static_cast<std::uint32_t>(::getpid()) && slot.generation == generation_) {
-    std::uint32_t expected = static_cast<std::uint32_t>(SlotState::kActive);
-    slot.state.compare_exchange_strong(expected,
-                                       static_cast<std::uint32_t>(SlotState::kLeaving),
-                                       std::memory_order_acq_rel);
-  }
+  // Only our exact incarnation may be flipped to kLeaving; if the word
+  // moved on (eviction, daemon restart) the CAS fails harmlessly.
+  std::uint64_t expected = active_word_;
+  registry_->slot(slot_index_).try_transition(expected, SlotState::kLeaving);
   drop_connection();
 }
 

@@ -59,7 +59,8 @@ class DaemonClient {
   bool connect(std::string* error = nullptr);
 
   /// True after a successful connect() and before disconnect()/eviction.
-  bool connected() const { return channel_ != nullptr; }
+  /// Safe to poll from any thread while connect() runs on another.
+  bool connected() const { return connected_.load(std::memory_order_acquire); }
 
   /// Bump the registry heartbeat (call from the app's progress loop).
   void heartbeat();
@@ -106,6 +107,10 @@ class DaemonClient {
   std::unique_ptr<agent::ShmChannel> channel_;
   std::uint32_t slot_index_ = kMaxClients;
   std::uint64_t generation_ = 0;
+  /// The slot's exact {kActive, nonce} word for our incarnation. Ownership
+  /// test is a single word compare — no torn pid/generation reads.
+  std::uint64_t active_word_ = 0;
+  std::atomic<bool> connected_{false};
   std::uint32_t connect_attempts_ = 0;
 
   std::atomic<bool> heartbeat_running_{false};

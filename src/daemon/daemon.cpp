@@ -12,6 +12,7 @@
 #include "common/format.hpp"
 #include "common/logging.hpp"
 #include "common/threading.hpp"
+#include "inject/fault.hpp"
 
 namespace numashare::nsd {
 
@@ -53,6 +54,7 @@ Daemon::Daemon(topo::Machine machine, agent::PolicyPtr policy, DaemonOptions opt
   auto wrapped = std::make_unique<AdvertisedAiPolicy>(std::move(policy), std::move(lookup));
   agent::AgentOptions agent_options = options_.agent;
   agent_ = std::make_unique<agent::Agent>(machine_, std::move(wrapped), agent_options);
+  for (auto& seen : claim_first_seen_s_) seen = -1.0;
 }
 
 Daemon::~Daemon() {
@@ -115,11 +117,14 @@ bool Daemon::init(std::string* error) {
   return true;
 }
 
-void Daemon::admit(std::uint32_t index, double now) {
+void Daemon::admit(std::uint32_t index, std::uint64_t joining_word, double now) {
   auto& slot = registry_->slot(index);
-  if (pid_is_dead(slot.pid)) {
-    // The client crashed between claiming and our tick; recycle silently.
-    slot.state.store(static_cast<std::uint32_t>(SlotState::kFree), std::memory_order_release);
+  std::uint64_t word = joining_word;
+  const auto pid = slot.pid.load(std::memory_order_relaxed);
+  if (pid_is_dead(pid)) {
+    // The client crashed between claiming and our tick; recycle silently
+    // (CAS: the dying claimant's abandon path may race us).
+    slot.try_transition(word, SlotState::kFree);
     return;
   }
   const std::uint64_t join_seq = ++join_seq_;
@@ -131,7 +136,7 @@ void Daemon::admit(std::uint32_t index, double now) {
     NS_LOG_ERROR("daemon", "cannot create channel '{}': {}", channel_name, error);
     journal_.record(now, "join-failed",
                     {{"slot", jnum(index)}, {"error", jstr(error)}});
-    slot.state.store(static_cast<std::uint32_t>(SlotState::kFree), std::memory_order_release);
+    slot.try_transition(word, SlotState::kFree);
     return;
   }
   const std::string base = slot_client_name(slot);
@@ -141,21 +146,22 @@ void Daemon::admit(std::uint32_t index, double now) {
   auto& client = clients_[index];
   client.used = true;
   client.app_name = app_name;
-  client.pid = slot.pid;
-  client.advertised_ai = slot.advertised_ai;
+  client.pid = pid;
+  // Sanitize the hint: a torn/hostile advertisement must never poison the
+  // policy (NaN propagates through the whole roofline solve).
+  const double ai = slot.advertised_ai.load(std::memory_order_relaxed);
+  client.advertised_ai = (ai >= 0.0 && ai <= 1e9) ? ai : 0.0;
   client.channel = std::move(channel);
   client.last_heartbeat = slot.heartbeat.load(std::memory_order_relaxed);
   client.last_heartbeat_change_s = now;
 
-  slot.generation = agent_->generation();
+  slot.generation.store(agent_->generation(), std::memory_order_relaxed);
   std::memset(slot.channel_name, 0, sizeof(slot.channel_name));
   std::strncpy(slot.channel_name, channel_name.c_str(), sizeof(slot.channel_name) - 1);
-  registry_->header().generation.store(agent_->generation(), std::memory_order_relaxed);
-  slot.state.store(static_cast<std::uint32_t>(SlotState::kActive), std::memory_order_release);
 
-  ++stats_.joins;
-  NS_LOG_INFO("daemon", "join: '{}' pid {} slot {} (ai={})", app_name, client.pid, index,
-              client.advertised_ai);
+  // Write-ahead: journal the join, then activate. A crash between the two
+  // leaves a journaled join with no active slot — recovery semantics the
+  // replay invariant (and the daemon.die fault site) pin down.
   journal_.record(now, "join",
                   {{"client", jstr(app_name)},
                    {"pid", jnum(static_cast<std::uint64_t>(client.pid))},
@@ -163,6 +169,32 @@ void Daemon::admit(std::uint32_t index, double now) {
                    {"ai", jnum(client.advertised_ai)},
                    {"channel", jstr(channel_name)},
                    {"generation", jnum(agent_->generation())}});
+  NS_FAULT_DIE("daemon.die", "post_journal_join", 48);
+  NS_FAULT_PAUSE("daemon.pause", "admit_pre_activate");
+
+  // Activation is a CAS on the exact word the client published: if the
+  // client abandoned the claim while we were admitting (activation
+  // timeout), the CAS fails and the whole join rolls back — the old code's
+  // blind store would have resurrected the abandoned slot and stomped any
+  // newer claimant that had already re-claimed it.
+  if (!slot.try_transition(word, SlotState::kActive)) {
+    agent_->remove_app(app_name);
+    client.channel.reset();
+    client = Client{};
+    ++stats_.joins_abandoned;
+    NS_LOG_WARN("daemon", "join rolled back: '{}' abandoned slot {} during activation",
+                app_name, index);
+    journal_.record(now, "join-abandoned",
+                    {{"client", jstr(app_name)},
+                     {"slot", jnum(index)},
+                     {"generation", jnum(agent_->generation())}});
+    return;
+  }
+  registry_->header().generation.store(agent_->generation(), std::memory_order_relaxed);
+
+  ++stats_.joins;
+  NS_LOG_INFO("daemon", "join: '{}' pid {} slot {} (ai={})", app_name, client.pid, index,
+              client.advertised_ai);
 }
 
 void Daemon::retire(std::uint32_t index, const char* reason, double now) {
@@ -183,7 +215,11 @@ void Daemon::retire(std::uint32_t index, const char* reason, double now) {
   client = Client{};
   auto& slot = registry_->slot(index);
   registry_->header().generation.store(agent_->generation(), std::memory_order_relaxed);
-  slot.state.store(static_cast<std::uint32_t>(SlotState::kFree), std::memory_order_release);
+  // CAS-loop to kFree: the nonce bump invalidates the departing client's
+  // active word, so a late heartbeat/disconnect cannot resurrect the slot.
+  std::uint64_t word = slot.state_word.load(std::memory_order_acquire);
+  while (state_of(word) != SlotState::kFree && !slot.try_transition(word, SlotState::kFree)) {
+  }
 }
 
 void Daemon::check_liveness(std::uint32_t index, double now) {
@@ -206,19 +242,21 @@ void Daemon::check_liveness(std::uint32_t index, double now) {
 
 std::uint32_t Daemon::tick(double now) {
   NS_REQUIRE(registry_ != nullptr, "Daemon::init() must succeed before tick()");
+  if (NS_FAULT_AT("daemon.tick.skip")) return 0;
   for (std::uint32_t i = 0; i < kMaxClients; ++i) {
     auto& slot = registry_->slot(i);
-    const auto state = static_cast<SlotState>(slot.state.load(std::memory_order_acquire));
+    std::uint64_t word = slot.state_word.load(std::memory_order_acquire);
+    const SlotState state = state_of(word);
+    if (state != SlotState::kClaiming) claim_first_seen_s_[i] = -1.0;
     switch (state) {
       case SlotState::kJoining:
-        admit(i, now);
+        admit(i, word, now);
         break;
       case SlotState::kLeaving:
         if (clients_[i].used) {
           retire(i, "leave", now);
         } else {
-          slot.state.store(static_cast<std::uint32_t>(SlotState::kFree),
-                           std::memory_order_release);
+          slot.try_transition(word, SlotState::kFree);
         }
         break;
       case SlotState::kActive:
@@ -227,12 +265,27 @@ std::uint32_t Daemon::tick(double now) {
         } else {
           // Active slot we know nothing about: impossible after a clean
           // startup (cleanup removed the old registry); recycle defensively.
-          slot.state.store(static_cast<std::uint32_t>(SlotState::kFree),
-                           std::memory_order_release);
+          slot.try_transition(word, SlotState::kFree);
+        }
+        break;
+      case SlotState::kClaiming:
+        // A claimant that dies (or stalls) here leaks the slot forever: no
+        // other claimant can take it and the daemon never sees kJoining.
+        // Bound the window: reclaim after claim_timeout_s. The nonce bump
+        // makes a late publish by a merely-stalled claimant fail its CAS.
+        if (claim_first_seen_s_[i] < 0.0) {
+          claim_first_seen_s_[i] = now;
+        } else if (now - claim_first_seen_s_[i] > options_.claim_timeout_s) {
+          if (slot.try_transition(word, SlotState::kFree)) {
+            ++stats_.claims_reclaimed;
+            NS_LOG_WARN("daemon", "reclaimed slot {} stuck in claiming past {}s", i,
+                        options_.claim_timeout_s);
+            journal_.record(now, "claim-reclaimed", {{"slot", jnum(i)}});
+          }
+          claim_first_seen_s_[i] = -1.0;
         }
         break;
       case SlotState::kFree:
-      case SlotState::kClaiming:
         break;
     }
   }

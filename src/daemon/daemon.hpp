@@ -41,6 +41,11 @@ struct DaemonOptions {
   std::string journal_path;  ///< empty = journaling disabled
   /// Evict a client whose heartbeat counter has not changed for this long.
   double heartbeat_timeout_s = 2.0;
+  /// Reclaim a slot stuck in kClaiming for this long: the claimant died (or
+  /// stalled) between reserving the slot and publishing its identity, and
+  /// nobody else can free it. The nonce in the slot's state word makes a
+  /// late publish by a merely-stalled claimant fail harmlessly.
+  double claim_timeout_s = 2.0;
   /// Background loop tick period.
   std::int64_t period_us = 10'000;
   /// Journal a full state snapshot every N ticks (0 = never).
@@ -54,6 +59,10 @@ struct DaemonStats {
   std::uint64_t evictions = 0;
   std::uint64_t ticks = 0;
   std::uint64_t reallocations = 0;  ///< ticks on which commands were issued
+  /// Slots reclaimed from a claimant that died/stalled mid-claim.
+  std::uint64_t claims_reclaimed = 0;
+  /// Admits rolled back because the claimant abandoned during activation.
+  std::uint64_t joins_abandoned = 0;
   std::size_t stale_segments_cleaned = 0;
 };
 
@@ -97,7 +106,7 @@ class Daemon {
     double last_heartbeat_change_s = 0.0;
   };
 
-  void admit(std::uint32_t index, double now);
+  void admit(std::uint32_t index, std::uint64_t joining_word, double now);
   void retire(std::uint32_t index, const char* reason, double now);
   void check_liveness(std::uint32_t index, double now);
   void journal_allocation(double now);
@@ -109,6 +118,9 @@ class Daemon {
   std::unique_ptr<Registry> registry_;
   JournalWriter journal_;
   Client clients_[kMaxClients];
+  /// When each slot was first seen in kClaiming (< 0 = not claiming);
+  /// drives the claim-timeout reclamation.
+  double claim_first_seen_s_[kMaxClients];
   DaemonStats stats_;
   /// Monotonic join counter; makes channel names and app names unique
   /// across slot reuse.

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <fstream>
+#include <iterator>
 
 #include "common/format.hpp"
 
@@ -65,15 +66,30 @@ void JournalWriter::record(double ts, std::string_view event,
   ++lines_;
 }
 
-std::vector<JournalEntry> read_journal(const std::string& path) {
+std::vector<JournalEntry> read_journal(const std::string& path, bool* torn_tail) {
+  if (torn_tail != nullptr) *torn_tail = false;
   std::vector<JournalEntry> entries;
-  std::ifstream in(path);
-  std::string line;
-  while (std::getline(in, line)) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return entries;
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  // getline() cannot tell "line" from "truncated tail with no newline", so
+  // split manually: only '\n'-terminated records count as entries.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const auto end = text.find('\n', start);
+    if (end == std::string::npos) {
+      // The writer appends record + '\n' in one buffered write and flushes;
+      // a chunk without the terminator is the torn remains of a crash
+      // mid-write. Surface the fact, never the partial record.
+      if (torn_tail != nullptr) *torn_tail = true;
+      break;
+    }
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
     if (line.empty()) continue;
     JournalEntry entry;
-    entry.raw = line;
-    if (auto event = journal_field(line, "event")) {
+    entry.raw = std::move(line);
+    if (auto event = journal_field(entry.raw, "event")) {
       // Strip the quotes of the extracted string value.
       if (event->size() >= 2 && event->front() == '"') {
         entry.event = event->substr(1, event->size() - 2);

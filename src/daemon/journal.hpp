@@ -71,8 +71,12 @@ struct JournalEntry {
   std::string raw;
 };
 
-/// Reads every line of a JSONL journal. Missing file -> empty vector.
-std::vector<JournalEntry> read_journal(const std::string& path);
+/// Reads every complete line of a JSONL journal. Missing file -> empty
+/// vector. A crash mid-record leaves a final chunk with no trailing
+/// newline: it is NOT returned as an entry (it is torn by construction),
+/// and `*torn_tail` (when given) is set so recovery tooling can tell
+/// "clean shutdown" from "died mid-write".
+std::vector<JournalEntry> read_journal(const std::string& path, bool* torn_tail = nullptr);
 
 /// Extracts the raw value text of a top-level key ("123", "\"name\"",
 /// "[1,2]") from one JSON line. A deliberately small scanner — enough for

@@ -10,12 +10,14 @@
 #include <cstring>
 
 #include "common/format.hpp"
+#include "inject/fault.hpp"
 
 namespace numashare::nsd {
 
 namespace {
 constexpr std::uint64_t kMagic = 0x6e756d617372656dull;  // "numasrem" (registry member)
-constexpr std::uint32_t kVersion = 1;
+// v2: slot state is a packed {nonce, state} word (torn-claim hardening).
+constexpr std::uint32_t kVersion = 2;
 
 RegistryHeader* map_segment(int fd) {
   void* mapped =
@@ -53,7 +55,7 @@ std::unique_ptr<Registry> Registry::create(const std::string& name, std::string*
   header->node_count.store(0, std::memory_order_relaxed);
   for (auto& cores : header->node_cores) cores.store(0, std::memory_order_relaxed);
   for (auto& slot : header->slots) {
-    slot.state.store(static_cast<std::uint32_t>(SlotState::kFree), std::memory_order_relaxed);
+    slot.state_word.store(pack_state(SlotState::kFree, 0), std::memory_order_relaxed);
     slot.heartbeat.store(0, std::memory_order_relaxed);
   }
   header->magic.store(kMagic, std::memory_order_release);
@@ -91,30 +93,33 @@ Registry::~Registry() {
   if (creator_) shm_unlink(name_.c_str());
 }
 
-std::optional<std::uint32_t> Registry::claim_slot(const std::string& client_name,
-                                                  double advertised_ai,
-                                                  std::uint32_t data_home) {
+std::optional<Registry::Claim> Registry::claim_slot(const std::string& client_name,
+                                                    double advertised_ai,
+                                                    std::uint32_t data_home) {
   for (std::uint32_t i = 0; i < kMaxClients; ++i) {
     auto& slot = header_->slots[i];
-    std::uint32_t expected = static_cast<std::uint32_t>(SlotState::kFree);
-    if (!slot.state.compare_exchange_strong(expected,
-                                            static_cast<std::uint32_t>(SlotState::kClaiming),
-                                            std::memory_order_acq_rel)) {
-      continue;
-    }
-    // We own the slot until the daemon activates it (or we abandon it).
-    slot.pid = static_cast<std::uint32_t>(::getpid());
+    std::uint64_t word = slot.state_word.load(std::memory_order_relaxed);
+    if (state_of(word) != SlotState::kFree) continue;
+    if (!slot.try_transition(word, SlotState::kClaiming)) continue;
+    NS_FAULT_PAUSE("registry.pause", "claiming");
+    NS_FAULT_DIE("registry.die", "claiming", 43);
+    // We own the slot until the daemon activates it, we abandon it, or —
+    // if we stall here past the claim timeout — the daemon reclaims it.
+    slot.pid.store(static_cast<std::uint32_t>(::getpid()), std::memory_order_relaxed);
     std::memset(slot.name, 0, sizeof(slot.name));
     std::strncpy(slot.name, client_name.c_str(), sizeof(slot.name) - 1);
-    slot.advertised_ai = advertised_ai;
-    slot.data_home = data_home;
-    slot.generation = 0;
+    slot.advertised_ai.store(advertised_ai, std::memory_order_relaxed);
+    slot.data_home.store(data_home, std::memory_order_relaxed);
+    slot.generation.store(0, std::memory_order_relaxed);
     std::memset(slot.channel_name, 0, sizeof(slot.channel_name));
     slot.heartbeat.store(1, std::memory_order_relaxed);
-    // Identity is complete; only now may the daemon look at it.
-    slot.state.store(static_cast<std::uint32_t>(SlotState::kJoining),
-                     std::memory_order_release);
-    return i;
+    // Identity is complete; only now may the daemon look at it. The CAS
+    // fails exactly when the daemon reclaimed our stalled claim — the slot
+    // belongs to whoever owns it now, so move on to another one.
+    if (!slot.try_transition(word, SlotState::kJoining)) continue;
+    NS_FAULT_PAUSE("registry.pause", "joining");
+    NS_FAULT_DIE("registry.die", "joining", 44);
+    return Claim{i, word};
   }
   return std::nullopt;
 }

@@ -34,6 +34,7 @@ inline constexpr const char* kDefaultRegistryName = "/numashare-registry";
 /// Slot lifecycle. Transitions:
 ///   kFree -> kClaiming  (client CAS; slot reserved, fields not yet valid)
 ///   kClaiming -> kJoining (client, release-published after identity fields)
+///   kClaiming -> kFree  (daemon, claim timeout: claimant died or stalled)
 ///   kJoining -> kActive (daemon, after creating the pair's channel)
 ///   kJoining -> kFree   (client, activation timeout / daemon, dead PID)
 ///   kActive -> kLeaving (client, graceful goodbye)
@@ -48,28 +49,73 @@ enum class SlotState : std::uint32_t {
   kLeaving = 3,
   kClaiming = 4,
 };
+static_assert(std::is_trivially_copyable_v<SlotState>);
+
+/// The state machine lives in ONE atomic word per slot: the state in the
+/// low 8 bits and an ownership nonce above it. Every transition is a CAS on
+/// the full word that bumps the nonce, so each incarnation of a slot is
+/// unique and a stale party can never corrupt the machine: a client paused
+/// mid-claim whose slot the daemon reclaimed (and someone else re-claimed)
+/// fails its publish CAS instead of stomping the new owner; a daemon
+/// activating a slot whose claimant just abandoned it fails its activation
+/// CAS and rolls the admit back. Nonce wrap needs 2^56 transitions — never.
+constexpr std::uint64_t pack_state(SlotState state, std::uint64_t nonce) {
+  return (nonce << 8) | static_cast<std::uint64_t>(state);
+}
+constexpr SlotState state_of(std::uint64_t word) {
+  return static_cast<SlotState>(word & 0xffu);
+}
+constexpr std::uint64_t nonce_of(std::uint64_t word) { return word >> 8; }
+/// The word a successful transition out of `word` into `to` produces.
+constexpr std::uint64_t next_word(std::uint64_t word, SlotState to) {
+  return pack_state(to, nonce_of(word) + 1);
+}
 
 struct ClientSlot {
-  std::atomic<std::uint32_t> state;
+  /// Packed {nonce, SlotState}; see pack_state(). All transitions CAS this.
+  std::atomic<std::uint64_t> state_word;
 
-  // Client-written before publishing kJoining.
-  std::uint32_t pid;
+  // Client-written between kClaiming and kJoining. Scalars are atomics
+  // (relaxed; the state_word CAS orders them) so a claimant racing a
+  // reclaimed slot's new owner tears at most the name, never a scalar.
+  std::atomic<std::uint32_t> pid;
   char name[kClientNameChars];
   /// Self-advertised arithmetic intensity (FLOPs/byte), 0 = unknown. Seeds
   /// the model-guided policy until live telemetry takes over.
-  double advertised_ai;
+  std::atomic<double> advertised_ai;
   /// Advertised NUMA-bad data home; agent::kMaxNodes = perfect/unknown.
-  std::uint32_t data_home;
+  std::atomic<std::uint32_t> data_home;
 
   // Daemon-written before publishing kActive.
-  std::uint64_t generation;
+  std::atomic<std::uint64_t> generation;
   char channel_name[kShmNameChars];
 
   // Client-incremented while kActive; the daemon watches for *change*, so
   // no cross-process clock comparison is ever needed.
   std::atomic<std::uint64_t> heartbeat;
+
+  SlotState state(std::memory_order order = std::memory_order_acquire) const {
+    return state_of(state_word.load(order));
+  }
+
+  /// CAS from `expected` to state `to` with the nonce bumped. On success
+  /// `expected` holds the slot's new word; on failure, the observed word.
+  bool try_transition(std::uint64_t& expected, SlotState to) {
+    const std::uint64_t target = next_word(expected, to);
+    if (state_word.compare_exchange_strong(expected, target, std::memory_order_acq_rel)) {
+      expected = target;
+      return true;
+    }
+    return false;
+  }
+
+  /// Walk the slot to `to` no matter who races us (daemon-side recycling).
+  void force_state(SlotState to) {
+    std::uint64_t word = state_word.load(std::memory_order_acquire);
+    while (state_of(word) != to && !try_transition(word, to)) {
+    }
+  }
 };
-static_assert(std::is_trivially_copyable_v<SlotState>);
 
 struct RegistryHeader {
   std::atomic<std::uint64_t> magic;
@@ -93,6 +139,16 @@ struct RegistryHeader {
 /// one. All slot-protocol helpers live on the mapped header directly.
 class Registry {
  public:
+  /// A successfully claimed-and-published slot. `joining_word` is the
+  /// {kJoining, nonce} word this claimant published; the daemon activates
+  /// it by CASing exactly that word to its kActive successor, so the
+  /// claimant can wait for next_word(joining_word, kActive) and *know* the
+  /// activation is its own.
+  struct Claim {
+    std::uint32_t index = 0;
+    std::uint64_t joining_word = 0;
+  };
+
   static std::unique_ptr<Registry> create(const std::string& name, std::string* error = nullptr);
   static std::unique_ptr<Registry> open(const std::string& name, std::string* error = nullptr);
 
@@ -110,9 +166,10 @@ class Registry {
   const ClientSlot& slot(std::uint32_t index) const { return header_->slots[index]; }
 
   /// Client side: claim a free slot, fill identity, publish kJoining.
-  /// Returns the slot index, or nullopt when the registry is full.
-  std::optional<std::uint32_t> claim_slot(const std::string& client_name, double advertised_ai,
-                                          std::uint32_t data_home);
+  /// Returns nullopt when the registry is full (or every claimable slot was
+  /// reclaimed under us, which only a fault plan can arrange).
+  std::optional<Claim> claim_slot(const std::string& client_name, double advertised_ai,
+                                  std::uint32_t data_home);
 
   /// True when the PID recorded as the daemon still exists.
   bool daemon_alive() const;

@@ -1,0 +1,119 @@
+// Deterministic fault injection for the daemon/agent coordination path.
+//
+// The paper's architecture only works if the arbiter is strictly advisory:
+// applications must degrade, never wedge, when the agent dies, stalls, or
+// floods the rings. The happy-path tests cannot reach most failure
+// interleavings (a client dying between two slot-claim CAS states, a
+// command dropped mid-reallocation, a heartbeat stalling just under the
+// eviction threshold) — this subsystem makes them reachable on purpose and
+// on schedule.
+//
+// A FaultPlan is a list of rules parsed from a compact spec string:
+//
+//   "shm.cmd.drop@seq=7;client.die@site=post_claim"
+//
+// Each rule names a *site* (a dotted path baked into the coordination code)
+// plus match/behaviour parameters. The plan is process-global: tests
+// install it (in the parent before forking, or in a forked child for
+// client-only faults) and the hooks consult it.
+//
+// Hooks compile to nothing unless NUMASHARE_INJECT is defined. Production
+// libraries (ns_agent, ns_daemon) are built without it; the *_inject twin
+// libraries link ns_inject, which defines NUMASHARE_INJECT publicly, and
+// are what tests/inject links. The hot path of a production binary
+// therefore carries zero overhead — not even a branch.
+//
+// Site catalog and grammar: docs/INJECT.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace numashare::inject {
+
+/// Sentinel: rule matches any message sequence number.
+inline constexpr std::uint64_t kAnySeq = ~0ull;
+
+struct FaultRule {
+  std::string site;   ///< dotted site path, e.g. "shm.cmd.drop"
+  std::string where;  ///< named sub-site ("post_claim", "claiming"); empty = any
+  std::uint64_t seq = kAnySeq;  ///< match one message seq (kAnySeq = all)
+  std::uint64_t count = 1;      ///< fire at most this many times (0 = unlimited)
+  std::uint64_t after = 0;      ///< skip the first N matching hits
+  std::int64_t delay_us = 0;    ///< sleep duration for *.pause sites
+  std::uint64_t ticks = 1;      ///< ops to hold a message for *.delay sites
+  int exit_code = -1;           ///< _exit code override for *.die sites (< 0 = site default)
+};
+
+struct FaultPlan {
+  std::string spec;  ///< the original text, for failure reproduction messages
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+};
+
+/// Parse a plan spec: clause (';' clause)*, clause = site ['@' k[=v] (',' k[=v])*].
+/// Keys: seq, count, after, us, ticks, exit (numeric); site / state (name).
+/// Returns nullopt and sets `error` on malformed input.
+std::optional<FaultPlan> parse_plan(const std::string& spec, std::string* error = nullptr);
+
+/// Install (replace) the process-global plan. Rule counters reset.
+void install_plan(const FaultPlan& plan);
+/// parse_plan + install_plan in one step.
+bool install_spec(const std::string& spec, std::string* error = nullptr);
+/// Remove the plan; every hook goes quiet.
+void clear_plan();
+bool plan_active();
+/// Spec text of the installed plan ("" when none).
+std::string active_spec();
+
+/// Cumulative firings of one site since the last install/clear.
+std::uint64_t fires(const std::string& site);
+/// Cumulative firings across all sites since the last install/clear.
+std::uint64_t total_fires();
+
+// ---- hook queries (wrapped by the NS_FAULT_* macros below) ---------------
+
+/// True when a rule for `site` (matching `where`/`seq`, past its `after`
+/// skip, within its `count` budget) fires now. A true return consumes one
+/// firing. Thread-safe.
+bool fire(const char* site, std::uint64_t seq = kAnySeq, const char* where = nullptr);
+
+/// fire(), and when firing, sleep the rule's delay_us. Returns the firing.
+bool fire_pause(const char* site, const char* where = nullptr);
+
+/// fire(), and when firing, _exit() with the rule's exit code (or
+/// `default_exit_code` when the rule does not override it).
+void fire_die(const char* site, const char* where, int default_exit_code);
+
+/// Message hold for *.delay sites: when the rule fires, copy `len` bytes
+/// into the pending store and return true (the caller suppresses the send).
+bool hold(const char* site, std::uint64_t seq, const void* bytes, std::size_t len);
+/// One transport op elapsed at `site`: age every held message by one tick.
+void delay_tick(const char* site);
+/// Pop one aged-out held message for `site` into `out` (exactly `len`
+/// bytes, which must match the held size). False when none is ready.
+bool take_ready(const char* site, void* out, std::size_t len);
+
+}  // namespace numashare::inject
+
+// The hook macros. With NUMASHARE_INJECT undefined they expand to inert
+// constants — the condition folds away and ns_inject is never referenced,
+// so production builds neither branch nor link on the hooks. Blocks that
+// need locals (message hold/replay) are gated with #if NS_FAULT_ENABLED.
+#if defined(NUMASHARE_INJECT)
+#define NS_FAULT_ENABLED 1
+#define NS_FAULT(site, seq) (::numashare::inject::fire((site), (seq)))
+#define NS_FAULT_AT(site) (::numashare::inject::fire((site)))
+#define NS_FAULT_PAUSE(site, where) ((void)::numashare::inject::fire_pause((site), (where)))
+#define NS_FAULT_DIE(site, where, code) (::numashare::inject::fire_die((site), (where), (code)))
+#else
+#define NS_FAULT_ENABLED 0
+#define NS_FAULT(site, seq) false
+#define NS_FAULT_AT(site) false
+#define NS_FAULT_PAUSE(site, where) ((void)0)
+#define NS_FAULT_DIE(site, where, code) ((void)0)
+#endif

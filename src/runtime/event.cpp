@@ -16,8 +16,11 @@ void Event::satisfy() {
                "events have single-assignment semantics");
     satisfied_.store(true, std::memory_order_release);
     waiters.swap(waiters_);
+    // Notify while still holding the mutex: a waiter may destroy this event
+    // the moment wait() returns, so the cv must not be touched after any
+    // waiter can observe satisfied_ and re-acquire the lock.
+    cv_.notify_all();
   }
-  cv_.notify_all();
   for (auto [runtime, task] : waiters) runtime->on_dependency_satisfied(task);
 }
 

@@ -178,6 +178,45 @@ TEST(ModelProperties, FasterLinkCanReduceTotalThroughput) {
   EXPECT_LT(fast.total_gflops, slow.total_gflops);
 }
 
+TEST_P(ModelProperties, AppGflopsBoundedByPeakTimesThreads) {
+  // An app can never compute faster than its granted cores' aggregate peak:
+  // GFLOPS(app) <= peak_gflops * threads(app), whatever the bandwidth story.
+  const auto p = random_problem(GetParam());
+  const auto solution = solve(p.machine, p.apps, p.allocation);
+  for (AppId a = 0; a < p.allocation.app_count(); ++a) {
+    double bound = 0.0;
+    for (topo::NodeId n = 0; n < p.machine.node_count(); ++n) {
+      const auto peak = p.machine.core(p.machine.node(n).cores.front()).peak_gflops;
+      bound += peak * p.allocation.threads(a, n);
+    }
+    EXPECT_LE(solution.app_gflops[a], bound * (1 + 1e-9))
+        << "app " << a << " exceeds its compute roof";
+  }
+}
+
+TEST_P(ModelProperties, MoreThreadsNeverHurtTheApp) {
+  // Granting an app one more thread (anywhere a core is free) must never
+  // reduce THAT app's GFLOPS. Other apps may lose — the newcomer competes
+  // for bandwidth — but the grown app's own share is monotone: its existing
+  // groups keep at least their fair share and the new thread adds demand
+  // served at >= 0.
+  const auto p = random_problem(GetParam());
+  const auto base = solve(p.machine, p.apps, p.allocation);
+  for (topo::NodeId n = 0; n < p.machine.node_count(); ++n) {
+    std::uint32_t used = 0;
+    for (AppId a = 0; a < p.allocation.app_count(); ++a) used += p.allocation.threads(a, n);
+    if (used >= p.machine.cores_in_node(n)) continue;  // node full: no legal grow
+    for (AppId a = 0; a < p.allocation.app_count(); ++a) {
+      auto grown_alloc = p.allocation;
+      grown_alloc.set_threads(a, n, grown_alloc.threads(a, n) + 1);
+      const auto grown = solve(p.machine, p.apps, grown_alloc);
+      EXPECT_GE(grown.app_gflops[a] + 1e-9 * std::max(1.0, base.app_gflops[a]),
+                base.app_gflops[a])
+          << "app " << a << " lost throughput when granted a thread on node " << n;
+    }
+  }
+}
+
 TEST_P(ModelProperties, SolverDeterministic) {
   const auto p = random_problem(GetParam());
   const auto a = solve(p.machine, p.apps, p.allocation);

@@ -323,9 +323,7 @@ TEST(DaemonE2E, ForkKillEvictReclaim) {
   while (std::chrono::steady_clock::now() < join_deadline) {
     active = 0;
     for (std::uint32_t i = 0; i < kMaxClients; ++i) {
-      if (observer->slot(i).state.load() == static_cast<std::uint32_t>(SlotState::kActive)) {
-        ++active;
-      }
+      if (observer->slot(i).state() == SlotState::kActive) ++active;
     }
     if (active == 2) break;
     std::this_thread::sleep_for(5ms);
@@ -351,9 +349,7 @@ TEST(DaemonE2E, ForkKillEvictReclaim) {
   while (std::chrono::steady_clock::now() < drain_deadline) {
     active = 0;
     for (std::uint32_t i = 0; i < kMaxClients; ++i) {
-      if (observer->slot(i).state.load() != static_cast<std::uint32_t>(SlotState::kFree)) {
-        ++active;
-      }
+      if (observer->slot(i).state() != SlotState::kFree) ++active;
     }
     if (active == 0) break;
     std::this_thread::sleep_for(5ms);

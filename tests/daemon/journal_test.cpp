@@ -93,7 +93,43 @@ TEST_F(JournalTest, NestedValuesExtractWhole) {
 }
 
 TEST(Journal, ReadMissingFileIsEmpty) {
-  EXPECT_TRUE(read_journal("/tmp/numashare-journal-nonexistent.jsonl").empty());
+  bool torn = true;
+  EXPECT_TRUE(read_journal("/tmp/numashare-journal-nonexistent.jsonl", &torn).empty());
+  EXPECT_FALSE(torn);  // nothing read, nothing torn
+}
+
+TEST_F(JournalTest, TornLastLineIsExcludedAndFlagged) {
+  {
+    JournalWriter writer(path_);
+    writer.record(1.0, "daemon-start");
+    writer.record(2.0, "join", {{"client", jstr("app#0.1")}});
+    writer.record(3.0, "evict", {{"client", jstr("app#0.1")}});
+  }
+  // Truncate mid-record, like a crash during the final fwrite: chop the
+  // trailing newline and half the last record with it.
+  std::FILE* file = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fseek(file, 0, SEEK_END), 0);
+  const long size = std::ftell(file);
+  ASSERT_GT(size, 12);
+  ASSERT_EQ(::ftruncate(fileno(file), size - 12), 0);
+  std::fclose(file);
+
+  bool torn = false;
+  const auto entries = read_journal(path_, &torn);
+  EXPECT_TRUE(torn);
+  ASSERT_EQ(entries.size(), 2u);  // complete records only, partial excluded
+  EXPECT_EQ(entries[0].event, "daemon-start");
+  EXPECT_EQ(entries[1].event, "join");
+
+  // A cleanly terminated journal never reports a torn tail.
+  std::remove(path_.c_str());
+  { JournalWriter(path_).record(4.0, "daemon-stop"); }
+  torn = true;
+  const auto clean = read_journal(path_, &torn);
+  EXPECT_FALSE(torn);
+  ASSERT_EQ(clean.size(), 1u);
+  EXPECT_EQ(clean.back().event, "daemon-stop");
 }
 
 }  // namespace

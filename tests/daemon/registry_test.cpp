@@ -55,17 +55,49 @@ TEST(Registry, ClaimSlotPublishesIdentity) {
   auto client_side = Registry::open(name);
   ASSERT_NE(client_side, nullptr);
 
-  const auto index = client_side->claim_slot("matmul", 8.5, 1);
-  ASSERT_TRUE(index.has_value());
+  const auto claim = client_side->claim_slot("matmul", 8.5, 1);
+  ASSERT_TRUE(claim.has_value());
 
   // The daemon-side mapping sees the published identity.
-  auto& slot = daemon_side->slot(*index);
-  EXPECT_EQ(slot.state.load(), static_cast<std::uint32_t>(SlotState::kJoining));
+  auto& slot = daemon_side->slot(claim->index);
+  EXPECT_EQ(slot.state(), SlotState::kJoining);
+  EXPECT_EQ(state_of(claim->joining_word), SlotState::kJoining);
+  EXPECT_EQ(slot.state_word.load(), claim->joining_word);
   EXPECT_EQ(std::string(slot.name), "matmul");
-  EXPECT_EQ(slot.pid, static_cast<std::uint32_t>(::getpid()));
-  EXPECT_DOUBLE_EQ(slot.advertised_ai, 8.5);
-  EXPECT_EQ(slot.data_home, 1u);
+  EXPECT_EQ(slot.pid.load(), static_cast<std::uint32_t>(::getpid()));
+  EXPECT_DOUBLE_EQ(slot.advertised_ai.load(), 8.5);
+  EXPECT_EQ(slot.data_home.load(), 1u);
   EXPECT_GE(slot.heartbeat.load(), 1u);
+}
+
+TEST(Registry, StateWordNonceAdvancesAcrossTransitions) {
+  // The packed word is the whole concurrency story: every transition bumps
+  // the nonce, so a stale owner's CAS on an old word must fail.
+  std::uint64_t word = pack_state(SlotState::kFree, 7);
+  EXPECT_EQ(state_of(word), SlotState::kFree);
+  EXPECT_EQ(nonce_of(word), 7u);
+  const std::uint64_t next = next_word(word, SlotState::kClaiming);
+  EXPECT_EQ(state_of(next), SlotState::kClaiming);
+  EXPECT_EQ(nonce_of(next), 8u);
+
+  const auto name = unique_name("nonce");
+  auto registry = Registry::create(name);
+  ASSERT_NE(registry, nullptr);
+  const auto claim = registry->claim_slot("app", 0.0, agent::kMaxNodes);
+  ASSERT_TRUE(claim.has_value());
+  auto& slot = registry->slot(claim->index);
+  // kFree(0) -> kClaiming(1) -> kJoining(2).
+  EXPECT_EQ(nonce_of(slot.state_word.load()), 2u);
+
+  // A CAS against a stale word fails and reports the current one.
+  std::uint64_t stale = pack_state(SlotState::kJoining, 0);
+  EXPECT_FALSE(slot.try_transition(stale, SlotState::kActive));
+  EXPECT_EQ(stale, claim->joining_word);
+  // A CAS against the live word succeeds.
+  std::uint64_t live = claim->joining_word;
+  EXPECT_TRUE(slot.try_transition(live, SlotState::kActive));
+  EXPECT_EQ(slot.state(), SlotState::kActive);
+  EXPECT_EQ(nonce_of(live), 3u);  // updated to the post-transition word
 }
 
 TEST(Registry, ClaimFillsDistinctSlotsUntilFull) {
@@ -73,9 +105,9 @@ TEST(Registry, ClaimFillsDistinctSlotsUntilFull) {
   auto registry = Registry::create(name);
   ASSERT_NE(registry, nullptr);
   for (std::uint32_t i = 0; i < kMaxClients; ++i) {
-    const auto index = registry->claim_slot("app", 1.0, agent::kMaxNodes);
-    ASSERT_TRUE(index.has_value());
-    EXPECT_EQ(*index, i);  // first-fit
+    const auto claim = registry->claim_slot("app", 1.0, agent::kMaxNodes);
+    ASSERT_TRUE(claim.has_value());
+    EXPECT_EQ(claim->index, i);  // first-fit
   }
   EXPECT_FALSE(registry->claim_slot("overflow", 1.0, agent::kMaxNodes).has_value());
 }
@@ -85,9 +117,9 @@ TEST(Registry, LongClientNameIsTruncatedSafely) {
   auto registry = Registry::create(name);
   ASSERT_NE(registry, nullptr);
   const std::string long_name(200, 'x');
-  const auto index = registry->claim_slot(long_name, 0.0, agent::kMaxNodes);
-  ASSERT_TRUE(index.has_value());
-  const auto& slot = registry->slot(*index);
+  const auto claim = registry->claim_slot(long_name, 0.0, agent::kMaxNodes);
+  ASSERT_TRUE(claim.has_value());
+  const auto& slot = registry->slot(claim->index);
   EXPECT_EQ(std::string(slot.name).size(), kClientNameChars - 1);
 }
 

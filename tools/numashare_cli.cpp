@@ -218,7 +218,7 @@ int cmd_daemon_status(int argc, char** argv) {
   std::uint32_t active = 0;
   for (std::uint32_t i = 0; i < nsd::kMaxClients; ++i) {
     const auto& slot = registry->slot(i);
-    const auto state = static_cast<nsd::SlotState>(slot.state.load());
+    const auto state = slot.state();
     if (state == nsd::SlotState::kFree) continue;
     const char* state_name = "?";
     switch (state) {
@@ -230,7 +230,7 @@ int cmd_daemon_status(int argc, char** argv) {
     }
     table.add_row({std::to_string(i), state_name,
                    std::string(slot.name, strnlen(slot.name, sizeof(slot.name))),
-                   std::to_string(slot.pid), fmt_compact(slot.advertised_ai, 4),
+                   std::to_string(slot.pid.load()), fmt_compact(slot.advertised_ai.load(), 4),
                    std::to_string(slot.heartbeat.load()),
                    std::string(slot.channel_name,
                                strnlen(slot.channel_name, sizeof(slot.channel_name)))});
