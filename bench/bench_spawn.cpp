@@ -1,0 +1,273 @@
+// E16 — task lifecycle microbenchmarks: the cost of creating, dispatching and
+// retiring a task, swept over worker counts.
+//
+// The paper's premise (§II) is that a runtime absorbs thread-target changes
+// cheaply *while running fine-grained task graphs*; that only holds if the
+// spawn/retire path itself scales. This bench records the trajectory:
+//
+//   * spawn_retire_external — an external thread pumps empty tasks through
+//     the injection path, workers drain them (tasks/s);
+//   * spawn_retire_nested  — tasks spawn their successors from inside the
+//     pool, the worker-local fast path (tasks/s);
+//   * steal_drain          — raw WsDeque::steal cost on a populated deque;
+//   * handoff_latency      — submit-to-execution latency for a single task
+//     crossing from an external thread into the pool (median);
+//   * wait_idle_latency    — full spawn → retire → wait_idle() wake cycle
+//     for one task: the idle-detection/notify path (median).
+//
+// Unlike the paper-reproduction benches this one has no published number to
+// compare against; instead it *emits machine-readable results* to
+// BENCH_runtime.json (path overridable via NS_BENCH_OUT) so successive PRs
+// carry a measured perf trajectory. NS_BENCH_QUICK=1 shrinks iteration
+// counts for CI smoke runs; sanitizer builds shrink automatically.
+#include "bench_support.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "runtime/wsdeque.hpp"
+#include "topology/machine.hpp"
+
+namespace {
+
+using namespace numashare;
+using Clock = std::chrono::steady_clock;
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+bool quick_mode() {
+  const char* q = std::getenv("NS_BENCH_QUICK");
+  return q != nullptr && q[0] != '\0' && q[0] != '0';
+}
+
+/// Iteration scale: full by default, /32 for CI smoke, /8 under sanitizers.
+std::uint64_t scaled(std::uint64_t full) {
+  if (quick_mode()) return std::max<std::uint64_t>(full / 32, 64);
+  if (kSanitized) return std::max<std::uint64_t>(full / 8, 64);
+  return full;
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double median(std::vector<double>& xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs.empty() ? 0.0 : xs[xs.size() / 2];
+}
+
+struct Result {
+  std::string name;
+  std::uint32_t workers;
+  std::string unit;
+  double value;
+};
+
+std::vector<Result> g_results;
+
+void record(const std::string& name, std::uint32_t workers, const std::string& unit,
+            double value) {
+  g_results.push_back({name, workers, unit, value});
+  std::printf("  %-28s w=%-3u %14.1f %s\n", name.c_str(), workers, value, unit.c_str());
+}
+
+/// Worker-count sweep points and the virtual machines providing them.
+topo::Machine machine_for(std::uint32_t workers) {
+  switch (workers) {
+    case 1: return topo::Machine::symmetric(1, 1, 1.0, 10.0);
+    case 4: return topo::Machine::symmetric(2, 2, 1.0, 10.0);
+    case 8: return topo::Machine::symmetric(2, 4, 1.0, 10.0);
+    default: return topo::Machine::symmetric(4, 4, 1.0, 10.0);
+  }
+}
+
+void bench_spawn_retire_external(std::uint32_t workers) {
+  rt::Runtime runtime(machine_for(workers), {.name = "bspawn"});
+  const std::uint64_t tasks = scaled(100'000);
+  // Warm the pool (thread creation, first parks) before timing.
+  for (int i = 0; i < 256; ++i) runtime.spawn([](rt::TaskContext&) {});
+  runtime.wait_idle();
+
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < tasks; ++i) {
+    runtime.spawn([](rt::TaskContext&) {});
+  }
+  runtime.wait_idle();
+  const double elapsed = seconds_since(start);
+  record("spawn_retire_external", workers, "tasks_per_sec",
+         static_cast<double>(tasks) / elapsed);
+}
+
+void bench_spawn_retire_nested(std::uint32_t workers) {
+  rt::Runtime runtime(machine_for(workers), {.name = "bspawn"});
+  const std::int64_t tasks = static_cast<std::int64_t>(scaled(100'000));
+  // Signed: concurrent chains may race the counter a few steps below zero,
+  // which must read as "stop", not wrap to a huge count.
+  std::atomic<std::int64_t> remaining{tasks};
+
+  // Each task claims one unit and respawns itself until the budget is gone:
+  // allocation, dispatch and retirement all happen on worker threads.
+  std::function<void(rt::TaskContext&)> body = [&](rt::TaskContext& ctx) {
+    if (remaining.fetch_sub(1, std::memory_order_relaxed) > 1) {
+      ctx.runtime.spawn(body);
+    }
+  };
+
+  const auto start = Clock::now();
+  const std::int64_t seeds = std::min<std::int64_t>(workers, tasks);
+  for (std::int64_t i = 0; i < seeds; ++i) {
+    runtime.spawn(body);
+  }
+  runtime.wait_idle();
+  const double elapsed = seconds_since(start);
+  const auto stats = runtime.stats();
+  record("spawn_retire_nested", workers, "tasks_per_sec",
+         static_cast<double>(stats.tasks_executed) / elapsed);
+}
+
+void bench_steal_drain() {
+  // Raw deque steal cost, no runtime involved: populate, then drain through
+  // the thief-side entry point.
+  const std::uint64_t n = scaled(200'000);
+  rt::WsDeque<int> deque(1024);
+  int item = 7;
+  std::uint64_t stolen = 0;
+  const auto start = Clock::now();
+  std::uint64_t queued = 0;
+  while (stolen < n) {
+    while (queued < 512 && stolen + queued < n) {
+      deque.push(&item);
+      ++queued;
+    }
+    while (deque.steal() != nullptr) {
+      ++stolen;
+      --queued;
+    }
+  }
+  const double elapsed = seconds_since(start);
+  record("steal_drain", 1, "ns_per_steal", elapsed / static_cast<double>(n) * 1e9);
+}
+
+void bench_handoff_latency(std::uint32_t workers) {
+  rt::Runtime runtime(machine_for(workers), {.name = "bspawn"});
+  const std::uint64_t reps = scaled(2'000);
+  for (int i = 0; i < 64; ++i) runtime.spawn([](rt::TaskContext&) {});
+  runtime.wait_idle();
+
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (std::uint64_t i = 0; i < reps; ++i) {
+    std::atomic<bool> ran{false};
+    const auto start = Clock::now();
+    runtime.spawn([&](rt::TaskContext&) { ran.store(true, std::memory_order_release); });
+    while (!ran.load(std::memory_order_acquire)) std::this_thread::yield();
+    samples.push_back(seconds_since(start) * 1e9);
+    runtime.wait_idle();
+  }
+  record("handoff_latency", workers, "ns_median", median(samples));
+}
+
+void bench_wait_idle_latency(std::uint32_t workers) {
+  rt::Runtime runtime(machine_for(workers), {.name = "bspawn"});
+  const std::uint64_t reps = scaled(2'000);
+  for (int i = 0; i < 64; ++i) runtime.spawn([](rt::TaskContext&) {});
+  runtime.wait_idle();
+
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (std::uint64_t i = 0; i < reps; ++i) {
+    const auto start = Clock::now();
+    runtime.spawn([](rt::TaskContext&) {});
+    runtime.wait_idle();
+    samples.push_back(seconds_since(start) * 1e9);
+  }
+  record("wait_idle_latency", workers, "ns_median", median(samples));
+}
+
+void emit_json() {
+  const char* env = std::getenv("NS_BENCH_OUT");
+  const std::string path = env != nullptr && env[0] != '\0' ? env : "BENCH_runtime.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_spawn: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"numashare-bench-runtime/1\",\n");
+  std::fprintf(f, "  \"bench\": \"bench_spawn\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick_mode() ? "true" : "false");
+  std::fprintf(f, "  \"sanitized\": %s,\n", kSanitized ? "true" : "false");
+  std::fprintf(f, "  \"host_cpus\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < g_results.size(); ++i) {
+    const Result& r = g_results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"workers\": %u, \"unit\": \"%s\", "
+                 "\"value\": %.3f}%s\n",
+                 r.name.c_str(), r.workers, r.unit.c_str(), r.value,
+                 i + 1 < g_results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu results)\n", path.c_str(), g_results.size());
+}
+
+void reproduce() {
+  bench::print_header("E16", "task lifecycle scalability (spawn / dispatch / retire)");
+
+  bench::print_section("spawn+retire throughput (external producer)");
+  for (std::uint32_t w : {1u, 4u, 8u, 16u}) bench_spawn_retire_external(w);
+
+  bench::print_section("spawn+retire throughput (nested, worker-local)");
+  for (std::uint32_t w : {1u, 4u, 8u, 16u}) bench_spawn_retire_nested(w);
+
+  bench::print_section("steal + latency paths");
+  bench_steal_drain();
+  for (std::uint32_t w : {1u, 4u}) bench_handoff_latency(w);
+  for (std::uint32_t w : {1u, 4u}) bench_wait_idle_latency(w);
+
+  emit_json();
+}
+
+// --- google-benchmark timings (smoke-run friendly) -------------------------
+
+void BM_SpawnRetireBatch(benchmark::State& state) {
+  rt::Runtime runtime(topo::Machine::symmetric(1, 1, 1.0, 10.0), {.name = "bm"});
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) runtime.spawn([](rt::TaskContext&) {});
+    runtime.wait_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SpawnRetireBatch);
+
+void BM_WsDequePushPop(benchmark::State& state) {
+  rt::WsDeque<int> deque(1024);
+  int item = 1;
+  for (auto _ : state) {
+    deque.push(&item);
+    benchmark::DoNotOptimize(deque.pop());
+  }
+}
+BENCHMARK(BM_WsDequePushPop);
+
+}  // namespace
+
+NUMASHARE_BENCH_MAIN(reproduce)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_runtime.json emitted by bench_spawn.
+
+Checks the schema tag, the required top-level fields, and that every result
+row is well-formed (known unit, positive finite value, sane worker count).
+Used by the CI bench-smoke job so a refactor that silently breaks the JSON
+emitter fails the build rather than producing an unusable artifact.
+
+Usage: check_bench_json.py BENCH_runtime.json [--require NAME ...]
+"""
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "numashare-bench-runtime/1"
+KNOWN_UNITS = {"tasks_per_sec", "ns_per_steal", "ns_median"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path")
+    parser.add_argument(
+        "--require",
+        nargs="*",
+        default=["spawn_retire_external", "spawn_retire_nested", "steal_drain",
+                 "handoff_latency", "wait_idle_latency"],
+        help="result names that must each appear at least once",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.path}: {e}")
+
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    for field, kind in (("bench", str), ("quick", bool), ("sanitized", bool),
+                        ("host_cpus", int), ("results", list)):
+        if not isinstance(doc.get(field), kind):
+            fail(f"field {field!r} missing or not a {kind.__name__}")
+
+    results = doc["results"]
+    if not results:
+        fail("results array is empty")
+    names = set()
+    for i, r in enumerate(results):
+        where = f"results[{i}]"
+        for field, kind in (("name", str), ("workers", int), ("unit", str),
+                            ("value", (int, float))):
+            if not isinstance(r.get(field), kind):
+                fail(f"{where}: field {field!r} missing or mistyped")
+        if r["unit"] not in KNOWN_UNITS:
+            fail(f"{where}: unknown unit {r['unit']!r}")
+        if not (0 < r["workers"] <= 1024):
+            fail(f"{where}: implausible worker count {r['workers']}")
+        v = float(r["value"])
+        if not math.isfinite(v) or v <= 0:
+            fail(f"{where}: value {r['value']} is not a positive finite number")
+        names.add(r["name"])
+
+    missing = [n for n in args.require if n not in names]
+    if missing:
+        fail(f"required result names absent: {', '.join(missing)}")
+
+    print(f"check_bench_json: OK: {args.path} "
+          f"({len(results)} results, quick={doc['quick']}, "
+          f"sanitized={doc['sanitized']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,10 @@ for b in build/bench/bench_*; do
   "$b"
 done
 
+# bench_spawn (run above) left the lifecycle perf trajectory in
+# BENCH_runtime.json; validate it so a broken emitter is caught locally too.
+python3 scripts/check_bench_json.py BENCH_runtime.json
+
 echo
 echo "=== examples (quick passes) ==="
 ./build/examples/quickstart

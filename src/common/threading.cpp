@@ -26,6 +26,11 @@ bool Parker::park_for_us(std::int64_t timeout_us) {
 void Parker::unpark() {
   {
     std::scoped_lock lock(mutex_);
+    // A pending permit means an earlier unpark already woke (or will wake)
+    // the sleeper; skip the redundant notify. This makes repeated unparks of
+    // a not-yet-rescheduled thread cost a mutex round-trip, not a futex wake
+    // — the submit path hits exactly that case under oversubscription.
+    if (permit_) return;
     permit_ = true;
   }
   cv_.notify_one();

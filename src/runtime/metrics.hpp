@@ -4,6 +4,15 @@
 // to the agent ("number of tasks executed, number of running threads,
 // etc."). Counters are relaxed atomics: the agent consumes snapshots, never
 // exact cross-counter consistency.
+//
+// The counters are *sharded*: each worker owns a cache-line-aligned block of
+// counters and increments only its own, so high-rate events (task retirement,
+// steals, app-reported work) never bounce a shared line across sockets —
+// Chasparis et al.'s requirement that dynamic pinning decisions ride on
+// *cheap* high-rate measurements. One extra shard absorbs increments from
+// threads the runtime does not own (external submitters, assist threads).
+// Aggregation happens lazily, on the telemetry consumer's clock, in
+// Runtime::stats() — the only snapshot path.
 #pragma once
 
 #include <atomic>
@@ -12,7 +21,9 @@
 
 namespace numashare::rt {
 
-struct Metrics {
+/// One worker's private counter block. alignas keeps neighbouring shards on
+/// distinct cache lines; all increments are relaxed and owner-local.
+struct alignas(64) MetricsShard {
   std::atomic<std::uint64_t> tasks_spawned{0};
   std::atomic<std::uint64_t> tasks_executed{0};
   std::atomic<std::uint64_t> steals{0};
@@ -31,7 +42,9 @@ struct Metrics {
   std::atomic<std::uint64_t> micro_gbytes{0};
 };
 
-/// Point-in-time copy handed to the agent.
+/// Point-in-time copy handed to the agent. Field-for-field identical to what
+/// the pre-sharding Metrics produced: the agent/daemon telemetry path keys
+/// on these names and widths.
 struct MetricsSnapshot {
   std::uint64_t tasks_spawned = 0;
   std::uint64_t tasks_executed = 0;
@@ -51,20 +64,42 @@ struct MetricsSnapshot {
   std::uint64_t ready_queue_depth = 0;  // approximate
 };
 
-inline MetricsSnapshot snapshot(const Metrics& m) {
-  MetricsSnapshot s;
-  s.tasks_spawned = m.tasks_spawned.load(std::memory_order_relaxed);
-  s.tasks_executed = m.tasks_executed.load(std::memory_order_relaxed);
-  s.steals = m.steals.load(std::memory_order_relaxed);
-  s.failed_steal_rounds = m.failed_steal_rounds.load(std::memory_order_relaxed);
-  s.idle_parks = m.idle_parks.load(std::memory_order_relaxed);
-  s.blocks = m.blocks.load(std::memory_order_relaxed);
-  s.unblocks = m.unblocks.load(std::memory_order_relaxed);
-  s.progress = m.progress.load(std::memory_order_relaxed);
-  s.gflop_done = static_cast<double>(m.micro_gflop.load(std::memory_order_relaxed)) * 1e-6;
-  s.gbytes_moved =
-      static_cast<double>(m.micro_gbytes.load(std::memory_order_relaxed)) * 1e-6;
-  return s;
-}
+class Metrics {
+ public:
+  /// `shard_count` = worker count + 1; the last shard belongs to threads the
+  /// runtime does not own.
+  explicit Metrics(std::uint32_t shard_count) : shards_(shard_count) {}
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  MetricsShard& shard(std::uint32_t index) { return shards_[index]; }
+  std::uint32_t shard_count() const { return static_cast<std::uint32_t>(shards_.size()); }
+  std::uint32_t external_shard() const { return shard_count() - 1; }
+
+  /// Sum every shard into the snapshot's counter fields. Relaxed loads: the
+  /// result is a consistent-enough sample, same contract as before sharding.
+  void aggregate_into(MetricsSnapshot& s) const {
+    std::uint64_t micro_gflop = 0;
+    std::uint64_t micro_gbytes = 0;
+    for (const MetricsShard& m : shards_) {
+      s.tasks_spawned += m.tasks_spawned.load(std::memory_order_relaxed);
+      s.tasks_executed += m.tasks_executed.load(std::memory_order_relaxed);
+      s.steals += m.steals.load(std::memory_order_relaxed);
+      s.failed_steal_rounds += m.failed_steal_rounds.load(std::memory_order_relaxed);
+      s.idle_parks += m.idle_parks.load(std::memory_order_relaxed);
+      s.blocks += m.blocks.load(std::memory_order_relaxed);
+      s.unblocks += m.unblocks.load(std::memory_order_relaxed);
+      s.progress += m.progress.load(std::memory_order_relaxed);
+      micro_gflop += m.micro_gflop.load(std::memory_order_relaxed);
+      micro_gbytes += m.micro_gbytes.load(std::memory_order_relaxed);
+    }
+    s.gflop_done = static_cast<double>(micro_gflop) * 1e-6;
+    s.gbytes_moved = static_cast<double>(micro_gbytes) * 1e-6;
+  }
+
+ private:
+  std::vector<MetricsShard> shards_;
+};
 
 }  // namespace numashare::rt

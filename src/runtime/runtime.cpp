@@ -26,7 +26,9 @@ const char* to_string(ControlMode mode) {
 Runtime::Runtime(topo::Machine machine, RuntimeOptions options)
     : machine_(std::move(machine)),
       options_(std::move(options)),
+      metrics_(machine_.core_count() + 1),
       datablocks_(machine_.node_count()),
+      pool_(machine_.core_count()),
       blocked_per_node_(machine_.node_count()),
       control_rng_(options_.steal_seed ^ 0x3c6ef372fe94f82bull) {
   std::string error;
@@ -66,26 +68,30 @@ Runtime::~Runtime() {
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
-  // Reclaim tasks whose dependencies never fired or that were still queued.
-  std::scoped_lock lock(registry_mutex_);
-  for (TaskNode* task : registry_) delete task;
-  registry_.clear();
+  // Tasks whose dependencies never fired or that were still queued are
+  // reclaimed by pool_'s destructor sweep (task_pool.hpp).
 }
 
 // --- task graph ------------------------------------------------------------
+
+std::uint32_t Runtime::current_shard() const {
+  return tl_runtime == this && tl_worker_id != kExternalWorker ? tl_worker_id
+                                                              : pool_.external_shard();
+}
 
 EventPtr Runtime::spawn(TaskFn fn, const std::vector<EventPtr>& deps, topo::NodeId affinity) {
   NS_REQUIRE(fn != nullptr, "task function must be callable");
   NS_REQUIRE(affinity == kAnyNode || affinity < machine_.node_count(),
              "affinity node out of range");
-  auto* task = new TaskNode(std::move(fn), static_cast<std::uint32_t>(deps.size()), affinity);
+  const std::uint32_t shard = current_shard();
+  TaskNode* task =
+      pool_.allocate(shard, std::move(fn), static_cast<std::uint32_t>(deps.size()), affinity);
   EventPtr done = task->done;
-  {
-    std::scoped_lock lock(registry_mutex_);
-    registry_.insert(task);
-  }
-  outstanding_.fetch_add(1, std::memory_order_acq_rel);
-  metrics_.tasks_spawned.fetch_add(1, std::memory_order_relaxed);
+  // Relaxed is enough: the increment is ordered before the task's retirement
+  // decrement through the queue handoff (release push / acquire pop), and
+  // same-variable coherence means no waiter can read past its own spawns.
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.shard(shard).tasks_spawned.fetch_add(1, std::memory_order_relaxed);
   if (deps.empty()) {
     enqueue_ready(task);
   } else {
@@ -169,25 +175,51 @@ void Runtime::enqueue_ready(TaskNode* task) {
       return;
     }
   }
+  // Unpinned injected tasks round-robin across nodes in bursts of 64, not
+  // one by one: consecutive submissions land in the same ring, so a draining
+  // worker stays cache-hot and the wake target stays stable, while sustained
+  // streams still spread over every node.
   static std::atomic<std::uint32_t> spread{0};
   const topo::NodeId node =
       task->affinity != kAnyNode
           ? task->affinity
-          : spread.fetch_add(1, std::memory_order_relaxed) % machine_.node_count();
-  {
-    std::scoped_lock lock(node_queues_[node]->mutex);
-    node_queues_[node]->injection.push_back(task);
-  }
+          : (spread.fetch_add(1, std::memory_order_relaxed) / 64) % machine_.node_count();
+  push_injection(node, task);
   wake_one_idle(node);
+}
+
+void Runtime::push_injection(topo::NodeId node, TaskNode* task) {
+  auto& q = *node_queues_[node];
+  if (q.ring.try_push(task)) return;
+  // Ring full — the rare case; spill to the overflow list. A full ring means
+  // producers are outrunning consumers, so also yield the producer's
+  // timeslice: on an oversubscribed machine this is the backpressure that
+  // lets workers drain instead of growing the overflow without bound.
+  {
+    std::scoped_lock lock(q.overflow_mutex);
+    q.overflow.push_back(task);
+    q.overflow_size.store(static_cast<std::uint32_t>(q.overflow.size()),
+                          std::memory_order_release);
+  }
+  std::this_thread::yield();
 }
 
 TaskNode* Runtime::pop_injection(topo::NodeId node) {
   auto& q = *node_queues_[node];
-  std::scoped_lock lock(q.mutex);
-  if (q.injection.empty()) return nullptr;
-  TaskNode* task = q.injection.back();
-  q.injection.pop_back();
-  return task;
+  // Overflow first whenever it is non-empty, so spilled tasks cannot be
+  // starved by a permanently busy ring; the usual cost is one relaxed load
+  // of a zero.
+  if (q.overflow_size.load(std::memory_order_acquire) != 0) {
+    std::scoped_lock lock(q.overflow_mutex);
+    if (!q.overflow.empty()) {
+      TaskNode* task = q.overflow.back();
+      q.overflow.pop_back();
+      q.overflow_size.store(static_cast<std::uint32_t>(q.overflow.size()),
+                            std::memory_order_release);
+      return task;
+    }
+  }
+  return q.ring.try_pop().value_or(nullptr);
 }
 
 TaskNode* Runtime::find_task(Worker& w) {
@@ -202,7 +234,7 @@ TaskNode* Runtime::find_task(Worker& w) {
       Worker& victim = *workers_[victims[(start + k) % victims.size()]];
       if (victim.id == w.id) continue;
       if (TaskNode* task = victim.deque.steal()) {
-        metrics_.steals.fetch_add(1, std::memory_order_relaxed);
+        metrics_.shard(w.id).steals.fetch_add(1, std::memory_order_relaxed);
         return task;
       }
     }
@@ -226,27 +258,31 @@ TaskNode* Runtime::find_task(Worker& w) {
     if (TaskNode* task = try_steal_range(others)) return task;
   }
 
-  metrics_.failed_steal_rounds.fetch_add(1, std::memory_order_relaxed);
+  metrics_.shard(w.id).failed_steal_rounds.fetch_add(1, std::memory_order_relaxed);
   return nullptr;
 }
 
-void Runtime::run_task(TaskNode* task, TaskContext& context) {
+void Runtime::run_task(TaskNode* task, TaskContext& context, std::uint64_t& retired) {
   {
     const std::uint32_t lane =
         context.worker_id == kExternalWorker ? worker_count() : context.worker_id;
     trace::Span span(options_.tracer, "task", "rt", lane);
     task->fn(context);
   }
-  metrics_.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t shard = current_shard();
+  metrics_.shard(shard).tasks_executed.fetch_add(1, std::memory_order_relaxed);
   task->done->satisfy();
-  {
-    std::scoped_lock lock(registry_mutex_);
-    registry_.erase(task);
-  }
-  delete task;
-  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // Pairing lock: a waiter must not check-and-sleep between our decrement
-    // and notify.
+  pool_.release(shard, task);
+  ++retired;
+}
+
+void Runtime::flush_retired(std::uint64_t& retired) {
+  if (retired == 0) return;
+  const std::uint64_t n = retired;
+  retired = 0;
+  if (outstanding_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    // True 0-crossing. Pairing lock: a waiter must not check-and-sleep
+    // between our decrement and notify.
     { std::scoped_lock lock(idle_mutex_); }
     idle_cv_.notify_all();
   }
@@ -265,6 +301,7 @@ void Runtime::wait_and_assist(const EventPtr& event) {
              "workers must not wait_and_assist");
   TaskContext context{*this, kExternalWorker, 0};
   std::uint32_t next_node = 0;
+  std::uint64_t retired = 0;
   while (!event->satisfied()) {
     TaskNode* task = nullptr;
     for (std::uint32_t i = 0; i < machine_.node_count() && !task; ++i) {
@@ -277,7 +314,10 @@ void Runtime::wait_and_assist(const EventPtr& event) {
       }
     }
     if (task) {
-      run_task(task, context);
+      run_task(task, context, retired);
+      // Assist threads flush per task: external completion visibility
+      // matters more than batching off the pool's critical path.
+      flush_retired(retired);
     } else {
       event->wait_for_us(200);
     }
@@ -305,30 +345,64 @@ void Runtime::worker_main(Worker& w) {
       break;
   }
 
+  std::uint64_t retired = 0;  // completions not yet published to outstanding_
   while (!stop_.load(std::memory_order_acquire)) {
-    maybe_block(w);
-    if (stop_.load(std::memory_order_acquire)) break;
+    if (controls_engaged_.load(std::memory_order_acquire)) {
+      flush_retired(retired);  // never carry a batch into a blocking episode
+      maybe_block(w);
+      if (stop_.load(std::memory_order_acquire)) break;
+    }
 
     TaskContext context{*this, w.id, w.node};
     if (TaskNode* task = find_task(w)) {
       w.dry_rounds = 0;
-      run_task(task, context);
+      run_task(task, context, retired);
+      if (retired >= kRetireBatch) flush_retired(retired);
       continue;
     }
     ++w.dry_rounds;
-    // Nothing found: publish idleness, re-check (to close the submit/park
-    // race), then park briefly.
-    w.idle.store(true, std::memory_order_release);
-    if (TaskNode* task = find_task(w)) {
-      w.idle.store(false, std::memory_order_release);
+    flush_retired(retired);  // about to go idle: publish completions now
+
+    // Dry spell: yield-spin a few rounds before touching the parker. The
+    // yields give producers (and siblings) the CPU to refill the queues, and
+    // a worker that stays out of the idle set keeps the submit path on its
+    // no-wake fast path — so short gaps in the task stream cost neither side
+    // a futex round-trip nor a wakeup preemption. Only a genuinely dry
+    // worker falls through to the park below. Skipped while blocking
+    // controls are engaged: a yield under CPU load can stall for whole
+    // timeslices, postponing this worker's next maybe_block() check, and the
+    // paper's near-immediate control enactment outranks idle-path speed.
+    TaskNode* spun = nullptr;
+    if (!controls_engaged_.load(std::memory_order_acquire)) {
+      for (std::uint32_t spin = 0; spin < kIdleSpinRounds && spun == nullptr; ++spin) {
+        if (stop_.load(std::memory_order_acquire)) break;
+        std::this_thread::yield();
+        ++w.dry_rounds;  // spin rounds count toward cross-node reluctance
+        spun = find_task(w);
+      }
+    }
+    if (spun != nullptr) {
       w.dry_rounds = 0;
-      run_task(task, context);
+      run_task(spun, context, retired);
+      if (retired >= kRetireBatch) flush_retired(retired);
       continue;
     }
-    metrics_.idle_parks.fetch_add(1, std::memory_order_relaxed);
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    // Nothing found: publish idleness, re-check (to close the submit/park
+    // race), then park briefly.
+    publish_idle(w);
+    if (TaskNode* task = find_task(w)) {
+      retract_idle(w);
+      w.dry_rounds = 0;
+      run_task(task, context, retired);
+      continue;
+    }
+    metrics_.shard(w.id).idle_parks.fetch_add(1, std::memory_order_relaxed);
     w.parker.park_for_us(options_.idle_park_us);
-    w.idle.store(false, std::memory_order_release);
+    retract_idle(w);
   }
+  flush_retired(retired);
   tl_runtime = nullptr;
   tl_worker_id = kExternalWorker;
 }
@@ -358,7 +432,7 @@ void Runtime::maybe_block(Worker& w) {
     w.policy_blocked.store(true, std::memory_order_release);
     blocked_count_.fetch_add(1, std::memory_order_relaxed);
     blocked_per_node_[w.node].fetch_add(1, std::memory_order_relaxed);
-    metrics_.blocks.fetch_add(1, std::memory_order_relaxed);
+    metrics_.shard(w.id).blocks.fetch_add(1, std::memory_order_relaxed);
   }
   NS_LOG_TRACE("rt", "{} worker {} blocked", options_.name, w.id);
   {
@@ -370,8 +444,24 @@ void Runtime::maybe_block(Worker& w) {
   }
 }
 
+void Runtime::publish_idle(Worker& w) {
+  idle_count_.fetch_add(1, std::memory_order_relaxed);
+  w.idle.store(true, std::memory_order_release);
+}
+
+void Runtime::retract_idle(Worker& w) {
+  w.idle.store(false, std::memory_order_release);
+  idle_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
 void Runtime::wake_one_idle(topo::NodeId preferred_node) {
-  // Same-node idle workers first, then anyone.
+  // Saturated pool: nobody to wake, skip the scan (the common case on the
+  // spawn hot path — one relaxed load of a zero).
+  if (idle_count_.load(std::memory_order_relaxed) == 0) return;
+  // Same-node idle workers first, then anyone. The idle flag is left for
+  // the worker itself to retract: re-unparking an already-permitted parker
+  // is cheap, and eager wakes double as producer backpressure when the
+  // machine is oversubscribed.
   for (auto core : machine_.node(preferred_node).cores) {
     Worker& w = *workers_[core];
     if (w.idle.load(std::memory_order_acquire)) {
@@ -448,7 +538,9 @@ void Runtime::rebalance_blocking_locked() {
     w->policy_blocked.store(false, std::memory_order_release);
     blocked_count_.fetch_sub(1, std::memory_order_relaxed);
     blocked_per_node_[w->node].fetch_sub(1, std::memory_order_relaxed);
-    metrics_.unblocks.fetch_add(1, std::memory_order_relaxed);
+    // Unblocks are granted by the control caller, not the woken worker:
+    // account them on the caller's shard (totals are all that matter).
+    metrics_.shard(current_shard()).unblocks.fetch_add(1, std::memory_order_relaxed);
     w->parker.unpark();
   };
 
@@ -516,8 +608,25 @@ std::vector<std::uint32_t> Runtime::running_per_node() const {
   return out;
 }
 
+void Runtime::report_progress(std::uint64_t amount) {
+  metrics_.shard(current_shard()).progress.fetch_add(amount, std::memory_order_relaxed);
+}
+
+void Runtime::report_work(double gflop, double gbytes) {
+  MetricsShard& shard = metrics_.shard(current_shard());
+  if (gflop > 0.0) {
+    shard.micro_gflop.fetch_add(static_cast<std::uint64_t>(gflop * 1e6),
+                                std::memory_order_relaxed);
+  }
+  if (gbytes > 0.0) {
+    shard.micro_gbytes.fetch_add(static_cast<std::uint64_t>(gbytes * 1e6),
+                                 std::memory_order_relaxed);
+  }
+}
+
 MetricsSnapshot Runtime::stats() const {
-  MetricsSnapshot s = snapshot(metrics_);
+  MetricsSnapshot s;
+  metrics_.aggregate_into(s);
   s.total_workers = worker_count();
   s.running_threads = running_threads();
   s.blocked_threads = blocked_threads();
@@ -526,8 +635,8 @@ MetricsSnapshot Runtime::stats() const {
   std::uint64_t depth = 0;
   for (const auto& w : workers_) depth += w->deque.size_approx();
   for (topo::NodeId n = 0; n < machine_.node_count(); ++n) {
-    std::scoped_lock lock(node_queues_[n]->mutex);
-    depth += node_queues_[n]->injection.size();
+    depth += node_queues_[n]->ring.size_approx();
+    depth += node_queues_[n]->overflow_size.load(std::memory_order_acquire);
   }
   s.ready_queue_depth = depth;
   return s;

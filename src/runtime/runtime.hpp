@@ -28,9 +28,9 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/mpmc_ring.hpp"
 #include "common/rng.hpp"
 #include "common/threading.hpp"
 #include "runtime/datablock.hpp"
@@ -38,6 +38,7 @@
 #include "runtime/foreign.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/task.hpp"
+#include "runtime/task_pool.hpp"
 #include "runtime/wsdeque.hpp"
 #include "topology/affinity.hpp"
 #include "topology/machine.hpp"
@@ -155,22 +156,14 @@ class Runtime {
   // --- telemetry ----------------------------------------------------------
   Metrics& metrics() { return metrics_; }
   /// Application code calls this to expose domain progress (iterations).
-  void report_progress(std::uint64_t amount = 1) {
-    metrics_.progress.fetch_add(amount, std::memory_order_relaxed);
-  }
+  /// Increments the calling worker's own counter shard (no line bouncing).
+  void report_progress(std::uint64_t amount = 1);
   /// Application code accounts its work and memory traffic here; the agent
   /// derives the app's arithmetic intensity from the running ratio (§III.A
   /// access-pattern detection). Negative values are a caller error.
-  void report_work(double gflop, double gbytes) {
-    if (gflop > 0.0) {
-      metrics_.micro_gflop.fetch_add(static_cast<std::uint64_t>(gflop * 1e6),
-                                     std::memory_order_relaxed);
-    }
-    if (gbytes > 0.0) {
-      metrics_.micro_gbytes.fetch_add(static_cast<std::uint64_t>(gbytes * 1e6),
-                                      std::memory_order_relaxed);
-    }
-  }
+  void report_work(double gflop, double gbytes);
+  /// The one snapshot path: aggregates the per-worker counter shards and
+  /// fills in pool/queue state.
   MetricsSnapshot stats() const;
 
  private:
@@ -184,24 +177,42 @@ class Runtime {
     /// Policy block flag; set under control_mutex_, cleared by the worker.
     std::atomic<bool> block_requested{false};
     std::atomic<bool> policy_blocked{false};
+    /// True while published as idle; set/cleared only by the worker itself
+    /// (publish_idle/retract_idle keep idle_count_ in step).
     std::atomic<bool> idle{false};
     /// Consecutive find_task failures; gates cross-node poaching.
     std::uint32_t dry_rounds = 0;
     std::thread thread;
   };
 
+  /// Per-node injection queue: a bounded lock-free MPMC ring for the common
+  /// case, spilling to a mutex-guarded overflow list when full. Consumers
+  /// drain the overflow first whenever it is non-empty (one relaxed load
+  /// when it is not), so spilled tasks cannot be starved by ring traffic.
   struct NodeQueues {
-    std::mutex mutex;
-    std::vector<TaskNode*> injection;  // LIFO; order is not a fairness promise
+    static constexpr std::size_t kRingCapacity = 2048;
+    MpmcRing<TaskNode*> ring{kRingCapacity};
+    std::atomic<std::uint32_t> overflow_size{0};
+    std::mutex overflow_mutex;
+    std::vector<TaskNode*> overflow;  // order is not a fairness promise
   };
 
   // Worker internals.
   void worker_main(Worker& w);
   TaskNode* find_task(Worker& w);
+  void push_injection(topo::NodeId node, TaskNode* task);
   TaskNode* pop_injection(topo::NodeId node);
-  void run_task(TaskNode* task, TaskContext& context);
+  void run_task(TaskNode* task, TaskContext& context, std::uint64_t& retired);
+  /// Publish `retired` pending completions to outstanding_, signalling
+  /// idle_cv_ only on the true 0-crossing.
+  void flush_retired(std::uint64_t& retired);
+  /// The calling thread's metrics/pool shard: its worker id on this
+  /// runtime's workers, the shared external shard otherwise.
+  std::uint32_t current_shard() const;
   void maybe_block(Worker& w);
   bool over_block_budget(const Worker& w) const;  // fast pre-check, racy
+  void publish_idle(Worker& w);
+  void retract_idle(Worker& w);
   void wake_one_idle(topo::NodeId preferred_node);
   void wake_all();
 
@@ -222,9 +233,15 @@ class Runtime {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<NodeQueues>> node_queues_;
 
-  // Registry of live tasks (see task.hpp ownership protocol).
-  std::mutex registry_mutex_;
-  std::unordered_set<TaskNode*> registry_;
+  /// Workers currently published as idle; lets the submit path skip the
+  /// wake scan entirely (one relaxed load of a zero) while the pool is
+  /// saturated. Racy by design — a missed wake is bounded by idle_park_us,
+  /// exactly like the pre-existing idle-flag race.
+  std::atomic<std::uint32_t> idle_count_{0};
+
+  // Owns every live task (see task_pool.hpp ownership protocol); its
+  // destructor sweep reclaims undrained tasks after the workers join.
+  TaskPool pool_;
 
   // Per-datablock access chains for spawn_with_data.
   struct DataChain {
@@ -234,7 +251,18 @@ class Runtime {
   std::mutex data_chain_mutex_;
   std::unordered_map<std::uint64_t, DataChain> data_chains_;
 
-  // Outstanding = created but not yet finished.
+  // Outstanding = created but not yet finished. Workers retire tasks in
+  // batches of up to kRetireBatch: the counter is decremented per batch at a
+  // task boundary, never mid-task, and always flushed before a worker goes
+  // idle, parks, or policy-blocks — so wait_idle() can lag a busy worker by
+  // at most one batch and can never miss the final 0-crossing.
+  static constexpr std::uint64_t kRetireBatch = 64;
+  /// Dry-spell yield rounds a worker spends before publishing idle and
+  /// parking (see worker_main). Two rounds bridge the gaps of a sustained
+  /// task stream (the throughput case) while keeping the spin phase short:
+  /// a lone task handed to a mostly-idle pool is still picked up by a
+  /// *woken* worker rather than waiting out everyone's spin rotation.
+  static constexpr std::uint32_t kIdleSpinRounds = 2;
   std::atomic<std::uint64_t> outstanding_{0};
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;

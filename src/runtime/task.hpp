@@ -1,10 +1,11 @@
 // Task node: one unit of work plus its dependency bookkeeping.
 //
-// Ownership protocol: the Runtime's registry owns every live TaskNode; queues
-// and events hold raw pointers. A node becomes ready when its pending count
-// hits zero, is executed by exactly one worker, and is unregistered (freed)
-// after its completion event fires. The registry also lets shutdown reclaim
-// tasks whose dependencies never fired.
+// Ownership protocol: the Runtime's TaskPool (task_pool.hpp) owns every live
+// TaskNode — each node lives in a pool slot carved from a per-worker slab;
+// queues and events hold raw pointers. A node becomes ready when its pending
+// count hits zero, is executed by exactly one worker, and is released back
+// to its owning shard after its completion event fires. The pool's shutdown
+// sweep reclaims tasks whose dependencies never fired.
 #pragma once
 
 #include <atomic>
@@ -31,17 +32,23 @@ struct TaskContext {
 
 using TaskFn = std::function<void(TaskContext&)>;
 
+struct TaskSlot;
+
 struct TaskNode {
-  TaskNode(TaskFn f, std::uint32_t deps, topo::NodeId affinity_hint)
+  TaskNode(TaskFn f, std::uint32_t deps, topo::NodeId affinity_hint, TaskSlot* s)
       : fn(std::move(f)), pending(deps), affinity(affinity_hint),
-        done(std::make_shared<Event>()) {}
+        done(std::make_shared<Event>()), slot(s) {}
 
   TaskFn fn;
   std::atomic<std::uint32_t> pending;
   /// Preferred execution node (data locality); kAnyNode = no preference.
   topo::NodeId affinity;
   /// Satisfied after fn returns — the task's output event in OCR terms.
+  /// The one remaining per-task heap allocation: callers hold the EventPtr
+  /// beyond the task's life, so it cannot live in the recycled slot.
   EventPtr done;
+  /// Back-pointer to the pool slot this node lives in (see task_pool.hpp).
+  TaskSlot* slot;
 };
 
 }  // namespace numashare::rt

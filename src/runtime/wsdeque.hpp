@@ -72,7 +72,11 @@ class WsDeque {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return nullptr;
-    Buffer* buf = buffer_.load(std::memory_order_consume);
+    // acquire, not the paper's consume: memory_order_consume is deprecated
+    // (P0371R1) and every compiler promotes it to acquire anyway; acquire is
+    // also the edge TSan models, and on x86/ARM64 the generated load is
+    // identical.
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
     T* item = buf->get(t);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {

@@ -1,0 +1,94 @@
+// MpmcRing: FIFO and capacity semantics single-threaded, exactly-once
+// delivery under producer/consumer races, and full/empty edge behavior.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_ring.hpp"
+
+namespace numashare {
+namespace {
+
+TEST(MpmcRing, FifoSingleThread) {
+  MpmcRing<int> ring(8);
+  EXPECT_TRUE(ring.empty_approx());
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99)) << "ring at capacity must refuse";
+  for (int i = 0; i < 8; ++i) {
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i) << "MPMC ring is FIFO when uncontended";
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(MpmcRing, WrapsAcrossManyLaps) {
+  MpmcRing<int> ring(4);
+  for (int lap = 0; lap < 1000; ++lap) {
+    EXPECT_TRUE(ring.try_push(lap));
+    EXPECT_TRUE(ring.try_push(lap + 1'000'000));
+    EXPECT_EQ(ring.try_pop().value(), lap);
+    EXPECT_EQ(ring.try_pop().value(), lap + 1'000'000);
+  }
+  EXPECT_TRUE(ring.empty_approx());
+}
+
+TEST(MpmcRing, ExactlyOnceUnderContention) {
+  // 4 producers push disjoint value ranges while 4 consumers drain; every
+  // value must come out exactly once. Full pushes retry, so the bounded
+  // capacity forces both the full and empty paths constantly.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::uint32_t kPerProducer = 20'000;
+  MpmcRing<std::uint32_t> ring(64);
+
+  std::vector<std::atomic<std::uint8_t>> seen(kProducers * kPerProducer);
+  std::atomic<std::uint32_t> consumed{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (consumed.load(std::memory_order_acquire) < kProducers * kPerProducer) {
+        if (auto v = ring.try_pop()) {
+          EXPECT_EQ(seen[*v].fetch_add(1), 0u) << "value delivered twice: " << *v;
+          consumed.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+        const std::uint32_t value = static_cast<std::uint32_t>(p) * kPerProducer + i;
+        while (!ring.try_push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].load(), 1u) << "value lost: " << i;
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(MpmcRing, SizeApproxTracksOccupancy) {
+  MpmcRing<int> ring(16);
+  EXPECT_EQ(ring.size_approx(), 0u);
+  for (int i = 0; i < 10; ++i) ring.try_push(i);
+  EXPECT_EQ(ring.size_approx(), 10u);
+  for (int i = 0; i < 4; ++i) ring.try_pop();
+  EXPECT_EQ(ring.size_approx(), 6u);
+}
+
+}  // namespace
+}  // namespace numashare
