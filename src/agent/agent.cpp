@@ -1,5 +1,6 @@
 #include "agent/agent.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/assert.hpp"
@@ -61,6 +62,36 @@ std::size_t Agent::app_count() const {
   return apps_.size();
 }
 
+bool Agent::set_app_thread_cap(const std::string& name, std::uint32_t cap) {
+  std::lock_guard lock(membership_mutex_);
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    if (apps_[a].name != name) continue;
+    if (apps_[a].thread_cap != cap) {
+      apps_[a].thread_cap = cap;
+      views_[a].thread_cap = cap;
+      // The machine just gained/lost administratively grantable cores;
+      // cached partitions are stale. Not a membership change, though.
+      policy_->on_membership_change();
+    }
+    return true;
+  }
+  return false;
+}
+
+Agent::ComplianceState Agent::compliance(const std::string& name) const {
+  std::lock_guard lock(membership_mutex_);
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    if (apps_[a].name != name) continue;
+    ComplianceState state;
+    state.commanded_epoch = apps_[a].commanded_epoch;
+    state.enacted_epoch = views_[a].enacted_epoch;
+    state.enacted_target = views_[a].enacted_target;
+    state.thread_cap = apps_[a].thread_cap;
+    return state;
+  }
+  return {};
+}
+
 void Agent::send(ManagedApp& app, const Directive& directive) {
   // A data-home suggestion travels as its own command, independent of
   // whether a thread directive accompanies it.
@@ -78,33 +109,58 @@ void Agent::send(ManagedApp& app, const Directive& directive) {
 
   Command command;
   command.seq = ++app.command_seq;
+  const std::uint32_t cap = app.thread_cap;
   switch (directive.kind) {
     case Directive::Kind::kNone:
       --app.command_seq;
       return;
     case Directive::Kind::kClear:
-      command.type = CommandType::kClearControls;
+      if (cap != 0xffffffffu) {
+        // A capped app must never be released to "unlimited": the clear
+        // degrades to an explicit total at the cap until the watchdog
+        // lifts it.
+        command.type = CommandType::kSetTotalThreads;
+        command.total_threads = cap;
+      } else {
+        command.type = CommandType::kClearControls;
+      }
       break;
     case Directive::Kind::kTotalThreads:
       command.type = CommandType::kSetTotalThreads;
-      command.total_threads = directive.total_threads;
+      command.total_threads = std::min(directive.total_threads, cap);
       break;
     case Directive::Kind::kNodeThreads: {
       NS_REQUIRE(directive.node_threads.size() == machine_.node_count(),
                  "directive node count mismatch");
       command.type = CommandType::kSetNodeThreads;
       command.node_count = static_cast<std::uint32_t>(directive.node_threads.size());
+      std::uint32_t total = 0;
       for (std::size_t n = 0; n < directive.node_threads.size(); ++n) {
         command.node_threads[n] = directive.node_threads[n];
+        total += directive.node_threads[n];
+      }
+      // Safety-net clamp for cap-unaware policies: shave surplus from the
+      // highest node down, preserving the policy's placement preference for
+      // the threads that survive.
+      for (std::uint32_t n = command.node_count; total > cap && n > 0; --n) {
+        const std::uint32_t cut = std::min(command.node_threads[n - 1], total - cap);
+        command.node_threads[n - 1] -= cut;
+        total -= cut;
       }
       break;
     }
   }
+  // Every thread-target command carries a fresh compliance epoch; the
+  // runtime acks the newest epoch it has fully enacted.
+  command.epoch = app.commanded_epoch + 1;
   if (app.channel->push_command(command)) {
     ++commands_sent_;
+    app.commanded_epoch = command.epoch;
   } else {
     // Backpressure: the runtime is not pumping. Dropping is deliberate — the
-    // next tick recomputes a fresher command anyway.
+    // next tick recomputes a fresher command anyway. The epoch is not
+    // consumed: an unpushed command can never be enacted, so counting it
+    // commanded would mark the app non-compliant for our own drop.
     NS_LOG_WARN("agent", "command ring full for app '{}'", app.name);
     --app.command_seq;
   }
@@ -117,12 +173,20 @@ std::uint32_t Agent::step(double now) {
     auto& app = apps_[a];
     auto& view = views_[a];
     view.telemetry_dropped = app.channel->telemetry_dropped();
+    view.commanded_epoch = app.commanded_epoch;
+    view.thread_cap = app.thread_cap;
     std::optional<Telemetry> newest;
     while (auto t = app.channel->pop_telemetry()) {
       ++telemetry_received_;
       newest = *t;
     }
     if (!newest) continue;
+    // Acks only ratchet forward: a reordered stale sample (or one with the
+    // ack stripped in transit) must not un-enact a previously-proven epoch.
+    if (newest->enacted_epoch > view.enacted_epoch) {
+      view.enacted_epoch = newest->enacted_epoch;
+      view.enacted_target = newest->enacted_target;
+    }
     if (app.have_prev) {
       const double dt = newest->timestamp - app.prev.timestamp;
       if (dt > 1e-9) {

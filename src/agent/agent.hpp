@@ -54,6 +54,24 @@ class Agent {
   /// Index of the named app, or app_count() when absent.
   std::size_t find_app(const std::string& name) const;
 
+  /// Administrative thread cap for one app (compliance quarantine/laggard
+  /// reclamation). UINT32_MAX lifts the cap. Policies see it via
+  /// AppView::thread_cap and must not grant above it; send() additionally
+  /// clamps outgoing thread targets. Notifies the policy on change so cached
+  /// partitions are recomputed, but does NOT bump the membership generation
+  /// (the app set is unchanged). Returns false when no app has that name.
+  bool set_app_thread_cap(const std::string& name, std::uint32_t cap);
+
+  /// Compliance ack state for one app as of the last step(); zeros/defaults
+  /// when absent.
+  struct ComplianceState {
+    std::uint64_t commanded_epoch = 0;
+    std::uint64_t enacted_epoch = 0;
+    std::uint32_t enacted_target = kUnconstrained;
+    std::uint32_t thread_cap = 0xffffffffu;
+  };
+  ComplianceState compliance(const std::string& name) const;
+
   std::size_t app_count() const;
 
   /// Membership generation: bumps on every add_app/remove_app. Lets
@@ -82,6 +100,12 @@ class Agent {
     std::string name;
     ChannelBase* channel = nullptr;
     std::uint64_t command_seq = 0;
+    /// Compliance epoch counter: bumped (and stamped into the command) on
+    /// every thread-target command that actually reaches the ring.
+    std::uint64_t commanded_epoch = 0;
+    /// Administrative thread cap (UINT32_MAX = uncapped); see
+    /// set_app_thread_cap().
+    std::uint32_t thread_cap = 0xffffffffu;
     bool have_prev = false;
     Telemetry prev;
   };

@@ -22,6 +22,43 @@ RuntimeAdapter::~RuntimeAdapter() { stop(); }
 
 void RuntimeAdapter::apply(const Command& command) {
   last_seq_.store(command.seq, std::memory_order_relaxed);
+  // Record the compliance target before touching the runtime, keyed on the
+  // epoch so a reordered (delayed/duplicated) older command never regresses
+  // the pending ack. kUnconstrained means "no running-thread ceiling".
+  if (command.epoch > pending_epoch_) {
+    std::uint32_t target = kUnconstrained;
+    switch (command.type) {
+      case CommandType::kSetTotalThreads:
+        target = command.total_threads;
+        break;
+      case CommandType::kSetNodeThreads: {
+        target = 0;
+        for (std::uint32_t n = 0; n < command.node_count && n < kMaxNodes; ++n) {
+          target += command.node_threads[n];
+        }
+        break;
+      }
+      case CommandType::kBlockCores: {
+        std::uint32_t blocked = 0;
+        for (std::uint32_t w = 0; w < kMaxCoreWords; ++w) {
+          blocked += static_cast<std::uint32_t>(__builtin_popcountll(command.core_mask[w]));
+        }
+        const std::uint32_t cores = runtime_.machine().core_count();
+        // An empty mask is "clear controls" below; a full one still leaves
+        // target 0 — enactment then requires every worker parked.
+        target = blocked == 0 || blocked >= cores ? (blocked == 0 ? kUnconstrained : 0)
+                                                  : cores - blocked;
+        break;
+      }
+      case CommandType::kClearControls:
+        target = kUnconstrained;
+        break;
+      default:
+        break;
+    }
+    pending_epoch_ = command.epoch;
+    pending_target_ = target;
+  }
   switch (command.type) {
     case CommandType::kSetTotalThreads:
       runtime_.set_total_thread_target(command.total_threads);
@@ -72,6 +109,16 @@ std::uint32_t RuntimeAdapter::pump() {
   }
 
   const auto stats = runtime_.stats();
+  // Promote the pending epoch to enacted once the runtime has genuinely
+  // complied: growth and clears count immediately, a shrink only when the
+  // surplus workers have actually parked (running at or under the target).
+  if (pending_epoch_ > enacted_epoch_ &&
+      (pending_target_ == kUnconstrained || stats.running_threads <= pending_target_)) {
+    enacted_epoch_ = pending_epoch_;
+    enacted_target_ = pending_target_;
+    enacted_epoch_pub_.store(enacted_epoch_, std::memory_order_relaxed);
+    enacted_target_pub_.store(enacted_target_, std::memory_order_relaxed);
+  }
   if (auto_ai_) {
     // Derive the arithmetic intensity from the application's accounted
     // work/traffic since the previous pump, smoothed; capped so a
@@ -108,6 +155,8 @@ std::uint32_t RuntimeAdapter::pump() {
   t.gbytes_moved = stats.gbytes_moved;
   t.ai_estimate = ai_estimate_.load(std::memory_order_relaxed);
   t.data_home_node = data_home_node_.load(std::memory_order_relaxed);
+  t.enacted_epoch = enacted_epoch_;
+  t.enacted_target = enacted_target_;
   // Telemetry is lossy by design: a full ring means the agent is behind and
   // stale samples are better dropped than blocking the runtime.
   channel_.push_telemetry(t);

@@ -98,6 +98,14 @@ class RuntimeAdapter {
     return last_seq_.load(std::memory_order_relaxed);
   }
 
+  /// Compliance ack state: the newest command epoch whose thread target the
+  /// runtime has fully enacted (surplus threads actually blocked), and that
+  /// target (kUnconstrained = no active constraint). Published in telemetry.
+  std::uint64_t enacted_epoch() const { return enacted_epoch_pub_.load(std::memory_order_relaxed); }
+  std::uint32_t enacted_target() const {
+    return enacted_target_pub_.load(std::memory_order_relaxed);
+  }
+
   void set_ai_estimate(double ai) { ai_estimate_.store(ai, std::memory_order_relaxed); }
 
   /// Application hook for kSuggestDataHome: the app decides whether to
@@ -127,6 +135,18 @@ class RuntimeAdapter {
   std::function<void(topo::NodeId)> home_handler_;
   std::atomic<std::uint64_t> commands_applied_{0};
   std::atomic<std::uint64_t> last_seq_{0};
+  /// Enactment tracking (pump-thread only): the newest thread-target epoch
+  /// applied to the runtime and its total-thread target. The epoch is
+  /// "enacted" once the runtime's running thread count is at or under the
+  /// target — growth enacts immediately, a shrink only once the surplus
+  /// workers have genuinely parked.
+  std::uint64_t pending_epoch_ = 0;
+  std::uint32_t pending_target_ = kUnconstrained;
+  std::uint64_t enacted_epoch_ = 0;
+  std::uint32_t enacted_target_ = kUnconstrained;
+  /// Mirrors of the enacted pair for cross-thread accessors.
+  std::atomic<std::uint64_t> enacted_epoch_pub_{0};
+  std::atomic<std::uint32_t> enacted_target_pub_{kUnconstrained};
   std::uint64_t telemetry_seq_ = 0;
   std::atomic<bool> running_{false};
   std::thread pump_thread_;

@@ -27,23 +27,38 @@ std::vector<Directive> FairSharePolicy::decide(const topo::Machine& machine,
   if (issued_ && last_app_count_ == views.size()) return out;
 
   const auto apps = static_cast<std::uint32_t>(views.size());
+  // Round-robin waterfill honouring per-app caps (AppView::thread_cap, set by
+  // the compliance watchdog). With everyone uncapped this yields exactly the
+  // classic fair split — core_count/apps with the remainder to the first
+  // apps — while a capped app's unreachable share flows to its peers instead
+  // of idling.
+  std::vector<std::uint32_t> totals(apps, 0);
+  const auto waterfill = [&](std::uint32_t budget, auto&& grant) {
+    while (budget > 0) {
+      bool granted = false;
+      for (std::uint32_t a = 0; a < apps && budget > 0; ++a) {
+        if (totals[a] >= views[a].thread_cap) continue;
+        grant(a);
+        ++totals[a];
+        --budget;
+        granted = true;
+      }
+      if (!granted) break;  // every app capped out; leftover cores idle
+    }
+  };
   if (flavor_ == Flavor::kTotalThreads) {
-    // Equal split of the whole machine; remainder cores to the first apps so
-    // the total equals the core count (the paper's no-oversubscription sum).
-    const std::uint32_t base = machine.core_count() / apps;
-    const std::uint32_t extra = machine.core_count() % apps;
+    waterfill(machine.core_count(), [](std::uint32_t) {});
     for (std::uint32_t a = 0; a < apps; ++a) {
-      out[a] = Directive::total(base + (a < extra ? 1 : 0));
+      out[a] = Directive::total(totals[a]);
     }
   } else {
+    std::vector<std::vector<std::uint32_t>> per_node(apps,
+                                                     std::vector<std::uint32_t>(machine.node_count()));
+    for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
+      waterfill(machine.cores_in_node(n), [&](std::uint32_t a) { ++per_node[a][n]; });
+    }
     for (std::uint32_t a = 0; a < apps; ++a) {
-      std::vector<std::uint32_t> per_node(machine.node_count());
-      for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
-        const std::uint32_t base = machine.cores_in_node(n) / apps;
-        const std::uint32_t extra = machine.cores_in_node(n) % apps;
-        per_node[n] = base + (a < extra ? 1 : 0);
-      }
-      out[a] = Directive::per_node(std::move(per_node));
+      out[a] = Directive::per_node(std::move(per_node[a]));
     }
   }
   issued_ = true;
@@ -151,10 +166,23 @@ std::vector<Directive> ModelGuidedPolicy::decide(const topo::Machine& machine,
     }
   }
 
+  // Administrative caps from the compliance watchdog. When any client is
+  // capped the data-placement advisor is bypassed: a quarantined client is a
+  // transient state, not worth migrating data over, and the capped
+  // exhaustive search already re-grants the reclaimed cores.
+  std::vector<std::uint32_t> caps;
+  for (const auto& view : views) {
+    if (view.thread_cap != 0xffffffffu) {
+      caps.assign(views.size(), 0xffffffffu);
+      for (std::size_t a = 0; a < views.size(); ++a) caps[a] = views[a].thread_cap;
+      break;
+    }
+  }
+
   model::Allocation allocation;
   double predicted = 0.0;
   std::vector<std::uint32_t> suggested_home(views.size(), kMaxNodes);
-  if (options_.advise_data_placement) {
+  if (options_.advise_data_placement && caps.empty()) {
     auto joint = model::advise_joint(machine, specs, options_.objective,
                                      options_.min_threads_per_app);
     allocation = joint.allocation;
@@ -168,7 +196,7 @@ std::vector<Directive> ModelGuidedPolicy::decide(const topo::Machine& machine,
   } else {
     auto result = model::exhaustive_search(machine, specs, options_.objective,
                                            /*require_full=*/true,
-                                           options_.min_threads_per_app);
+                                           options_.min_threads_per_app, caps);
     allocation = result.allocation;
     predicted = result.solution.total_gflops;
   }

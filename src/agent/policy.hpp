@@ -24,6 +24,18 @@ struct AppView {
   /// Telemetry samples the app failed to push because the ring was full
   /// (cumulative, from the channel's drop counter).
   std::uint64_t telemetry_dropped = 0;
+  /// Compliance bookkeeping, mirrored by the agent each step: the newest
+  /// thread-target epoch commanded to this app, the newest epoch the app has
+  /// reported enacted, and the target it enacted (kUnconstrained = no active
+  /// ceiling). commanded_epoch > enacted_epoch means the app has not yet
+  /// proven compliance with the latest command.
+  std::uint64_t commanded_epoch = 0;
+  std::uint64_t enacted_epoch = 0;
+  std::uint32_t enacted_target = kUnconstrained;
+  /// Administrative thread cap imposed by the compliance watchdog
+  /// (UINT32_MAX = uncapped). Policies must not grant more total threads
+  /// than this; the agent clamps outgoing directives as a safety net.
+  std::uint32_t thread_cap = 0xffffffffu;
 };
 
 struct Directive {

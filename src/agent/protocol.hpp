@@ -38,8 +38,20 @@ struct Command {
   std::uint32_t suggested_home = kMaxNodes;
   /// Monotonic per-channel sequence; lets the runtime detect gaps.
   std::uint64_t seq = 0;
+  /// Compliance epoch: monotonically increasing per app, stamped on every
+  /// thread-target command (kSetTotalThreads / kSetNodeThreads /
+  /// kBlockCores / kClearControls). The runtime echoes the newest epoch it
+  /// has *fully enacted* (all surplus threads actually blocked) back in
+  /// Telemetry::enacted_epoch, which is what lets the arbiter distinguish a
+  /// slow-but-cooperating client from one that ignores commands. 0 on
+  /// non-thread-target commands (kSuggestDataHome is advisory).
+  std::uint64_t epoch = 0;
 };
 static_assert(std::is_trivially_copyable_v<Command>);
+
+/// Telemetry::enacted_target when no thread-target command has constrained
+/// the runtime (or the newest one lifted all controls): "uncontrolled".
+inline constexpr std::uint32_t kUnconstrained = 0xffffffffu;
 
 struct Telemetry {
   std::uint64_t seq = 0;
@@ -64,6 +76,14 @@ struct Telemetry {
   double ai_estimate = 0.0;
   /// Optional NUMA-bad home node (kMaxNodes = "NUMA-perfect / unknown").
   std::uint32_t data_home_node = kMaxNodes;
+  /// Command-compliance ack: the newest Command::epoch whose thread target
+  /// the runtime has fully enacted (running threads at or under the target),
+  /// and that target itself (kUnconstrained = no active constraint). 0 =
+  /// nothing enacted yet. The daemon compares this against the epoch it
+  /// last commanded and quarantines clients that stay behind past the
+  /// enactment deadline.
+  std::uint64_t enacted_epoch = 0;
+  std::uint32_t enacted_target = kUnconstrained;
 };
 static_assert(std::is_trivially_copyable_v<Telemetry>);
 

@@ -17,7 +17,9 @@ namespace numashare::agent {
 namespace {
 constexpr std::uint64_t kMagic = 0x6e756d6173686172ull;  // "numashar"
 // v2: added cross-process drop counters after the rings.
-constexpr std::uint32_t kVersion = 2;
+// v3: Command carries a compliance epoch; Telemetry carries the enacted
+//     epoch/target ack (message sizes changed).
+constexpr std::uint32_t kVersion = 3;
 }  // namespace
 
 struct ShmChannel::Layout {
@@ -129,9 +131,31 @@ bool ShmChannel::push_command(const Command& command) {
 #endif
 }
 
-std::optional<Command> ShmChannel::pop_command() { return layout_->commands.try_pop(); }
+std::optional<Command> ShmChannel::pop_command() {
+#if NS_FAULT_ENABLED
+  // Enactment stall: the runtime side takes this long to get around to the
+  // next command — the laggard the compliance watchdog exists to catch. The
+  // command is delayed, not lost (a stalled app eventually complies).
+  inject::fire_pause("client.enact.stall", nullptr);
+#endif
+  return layout_->commands.try_pop();
+}
 
 bool ShmChannel::push_telemetry(const Telemetry& telemetry) {
+#if NS_FAULT_ENABLED
+  // Ack suppression: telemetry still flows, but the compliance ack fields
+  // are wiped — the runtime looks alive yet never reports enactment.
+  if (inject::fire("client.ack.suppress", telemetry.seq)) {
+    Telemetry stripped = telemetry;
+    stripped.enacted_epoch = 0;
+    stripped.enacted_target = kUnconstrained;
+    return push_telemetry_impl(stripped);
+  }
+#endif
+  return push_telemetry_impl(telemetry);
+}
+
+bool ShmChannel::push_telemetry_impl(const Telemetry& telemetry) {
 #if NS_FAULT_ENABLED
   if (inject::fire("shm.tel.drop", telemetry.seq)) return true;
   if (inject::hold("shm.tel.delay", telemetry.seq, &telemetry, sizeof(telemetry))) return true;

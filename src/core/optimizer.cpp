@@ -69,6 +69,42 @@ void compose(std::uint32_t apps_left, std::uint32_t budget, bool require_full,
   }
 }
 
+/// Enforce per-app total-thread caps on a candidate: shave capped apps from
+/// the last node down, then re-grant exactly the freed capacity (same nodes)
+/// to apps still under their caps, round-robin. Keeps the per-node core
+/// budget intact and leaves cores idle only when *every* app is capped out.
+void apply_caps(const topo::Machine& machine, Allocation& alloc,
+                const std::vector<std::uint32_t>& caps) {
+  const auto apps_n = static_cast<AppId>(caps.size());
+  const auto app_total = [&](AppId a) {
+    std::uint32_t total = 0;
+    for (topo::NodeId n = 0; n < machine.node_count(); ++n) total += alloc.threads(a, n);
+    return total;
+  };
+  std::vector<std::uint32_t> freed(machine.node_count(), 0);
+  for (AppId a = 0; a < apps_n; ++a) {
+    std::uint32_t total = app_total(a);
+    for (topo::NodeId n = machine.node_count(); total > caps[a] && n > 0; --n) {
+      const std::uint32_t cut = std::min(alloc.threads(a, n - 1), total - caps[a]);
+      alloc.set_threads(a, n - 1, alloc.threads(a, n - 1) - cut);
+      freed[n - 1] += cut;
+      total -= cut;
+    }
+  }
+  for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
+    while (freed[n] > 0) {
+      bool granted = false;
+      for (AppId a = 0; a < apps_n && freed[n] > 0; ++a) {
+        if (app_total(a) >= caps[a]) continue;
+        alloc.set_threads(a, n, alloc.threads(a, n) + 1);
+        --freed[n];
+        granted = true;
+      }
+      if (!granted) break;  // everyone capped out: the cores idle, by design
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Allocation> enumerate_uniform(const topo::Machine& machine, std::uint32_t apps,
@@ -105,7 +141,10 @@ std::vector<Allocation> enumerate_node_permutations(const topo::Machine& machine
 
 SearchResult exhaustive_search(const topo::Machine& machine, const std::vector<AppSpec>& apps,
                                Objective objective, bool require_full,
-                               std::uint32_t min_threads_per_app) {
+                               std::uint32_t min_threads_per_app,
+                               const std::vector<std::uint32_t>& caps) {
+  NS_REQUIRE(caps.empty() || caps.size() == apps.size(),
+             "caps must be empty or one per app");
   // Clamp an infeasible per-app minimum (more apps than cores per node)
   // rather than refusing: policies run against whatever machine they find.
   std::uint32_t min_cores = machine.cores_in_node(0);
@@ -122,6 +161,9 @@ SearchResult exhaustive_search(const topo::Machine& machine, const std::vector<A
     candidates.insert(candidates.end(), perms.begin(), perms.end());
   }
   NS_REQUIRE(!candidates.empty(), "no candidate allocations");
+  if (!caps.empty()) {
+    for (auto& candidate : candidates) apply_caps(machine, candidate, caps);
+  }
 
   SearchResult best;
   best.objective_value = -std::numeric_limits<double>::infinity();

@@ -56,9 +56,16 @@ std::vector<Allocation> enumerate_uniform(const topo::Machine& machine, std::uin
 std::vector<Allocation> enumerate_node_permutations(const topo::Machine& machine);
 
 /// Exhaustive search over the union of the two families above.
+///
+/// `caps` (empty = uncapped) bounds each app's *total* thread count — the
+/// compliance layer's administrative ceiling on quarantined/laggard clients.
+/// Candidates are clamped to respect the caps and the capacity a cap frees
+/// up is re-granted to apps with headroom, so reclaimed cores stay grantable
+/// instead of idling.
 SearchResult exhaustive_search(const topo::Machine& machine, const std::vector<AppSpec>& apps,
                                Objective objective, bool require_full = false,
-                               std::uint32_t min_threads_per_app = 0);
+                               std::uint32_t min_threads_per_app = 0,
+                               const std::vector<std::uint32_t>& caps = {});
 
 struct GreedyOptions {
   Objective objective = Objective::kTotalGflops;

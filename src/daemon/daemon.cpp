@@ -3,8 +3,10 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "agent/policies.hpp"
@@ -57,17 +59,28 @@ Daemon::Daemon(topo::Machine machine, agent::PolicyPtr policy, DaemonOptions opt
   for (auto& seen : claim_first_seen_s_) seen = -1.0;
 }
 
-Daemon::~Daemon() {
+Daemon::~Daemon() { shutdown(); }
+
+void Daemon::shutdown() {
   stop();
-  if (registry_ != nullptr) {
-    const double now = monotonic_seconds();
-    for (std::uint32_t i = 0; i < kMaxClients; ++i) {
-      if (clients_[i].used) retire(i, "daemon-shutdown", now);
-    }
+  if (shut_down_) return;
+  shut_down_ = true;
+  if (registry_ == nullptr) return;
+  const double now = monotonic_seconds();
+  for (std::uint32_t i = 0; i < kMaxClients; ++i) {
+    if (clients_[i].used) retire(i, "daemon-shutdown", now);
+  }
+  if (journal_.ok()) {
+    // Final checkpoint first: a restart recovers the (now empty) registry
+    // state from it without replaying history, then sees daemon-stop and
+    // knows the shutdown was orderly.
+    journal_checkpoint(now);
     journal_.record(now, "daemon-stop",
                     {{"ticks", jnum(stats_.ticks)},
                      {"joins", jnum(stats_.joins)},
-                     {"evictions", jnum(stats_.evictions)}});
+                     {"evictions", jnum(stats_.evictions)},
+                     {"checkpoints", jnum(stats_.checkpoints)}});
+    journal_.sync(/*force=*/true);
   }
 }
 
@@ -105,6 +118,10 @@ bool Daemon::init(std::string* error) {
     registry_.reset();
     return false;
   }
+  journal_.set_fsync_policy(options_.fsync_policy);
+  // Recover from the previous incarnation's checkpoint + tail before this
+  // incarnation writes anything (the append-mode open left the file intact).
+  recover_from_journal();
   journal_.record(monotonic_seconds(), "daemon-start",
                   {{"registry", jstr(options_.registry_name)},
                    {"pid", jnum(static_cast<std::uint64_t>(::getpid()))},
@@ -158,6 +175,14 @@ void Daemon::admit(std::uint32_t index, std::uint64_t joining_word, double now) 
   slot.generation.store(agent_->generation(), std::memory_order_relaxed);
   std::memset(slot.channel_name, 0, sizeof(slot.channel_name));
   std::strncpy(slot.channel_name, channel_name.c_str(), sizeof(slot.channel_name) - 1);
+  // Fresh compliance mirrors: the slot may be reused and still carry the
+  // previous occupant's watchdog state.
+  slot.health.store(static_cast<std::uint32_t>(ClientHealth::kHealthy),
+                    std::memory_order_relaxed);
+  slot.commanded_epoch.store(0, std::memory_order_relaxed);
+  slot.enacted_epoch.store(0, std::memory_order_relaxed);
+  slot.commands_dropped.store(0, std::memory_order_relaxed);
+  slot.telemetry_dropped.store(0, std::memory_order_relaxed);
 
   // Write-ahead: journal the join, then activate. A crash between the two
   // leaves a journaled join with no active slot — recovery semantics the
@@ -203,9 +228,14 @@ void Daemon::retire(std::uint32_t index, const char* reason, double now) {
   const bool eviction = std::strcmp(reason, "leave") != 0;
   if (eviction) ++stats_.evictions;
   else ++stats_.leaves;
+  // Compliance evictions get their own event type so the journal makes the
+  // watchdog's terminal verdict greppable without parsing reasons.
+  const char* event = !eviction                                  ? "leave"
+                      : std::strcmp(reason, "compliance-evict") == 0 ? "compliance-evict"
+                                                                    : "evict";
   NS_LOG_INFO("daemon", "{}: '{}' pid {} slot {} ({})", eviction ? "evict" : "leave",
               client.app_name, client.pid, index, reason);
-  journal_.record(now, eviction ? "evict" : "leave",
+  journal_.record(now, event,
                   {{"client", jstr(client.app_name)},
                    {"pid", jnum(static_cast<std::uint64_t>(client.pid))},
                    {"slot", jnum(index)},
@@ -291,6 +321,12 @@ std::uint32_t Daemon::tick(double now) {
   }
 
   const std::uint32_t sent = agent_->step(now);
+  // The compliance watchdog runs on the views the step just refreshed.
+  // Liveness eviction (above) already removed the dead, so everything left
+  // is heartbeating — the watchdog's subject is the live-but-noncompliant.
+  for (std::uint32_t i = 0; i < kMaxClients; ++i) {
+    if (clients_[i].used) check_compliance(i, now);
+  }
   ++stats_.ticks;
   registry_->header().tick.fetch_add(1, std::memory_order_release);
   if (sent > 0) {
@@ -301,7 +337,144 @@ std::uint32_t Daemon::tick(double now) {
       stats_.ticks % options_.snapshot_every_ticks == 0) {
     journal_snapshot(now);
   }
+  maybe_checkpoint(now);
   return sent;
+}
+
+void Daemon::check_compliance(std::uint32_t index, double now) {
+  auto& client = clients_[index];
+  const auto comp = agent_->compliance(client.app_name);
+  client.commanded_epoch = comp.commanded_epoch;
+  client.enacted_epoch = comp.enacted_epoch;
+  const bool behind = comp.commanded_epoch > comp.enacted_epoch;
+  if (!behind) {
+    client.behind_since_s = -1.0;
+  } else if (client.behind_since_s < 0.0) {
+    client.behind_since_s = now;
+  }
+
+  switch (client.health) {
+    case ClientHealth::kHealthy:
+      if (behind && now - client.behind_since_s >= options_.enactment_deadline_s) {
+        // Laggard: administratively reclaim the unenacted cores by capping
+        // the client at what it has provably enacted (never below the
+        // floor); the policy redistributes the difference on the next step.
+        const std::uint32_t cap =
+            comp.enacted_target == agent::kUnconstrained
+                ? options_.quarantine_floor_threads
+                : std::max(options_.quarantine_floor_threads, comp.enacted_target);
+        agent_->set_app_thread_cap(client.app_name, cap);
+        client.health = ClientHealth::kLaggard;
+        ++stats_.laggards;
+        NS_LOG_WARN("daemon", "laggard: '{}' behind (commanded {} enacted {}), capped at {}",
+                    client.app_name, comp.commanded_epoch, comp.enacted_epoch, cap);
+        journal_.record(now, "laggard",
+                        {{"client", jstr(client.app_name)},
+                         {"slot", jnum(index)},
+                         {"commanded", jnum(comp.commanded_epoch)},
+                         {"enacted", jnum(comp.enacted_epoch)},
+                         {"cap", jnum(cap)}});
+      }
+      break;
+
+    case ClientHealth::kLaggard:
+      if (!behind) {
+        // Enacted everything commanded (including the capped command):
+        // cooperative after all. Full readmission.
+        agent_->set_app_thread_cap(client.app_name, 0xffffffffu);
+        client.health = ClientHealth::kHealthy;
+        ++stats_.readmissions;
+        journal_.record(now, "readmit",
+                        {{"client", jstr(client.app_name)},
+                         {"slot", jnum(index)},
+                         {"from", jstr("laggard")}});
+      } else if (now - client.behind_since_s >=
+                 options_.enactment_deadline_s + options_.quarantine_grace_s) {
+        ++client.offenses;
+        if (client.offenses >= options_.max_compliance_offenses) {
+          ++stats_.compliance_evictions;
+          retire(index, "compliance-evict", now);
+          return;
+        }
+        agent_->set_app_thread_cap(client.app_name, options_.quarantine_floor_threads);
+        client.health = ClientHealth::kQuarantined;
+        client.backoff_s = options_.readmit_backoff_s;
+        client.next_probe_s = now + client.backoff_s;
+        client.probing = false;
+        ++stats_.quarantines;
+        NS_LOG_WARN("daemon", "quarantine: '{}' (offense {}, next probe in {}s)",
+                    client.app_name, client.offenses, client.backoff_s);
+        journal_.record(now, "quarantine",
+                        {{"client", jstr(client.app_name)},
+                         {"slot", jnum(index)},
+                         {"offenses", jnum(client.offenses)},
+                         {"floor", jnum(options_.quarantine_floor_threads)},
+                         {"backoff_s", jnum(client.backoff_s)}});
+      }
+      break;
+
+    case ClientHealth::kQuarantined:
+      if (client.probing) {
+        if (!behind) {
+          // Probe survived: the client enacted a full-share command within
+          // the deadline. Readmit; offenses stay on record for the repeat-
+          // offender eviction, but the backoff resets.
+          client.health = ClientHealth::kHealthy;
+          client.probing = false;
+          client.probe_deadline_s = -1.0;
+          client.backoff_s = 0.0;
+          client.next_probe_s = -1.0;
+          ++stats_.readmissions;
+          journal_.record(now, "readmit",
+                          {{"client", jstr(client.app_name)},
+                           {"slot", jnum(index)},
+                           {"from", jstr("quarantined")},
+                           {"offenses", jnum(client.offenses)}});
+        } else if (now >= client.probe_deadline_s) {
+          ++client.offenses;
+          client.probing = false;
+          client.probe_deadline_s = -1.0;
+          if (client.offenses >= options_.max_compliance_offenses) {
+            ++stats_.compliance_evictions;
+            retire(index, "compliance-evict", now);
+            return;
+          }
+          // Back to the floor; exponential backoff before the next probe.
+          agent_->set_app_thread_cap(client.app_name, options_.quarantine_floor_threads);
+          client.backoff_s = std::min(client.backoff_s * 2.0, options_.readmit_backoff_max_s);
+          client.next_probe_s = now + client.backoff_s;
+          journal_.record(now, "probe-failed",
+                          {{"client", jstr(client.app_name)},
+                           {"slot", jnum(index)},
+                           {"offenses", jnum(client.offenses)},
+                           {"backoff_s", jnum(client.backoff_s)}});
+        }
+      } else if (now >= client.next_probe_s) {
+        // Readmission probe: lift the cap so the policy re-grants a full
+        // share; the client must enact it before the probe deadline.
+        agent_->set_app_thread_cap(client.app_name, 0xffffffffu);
+        client.probing = true;
+        client.probe_deadline_s = now + options_.enactment_deadline_s;
+        client.behind_since_s = -1.0;
+        ++stats_.readmission_probes;
+        journal_.record(now, "readmission-probe",
+                        {{"client", jstr(client.app_name)},
+                         {"slot", jnum(index)},
+                         {"offenses", jnum(client.offenses)}});
+      }
+      break;
+  }
+
+  // Mirror the watchdog's view into the registry slot for daemon-status.
+  auto& slot = registry_->slot(index);
+  slot.health.store(static_cast<std::uint32_t>(client.health), std::memory_order_relaxed);
+  slot.commanded_epoch.store(client.commanded_epoch, std::memory_order_relaxed);
+  slot.enacted_epoch.store(client.enacted_epoch, std::memory_order_relaxed);
+  if (client.channel != nullptr) {
+    slot.commands_dropped.store(client.channel->commands_dropped(), std::memory_order_relaxed);
+    slot.telemetry_dropped.store(client.channel->telemetry_dropped(),
+                                 std::memory_order_relaxed);
+  }
 }
 
 void Daemon::journal_allocation(double now) {
@@ -355,6 +528,107 @@ void Daemon::journal_snapshot(double now) {
                    {"commands_sent", jnum(agent_->commands_sent())},
                    {"telemetry_received", jnum(agent_->telemetry_received())},
                    {"apps", std::move(apps)}});
+}
+
+void Daemon::journal_checkpoint(double now) {
+  if (!journal_.ok()) return;
+  // Full registry + health snapshot: everything recovery needs to reseed
+  // the daemon without replaying history before this line.
+  std::string clients = "[";
+  bool first = true;
+  for (std::uint32_t i = 0; i < kMaxClients; ++i) {
+    const auto& client = clients_[i];
+    if (!client.used) continue;
+    if (!first) clients += ",";
+    first = false;
+    clients += "{\"slot\":" + jnum(i) + ",\"client\":" + jstr(client.app_name) +
+               ",\"pid\":" + jnum(static_cast<std::uint64_t>(client.pid)) +
+               ",\"ai\":" + jnum(client.advertised_ai) +
+               ",\"channel\":" + jstr(client.channel != nullptr ? client.channel->name() : "") +
+               ",\"health\":" + jstr(to_string(client.health)) +
+               ",\"commanded\":" + jnum(client.commanded_epoch) +
+               ",\"enacted\":" + jnum(client.enacted_epoch) +
+               ",\"offenses\":" + jnum(client.offenses) + "}";
+  }
+  clients += "]";
+  journal_.record(now, "checkpoint",
+                  {{"tick", jnum(stats_.ticks)},
+                   {"generation", jnum(agent_->generation())},
+                   {"join_seq", jnum(join_seq_)},
+                   {"clients", std::move(clients)}});
+  journal_.sync();
+  ++stats_.checkpoints;
+  NS_FAULT_DIE("daemon.checkpoint.die", "post_checkpoint", 50);
+}
+
+void Daemon::maybe_checkpoint(double now) {
+  if (!journal_.ok()) return;
+  const bool compact_due = options_.compact_after_lines > 0 &&
+                           journal_.lines_written() >= options_.compact_after_lines;
+  if (compact_due) {
+    // Rotation truncates to the tail: the old file becomes the side-file
+    // and the new one opens with a fresh checkpoint so it is self-contained
+    // from line one.
+    if (journal_.rotate()) {
+      ++stats_.compactions;
+      journal_checkpoint(now);
+    }
+    return;
+  }
+  if (options_.checkpoint_every_ticks > 0 &&
+      stats_.ticks % options_.checkpoint_every_ticks == 0) {
+    journal_checkpoint(now);
+  }
+}
+
+void Daemon::recover_from_journal() {
+  if (!journal_.ok()) return;
+  const auto recovered = nsd::recover_journal(options_.journal_path);
+  if (recovered.checkpoint.empty() && recovered.tail.empty()) return;
+  std::uint64_t checkpoint_tick = 0;
+  if (!recovered.checkpoint.empty()) {
+    stats_.recovered_from_checkpoint = true;
+    if (auto seq = journal_field(recovered.checkpoint, "join_seq")) {
+      join_seq_ = std::strtoull(seq->c_str(), nullptr, 10);
+    }
+    if (auto tick = journal_field(recovered.checkpoint, "tick")) {
+      checkpoint_tick = std::strtoull(tick->c_str(), nullptr, 10);
+    }
+  }
+  stats_.recovered_tail_entries = recovered.tail.size();
+  // Replay only the tail: every join after the checkpoint consumed a join
+  // sequence number, and join_seq_ must move past all of them so channel
+  // and app names stay unique across incarnations. (Counting every tail
+  // entry instead of just joins over-advances harmlessly.)
+  join_seq_ += recovered.tail.size();
+  NS_LOG_INFO("daemon",
+              "recovered journal: checkpoint tick {}, {} tail entries, join_seq {}{}",
+              checkpoint_tick, recovered.tail.size(), join_seq_,
+              recovered.used_sidefile ? " (from rotation side-file)" : "");
+  journal_.record(monotonic_seconds(), "daemon-recover",
+                  {{"checkpoint_tick", jnum(checkpoint_tick)},
+                   {"tail_entries", jnum(static_cast<std::uint64_t>(recovered.tail.size()))},
+                   {"join_seq", jnum(join_seq_)},
+                   {"from_checkpoint", jbool(stats_.recovered_from_checkpoint)},
+                   {"sidefile", jbool(recovered.used_sidefile)},
+                   {"torn_tail", jbool(recovered.torn_tail)}});
+}
+
+std::optional<Daemon::ComplianceView> Daemon::compliance_view(
+    const std::string& app_name) const {
+  for (const auto& client : clients_) {
+    if (!client.used || client.app_name != app_name) continue;
+    ComplianceView view;
+    view.health = client.health;
+    view.commanded_epoch = client.commanded_epoch;
+    view.enacted_epoch = client.enacted_epoch;
+    view.offenses = client.offenses;
+    view.probing = client.probing;
+    view.next_probe_s = client.next_probe_s;
+    view.backoff_s = client.backoff_s;
+    return view;
+  }
+  return std::nullopt;
 }
 
 void Daemon::start() {

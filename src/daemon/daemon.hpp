@@ -50,6 +50,37 @@ struct DaemonOptions {
   std::int64_t period_us = 10'000;
   /// Journal a full state snapshot every N ticks (0 = never).
   std::uint64_t snapshot_every_ticks = 100;
+
+  // --- Compliance watchdog (healthy -> laggard -> quarantined -> evicted).
+  /// A client behind the commanded epoch for this long becomes a laggard:
+  /// its unenacted cores are administratively reclaimed (thread cap at what
+  /// it actually enacted) and redistributed by the policy.
+  double enactment_deadline_s = 1.0;
+  /// A laggard still behind this much longer is quarantined: capped to the
+  /// floor allocation, readmission only via probes.
+  double quarantine_grace_s = 1.0;
+  /// Total threads a quarantined client keeps (its floor allocation).
+  std::uint32_t quarantine_floor_threads = 1;
+  /// Readmission probe backoff: first probe after this delay, doubling per
+  /// failed probe up to the max.
+  double readmit_backoff_s = 0.5;
+  double readmit_backoff_max_s = 8.0;
+  /// Evict ("compliance-evict") after this many offenses (quarantine
+  /// entries + failed probes).
+  std::uint32_t max_compliance_offenses = 4;
+
+  // --- Checkpointed journal.
+  /// Write a full registry+health checkpoint record every N ticks
+  /// (0 = never). Recovery loads the newest checkpoint and replays only the
+  /// tail after it.
+  std::uint64_t checkpoint_every_ticks = 1000;
+  /// Rotate (compact) the journal once it exceeds this many lines
+  /// (0 = never): the old file moves to <path>.1 and the new file starts
+  /// with a fresh checkpoint.
+  std::uint64_t compact_after_lines = 4096;
+  /// Journal durability (docs/DAEMON.md). The default fsyncs checkpoints
+  /// and rotations; every-write fsyncs each record; none only flushes.
+  FsyncPolicy fsync_policy = FsyncPolicy::kCheckpoint;
   agent::AgentOptions agent;
 };
 
@@ -64,6 +95,19 @@ struct DaemonStats {
   /// Admits rolled back because the claimant abandoned during activation.
   std::uint64_t joins_abandoned = 0;
   std::size_t stale_segments_cleaned = 0;
+  // Compliance watchdog counters.
+  std::uint64_t laggards = 0;             ///< healthy -> laggard transitions
+  std::uint64_t quarantines = 0;          ///< laggard -> quarantined transitions
+  std::uint64_t readmission_probes = 0;   ///< probes started
+  std::uint64_t readmissions = 0;         ///< returns to healthy
+  std::uint64_t compliance_evictions = 0; ///< evicted for repeat offenses
+  // Checkpointed journal counters.
+  std::uint64_t checkpoints = 0;
+  std::uint64_t compactions = 0;
+  /// Startup recovery: entries replayed after the recovered checkpoint
+  /// (0 when the journal was empty/absent).
+  std::uint64_t recovered_tail_entries = 0;
+  bool recovered_from_checkpoint = false;
 };
 
 class Daemon {
@@ -89,11 +133,28 @@ class Daemon {
   void start();
   void stop();
 
+  /// Orderly shutdown: stop the loop, retire every client, flush a final
+  /// checkpoint and the `daemon-stop` record, fsync. Idempotent; the
+  /// destructor calls it, and ns_daemon_main calls it on SIGTERM/SIGINT.
+  void shutdown();
+
   agent::Agent& arbitration_agent() { return *agent_; }
   const DaemonOptions& options() const { return options_; }
   const DaemonStats& stats() const { return stats_; }
   std::size_t client_count() const;
   bool initialized() const { return registry_ != nullptr; }
+
+  /// Compliance watchdog view of one client, for tests and tooling.
+  struct ComplianceView {
+    ClientHealth health = ClientHealth::kHealthy;
+    std::uint64_t commanded_epoch = 0;
+    std::uint64_t enacted_epoch = 0;
+    std::uint32_t offenses = 0;
+    bool probing = false;
+    double next_probe_s = -1.0;
+    double backoff_s = 0.0;
+  };
+  std::optional<ComplianceView> compliance_view(const std::string& app_name) const;
 
  private:
   struct Client {
@@ -104,13 +165,30 @@ class Daemon {
     std::unique_ptr<agent::ShmChannel> channel;
     std::uint64_t last_heartbeat = 0;
     double last_heartbeat_change_s = 0.0;
+    // Compliance watchdog state.
+    ClientHealth health = ClientHealth::kHealthy;
+    /// When the client was first observed behind the commanded epoch
+    /// (< 0 = caught up). The enactment deadline counts from here.
+    double behind_since_s = -1.0;
+    std::uint32_t offenses = 0;
+    double backoff_s = 0.0;        ///< current readmission backoff
+    double next_probe_s = -1.0;    ///< when the next probe may start
+    double probe_deadline_s = -1.0;
+    bool probing = false;
+    /// Last observed epochs, mirrored into the registry slot.
+    std::uint64_t commanded_epoch = 0;
+    std::uint64_t enacted_epoch = 0;
   };
 
   void admit(std::uint32_t index, std::uint64_t joining_word, double now);
   void retire(std::uint32_t index, const char* reason, double now);
   void check_liveness(std::uint32_t index, double now);
+  void check_compliance(std::uint32_t index, double now);
   void journal_allocation(double now);
   void journal_snapshot(double now);
+  void journal_checkpoint(double now);
+  void maybe_checkpoint(double now);
+  void recover_from_journal();
 
   topo::Machine machine_;
   DaemonOptions options_;
@@ -125,6 +203,8 @@ class Daemon {
   /// Monotonic join counter; makes channel names and app names unique
   /// across slot reuse.
   std::uint64_t join_seq_ = 0;
+  /// shutdown() ran (destructor then skips the final flush).
+  bool shut_down_ = false;
 
   std::atomic<bool> running_{false};
   std::thread loop_thread_;

@@ -1,12 +1,34 @@
 #include "daemon/journal.hpp"
 
+#include <unistd.h>
+
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <iterator>
 
 #include "common/format.hpp"
+#include "inject/fault.hpp"
 
 namespace numashare::nsd {
+
+FsyncPolicy parse_fsync_policy(std::string_view text, bool* ok) {
+  if (ok != nullptr) *ok = true;
+  if (text == "none") return FsyncPolicy::kNone;
+  if (text == "checkpoint") return FsyncPolicy::kCheckpoint;
+  if (text == "every-write") return FsyncPolicy::kEveryWrite;
+  if (ok != nullptr) *ok = false;
+  return FsyncPolicy::kNone;
+}
+
+const char* to_string(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNone: return "none";
+    case FsyncPolicy::kCheckpoint: return "checkpoint";
+    case FsyncPolicy::kEveryWrite: return "every-write";
+  }
+  return "?";
+}
 
 std::string json_escape(std::string_view text) {
   std::string out;
@@ -63,7 +85,37 @@ void JournalWriter::record(double ts, std::string_view event,
   line += "}\n";
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fflush(file_);
+  if (fsync_policy_ == FsyncPolicy::kEveryWrite) ::fsync(fileno(file_));
   ++lines_;
+}
+
+void JournalWriter::sync(bool force) {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  if (force || fsync_policy_ != FsyncPolicy::kNone) ::fsync(fileno(file_));
+}
+
+bool JournalWriter::rotate() {
+  if (file_ == nullptr) return false;
+  // The outgoing file must be durable before the rename swaps it into the
+  // side-file slot: recovery may have to read it if we die before the new
+  // file gains a checkpoint.
+  sync(/*force=*/true);
+  std::fclose(file_);
+  file_ = nullptr;
+  const std::string side = path_ + ".1";
+  if (std::rename(path_.c_str(), side.c_str()) != 0) {
+    // Rename failed (exotic: EXDEV, permissions). Reopen in append mode and
+    // keep going with the un-rotated file rather than losing the journal.
+    file_ = std::fopen(path_.c_str(), "a");
+    return false;
+  }
+  NS_FAULT_DIE("journal.rotate.die", "post_rename", 51);
+  file_ = std::fopen(path_.c_str(), "w");
+  if (file_ == nullptr) return false;
+  lines_ = 0;
+  ++rotations_;
+  return true;
 }
 
 std::vector<JournalEntry> read_journal(const std::string& path, bool* torn_tail) {
@@ -98,6 +150,28 @@ std::vector<JournalEntry> read_journal(const std::string& path, bool* torn_tail)
     entries.push_back(std::move(entry));
   }
   return entries;
+}
+
+RecoveredJournal recover_journal(const std::string& path) {
+  RecoveredJournal out;
+  auto entries = read_journal(path, &out.torn_tail);
+  if (entries.empty()) {
+    // Primary missing or empty: either a young deployment (side-file also
+    // absent -> genuinely nothing) or a crash inside rotate() between the
+    // rename and the first checkpoint of the new file.
+    entries = read_journal(path + ".1", &out.torn_tail);
+    out.used_sidefile = !entries.empty();
+  }
+  std::size_t tail_start = 0;
+  for (std::size_t i = entries.size(); i > 0; --i) {
+    if (entries[i - 1].event == "checkpoint") {
+      out.checkpoint = entries[i - 1].raw;
+      tail_start = i;
+      break;
+    }
+  }
+  out.tail.assign(entries.begin() + static_cast<std::ptrdiff_t>(tail_start), entries.end());
+  return out;
 }
 
 std::optional<std::string> journal_field(const std::string& line, const std::string& key) {

@@ -32,6 +32,20 @@ std::string jnum(std::int64_t value);
 inline std::string jnum(std::uint32_t value) { return jnum(static_cast<std::uint64_t>(value)); }
 inline std::string jbool(bool value) { return value ? "true" : "false"; }
 
+/// Durability contract for the journal (see docs/DAEMON.md):
+///  * kNone — flush to the OS (fflush) only; a machine crash can lose
+///    recent lines, a process crash cannot. The default, matching the
+///    journal's flight-recorder role.
+///  * kCheckpoint — additionally fsync() checkpoint records and rotations,
+///    so recovery always finds a machine-durable checkpoint to start from.
+///  * kEveryWrite — fsync() every record; maximum durability, highest cost.
+/// Checkpoints and rotations are fsync'd under kCheckpoint AND kEveryWrite;
+/// under kNone they are still flushed but not forced to stable storage.
+enum class FsyncPolicy : std::uint8_t { kNone, kCheckpoint, kEveryWrite };
+
+FsyncPolicy parse_fsync_policy(std::string_view text, bool* ok = nullptr);
+const char* to_string(FsyncPolicy policy);
+
 class JournalWriter {
  public:
   /// Disabled writer: record() is a no-op. Lets the daemon treat "no
@@ -52,16 +66,37 @@ class JournalWriter {
   const std::string& path() const { return path_; }
 
   /// Appends {"ts":<ts>,"event":"<event>",<fields...>} and flushes, so a
-  /// crash loses at most the line being written.
+  /// crash loses at most the line being written. Under
+  /// FsyncPolicy::kEveryWrite the line is also fsync'd.
   void record(double ts, std::string_view event,
               const std::vector<std::pair<std::string_view, std::string>>& fields = {});
 
+  void set_fsync_policy(FsyncPolicy policy) { fsync_policy_ = policy; }
+  FsyncPolicy fsync_policy() const { return fsync_policy_; }
+
+  /// Force the file to stable storage (fflush + fsync). Called by the
+  /// daemon after checkpoint records regardless of policy kCheckpoint/
+  /// kEveryWrite; a no-op under kNone unless `force` is set.
+  void sync(bool force = false);
+
+  /// Compaction: fsync + close the current file, rename it to
+  /// `path + ".1"` (replacing any previous side-file), and reopen `path`
+  /// truncated. The caller is expected to immediately write a fresh
+  /// checkpoint record so the new file is self-contained; recovery falls
+  /// back to the side-file when a crash lands in the tiny window where the
+  /// new file is still empty. Returns false (and keeps writing to the old
+  /// file if possible) on failure.
+  bool rotate();
+
   std::uint64_t lines_written() const { return lines_; }
+  std::uint64_t rotations() const { return rotations_; }
 
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
   std::uint64_t lines_ = 0;
+  std::uint64_t rotations_ = 0;
+  FsyncPolicy fsync_policy_ = FsyncPolicy::kNone;
 };
 
 /// One parsed journal line. `raw` is the full JSON text; `event` is the
@@ -82,5 +117,24 @@ std::vector<JournalEntry> read_journal(const std::string& path, bool* torn_tail 
 /// "[1,2]") from one JSON line. A deliberately small scanner — enough for
 /// tests and the status tool, not a general JSON parser.
 std::optional<std::string> journal_field(const std::string& line, const std::string& key);
+
+/// Checkpoint-aware recovery view of a journal: the newest `checkpoint`
+/// record plus only the entries after it, so replay cost is O(activity
+/// since the last checkpoint) instead of O(history).
+struct RecoveredJournal {
+  /// Raw JSON line of the newest checkpoint; empty when none exists (young
+  /// journal) — then `tail` holds every entry.
+  std::string checkpoint;
+  /// Entries strictly after the checkpoint, oldest first.
+  std::vector<JournalEntry> tail;
+  /// The primary file was missing or empty (crash mid-rotation) and the
+  /// `path + ".1"` side-file was used instead.
+  bool used_sidefile = false;
+  bool torn_tail = false;
+};
+
+/// Loads `path` (falling back to the `path + ".1"` rotation side-file when
+/// the primary is missing/empty) and splits it at the newest checkpoint.
+RecoveredJournal recover_journal(const std::string& path);
 
 }  // namespace numashare::nsd

@@ -9,12 +9,18 @@
 //     --period-ms=N               tick period (default 10)
 //     --heartbeat-timeout-ms=N    eviction timeout (default 2000)
 //     --snapshot-every=N          journal snapshot cadence in ticks (default 100)
+//     --enactment-deadline-ms=N   compliance deadline before laggard (default 1000)
+//     --checkpoint-every=N        journal checkpoint cadence in ticks (default 1000)
+//     --compact-after=N           rotate the journal past N lines (default 4096)
+//     --fsync=none|checkpoint|every-write  journal durability (default checkpoint)
 //     --duration-s=X              exit after X seconds (default: run until signal)
 //     --verbose                   info-level logging
 //
 // Applications join through nsd::DaemonClient (see examples/daemon_app.cpp)
 // and are free to come and go; crashes are detected by heartbeat loss and
-// evicted, with cores redistributed to the survivors.
+// evicted, with cores redistributed to the survivors. SIGTERM/SIGINT shut
+// down in order: clients retired, final checkpoint flushed, daemon-stop
+// journaled — never dying mid-write.
 #include <signal.h>
 
 #include <atomic>
@@ -44,7 +50,10 @@ int usage() {
                "                  [--policy=model|model-placement|fair]\n"
                "                  [--machine=probe|NxC:gflops:bw[:link]]\n"
                "                  [--period-ms=N] [--heartbeat-timeout-ms=N]\n"
-               "                  [--snapshot-every=N] [--duration-s=X] [--verbose]\n");
+               "                  [--snapshot-every=N] [--enactment-deadline-ms=N]\n"
+               "                  [--checkpoint-every=N] [--compact-after=N]\n"
+               "                  [--fsync=none|checkpoint|every-write]\n"
+               "                  [--duration-s=X] [--verbose]\n");
   return 2;
 }
 
@@ -117,6 +126,20 @@ int main(int argc, char** argv) {
       1000.0;
   options.snapshot_every_ticks = static_cast<std::uint64_t>(
       std::strtoul(flag_value(argc, argv, "--snapshot-every", "100").c_str(), nullptr, 10));
+  options.enactment_deadline_s =
+      std::strtod(flag_value(argc, argv, "--enactment-deadline-ms", "1000").c_str(), nullptr) /
+      1000.0;
+  options.checkpoint_every_ticks = static_cast<std::uint64_t>(
+      std::strtoul(flag_value(argc, argv, "--checkpoint-every", "1000").c_str(), nullptr, 10));
+  options.compact_after_lines = static_cast<std::uint64_t>(
+      std::strtoul(flag_value(argc, argv, "--compact-after", "4096").c_str(), nullptr, 10));
+  bool fsync_ok = false;
+  options.fsync_policy =
+      nsd::parse_fsync_policy(flag_value(argc, argv, "--fsync", "checkpoint"), &fsync_ok);
+  if (!fsync_ok) {
+    std::fprintf(stderr, "error: bad --fsync value\n");
+    return usage();
+  }
   const double duration_s =
       std::strtod(flag_value(argc, argv, "--duration-s", "0").c_str(), nullptr);
 
@@ -147,7 +170,9 @@ int main(int argc, char** argv) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  daemon.stop();
+  // Orderly shutdown: retire clients, flush a final checkpoint, journal
+  // daemon-stop, fsync — SIGTERM/SIGINT never leave a half-written tail.
+  daemon.shutdown();
 
   const auto& stats = daemon.stats();
   std::printf("numashared: %llu ticks, %llu joins, %llu leaves, %llu evictions, "

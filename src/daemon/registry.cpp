@@ -17,7 +17,9 @@ namespace numashare::nsd {
 namespace {
 constexpr std::uint64_t kMagic = 0x6e756d617372656dull;  // "numasrem" (registry member)
 // v2: slot state is a packed {nonce, state} word (torn-claim hardening).
-constexpr std::uint32_t kVersion = 2;
+// v3: slots mirror compliance state (health, commanded/enacted epochs,
+//     channel drop counters) for status tools.
+constexpr std::uint32_t kVersion = 3;
 
 RegistryHeader* map_segment(int fd) {
   void* mapped =
@@ -57,6 +59,12 @@ std::unique_ptr<Registry> Registry::create(const std::string& name, std::string*
   for (auto& slot : header->slots) {
     slot.state_word.store(pack_state(SlotState::kFree, 0), std::memory_order_relaxed);
     slot.heartbeat.store(0, std::memory_order_relaxed);
+    slot.health.store(static_cast<std::uint32_t>(ClientHealth::kHealthy),
+                      std::memory_order_relaxed);
+    slot.commanded_epoch.store(0, std::memory_order_relaxed);
+    slot.enacted_epoch.store(0, std::memory_order_relaxed);
+    slot.commands_dropped.store(0, std::memory_order_relaxed);
+    slot.telemetry_dropped.store(0, std::memory_order_relaxed);
   }
   header->magic.store(kMagic, std::memory_order_release);
   return std::unique_ptr<Registry>(new Registry(name, header, /*creator=*/true));

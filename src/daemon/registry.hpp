@@ -51,6 +51,29 @@ enum class SlotState : std::uint32_t {
 };
 static_assert(std::is_trivially_copyable_v<SlotState>);
 
+/// Compliance health of an active client, daemon-maintained (the watchdog in
+/// Daemon::tick). Mirrored into the slot for status tools. A client that is
+/// heartbeating but stays behind the commanded epoch past the enactment
+/// deadline becomes a laggard (its unenacted cores are administratively
+/// reclaimed); one that stays behind through the grace window is quarantined
+/// at a floor allocation with exponential-backoff readmission probes; repeat
+/// offenders are evicted ("compliance-evict"). Eviction is terminal, so it
+/// needs no state here.
+enum class ClientHealth : std::uint32_t {
+  kHealthy = 0,
+  kLaggard = 1,
+  kQuarantined = 2,
+};
+
+inline const char* to_string(ClientHealth health) {
+  switch (health) {
+    case ClientHealth::kHealthy: return "healthy";
+    case ClientHealth::kLaggard: return "laggard";
+    case ClientHealth::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
 /// The state machine lives in ONE atomic word per slot: the state in the
 /// low 8 bits and an ownership nonce above it. Every transition is a CAS on
 /// the full word that bumps the nonce, so each incarnation of a slot is
@@ -93,6 +116,14 @@ struct ClientSlot {
   // Client-incremented while kActive; the daemon watches for *change*, so
   // no cross-process clock comparison is ever needed.
   std::atomic<std::uint64_t> heartbeat;
+
+  // Compliance mirrors, daemon-written each tick while kActive so status
+  // tools see the watchdog's view without touching the channel segments.
+  std::atomic<std::uint32_t> health;            ///< ClientHealth
+  std::atomic<std::uint64_t> commanded_epoch;   ///< newest epoch commanded
+  std::atomic<std::uint64_t> enacted_epoch;     ///< newest epoch acked
+  std::atomic<std::uint64_t> commands_dropped;  ///< channel drop counters
+  std::atomic<std::uint64_t> telemetry_dropped;
 
   SlotState state(std::memory_order order = std::memory_order_acquire) const {
     return state_of(state_word.load(order));

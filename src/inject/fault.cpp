@@ -133,7 +133,7 @@ std::optional<FaultPlan> parse_plan(const std::string& spec, std::string* error)
         const std::string value = eq == std::string::npos ? "" : param.substr(eq + 1);
         std::uint64_t number = 0;
         if (key == "seq" || key == "count" || key == "after" || key == "us" ||
-            key == "ticks" || key == "exit") {
+            key == "ms" || key == "ticks" || key == "exit") {
           if (!parse_u64(value, &number)) {
             return fail(ns_format("parameter '{}' needs a number in clause '{}'", key, clause));
           }
@@ -142,6 +142,7 @@ std::optional<FaultPlan> parse_plan(const std::string& spec, std::string* error)
         else if (key == "count") rule.count = number;
         else if (key == "after") rule.after = number;
         else if (key == "us") rule.delay_us = static_cast<std::int64_t>(number);
+        else if (key == "ms") rule.delay_us = static_cast<std::int64_t>(number) * 1000;
         else if (key == "ticks") rule.ticks = number;
         else if (key == "exit") rule.exit_code = static_cast<int>(number);
         else if (key == "site" || key == "state") {

@@ -59,6 +59,16 @@ TEST_F(FaultPlanTest, ParsesFullGrammar) {
   EXPECT_EQ(plan->rules[3].after, 2u);
 }
 
+TEST_F(FaultPlanTest, ParsesMsAsMilliseconds) {
+  const auto plan = parse_plan("client.enact.stall@ms=40,count=3;a.pause@us=250");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->rules.size(), 2u);
+  EXPECT_EQ(plan->rules[0].delay_us, 40'000);  // ms is sugar for us * 1000
+  EXPECT_EQ(plan->rules[0].count, 3u);
+  EXPECT_EQ(plan->rules[1].delay_us, 250);
+  EXPECT_FALSE(parse_plan("a.pause@ms=abc").has_value());
+}
+
 TEST_F(FaultPlanTest, ToleratesEmptyClauses) {
   const auto plan = parse_plan(";shm.cmd.drop;;client.die@site=post_claim;");
   ASSERT_TRUE(plan.has_value());

@@ -12,9 +12,16 @@
 //      2. the daemon reclaims every slot and core within a bounded number
 //         of ticks once the clients are gone;
 //      3. the journal never records a reallocation naming a client outside
-//         the membership its own join/leave/evict/abandon events define.
+//         the membership its own join/leave/evict/abandon events define
+//         (checkpoint records reseed that membership after a rotation).
 //    On failure the seed and the full schedule are printed so the exact
 //    run reproduces with no other input.
+//
+// The schedules also exercise the compliance watchdog: client menus include
+// ack suppression (client.ack.suppress) and enactment stalls
+// (client.enact.stall@ms=N), and the daemon runs with tight compliance
+// deadlines plus periodic checkpoints and journal compaction, so laggard
+// demotion, quarantine, and checkpoint rotation all happen under fire.
 #include <gtest/gtest.h>
 #include <signal.h>
 #include <sys/wait.h>
@@ -69,6 +76,16 @@ DaemonOptions sweep_options(const std::string& registry, const std::string& jour
   options.heartbeat_timeout_s = 0.3;
   options.claim_timeout_s = 0.3;
   options.snapshot_every_ticks = 0;
+  // Compliance deadlines tight enough that ack suppression and enactment
+  // stalls actually demote clients within a sweep lifetime.
+  options.enactment_deadline_s = 0.25;
+  options.quarantine_grace_s = 0.2;
+  options.readmit_backoff_s = 0.1;
+  options.readmit_backoff_max_s = 0.4;
+  options.max_compliance_offenses = 3;
+  // Checkpoints and compaction running concurrently with the fault schedule.
+  options.checkpoint_every_ticks = 200;
+  options.compact_after_lines = 400;
   return options;
 }
 
@@ -131,18 +148,49 @@ std::vector<std::string> reallocate_names(const std::string& raw) {
   return names;
 }
 
+/// Names mentioned by a "checkpoint" entry's clients array: each per-client
+/// object carries "client":"<name>" (nowhere else in the record).
+std::vector<std::string> checkpoint_client_names(const std::string& raw) {
+  std::vector<std::string> names;
+  std::size_t at = 0;
+  while ((at = raw.find("\"client\":\"", at)) != std::string::npos) {
+    at += 10;
+    const auto end = raw.find('"', at);
+    if (end == std::string::npos) break;
+    names.push_back(raw.substr(at, end - at));
+    at = end + 1;
+  }
+  return names;
+}
+
 /// Invariant 3: replay the journal, tracking live membership from the
 /// join/leave/evict/abandon events; every reallocation must name a subset
-/// of the live set, and the final set must be empty.
+/// of the live set, and the final set must be empty. A compacted journal
+/// starts mid-history with a checkpoint instead of daemon-start — the
+/// checkpoint's clients array reseeds the membership; once tracking, every
+/// checkpoint must itself be a subset of the live set.
 void check_journal_consistency(const std::vector<JournalEntry>& entries) {
   std::set<std::string> live;
+  bool tracking = false;
   for (const auto& entry : entries) {
     if (entry.event == "daemon-start") {
       live.clear();
+      tracking = true;
+    } else if (entry.event == "checkpoint") {
+      if (!tracking) {
+        for (const auto& name : checkpoint_client_names(entry.raw)) live.insert(name);
+        tracking = true;
+      } else {
+        for (const auto& name : checkpoint_client_names(entry.raw)) {
+          EXPECT_TRUE(live.count(name) > 0)
+              << "checkpoint names '" << name << "' which is not a live client\n"
+              << entry.raw;
+        }
+      }
     } else if (entry.event == "join") {
       live.insert(unquote(journal_field(entry.raw, "client").value_or("")));
     } else if (entry.event == "leave" || entry.event == "evict" ||
-               entry.event == "join-abandoned") {
+               entry.event == "compliance-evict" || entry.event == "join-abandoned") {
       live.erase(unquote(journal_field(entry.raw, "client").value_or("")));
     } else if (entry.event == "reallocate") {
       for (const auto& name : reallocate_names(entry.raw)) {
@@ -390,6 +438,9 @@ Schedule make_schedule(std::uint64_t seed) {
         "registry.pause@site=claiming,us=" + std::to_string(rng.uniform_u64(450000)),
         "client.connect.fail@count=" + std::to_string(1 + rng.uniform_u64(3)),
         "client.heartbeat.suppress@count=" + std::to_string(rng.uniform_u64(9)),  // 0=unlimited
+        "client.ack.suppress@count=" + std::to_string(rng.uniform_u64(9)),  // 0=unlimited
+        "client.enact.stall@ms=" + std::to_string(1 + rng.uniform_u64(40)) + ",count=" +
+            std::to_string(1 + rng.uniform_u64(3)),
         "shm.tel.drop@count=" + std::to_string(1 + rng.uniform_u64(4)),
         "shm.tel.dup@count=" + std::to_string(1 + rng.uniform_u64(2)),
         "shm.tel.delay@ticks=1,count=" + std::to_string(1 + rng.uniform_u64(2)),
@@ -417,24 +468,46 @@ Schedule make_schedule(std::uint64_t seed) {
                       sweep_client_options(registry_name));
   if (!client.connect()) _exit(kExitNoConnect);
   std::uint64_t seq = 0;
+  std::uint64_t enacted_epoch = 0;
+  std::uint32_t enacted_target = agent::kUnconstrained;
   bool retried = false;
   const auto stop = std::chrono::steady_clock::now() +
                     std::chrono::microseconds(
                         static_cast<std::int64_t>(schedule.client_lifetime_s[which] * 1e6));
   while (std::chrono::steady_clock::now() < stop) {
     client.heartbeat();
+    // Enact first (this pop is where client.enact.stall wedges), then ack
+    // the newest epoch through telemetry so the compliance watchdog sees a
+    // well-behaved client unless a fault says otherwise.
+    while (auto cmd = client.channel()->pop_command()) {
+      if (cmd->epoch == 0) continue;
+      if (cmd->epoch > enacted_epoch) enacted_epoch = cmd->epoch;
+      if (cmd->type == agent::CommandType::kSetTotalThreads) {
+        enacted_target = cmd->total_threads;
+      } else if (cmd->type == agent::CommandType::kSetNodeThreads) {
+        enacted_target = 0;
+        for (std::uint32_t n = 0; n < cmd->node_count; ++n) {
+          enacted_target += cmd->node_threads[n];
+        }
+      } else if (cmd->type == agent::CommandType::kClearControls) {
+        enacted_target = agent::kUnconstrained;
+      }
+    }
     agent::Telemetry tel;
     tel.seq = ++seq;
-    tel.running_threads = 2;
+    tel.running_threads = enacted_target == agent::kUnconstrained ? 2 : enacted_target;
+    tel.enacted_epoch = enacted_epoch;
+    tel.enacted_target = enacted_target;
     client.channel()->push_telemetry(tel);
-    while (client.channel()->pop_command()) {
-    }
     if (!client.check_connection()) {
       // Evicted mid-run. Half the schedules immediately re-join — the
       // reconnect-during-evict path — the rest stop cleanly.
       if (!schedule.client_retry_on_loss[which] || retried) _exit(kExitLostSlot);
       retried = true;
       if (!client.reconnect()) _exit(kExitLostSlot);
+      // Fresh incarnation, fresh epoch space: never ack the old one's epochs.
+      enacted_epoch = 0;
+      enacted_target = agent::kUnconstrained;
     }
     std::this_thread::sleep_for(5ms);
   }

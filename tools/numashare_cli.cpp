@@ -214,7 +214,8 @@ int cmd_daemon_status(int argc, char** argv) {
               static_cast<unsigned long long>(header.generation.load()));
   std::printf("tick:       %llu\n\n", static_cast<unsigned long long>(header.tick.load()));
 
-  TextTable table({"slot", "state", "name", "pid", "ai", "heartbeat", "channel"});
+  TextTable table({"slot", "state", "name", "pid", "ai", "heartbeat", "health", "cmd/enacted",
+                   "drops c/t", "channel"});
   std::uint32_t active = 0;
   for (std::uint32_t i = 0; i < nsd::kMaxClients; ++i) {
     const auto& slot = registry->slot(i);
@@ -228,10 +229,18 @@ int cmd_daemon_status(int argc, char** argv) {
       case nsd::SlotState::kActive: state_name = "active"; ++active; break;
       case nsd::SlotState::kLeaving: state_name = "leaving"; break;
     }
+    // Compliance mirrors (daemon-written each tick): health state, the
+    // commanded-vs-enacted epoch pair the watchdog compares, and the
+    // channel's cross-process drop counters.
+    const auto health = static_cast<nsd::ClientHealth>(slot.health.load());
+    const std::string epochs = std::to_string(slot.commanded_epoch.load()) + "/" +
+                               std::to_string(slot.enacted_epoch.load());
+    const std::string drops = std::to_string(slot.commands_dropped.load()) + "/" +
+                              std::to_string(slot.telemetry_dropped.load());
     table.add_row({std::to_string(i), state_name,
                    std::string(slot.name, strnlen(slot.name, sizeof(slot.name))),
                    std::to_string(slot.pid.load()), fmt_compact(slot.advertised_ai.load(), 4),
-                   std::to_string(slot.heartbeat.load()),
+                   std::to_string(slot.heartbeat.load()), nsd::to_string(health), epochs, drops,
                    std::string(slot.channel_name,
                                strnlen(slot.channel_name, sizeof(slot.channel_name)))});
   }
