@@ -2,6 +2,16 @@
 // simulator as machine size and app count grow. Relevant to §IV's worry
 // that a "sophisticated, CPU-intensive scheduling algorithm" would itself
 // perturb the machine: these numbers bound the agent's own footprint.
+//
+// The search timed here is the streaming branch-and-bound engine
+// (docs/MODEL.md §7): it visits the same candidate family the old
+// materialize-then-evaluate search did, but prunes subtrees whose admissible
+// upper bound cannot beat the incumbent and solves each survivor through a
+// reusable allocation-free scratch. The `evals` counter reports the full
+// enumerated candidate count for scale; the engine itself typically solves
+// only a fraction of it. bench_alloc_scale (E18) extends this sweep to the
+// machine sizes where the brute force stops being runnable and records the
+// before/after trajectory in BENCH_model.json.
 #include "bench_support.hpp"
 #include "common/table.hpp"
 #include "core/optimizer.hpp"
@@ -65,8 +75,8 @@ void BM_ExhaustiveByCores(benchmark::State& state) {
         model::exhaustive_search(machine, apps, model::Objective::kTotalGflops, true, 1);
     benchmark::DoNotOptimize(result.objective_value);
   }
-  state.counters["evals"] = static_cast<double>(
-      model::enumerate_uniform(machine, 4, true, 1).size() + 24);
+  state.counters["evals"] =
+      static_cast<double>(model::count_candidates(machine, 4, true, 1));
 }
 BENCHMARK(BM_ExhaustiveByCores)->Arg(8)->Arg(12)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
 

@@ -1,20 +1,46 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_runtime.json emitted by bench_spawn.
+"""Validate the machine-readable bench artifacts.
 
-Checks the schema tag, the required top-level fields, and that every result
-row is well-formed (known unit, positive finite value, sane worker count).
-Used by the CI bench-smoke job so a refactor that silently breaks the JSON
-emitter fails the build rather than producing an unusable artifact.
+Two schemas share a family:
 
-Usage: check_bench_json.py BENCH_runtime.json [--require NAME ...]
+  * numashare-bench-runtime/1 — emitted by bench_spawn (task lifecycle);
+    rows are {name, workers, unit, value}.
+  * numashare-bench-model/1 — emitted by bench_alloc_scale (allocation-search
+    scaling); rows are {name, nodes, cores_per_node, apps, unit, value} and
+    the document carries a speedup `gate` object plus `peak_rss_kb`.
+
+The schema is dispatched from the document itself. Checks cover the schema
+tag, the required top-level fields, and that every result row is well-formed
+(known unit, positive finite value, sane dimensions). For the model schema a
+non-quick document must additionally have a measured, passing gate at the
+canonical 8x64x8 configuration with bounded peak RSS — so a committed
+BENCH_model.json that silently regressed the >=10x speedup (or started
+materializing the candidate set) fails CI rather than shipping.
+
+Usage: check_bench_json.py BENCH.json [--require NAME ...]
 """
 import argparse
 import json
 import math
 import sys
 
-SCHEMA = "numashare-bench-runtime/1"
-KNOWN_UNITS = {"tasks_per_sec", "ns_per_steal", "ns_median"}
+RUNTIME_SCHEMA = "numashare-bench-runtime/1"
+MODEL_SCHEMA = "numashare-bench-model/1"
+
+RUNTIME_UNITS = {"tasks_per_sec", "ns_per_steal", "ns_median"}
+MODEL_UNITS = {"us_per_search", "us_per_solve", "evals", "kb", "x"}
+
+RUNTIME_DEFAULT_REQUIRE = ["spawn_retire_external", "spawn_retire_nested", "steal_drain",
+                           "handoff_latency", "wait_idle_latency"]
+MODEL_DEFAULT_REQUIRE = ["solve", "solve_into", "search_before", "search_after",
+                         "search_speedup", "search_evals", "search_candidates",
+                         "refine", "peak_rss"]
+
+MODEL_GATE_CONFIG = {"nodes": 8, "cores_per_node": 64, "apps": 8}
+# peak_rss_kb snapshots the streaming-only phase (the brute-force reference
+# phase runs afterwards and may legitimately reach gigabytes): visiting
+# ~5.5e8 candidates must not grow the process past a flat baseline.
+MODEL_PEAK_RSS_LIMIT_KB = 512 * 1024
 
 
 def fail(msg: str) -> None:
@@ -22,15 +48,97 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def check_common(doc: dict) -> None:
+    for field, kind in (("bench", str), ("quick", bool), ("sanitized", bool),
+                        ("host_cpus", int), ("results", list)):
+        if not isinstance(doc.get(field), kind):
+            fail(f"field {field!r} missing or not a {kind.__name__}")
+    if not doc["results"]:
+        fail("results array is empty")
+
+
+def check_row_value(where: str, row: dict) -> None:
+    v = row.get("value")
+    if not isinstance(v, (int, float)):
+        fail(f"{where}: field 'value' missing or mistyped")
+    if not math.isfinite(float(v)) or float(v) <= 0:
+        fail(f"{where}: value {v} is not a positive finite number")
+
+
+def check_runtime(doc: dict) -> set:
+    names = set()
+    for i, r in enumerate(doc["results"]):
+        where = f"results[{i}]"
+        for field, kind in (("name", str), ("workers", int), ("unit", str)):
+            if not isinstance(r.get(field), kind):
+                fail(f"{where}: field {field!r} missing or mistyped")
+        if r["unit"] not in RUNTIME_UNITS:
+            fail(f"{where}: unknown unit {r['unit']!r}")
+        if not (0 < r["workers"] <= 1024):
+            fail(f"{where}: implausible worker count {r['workers']}")
+        check_row_value(where, r)
+        names.add(r["name"])
+    return names
+
+
+def check_model(doc: dict) -> set:
+    names = set()
+    for i, r in enumerate(doc["results"]):
+        where = f"results[{i}]"
+        for field, kind in (("name", str), ("nodes", int), ("cores_per_node", int),
+                            ("apps", int), ("unit", str)):
+            if not isinstance(r.get(field), kind):
+                fail(f"{where}: field {field!r} missing or mistyped")
+        if r["unit"] not in MODEL_UNITS:
+            fail(f"{where}: unknown unit {r['unit']!r}")
+        for dim in ("nodes", "cores_per_node", "apps"):
+            if not (0 < r[dim] <= 1024):
+                fail(f"{where}: implausible {dim} {r[dim]}")
+        check_row_value(where, r)
+        names.add(r["name"])
+
+    rss = doc.get("peak_rss_kb")
+    if not isinstance(rss, (int, float)) or not math.isfinite(float(rss)) or rss <= 0:
+        fail(f"peak_rss_kb {rss!r} is not a positive finite number")
+    if rss > MODEL_PEAK_RSS_LIMIT_KB:
+        fail(f"peak_rss_kb {rss} exceeds {MODEL_PEAK_RSS_LIMIT_KB} — the streaming "
+             "search must not materialize the candidate set")
+    full_rss = doc.get("peak_rss_full_kb")
+    if full_rss is not None and (not isinstance(full_rss, (int, float))
+                                 or not math.isfinite(float(full_rss)) or full_rss < rss):
+        fail(f"peak_rss_full_kb {full_rss!r} invalid or below the streaming snapshot")
+
+    gate = doc.get("gate")
+    if not isinstance(gate, dict):
+        fail("gate object missing")
+    for field, kind in (("nodes", int), ("cores_per_node", int), ("apps", int),
+                        ("measured", bool), ("before_us", (int, float)),
+                        ("after_us", (int, float)), ("speedup_x", (int, float)),
+                        ("required_x", (int, float)), ("before_estimated", bool),
+                        ("pass", bool)):
+        if not isinstance(gate.get(field), kind):
+            fail(f"gate field {field!r} missing or mistyped")
+    for dim, want in MODEL_GATE_CONFIG.items():
+        if gate[dim] != want:
+            fail(f"gate {dim} is {gate[dim]}, expected {want}")
+    if not doc["quick"]:
+        # A full (committed) run must actually clear the speedup gate.
+        if not gate["measured"]:
+            fail("full run did not measure the gate configuration")
+        if not gate["pass"]:
+            fail(f"gate failed: speedup {gate['speedup_x']}x < required {gate['required_x']}x")
+        if gate["speedup_x"] < gate["required_x"]:
+            fail(f"gate pass flag inconsistent with speedup {gate['speedup_x']}x")
+    return names
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("path")
     parser.add_argument(
-        "--require",
-        nargs="*",
-        default=["spawn_retire_external", "spawn_retire_nested", "steal_drain",
-                 "handoff_latency", "wait_idle_latency"],
-        help="result names that must each appear at least once",
+        "--require", nargs="*", default=None,
+        help="result names that must each appear at least once "
+             "(defaults depend on the document's schema)",
     )
     args = parser.parse_args()
 
@@ -40,38 +148,24 @@ def main() -> None:
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {args.path}: {e}")
 
-    if doc.get("schema") != SCHEMA:
-        fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
-    for field, kind in (("bench", str), ("quick", bool), ("sanitized", bool),
-                        ("host_cpus", int), ("results", list)):
-        if not isinstance(doc.get(field), kind):
-            fail(f"field {field!r} missing or not a {kind.__name__}")
+    schema = doc.get("schema")
+    if schema == RUNTIME_SCHEMA:
+        check_common(doc)
+        names = check_runtime(doc)
+        required = RUNTIME_DEFAULT_REQUIRE if args.require is None else args.require
+    elif schema == MODEL_SCHEMA:
+        check_common(doc)
+        names = check_model(doc)
+        required = MODEL_DEFAULT_REQUIRE if args.require is None else args.require
+    else:
+        fail(f"schema is {schema!r}, expected {RUNTIME_SCHEMA!r} or {MODEL_SCHEMA!r}")
 
-    results = doc["results"]
-    if not results:
-        fail("results array is empty")
-    names = set()
-    for i, r in enumerate(results):
-        where = f"results[{i}]"
-        for field, kind in (("name", str), ("workers", int), ("unit", str),
-                            ("value", (int, float))):
-            if not isinstance(r.get(field), kind):
-                fail(f"{where}: field {field!r} missing or mistyped")
-        if r["unit"] not in KNOWN_UNITS:
-            fail(f"{where}: unknown unit {r['unit']!r}")
-        if not (0 < r["workers"] <= 1024):
-            fail(f"{where}: implausible worker count {r['workers']}")
-        v = float(r["value"])
-        if not math.isfinite(v) or v <= 0:
-            fail(f"{where}: value {r['value']} is not a positive finite number")
-        names.add(r["name"])
-
-    missing = [n for n in args.require if n not in names]
+    missing = [n for n in required if n not in names]
     if missing:
         fail(f"required result names absent: {', '.join(missing)}")
 
     print(f"check_bench_json: OK: {args.path} "
-          f"({len(results)} results, quick={doc['quick']}, "
+          f"({len(doc['results'])} results, schema={schema}, quick={doc['quick']}, "
           f"sanitized={doc['sanitized']})")
 
 

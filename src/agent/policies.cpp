@@ -157,10 +157,12 @@ std::vector<Directive> ModelGuidedPolicy::decide(const topo::Machine& machine,
 
   std::vector<model::AppSpec> specs;
   specs.reserve(views.size());
+  std::vector<std::uint32_t> homes(views.size(), kMaxNodes);
   for (std::size_t a = 0; a < views.size(); ++a) {
     const auto home = views[a].latest.data_home_node;
     if (home < machine.node_count()) {
       specs.push_back(model::AppSpec::numa_bad(views[a].name, ai[a], home));
+      homes[a] = home;
     } else {
       specs.push_back(model::AppSpec::numa_perfect(views[a].name, ai[a]));
     }
@@ -179,10 +181,40 @@ std::vector<Directive> ModelGuidedPolicy::decide(const topo::Machine& machine,
     }
   }
 
+  // A tick is "non-structural" when the problem only moved a little: same
+  // membership (enforced by on_membership_change), same advertised homes, no
+  // administrative caps or placement co-optimization, and every AI within
+  // the structural-drift band of the last *full* search. Those ticks refine
+  // the previous allocation with a seeded hill-climb instead of re-running
+  // the full pruned enumeration.
+  bool refine = options_.incremental_refine && last_allocation_.has_value() &&
+                caps.empty() && !options_.advise_data_placement && last_homes_ == homes &&
+                last_full_ai_.size() == ai.size() &&
+                last_allocation_->app_count() == views.size() &&
+                last_allocation_->node_count() == machine.node_count();
+  if (refine) {
+    for (std::size_t a = 0; a < ai.size(); ++a) {
+      if (std::abs(ai[a] - last_full_ai_[a]) >
+          options_.structural_ai_drift * last_full_ai_[a]) {
+        refine = false;
+        break;
+      }
+    }
+  }
+
   model::Allocation allocation;
   double predicted = 0.0;
   std::vector<std::uint32_t> suggested_home(views.size(), kMaxNodes);
-  if (options_.advise_data_placement && caps.empty()) {
+  if (refine) {
+    model::RefineOptions refine_options;
+    refine_options.objective = options_.objective;
+    refine_options.churn_penalty = options_.churn_penalty;
+    refine_options.min_threads_per_app = options_.min_threads_per_app;
+    auto result = model::refine_search(machine, specs, *last_allocation_, refine_options);
+    allocation = result.allocation;
+    predicted = result.solution.total_gflops;
+    last_search_kind_ = SearchKind::kRefine;
+  } else if (options_.advise_data_placement && caps.empty()) {
     auto joint = model::advise_joint(machine, specs, options_.objective,
                                      options_.min_threads_per_app);
     allocation = joint.allocation;
@@ -193,14 +225,19 @@ std::vector<Directive> ModelGuidedPolicy::decide(const topo::Machine& machine,
         suggested_home[a] = joint.apps[a].home_node;
       }
     }
+    last_full_ai_ = ai;
+    last_search_kind_ = SearchKind::kFull;
   } else {
     auto result = model::exhaustive_search(machine, specs, options_.objective,
                                            /*require_full=*/true,
                                            options_.min_threads_per_app, caps);
     allocation = result.allocation;
     predicted = result.solution.total_gflops;
+    last_full_ai_ = ai;
+    last_search_kind_ = SearchKind::kFull;
   }
   last_ai_ = ai;
+  last_homes_ = homes;
   last_allocation_ = allocation;
   NS_LOG_INFO("agent", "model-guided allocation: {} ({} GFLOPS predicted)",
               allocation.to_string(), predicted);

@@ -106,11 +106,29 @@ struct ModelGuidedOptions {
   /// kSuggestDataHome suggestions for NUMA-bad apps whose advertised home
   /// differs from the recommended one.
   bool advise_data_placement = false;
+  /// Incremental re-optimization: on a non-structural tick (same membership
+  /// and advertised data homes, no administrative caps, no placement
+  /// co-optimization, and every AI within structural_ai_drift of the last
+  /// full search) seed model::refine_search from the previous allocation
+  /// instead of re-running the full pruned search. Off by default — the full
+  /// search is the reference behavior; large machines turn this on to keep
+  /// the steady-state tick near the cost of a single hill-climb.
+  bool incremental_refine = false;
+  /// Relative AI drift (vs the AI vector of the last *full* search) beyond
+  /// which a tick counts as structural and falls back to the full search.
+  double structural_ai_drift = 0.5;
+  /// Churn penalty handed to refine_search (relative to the seed objective):
+  /// biases incremental moves toward staying near the enacted allocation.
+  double churn_penalty = 0.0;
 };
 
 class ModelGuidedPolicy final : public Policy {
  public:
   using Options = ModelGuidedOptions;
+  /// Which engine produced the last issued directives (observability for
+  /// tests and status tooling).
+  enum class SearchKind { kNone, kFull, kRefine };
+
   explicit ModelGuidedPolicy(ModelGuidedOptions options = {}) : options_(options) {}
 
   const char* name() const override { return "model-guided"; }
@@ -118,16 +136,23 @@ class ModelGuidedPolicy final : public Policy {
                                 const std::vector<AppView>& views) override;
   void on_membership_change() override {
     last_ai_.clear();
+    last_full_ai_.clear();
+    last_homes_.clear();
     last_allocation_.reset();
+    last_search_kind_ = SearchKind::kNone;
   }
 
   /// The allocation behind the last issued directives (empty before then).
   const std::optional<model::Allocation>& last_allocation() const { return last_allocation_; }
+  SearchKind last_search_kind() const { return last_search_kind_; }
 
  private:
   ModelGuidedOptions options_;
   std::vector<double> last_ai_;
+  std::vector<double> last_full_ai_;          // AI vector at the last full search
+  std::vector<std::uint32_t> last_homes_;     // advertised homes behind the last decision
   std::optional<model::Allocation> last_allocation_;
+  SearchKind last_search_kind_ = SearchKind::kNone;
 };
 
 }  // namespace numashare::agent

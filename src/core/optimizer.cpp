@@ -43,6 +43,12 @@ const char* to_string(Objective objective) {
 
 namespace {
 
+GFlops node_core_peak(const topo::Machine& machine, topo::NodeId node) {
+  const auto& n = machine.node(node);
+  NS_ASSERT(!n.cores.empty());
+  return machine.core(n.cores.front()).peak_gflops;
+}
+
 void compose(std::uint32_t apps_left, std::uint32_t budget, bool require_full,
              std::uint32_t min_per_app, std::vector<std::uint32_t>& current,
              std::vector<std::vector<std::uint32_t>>& out) {
@@ -73,30 +79,34 @@ void compose(std::uint32_t apps_left, std::uint32_t budget, bool require_full,
 /// the last node down, then re-grant exactly the freed capacity (same nodes)
 /// to apps still under their caps, round-robin. Keeps the per-node core
 /// budget intact and leaves cores idle only when *every* app is capped out.
+/// Per-app totals are computed once up front and maintained through the
+/// shave and re-grant passes (they used to be recomputed O(nodes) inside the
+/// grant loops, which was quadratic in the machine size).
 void apply_caps(const topo::Machine& machine, Allocation& alloc,
-                const std::vector<std::uint32_t>& caps) {
+                const std::vector<std::uint32_t>& caps, std::vector<std::uint32_t>& totals,
+                std::vector<std::uint32_t>& freed) {
   const auto apps_n = static_cast<AppId>(caps.size());
-  const auto app_total = [&](AppId a) {
-    std::uint32_t total = 0;
-    for (topo::NodeId n = 0; n < machine.node_count(); ++n) total += alloc.threads(a, n);
-    return total;
-  };
-  std::vector<std::uint32_t> freed(machine.node_count(), 0);
+  const auto nodes_n = machine.node_count();
+  totals.assign(apps_n, 0);
   for (AppId a = 0; a < apps_n; ++a) {
-    std::uint32_t total = app_total(a);
-    for (topo::NodeId n = machine.node_count(); total > caps[a] && n > 0; --n) {
-      const std::uint32_t cut = std::min(alloc.threads(a, n - 1), total - caps[a]);
+    for (topo::NodeId n = 0; n < nodes_n; ++n) totals[a] += alloc.threads(a, n);
+  }
+  freed.assign(nodes_n, 0);
+  for (AppId a = 0; a < apps_n; ++a) {
+    for (topo::NodeId n = nodes_n; totals[a] > caps[a] && n > 0; --n) {
+      const std::uint32_t cut = std::min(alloc.threads(a, n - 1), totals[a] - caps[a]);
       alloc.set_threads(a, n - 1, alloc.threads(a, n - 1) - cut);
       freed[n - 1] += cut;
-      total -= cut;
+      totals[a] -= cut;
     }
   }
-  for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
+  for (topo::NodeId n = 0; n < nodes_n; ++n) {
     while (freed[n] > 0) {
       bool granted = false;
       for (AppId a = 0; a < apps_n && freed[n] > 0; ++a) {
-        if (app_total(a) >= caps[a]) continue;
+        if (totals[a] >= caps[a]) continue;
         alloc.set_threads(a, n, alloc.threads(a, n) + 1);
+        ++totals[a];
         --freed[n];
         granted = true;
       }
@@ -105,16 +115,498 @@ void apply_caps(const topo::Machine& machine, Allocation& alloc,
   }
 }
 
+void apply_caps(const topo::Machine& machine, Allocation& alloc,
+                const std::vector<std::uint32_t>& caps) {
+  std::vector<std::uint32_t> totals;
+  std::vector<std::uint32_t> freed;
+  apply_caps(machine, alloc, caps, totals, freed);
+}
+
+std::uint32_t smallest_node_cores(const topo::Machine& machine) {
+  std::uint32_t min_cores = machine.cores_in_node(0);
+  for (topo::NodeId n = 1; n < machine.node_count(); ++n) {
+    min_cores = std::min(min_cores, machine.cores_in_node(n));
+  }
+  return min_cores;
+}
+
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+/// C(n, k), saturating at UINT64_MAX. Exact while the running product fits:
+/// r * (n - k + i) is computed before the exact division by i.
+std::uint64_t binomial_capped(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    const std::uint64_t factor = n - k + i;
+    if (r > std::numeric_limits<std::uint64_t>::max() / factor) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    r = r * factor / i;
+  }
+  return r;
+}
+
+/// Admissible per-app upper bounds for the uniform family (see
+/// docs/MODEL.md "Search cost and pruning"). With uniform count c an app's
+/// GFLOPS cannot exceed min(c * slope, flat[a]) where
+///   slope   = sum over nodes of the per-core compute peak (every app shares
+///             the same slope because the peak is a node property), and
+///   flat[a] = the app's bandwidth roofline (all controllers for
+///             NUMA-perfect placement, the home controller for NUMA-bad)
+///             intersected with its Amdahl ceiling when it has a serial
+///             fraction.
+struct SearchBounds {
+  double slope = 0.0;
+  std::vector<double> flat;
+  std::vector<double> suffix_flat;  // suffix sums of flat, size apps + 1
+};
+
+SearchBounds make_search_bounds(const topo::Machine& machine, const std::vector<AppSpec>& apps) {
+  SearchBounds b;
+  const auto nodes_n = machine.node_count();
+  double total_bw = 0.0;
+  for (topo::NodeId m = 0; m < nodes_n; ++m) {
+    b.slope += node_core_peak(machine, m);
+    total_bw += machine.node(m).memory_bandwidth;
+  }
+  b.flat.resize(apps.size());
+  b.suffix_flat.assign(apps.size() + 1, 0.0);
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const auto& app = apps[a];
+    if (app.placement == Placement::kNumaBad) {
+      NS_REQUIRE(app.home_node < nodes_n, "NUMA-bad home node out of range");
+    }
+    double f = app.placement == Placement::kNumaBad
+                   ? machine.node(app.home_node).memory_bandwidth * app.ai
+                   : total_bw * app.ai;
+    if (app.serial_fraction > 0.0) {
+      // Amdahl: capped at thread-weighted mean peak x effective threads;
+      // for uniform counts the mean is slope / nodes and eff(T) < 1/sigma.
+      f = std::min(f, (b.slope / nodes_n) / app.serial_fraction);
+    }
+    b.flat[a] = f;
+  }
+  for (std::size_t a = apps.size(); a-- > 0;) {
+    b.suffix_flat[a] = b.suffix_flat[a + 1] + b.flat[a];
+  }
+  return b;
+}
+
+/// Streaming branch-and-bound over the uniform family plus node
+/// permutations. Candidates are visited in exactly the order the reference
+/// enumeration materializes them (counts ascending per app; permutations in
+/// std::next_permutation order after the uniform family) and the incumbent
+/// is replaced only on strict improvement, so any subtree cut by an
+/// *admissible* bound cannot change the winner: the two engines return
+/// bitwise-identical objective values and allocations.
+struct StreamSearch {
+  const topo::Machine& machine;
+  const std::vector<AppSpec>& apps;
+  Objective objective;
+  bool require_full;
+  std::uint32_t min_per_app;
+  const std::vector<std::uint32_t>& caps;
+
+  std::uint32_t apps_n = 0;
+  std::uint32_t nodes_n = 0;
+  std::uint32_t budget = 0;
+  /// Caps disable pruning: the post-cap re-grant can hand a candidate's
+  /// shaved threads to a *different* app, so pre-cap per-app bounds are not
+  /// admissible for the capped allocation. The enumeration still streams
+  /// (nothing is materialized) and evaluates every candidate, which is what
+  /// the reference engine does too.
+  bool prune_enabled = true;
+
+  SearchBounds bounds;
+  Allocation workspace;  // the uniform candidate under construction, mutated in place
+  Allocation capped;     // caps-applied copy of the workspace
+  std::vector<std::uint32_t> cap_totals;
+  std::vector<std::uint32_t> cap_freed;
+  SolveScratch eval_scratch;   // full candidate evaluations
+  SolveScratch bound_scratch;  // partial-prefix bound solves
+
+  SearchResult best;
+
+  StreamSearch(const topo::Machine& machine_, const std::vector<AppSpec>& apps_,
+               Objective objective_, bool require_full_, std::uint32_t min_per_app_,
+               const std::vector<std::uint32_t>& caps_)
+      : machine(machine_),
+        apps(apps_),
+        objective(objective_),
+        require_full(require_full_),
+        min_per_app(min_per_app_),
+        caps(caps_) {
+    apps_n = static_cast<std::uint32_t>(apps.size());
+    nodes_n = machine.node_count();
+    budget = smallest_node_cores(machine);
+    prune_enabled = caps.empty();
+    if (prune_enabled) bounds = make_search_bounds(machine, apps);
+    workspace = Allocation(apps_n, nodes_n);
+    best.objective_value = -std::numeric_limits<double>::infinity();
+  }
+
+  double app_ub(std::uint32_t a, std::uint32_t c) const {
+    return std::min(static_cast<double>(c) * bounds.slope, bounds.flat[a]);
+  }
+
+  /// Admissible upper bound on every completion once apps [0, next_app) are
+  /// assigned, from the prefix accumulators (pt: sum, pm: min, pl: log-sum
+  /// — each already a valid bound on the assigned apps' final throughput)
+  /// plus a fractional-relaxation bound on the unassigned tail sharing the
+  /// `remaining` per-node budget.
+  double combine_bound(double pt, double pm, double pl, std::uint32_t next_app,
+                       std::uint32_t remaining) const {
+    const std::uint32_t tail_n = apps_n - next_app;
+    switch (objective) {
+      case Objective::kTotalGflops:
+        return pt + (tail_n == 0 ? 0.0
+                                 : std::min(static_cast<double>(remaining) * bounds.slope,
+                                            bounds.suffix_flat[next_app]));
+      case Objective::kMinAppGflops:
+        // Tail apps can only lower the minimum, never raise it.
+        return pm;
+      case Objective::kProportionalFairness: {
+        double out = pl;
+        if (tail_n > 0) {
+          // Any single tail app can take at most the remaining budget minus
+          // the minima its peers still need.
+          const double cmax = static_cast<double>(remaining) -
+                              static_cast<double>(min_per_app) * (tail_n - 1);
+          for (std::uint32_t b = next_app; b < apps_n; ++b) {
+            out += std::log(std::max(std::min(cmax * bounds.slope, bounds.flat[b]), 1e-12));
+          }
+        }
+        return out;
+      }
+    }
+    NS_ASSERT_MSG(false, "unknown objective");
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// True when the (admissible) bound proves nothing in the subtree can
+  /// strictly beat the incumbent. The margin absorbs floating-point noise in
+  /// the bound arithmetic — pruning must never fire on a rounding hair.
+  bool cuttable(double bound) const {
+    return bound + 1e-9 * std::abs(bound) + 1e-12 <= best.objective_value;
+  }
+
+  void set_row(std::uint32_t a, std::uint32_t c) {
+    for (topo::NodeId n = 0; n < nodes_n; ++n) workspace.set_threads(a, n, c);
+  }
+
+  void evaluate_current() {
+    const Allocation* candidate = &workspace;
+    if (!caps.empty()) {
+      capped = workspace;
+      apply_caps(machine, capped, caps, cap_totals, cap_freed);
+      candidate = &capped;
+    }
+    const Solution& solution = solve_into(machine, apps, *candidate, eval_scratch);
+    ++best.evaluated;
+    const double value = score(solution, objective);
+    if (value > best.objective_value) {
+      best.objective_value = value;
+      best.allocation = *candidate;
+      best.solution = solution;
+    }
+  }
+
+  void leaf(std::uint32_t remaining, double pt, double pm, double pl) {
+    const std::uint32_t a = apps_n - 1;
+    if (remaining < min_per_app) return;
+    const std::uint32_t c_lo = require_full ? remaining : min_per_app;
+    for (std::uint32_t c = c_lo; c <= remaining; ++c) {
+      ++best.visited;
+      if (prune_enabled) {
+        const double ub = app_ub(a, c);
+        double bound = 0.0;
+        switch (objective) {
+          case Objective::kTotalGflops: bound = pt + ub; break;
+          case Objective::kMinAppGflops: bound = std::min(pm, ub); break;
+          case Objective::kProportionalFairness:
+            bound = pl + std::log(std::max(ub, 1e-12));
+            break;
+        }
+        if (cuttable(bound)) {
+          ++best.pruned;
+          continue;
+        }
+      }
+      set_row(a, c);
+      evaluate_current();
+      set_row(a, 0);
+    }
+  }
+
+  void descend(std::uint32_t a, std::uint32_t remaining, double pt, double pm, double pl) {
+    if (a + 1 == apps_n) {
+      leaf(remaining, pt, pm, pl);
+      return;
+    }
+    const std::uint32_t tail_after = apps_n - a - 1;  // apps assigned after this one
+    for (std::uint32_t c = min_per_app; c <= remaining; ++c) {
+      const std::uint32_t rem_after = remaining - c;
+      // Subtrees whose tail cannot reach min_per_app each contain no
+      // candidates; counts only grow with c, so stop the scan here.
+      if (static_cast<std::uint64_t>(min_per_app) * tail_after > rem_after) break;
+      double cpt = 0.0;
+      double cpm = 0.0;
+      double cpl = 0.0;
+      if (prune_enabled) {
+        const double ub = app_ub(a, c);
+        cpt = pt + ub;
+        cpm = std::min(pm, ub);
+        cpl = pl + std::log(std::max(ub, 1e-12));
+        if (cuttable(combine_bound(cpt, cpm, cpl, a + 1, rem_after))) {
+          ++best.pruned;
+          continue;
+        }
+      }
+      set_row(a, c);
+      if (prune_enabled && tail_after >= 2) {
+        // Tighten the prefix accumulators with an exact partial solve: the
+        // model run on the prefix alone (tail rows zero). Removing apps only
+        // frees bandwidth for the ones that remain, so each assigned app's
+        // partial throughput upper-bounds its throughput in any completion.
+        const Solution& partial = solve_into(machine, apps, workspace, bound_scratch);
+        ++best.bound_solves;
+        double p_total = partial.total_gflops;
+        double p_min = std::numeric_limits<double>::infinity();
+        double p_log = 0.0;
+        for (std::uint32_t p = 0; p <= a; ++p) {
+          p_min = std::min(p_min, partial.app_gflops[p]);
+          p_log += std::log(std::max(partial.app_gflops[p], 1e-12));
+        }
+        cpt = std::min(cpt, p_total);
+        cpm = std::min(cpm, p_min);
+        cpl = std::min(cpl, p_log);
+        if (cuttable(combine_bound(cpt, cpm, cpl, a + 1, rem_after))) {
+          ++best.pruned;
+          set_row(a, 0);
+          continue;
+        }
+      }
+      descend(a + 1, rem_after, cpt, cpm, cpl);
+      set_row(a, 0);
+    }
+  }
+
+  void permutations() {
+    std::vector<topo::NodeId> order(nodes_n);
+    std::iota(order.begin(), order.end(), 0u);
+    do {
+      ++best.visited;
+      // A node-per-app allocation duplicates a uniform-family candidate iff
+      // every app's row is node-constant. With >= 1 core per node that
+      // requires a single-node machine; the general check keeps the dedup
+      // exact either way (the uniform family always contains the single-node
+      // whole-machine candidate).
+      bool duplicate = true;
+      for (std::uint32_t a = 0; a < apps_n && duplicate; ++a) {
+        const std::uint32_t first =
+            order[a] == 0 ? machine.cores_in_node(order[a]) : 0;
+        for (topo::NodeId n = 1; n < nodes_n; ++n) {
+          const std::uint32_t cell = order[a] == n ? machine.cores_in_node(order[a]) : 0;
+          if (cell != first) {
+            duplicate = false;
+            break;
+          }
+        }
+      }
+      if (duplicate && nodes_n >= 1) {
+        ++best.deduped;
+        continue;
+      }
+      for (std::uint32_t a = 0; a < apps_n; ++a) {
+        workspace.set_threads(a, order[a], machine.cores_in_node(order[a]));
+      }
+      evaluate_current();
+      for (std::uint32_t a = 0; a < apps_n; ++a) {
+        workspace.set_threads(a, order[a], 0);
+      }
+    } while (std::next_permutation(order.begin(), order.end()));
+  }
+
+  SearchResult run() {
+    descend(0, budget, 0.0, std::numeric_limits<double>::infinity(), 0.0);
+    // Node permutations hand each app a full node, so they satisfy any
+    // per-app minimum and are always admissible when counts line up.
+    if (apps_n == nodes_n) permutations();
+    NS_REQUIRE(best.evaluated > 0, "no candidate allocations");
+    return std::move(best);
+  }
+};
+
+SearchResult climb(const topo::Machine& machine, const std::vector<AppSpec>& apps,
+                   const Allocation& start, Objective objective, std::uint32_t max_rounds,
+                   double min_relative_gain, double churn_penalty_rel,
+                   const Allocation* churn_seed, std::uint32_t min_app_total) {
+  SolveScratch eval;
+  SearchResult best;
+  best.allocation = start;
+  best.solution = solve_into(machine, apps, start, eval);
+  best.evaluated = 1;
+  best.objective_value = score(best.solution, objective);
+
+  const auto apps_n = static_cast<AppId>(apps.size());
+  const auto nodes_n = machine.node_count();
+
+  Allocation current = start;  // mutated per candidate move, restored after
+  std::vector<std::uint32_t> totals(apps_n, 0);
+  for (AppId a = 0; a < apps_n; ++a) {
+    for (topo::NodeId n = 0; n < nodes_n; ++n) totals[a] += current.threads(a, n);
+  }
+
+  const bool penalized = churn_seed != nullptr && churn_penalty_rel > 0.0;
+  const double per_unit = penalized ? churn_penalty_rel * std::abs(best.objective_value) : 0.0;
+  std::int64_t churn = 0;  // L1 distance of the incumbent from the seed
+  if (penalized) {
+    for (AppId a = 0; a < apps_n; ++a) {
+      for (topo::NodeId n = 0; n < nodes_n; ++n) {
+        churn += std::abs(static_cast<std::int64_t>(current.threads(a, n)) -
+                          static_cast<std::int64_t>(churn_seed->threads(a, n)));
+      }
+    }
+  }
+  double incumbent_ranked =
+      best.objective_value - per_unit * static_cast<double>(churn);
+
+  struct Move {
+    enum class Kind : std::uint8_t { kAdd, kDrop, kShift };
+    Kind kind = Kind::kAdd;
+    AppId a = 0;
+    AppId b = 0;  // shift target
+    topo::NodeId n = 0;
+  };
+
+  const auto cell_delta = [&](AppId a, topo::NodeId n, std::int32_t d) -> std::int64_t {
+    const auto cur = static_cast<std::int64_t>(current.threads(a, n));
+    const auto seed = static_cast<std::int64_t>(churn_seed->threads(a, n));
+    return std::abs(cur + d - seed) - std::abs(cur - seed);
+  };
+  const auto move_delta = [&](const Move& m) -> std::int64_t {
+    if (!penalized) return 0;
+    switch (m.kind) {
+      case Move::Kind::kAdd: return cell_delta(m.a, m.n, +1);
+      case Move::Kind::kDrop: return cell_delta(m.a, m.n, -1);
+      case Move::Kind::kShift: return cell_delta(m.a, m.n, -1) + cell_delta(m.b, m.n, +1);
+    }
+    return 0;
+  };
+  const auto do_move = [&](const Move& m) {
+    switch (m.kind) {
+      case Move::Kind::kAdd:
+        current.set_threads(m.a, m.n, current.threads(m.a, m.n) + 1);
+        ++totals[m.a];
+        break;
+      case Move::Kind::kDrop:
+        current.set_threads(m.a, m.n, current.threads(m.a, m.n) - 1);
+        --totals[m.a];
+        break;
+      case Move::Kind::kShift:
+        current.set_threads(m.a, m.n, current.threads(m.a, m.n) - 1);
+        current.set_threads(m.b, m.n, current.threads(m.b, m.n) + 1);
+        --totals[m.a];
+        ++totals[m.b];
+        break;
+    }
+  };
+  const auto undo_move = [&](const Move& m) {
+    switch (m.kind) {
+      case Move::Kind::kAdd:
+        current.set_threads(m.a, m.n, current.threads(m.a, m.n) - 1);
+        --totals[m.a];
+        break;
+      case Move::Kind::kDrop:
+        current.set_threads(m.a, m.n, current.threads(m.a, m.n) + 1);
+        ++totals[m.a];
+        break;
+      case Move::Kind::kShift:
+        current.set_threads(m.a, m.n, current.threads(m.a, m.n) + 1);
+        current.set_threads(m.b, m.n, current.threads(m.b, m.n) - 1);
+        ++totals[m.a];
+        --totals[m.b];
+        break;
+    }
+  };
+
+  Solution round_best_solution;
+  for (std::uint32_t round = 0; round < max_rounds; ++round) {
+    double round_best_ranked = incumbent_ranked;
+    double round_best_raw = best.objective_value;
+    Move round_best_move;
+    std::int64_t round_best_delta = 0;
+    bool improved = false;
+
+    const auto consider = [&](const Move& m) {
+      const std::int64_t delta = move_delta(m);
+      do_move(m);
+      const Solution& solution = solve_into(machine, apps, current, eval);
+      ++best.evaluated;
+      const double raw = score(solution, objective);
+      const double ranked = penalized ? raw - per_unit * static_cast<double>(churn + delta) : raw;
+      const double threshold =
+          round_best_ranked + std::abs(round_best_ranked) * min_relative_gain + 1e-15;
+      if (ranked > threshold) {
+        round_best_ranked = ranked;
+        round_best_raw = raw;
+        round_best_move = m;
+        round_best_delta = delta;
+        round_best_solution = solution;
+        improved = true;
+      }
+      undo_move(m);
+    };
+
+    for (topo::NodeId n = 0; n < nodes_n; ++n) {
+      const std::uint32_t used = current.node_total(n);
+      for (AppId a = 0; a < apps_n; ++a) {
+        const std::uint32_t have = current.threads(a, n);
+        // Add a thread on a free core.
+        if (used < machine.cores_in_node(n)) {
+          consider({Move::Kind::kAdd, a, a, n});
+        }
+        if (have == 0) continue;
+        const bool may_shrink = totals[a] > min_app_total;
+        // Drop a thread (helps sub-linear-scaling mixes).
+        if (may_shrink) {
+          consider({Move::Kind::kDrop, a, a, n});
+        }
+        // Shift a thread to another app on the same node.
+        if (may_shrink) {
+          for (AppId b = 0; b < apps_n; ++b) {
+            if (b == a) continue;
+            consider({Move::Kind::kShift, a, b, n});
+          }
+        }
+      }
+    }
+
+    if (!improved) break;
+    do_move(round_best_move);
+    churn += round_best_delta;
+    incumbent_ranked = round_best_ranked;
+    best.allocation = current;
+    best.solution = round_best_solution;
+    best.objective_value = round_best_raw;
+  }
+  return best;
+}
+
 }  // namespace
 
 std::vector<Allocation> enumerate_uniform(const topo::Machine& machine, std::uint32_t apps,
                                           bool require_full,
                                           std::uint32_t min_threads_per_app) {
   NS_REQUIRE(apps > 0, "need at least one app");
-  std::uint32_t min_cores = machine.cores_in_node(0);
-  for (topo::NodeId n = 1; n < machine.node_count(); ++n) {
-    min_cores = std::min(min_cores, machine.cores_in_node(n));
-  }
+  const std::uint32_t min_cores = smallest_node_cores(machine);
   NS_REQUIRE(min_threads_per_app * apps <= min_cores,
              "min_threads_per_app infeasible on the smallest node");
   std::vector<std::vector<std::uint32_t>> compositions;
@@ -139,23 +631,54 @@ std::vector<Allocation> enumerate_node_permutations(const topo::Machine& machine
   return out;
 }
 
+std::uint64_t count_candidates(const topo::Machine& machine, std::uint32_t apps,
+                               bool require_full, std::uint32_t min_threads_per_app) {
+  NS_REQUIRE(apps > 0, "need at least one app");
+  const std::uint32_t budget = smallest_node_cores(machine);
+  min_threads_per_app = std::min(min_threads_per_app, budget / apps);
+  // Stars and bars on the slack left after every app takes its minimum:
+  // compositions summing exactly to the budget (require_full) or to at most
+  // the budget (one extra "idle" bin).
+  const std::uint64_t slack = budget - static_cast<std::uint64_t>(min_threads_per_app) * apps;
+  std::uint64_t n = require_full ? binomial_capped(slack + apps - 1, apps - 1)
+                                 : binomial_capped(slack + apps, apps);
+  if (apps == machine.node_count()) {
+    std::uint64_t perms = 1;
+    for (std::uint32_t k = 2; k <= machine.node_count(); ++k) {
+      perms = saturating_mul(perms, k);
+    }
+    n += perms;  // node-permutation family
+    if (n < perms) n = std::numeric_limits<std::uint64_t>::max();
+  }
+  return n;
+}
+
 SearchResult exhaustive_search(const topo::Machine& machine, const std::vector<AppSpec>& apps,
                                Objective objective, bool require_full,
                                std::uint32_t min_threads_per_app,
                                const std::vector<std::uint32_t>& caps) {
+  NS_REQUIRE(!apps.empty(), "need at least one app");
   NS_REQUIRE(caps.empty() || caps.size() == apps.size(),
              "caps must be empty or one per app");
   // Clamp an infeasible per-app minimum (more apps than cores per node)
   // rather than refusing: policies run against whatever machine they find.
-  std::uint32_t min_cores = machine.cores_in_node(0);
-  for (topo::NodeId n = 1; n < machine.node_count(); ++n) {
-    min_cores = std::min(min_cores, machine.cores_in_node(n));
-  }
+  const std::uint32_t min_cores = smallest_node_cores(machine);
+  const auto apps_n = static_cast<std::uint32_t>(apps.size());
+  min_threads_per_app = std::min(min_threads_per_app, min_cores / std::max(1u, apps_n));
+  StreamSearch search(machine, apps, objective, require_full, min_threads_per_app, caps);
+  return search.run();
+}
+
+SearchResult exhaustive_search_reference(const topo::Machine& machine,
+                                         const std::vector<AppSpec>& apps, Objective objective,
+                                         bool require_full, std::uint32_t min_threads_per_app,
+                                         const std::vector<std::uint32_t>& caps) {
+  NS_REQUIRE(caps.empty() || caps.size() == apps.size(),
+             "caps must be empty or one per app");
+  const std::uint32_t min_cores = smallest_node_cores(machine);
   const auto apps_n = static_cast<std::uint32_t>(apps.size());
   min_threads_per_app = std::min(min_threads_per_app, min_cores / std::max(1u, apps_n));
   auto candidates = enumerate_uniform(machine, apps_n, require_full, min_threads_per_app);
-  // Node permutations hand each app a full node, so they satisfy any
-  // per-app minimum and are always admissible when counts line up.
   if (apps.size() == machine.node_count()) {
     auto perms = enumerate_node_permutations(machine);
     candidates.insert(candidates.end(), perms.begin(), perms.end());
@@ -170,6 +693,7 @@ SearchResult exhaustive_search(const topo::Machine& machine, const std::vector<A
   for (const auto& candidate : candidates) {
     Solution solution = solve(machine, apps, candidate);
     ++best.evaluated;
+    ++best.visited;
     const double value = score(solution, objective);
     if (value > best.objective_value) {
       best.objective_value = value;
@@ -184,69 +708,18 @@ SearchResult greedy_search(const topo::Machine& machine, const std::vector<AppSp
                            const Allocation& start, const GreedyOptions& options) {
   std::string error;
   NS_REQUIRE(start.validate(machine, &error), error.c_str());
+  return climb(machine, apps, start, options.objective, options.max_rounds,
+               options.min_relative_gain, /*churn_penalty_rel=*/0.0, /*churn_seed=*/nullptr,
+               /*min_app_total=*/0);
+}
 
-  SearchResult best;
-  best.allocation = start;
-  best.solution = solve(machine, apps, start);
-  best.evaluated = 1;
-  best.objective_value = score(best.solution, options.objective);
-
-  const auto apps_n = static_cast<AppId>(apps.size());
-  for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
-    Allocation round_best_alloc = best.allocation;
-    Solution round_best_solution;
-    double round_best_value = best.objective_value;
-    bool improved = false;
-
-    const auto consider = [&](Allocation candidate) {
-      if (!candidate.validate(machine)) return;
-      Solution solution = solve(machine, apps, candidate);
-      ++best.evaluated;
-      const double value = score(solution, options.objective);
-      const double threshold =
-          round_best_value + std::abs(round_best_value) * options.min_relative_gain + 1e-15;
-      if (value > threshold) {
-        round_best_value = value;
-        round_best_alloc = std::move(candidate);
-        round_best_solution = std::move(solution);
-        improved = true;
-      }
-    };
-
-    for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
-      const std::uint32_t used = best.allocation.node_total(n);
-      for (AppId a = 0; a < apps_n; ++a) {
-        const std::uint32_t have = best.allocation.threads(a, n);
-        // Add a thread on a free core.
-        if (used < machine.cores_in_node(n)) {
-          Allocation candidate = best.allocation;
-          candidate.set_threads(a, n, have + 1);
-          consider(std::move(candidate));
-        }
-        if (have == 0) continue;
-        // Drop a thread (helps sub-linear-scaling mixes).
-        {
-          Allocation candidate = best.allocation;
-          candidate.set_threads(a, n, have - 1);
-          consider(std::move(candidate));
-        }
-        // Shift a thread to another app on the same node.
-        for (AppId b = 0; b < apps_n; ++b) {
-          if (b == a) continue;
-          Allocation candidate = best.allocation;
-          candidate.set_threads(a, n, have - 1);
-          candidate.set_threads(b, n, candidate.threads(b, n) + 1);
-          consider(std::move(candidate));
-        }
-      }
-    }
-
-    if (!improved) break;
-    best.allocation = std::move(round_best_alloc);
-    best.solution = std::move(round_best_solution);
-    best.objective_value = round_best_value;
-  }
-  return best;
+SearchResult refine_search(const topo::Machine& machine, const std::vector<AppSpec>& apps,
+                           const Allocation& seed, const RefineOptions& options) {
+  std::string error;
+  NS_REQUIRE(seed.validate(machine, &error), error.c_str());
+  return climb(machine, apps, seed, options.objective, options.max_rounds,
+               options.min_relative_gain, options.churn_penalty, &seed,
+               options.min_threads_per_app);
 }
 
 }  // namespace numashare::model

@@ -2,12 +2,19 @@
 // per-node thread counts (paper §III: "we need to be aware of the NUMA
 // architecture and also of the way memory is used by the application").
 //
-// Two engines:
-//  * exhaustive enumeration over restricted-but-expressive families
-//    (uniform-per-node counts; node-permutation assignments), matching the
-//    shapes the paper discusses, and
-//  * greedy hill-climbing over single-thread moves for general machines,
-//    where full enumeration is combinatorial.
+// Three engines:
+//  * exhaustive_search — streaming branch-and-bound over the
+//    restricted-but-expressive families the paper discusses
+//    (uniform-per-node counts; node-permutation assignments). Candidates are
+//    visited via an in-place enumerator (nothing is materialized) and
+//    subtrees are cut with admissible upper bounds, so it provably returns
+//    the same winner as brute force at a fraction of the solves
+//    (docs/MODEL.md "Search cost and pruning");
+//  * greedy_search / refine_search — hill-climbing over single-thread moves
+//    for general machines and for incremental re-optimization between
+//    structural ticks;
+//  * exhaustive_search_reference — the original materialize-then-evaluate
+//    brute force, kept for equivalence tests and before/after benchmarks.
 #pragma once
 
 #include <cstdint>
@@ -36,7 +43,16 @@ struct SearchResult {
   Allocation allocation;
   Solution solution;
   double objective_value = 0.0;
-  std::uint64_t evaluated = 0;  // model solves performed
+  std::uint64_t evaluated = 0;  // full model solves on candidate allocations
+  /// Streaming-engine accounting (zero for the reference/greedy engines
+  /// where not meaningful): candidates reached by the enumerator, subtrees
+  /// and leaves cut by the admissible bounds, partial-prefix model solves
+  /// spent computing those bounds, and node-permutation candidates skipped
+  /// as duplicates of the uniform family.
+  std::uint64_t visited = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t bound_solves = 0;
+  std::uint64_t deduped = 0;
 };
 
 /// All allocations where app `a` runs counts[a] threads on *every* node, the
@@ -67,6 +83,27 @@ SearchResult exhaustive_search(const topo::Machine& machine, const std::vector<A
                                std::uint32_t min_threads_per_app = 0,
                                const std::vector<std::uint32_t>& caps = {});
 
+/// The original materialize-then-evaluate brute force over the same
+/// candidate families (including the historical double evaluation of
+/// node-permutation candidates on single-node machines). Test/bench-only:
+/// O(candidates) resident memory and one allocating solve per candidate.
+/// exhaustive_search must select the same allocation with the same objective
+/// value — tests/core/search_equivalence_test.cpp holds the two engines to
+/// that on randomized problems.
+SearchResult exhaustive_search_reference(const topo::Machine& machine,
+                                         const std::vector<AppSpec>& apps, Objective objective,
+                                         bool require_full = false,
+                                         std::uint32_t min_threads_per_app = 0,
+                                         const std::vector<std::uint32_t>& caps = {});
+
+/// Closed-form size of the candidate set exhaustive_search ranges over
+/// (uniform family + node permutations when apps == node_count), after the
+/// same min_threads_per_app clamping the search applies. Saturates at
+/// UINT64_MAX. Lets benches and callers reason about search cost without
+/// enumerating anything.
+std::uint64_t count_candidates(const topo::Machine& machine, std::uint32_t apps,
+                               bool require_full, std::uint32_t min_threads_per_app = 0);
+
 struct GreedyOptions {
   Objective objective = Objective::kTotalGflops;
   std::uint32_t max_rounds = 1000;
@@ -80,5 +117,31 @@ struct GreedyOptions {
 /// Terminates at a local optimum.
 SearchResult greedy_search(const topo::Machine& machine, const std::vector<AppSpec>& apps,
                            const Allocation& start, const GreedyOptions& options = {});
+
+struct RefineOptions {
+  Objective objective = Objective::kTotalGflops;
+  std::uint32_t max_rounds = 1000;
+  double min_relative_gain = 1e-9;
+  /// Churn penalty: each unit of L1 distance between a candidate and the
+  /// seed allocation costs this fraction of the seed's |objective value|
+  /// when ranking moves. 0 disables — pure hill-climbing from the seed.
+  /// The returned objective_value is always the raw (unpenalized) score of
+  /// the final allocation.
+  double churn_penalty = 0.0;
+  /// No move may push an app's *total* thread count below this floor (the
+  /// incremental analogue of exhaustive_search's per-node minimum: it keeps
+  /// every app running between full searches).
+  std::uint32_t min_threads_per_app = 0;
+};
+
+/// Incremental re-optimization for non-structural ticks: hill-climb from the
+/// previous decision's allocation instead of re-running the full search.
+/// Shares greedy_search's move set and acceptance rule, plus an optional
+/// churn penalty that biases the climb toward staying near the seed — thread
+/// moves are not free for the runtimes enacting them (paper §V favours
+/// gentle moves). Caps are not supported here; callers with administrative
+/// caps fall back to the full search.
+SearchResult refine_search(const topo::Machine& machine, const std::vector<AppSpec>& apps,
+                           const Allocation& seed, const RefineOptions& options = {});
 
 }  // namespace numashare::model

@@ -17,6 +17,12 @@ std::vector<PlacementAdvice> advise_placement(const topo::Machine& machine,
   std::vector<PlacementAdvice> advice;
   const Solution baseline = solve(machine, apps, allocation);
 
+  // One mutated-and-restored spec vector plus a reused solver scratch: the
+  // per-candidate-home solves are the advisor's hot loop and used to copy
+  // the whole spec vector and allocate a fresh Solution per candidate.
+  SolveScratch scratch;
+  std::vector<AppSpec> variant = apps;
+
   for (AppId a = 0; a < apps.size(); ++a) {
     if (apps[a].placement != Placement::kNumaBad) continue;
 
@@ -29,14 +35,14 @@ std::vector<PlacementAdvice> advise_placement(const topo::Machine& machine,
 
     for (topo::NodeId candidate = 0; candidate < machine.node_count(); ++candidate) {
       if (candidate == apps[a].home_node) continue;
-      auto variant = apps;
       variant[a].home_node = candidate;
-      const Solution moved = solve(machine, variant, allocation);
+      const Solution& moved = solve_into(machine, variant, allocation, scratch);
       if (moved.total_gflops > entry.predicted_gflops) {
         entry.predicted_gflops = moved.total_gflops;
         entry.recommended_home = candidate;
       }
     }
+    variant[a].home_node = apps[a].home_node;
 
     const double gain = entry.predicted_gflops - entry.current_gflops;
     if (gain <= options.min_relative_gain * entry.current_gflops) {
@@ -100,11 +106,11 @@ JointResult advise_joint(const topo::Machine& machine, std::vector<AppSpec> apps
       AppId best_app = 0;
       topo::NodeId best_home = 0;
       bool found = false;
+      std::vector<AppSpec> variant = result.apps;  // mutated per (app, home), restored
       for (AppId a = 0; a < result.apps.size(); ++a) {
         if (result.apps[a].placement != Placement::kNumaBad) continue;
         for (topo::NodeId home = 0; home < machine.node_count(); ++home) {
           if (home == result.apps[a].home_node) continue;
-          auto variant = result.apps;
           variant[a].home_node = home;
           const auto rehomed =
               exhaustive_search(machine, variant, objective, true, min_threads_per_app);
@@ -116,6 +122,7 @@ JointResult advise_joint(const topo::Machine& machine, std::vector<AppSpec> apps
             found = true;
           }
         }
+        variant[a].home_node = result.apps[a].home_node;
       }
       if (found) {
         result.apps[best_app].home_node = best_home;

@@ -41,9 +41,17 @@ Solution solve(const topo::Machine& machine, const std::vector<AppSpec>& apps,
                const Allocation& allocation, const SolveOptions& options) {
   std::string error;
   NS_REQUIRE(machine.validate(&error), error.c_str());
+  NS_REQUIRE(allocation.validate(machine, &error), error.c_str());
+  SolveScratch scratch;
+  solve_into(machine, apps, allocation, scratch, options);
+  return std::move(scratch.solution);
+}
+
+const Solution& solve_into(const topo::Machine& machine, const std::vector<AppSpec>& apps,
+                           const Allocation& allocation, SolveScratch& scratch,
+                           const SolveOptions& options) {
   NS_REQUIRE(apps.size() == allocation.app_count(),
              "app specs must index-match the allocation");
-  NS_REQUIRE(allocation.validate(machine, &error), error.c_str());
   for (const auto& app : apps) {
     NS_REQUIRE(app.ai > 0.0, "arithmetic intensity must be positive");
     if (app.placement == Placement::kNumaBad) {
@@ -51,9 +59,11 @@ Solution solve(const topo::Machine& machine, const std::vector<AppSpec>& apps,
     }
   }
 
-  Solution solution;
+  Solution& solution = scratch.solution;
+  solution.groups.clear();
   solution.app_gflops.assign(apps.size(), 0.0);
-  solution.nodes.resize(machine.node_count());
+  solution.nodes.assign(machine.node_count(), NodeBreakdown{});
+  solution.total_gflops = 0.0;
 
   // 1. Build homogeneous thread groups.
   for (AppId a = 0; a < apps.size(); ++a) {
@@ -70,42 +80,59 @@ Solution solve(const topo::Machine& machine, const std::vector<AppSpec>& apps,
     }
   }
 
+  // 1b. Bucket groups by memory controller (CSR): one counting pass, one
+  //     scatter. Group order is preserved within each bucket, so the
+  //     controller loops below visit groups in exactly the order the old
+  //     filter-into-pointer-vectors code did.
+  const std::uint32_t group_count = static_cast<std::uint32_t>(solution.groups.size());
+  scratch.bucket_offset.assign(machine.node_count() + 1, 0);
+  for (const auto& g : solution.groups) ++scratch.bucket_offset[g.memory_node + 1];
+  for (topo::NodeId m = 0; m < machine.node_count(); ++m) {
+    scratch.bucket_offset[m + 1] += scratch.bucket_offset[m];
+  }
+  scratch.bucket_cursor.assign(scratch.bucket_offset.begin(),
+                               scratch.bucket_offset.end() - 1);
+  scratch.bucket_groups.resize(group_count);
+  for (std::uint32_t i = 0; i < group_count; ++i) {
+    scratch.bucket_groups[scratch.bucket_cursor[solution.groups[i].memory_node]++] = i;
+  }
+
   // 2. Solve each memory controller independently (the model couples nodes
   //    only through the static link caps, so controllers are separable).
   for (topo::NodeId m = 0; m < machine.node_count(); ++m) {
     auto& breakdown = solution.nodes[m];
     breakdown.node = m;
     breakdown.bandwidth = machine.node(m).memory_bandwidth;
+    const std::uint32_t begin = scratch.bucket_offset[m];
+    const std::uint32_t end = scratch.bucket_offset[m + 1];
 
-    std::vector<GroupResult*> remote_groups;
-    std::vector<GroupResult*> local_groups;
-    for (auto& g : solution.groups) {
-      if (g.memory_node != m) continue;
-      (g.exec_node == m ? local_groups : remote_groups).push_back(&g);
-    }
-
-    // 2a. Remote flows first, each capped by its directed link.
-    std::vector<GBps> flow_grant(remote_groups.size(), 0.0);
+    // 2a. Remote flows first, each capped by its directed link. The flow
+    //     grant (whole-group GB/s) is stashed in per_thread_granted until
+    //     the optional proportional rescale, then converted to per-thread.
     GBps remote_total = 0.0;
-    for (std::size_t i = 0; i < remote_groups.size(); ++i) {
-      const auto& g = *remote_groups[i];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      auto& g = solution.groups[scratch.bucket_groups[i]];
+      if (g.exec_node == m) continue;
       const GBps flow_demand = g.per_thread_demand * g.threads;
       const GBps link = machine.link_bandwidth(g.exec_node, m);
-      flow_grant[i] = std::min(flow_demand, link);
+      g.per_thread_granted = std::min(flow_demand, link);
       breakdown.remote_demand += flow_demand;
-      remote_total += flow_grant[i];
+      remote_total += g.per_thread_granted;
     }
     // The paper does not say what happens when the links together exceed the
     // controller; we scale the flows proportionally so the controller's peak
     // is never exceeded.
+    double remote_scale = 1.0;
     if (remote_total > breakdown.bandwidth + kEps) {
-      const double scale = breakdown.bandwidth / remote_total;
-      for (auto& grant : flow_grant) grant *= scale;
+      remote_scale = breakdown.bandwidth / remote_total;
       remote_total = breakdown.bandwidth;
     }
     breakdown.remote_granted = remote_total;
-    for (std::size_t i = 0; i < remote_groups.size(); ++i) {
-      remote_groups[i]->per_thread_granted = flow_grant[i] / remote_groups[i]->threads;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      auto& g = solution.groups[scratch.bucket_groups[i]];
+      if (g.exec_node == m) continue;
+      if (remote_scale != 1.0) g.per_thread_granted *= remote_scale;
+      g.per_thread_granted /= g.threads;
     }
 
     // 2b. Locals split the remainder: equal per-core baseline ...
@@ -113,29 +140,35 @@ Solution solve(const topo::Machine& machine, const std::vector<AppSpec>& apps,
     const double cores = machine.cores_in_node(m);
     breakdown.baseline_per_core = remaining / cores;
     GBps pool = remaining;
-    for (auto* g : local_groups) {
-      breakdown.local_demand += g->per_thread_demand * g->threads;
-      g->per_thread_granted = std::min(g->per_thread_demand, breakdown.baseline_per_core);
-      pool -= g->per_thread_granted * g->threads;
-      breakdown.local_baseline_granted += g->per_thread_granted * g->threads;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      auto& g = solution.groups[scratch.bucket_groups[i]];
+      if (g.exec_node != m) continue;
+      breakdown.local_demand += g.per_thread_demand * g.threads;
+      g.per_thread_granted = std::min(g.per_thread_demand, breakdown.baseline_per_core);
+      pool -= g.per_thread_granted * g.threads;
+      breakdown.local_baseline_granted += g.per_thread_granted * g.threads;
     }
 
     // 2c. ... then the leftover, proportional to unmet demand (water-fill).
     for (std::uint32_t round = 0; round < options.max_waterfill_rounds; ++round) {
       if (pool <= kEps) break;
       double weighted_deficit = 0.0;
-      for (auto* g : local_groups) {
-        weighted_deficit += (g->per_thread_demand - g->per_thread_granted) * g->threads;
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const auto& g = solution.groups[scratch.bucket_groups[i]];
+        if (g.exec_node != m) continue;
+        weighted_deficit += (g.per_thread_demand - g.per_thread_granted) * g.threads;
       }
       if (weighted_deficit <= kEps) break;
       GBps distributed = 0.0;
-      for (auto* g : local_groups) {
-        const GBps deficit = g->per_thread_demand - g->per_thread_granted;
+      for (std::uint32_t i = begin; i < end; ++i) {
+        auto& g = solution.groups[scratch.bucket_groups[i]];
+        if (g.exec_node != m) continue;
+        const GBps deficit = g.per_thread_demand - g.per_thread_granted;
         if (deficit <= kEps) continue;
         const GBps share_per_thread = pool * deficit / weighted_deficit;
         const GBps take = std::min(deficit, share_per_thread);
-        g->per_thread_granted += take;
-        distributed += take * g->threads;
+        g.per_thread_granted += take;
+        distributed += take * g.threads;
       }
       breakdown.local_remainder_granted += distributed;
       pool -= distributed;
@@ -154,23 +187,26 @@ Solution solve(const topo::Machine& machine, const std::vector<AppSpec>& apps,
   }
 
   // 3b. Sub-linear scaling (paper §II): an app with a serial fraction cannot
-  //     exceed peak x Amdahl-effective-threads regardless of bandwidth; when
-  //     the cap binds, every group of that app is derated proportionally
-  //     (the stalled time is spread over its threads).
+  //     exceed (mean per-thread peak) x Amdahl-effective-threads regardless
+  //     of bandwidth; when the cap binds, every group of that app is derated
+  //     proportionally (the stalled time is spread over its threads). The
+  //     mean is thread-weighted so an app spanning nodes with different core
+  //     peaks is capped by the compute it actually has, not by its single
+  //     fastest node.
   for (AppId a = 0; a < apps.size(); ++a) {
     if (apps[a].serial_fraction <= 0.0) continue;
     NS_REQUIRE(apps[a].serial_fraction < 1.0, "serial fraction must be in [0, 1)");
     GFlops raw = 0.0;
-    GFlops peak_sum = 0.0;
+    GFlops thread_peak_sum = 0.0;  // sum over threads of their core's peak
     std::uint32_t threads = 0;
     for (const auto& g : solution.groups) {
       if (g.app != a) continue;
       raw += g.group_gflops();
       threads += g.threads;
-      peak_sum = std::max(peak_sum, core_peak_on_node(machine, g.exec_node));
+      thread_peak_sum += g.threads * core_peak_on_node(machine, g.exec_node);
     }
     if (threads == 0 || raw <= 0.0) continue;
-    const GFlops cap = peak_sum * apps[a].effective_threads(threads);
+    const GFlops cap = (thread_peak_sum / threads) * apps[a].effective_threads(threads);
     if (raw <= cap) continue;
     const double derate = cap / raw;
     for (auto& g : solution.groups) {

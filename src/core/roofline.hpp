@@ -82,9 +82,40 @@ struct Solution {
   std::string describe(const std::vector<AppSpec>& apps) const;
 };
 
+/// Reusable solver workspace. The allocation search calls the model once per
+/// candidate — tens of thousands to hundreds of millions of times per
+/// decision — so the solver must not touch the heap in steady state. A
+/// SolveScratch owns the Solution plus the solver's internal bucketing
+/// arrays; after the first call with a given problem shape, every subsequent
+/// solve_into() through the same scratch performs zero heap allocations
+/// (verified by tests/core/solve_scratch_test.cpp under ASan).
+struct SolveScratch {
+  Solution solution;
+
+  /// Internal CSR bucketing of group indices by memory node, rebuilt per
+  /// call: bucket_groups[bucket_offset[m] .. bucket_offset[m+1]) lists the
+  /// groups whose memory lives on controller m, in group order.
+  std::vector<std::uint32_t> bucket_cursor;
+  std::vector<std::uint32_t> bucket_offset;
+  std::vector<std::uint32_t> bucket_groups;
+};
+
 /// Solve the model. `allocation` must validate against `machine`; app specs
 /// index-match the allocation's rows.
 Solution solve(const topo::Machine& machine, const std::vector<AppSpec>& apps,
                const Allocation& allocation, const SolveOptions& options = {});
+
+/// Hot-path variant: solve into `scratch` and return a reference to
+/// scratch.solution (valid until the next call with the same scratch).
+/// Performs no heap allocations once the scratch has warmed up.
+///
+/// Precondition (unchecked here, asserted by the public solve() wrapper):
+/// `machine` and `allocation` validate — Machine::validate() itself
+/// allocates, so revalidating per candidate would defeat the purpose. The
+/// cheap shape checks (spec/allocation index match, positive AI, home node
+/// in range) are still enforced.
+const Solution& solve_into(const topo::Machine& machine, const std::vector<AppSpec>& apps,
+                           const Allocation& allocation, SolveScratch& scratch,
+                           const SolveOptions& options = {});
 
 }  // namespace numashare::model

@@ -174,5 +174,54 @@ TEST(ModelGuidedPolicy, StableUntilAiDrifts) {
   EXPECT_EQ(policy.decide(machine, views)[0].kind, Directive::Kind::kNodeThreads);
 }
 
+TEST(ModelGuidedPolicy, IncrementalRefineOnNonStructuralDrift) {
+  // With incremental_refine on, an AI drift past the recompute threshold but
+  // inside the structural band re-optimizes by seeding a hill-climb from the
+  // enacted allocation instead of re-running the full pruned search.
+  ModelGuidedPolicy policy({.ai_drift_threshold = 0.10,
+                            .incremental_refine = true,
+                            .structural_ai_drift = 0.5});
+  const auto machine = topo::paper_model_machine();
+  std::vector<AppView> views{view("m", 0, 0.5), view("c", 0, 10.0)};
+  EXPECT_EQ(policy.decide(machine, views)[0].kind, Directive::Kind::kNodeThreads);
+  EXPECT_EQ(policy.last_search_kind(), ModelGuidedPolicy::SearchKind::kFull);
+
+  views[0].latest.ai_estimate = 0.6;  // 20% off the last full search: refine
+  EXPECT_EQ(policy.decide(machine, views)[0].kind, Directive::Kind::kNodeThreads);
+  EXPECT_EQ(policy.last_search_kind(), ModelGuidedPolicy::SearchKind::kRefine);
+  ASSERT_TRUE(policy.last_allocation().has_value());
+  EXPECT_TRUE(policy.last_allocation()->validate(machine));
+
+  views[0].latest.ai_estimate = 1.2;  // 140% off the last full search: full
+  EXPECT_EQ(policy.decide(machine, views)[0].kind, Directive::Kind::kNodeThreads);
+  EXPECT_EQ(policy.last_search_kind(), ModelGuidedPolicy::SearchKind::kFull);
+}
+
+TEST(ModelGuidedPolicy, RefineDisabledByMembershipChangeAndCaps) {
+  ModelGuidedPolicy policy({.ai_drift_threshold = 0.10,
+                            .incremental_refine = true,
+                            .structural_ai_drift = 0.5});
+  const auto machine = topo::paper_model_machine();
+  std::vector<AppView> views{view("m", 0, 0.5), view("c", 0, 10.0)};
+  policy.decide(machine, views);
+  views[0].latest.ai_estimate = 0.6;
+  policy.decide(machine, views);
+  ASSERT_EQ(policy.last_search_kind(), ModelGuidedPolicy::SearchKind::kRefine);
+
+  // An administrative cap is a structural event: the capped search runs.
+  views[0].latest.ai_estimate = 0.7;
+  views[1].thread_cap = 4;
+  policy.decide(machine, views);
+  EXPECT_EQ(policy.last_search_kind(), ModelGuidedPolicy::SearchKind::kFull);
+  views[1].thread_cap = 0xffffffffu;
+
+  // Membership churn wipes the seed; the next decision is a full search.
+  policy.on_membership_change();
+  EXPECT_EQ(policy.last_search_kind(), ModelGuidedPolicy::SearchKind::kNone);
+  views[0].latest.ai_estimate = 0.72;
+  policy.decide(machine, views);
+  EXPECT_EQ(policy.last_search_kind(), ModelGuidedPolicy::SearchKind::kFull);
+}
+
 }  // namespace
 }  // namespace numashare::agent

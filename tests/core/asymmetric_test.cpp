@@ -95,6 +95,27 @@ TEST(Asymmetric, NodeGflopsAccountedByExecutionNode) {
   EXPECT_NEAR(solution.nodes[1].remote_granted, 4.0, 1e-12);
 }
 
+TEST(Asymmetric, AmdahlCapUsesThreadWeightedPeaks) {
+  // Serial-fraction ceiling on a machine whose nodes have different per-core
+  // peaks: the cap is the Amdahl speedup times the *thread-weighted mean*
+  // peak of the cores the app actually occupies, not the fastest node's peak.
+  auto machine = topo::Machine::symmetric(1, 2, 10.0, 1000.0, 0.0, "hetero-peak");
+  machine.add_node(2, 20.0, 1000.0);
+  machine.set_link_bandwidth(0, 1, 500.0);
+  machine.set_link_bandwidth(1, 0, 500.0);
+  std::vector<AppSpec> apps{AppSpec::numa_perfect("half-serial", 1000.0)};
+  apps[0].serial_fraction = 0.5;
+  Allocation allocation(1, 2);
+  allocation.set_threads(0, 0, 2);
+  allocation.set_threads(0, 1, 2);
+  const auto solution = solve(machine, apps, allocation);
+  // Amdahl with sigma = 0.5 over 4 threads: 1/(0.5 + 0.5/4) = 1.6 effective
+  // threads. Thread-weighted mean peak (2*10 + 2*20)/4 = 15 GFLOPS, so the
+  // ceiling is 24. The uncapped compute rate would be 60, and a
+  // fastest-node-peak cap would wrongly allow 20 * 1.6 = 32.
+  EXPECT_NEAR(solution.total_gflops, 24.0, 1e-9);
+}
+
 TEST(Asymmetric, ValidationCatchesPerNodeOversubscription) {
   const auto machine = lopsided();
   Allocation allocation(1, 2);

@@ -38,7 +38,18 @@ TEST(Optimizer, UnconstrainedThroughputDegenerates) {
                                         /*require_full=*/true);
   EXPECT_NEAR(result.objective_value, 320.0, 1e-9);
   EXPECT_EQ(result.allocation.threads(3, 0), 8u);
-  EXPECT_GT(result.evaluated, 100u);
+  // The branch-and-bound engine covers the same candidate set the brute
+  // force materializes (compositions of 8 into 4 parts, plus 4! node
+  // permutations) but proves most of it away without a model solve: interior
+  // cuts skip whole subtrees before their leaves are even visited.
+  const auto reference = exhaustive_search_reference(machine, apps, Objective::kTotalGflops,
+                                                     /*require_full=*/true);
+  EXPECT_EQ(reference.evaluated, count_candidates(machine, 4, /*require_full=*/true));
+  EXPECT_GT(result.evaluated, 0u);
+  EXPECT_LE(result.visited, reference.evaluated);
+  EXPECT_LT(result.evaluated, reference.evaluated);
+  EXPECT_DOUBLE_EQ(result.objective_value, reference.objective_value);
+  EXPECT_TRUE(result.allocation == reference.allocation);
 }
 
 TEST(Optimizer, ConstrainedSearchFindsPaperBest254) {
@@ -61,6 +72,38 @@ TEST(Optimizer, ExhaustiveFindsWholeNodeForNumaBadMix) {
   // Node-per-app with the bad app home: 150 GFLOPS (the paper's winner).
   EXPECT_GE(result.objective_value, 150.0 - 1e-9);
   EXPECT_EQ(result.allocation.threads(3, 0), 8u);  // bad app owns its data node
+}
+
+TEST(Optimizer, SingleNodePermutationDeduplicated) {
+  // On a single-node machine the node-permutation family collapses onto the
+  // whole-machine uniform candidate. The reference engine historically
+  // evaluated that allocation twice; the streaming engine skips the repeat.
+  const auto machine = topo::Machine::symmetric(1, 6, 10.0, 40.0);
+  const std::vector<AppSpec> apps{AppSpec::numa_perfect("solo", 0.5)};
+  const auto pruned =
+      exhaustive_search(machine, apps, Objective::kTotalGflops, /*require_full=*/true);
+  const auto reference = exhaustive_search_reference(machine, apps, Objective::kTotalGflops,
+                                                     /*require_full=*/true);
+  EXPECT_EQ(reference.evaluated, 2u);  // the uniform candidate and its perm twin
+  EXPECT_EQ(pruned.evaluated, 1u);
+  EXPECT_EQ(pruned.deduped, 1u);
+  EXPECT_DOUBLE_EQ(pruned.objective_value, reference.objective_value);
+  EXPECT_TRUE(pruned.allocation == reference.allocation);
+}
+
+TEST(Optimizer, CountCandidatesMatchesEnumeration) {
+  const auto machine = topo::paper_model_machine();  // 4 nodes x 8 cores
+  for (const bool full : {true, false}) {
+    for (const std::uint32_t min : {0u, 1u, 2u}) {
+      auto expected = enumerate_uniform(machine, 4, full, min).size();
+      expected += enumerate_node_permutations(machine).size();  // apps == nodes
+      EXPECT_EQ(count_candidates(machine, 4, full, min), expected)
+          << "full=" << full << " min=" << min;
+    }
+  }
+  const auto two_node = topo::Machine::symmetric(2, 4, 1.0, 10.0);
+  EXPECT_EQ(count_candidates(two_node, 3, true, 0),
+            enumerate_uniform(two_node, 3, true, 0).size());  // apps != nodes: no perms
 }
 
 TEST(Optimizer, MinThreadsEnforcedInUniformFamily) {
