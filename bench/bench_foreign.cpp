@@ -1,0 +1,347 @@
+// E19 — foreign-workload arbitration: foreign-blind vs foreign-aware
+// placement under opaque background consumers.
+//
+// The paper's arbiter (§II) only commands the applications that link it;
+// anything else on the machine silently distorts the model. This bench
+// quantifies what pricing those opaque consumers (src/foreign, docs/FOREIGN.md
+// "Modeling") is worth: for each scenario a foreign hog occupies part of the
+// machine, two searches run — one blind to the hog, one aware of it — and
+// both resulting allocations are then scored under the *true* contended
+// model. The aware/blind throughput ratio is the value of arbitration; the
+// committed gate requires >= 1.3x on the bw_shift scenario (a foreign draw
+// emptying the fat controller of an asymmetric box, where blind and aware
+// have strict, opposite optima).
+//
+// Also timed: the foreign-aware streaming search (the pricing must not blow
+// up the §IV scheduling budget) and a steady-state scanner pass over a
+// scripted 32-process procfs tree (what the daemon pays per monitor tick).
+//
+// Emits machine-readable results to BENCH_foreign.json (path overridable
+// via NS_BENCH_FOREIGN_OUT) in the numashare-bench-foreign/1 schema;
+// scripts/check_bench_json.py validates it in CI. The placement rows are
+// pure model arithmetic — deterministic, sanitizer-independent — so the
+// gate must pass even in NS_BENCH_QUICK smoke runs; quick mode only trims
+// the timing repetitions.
+#include "bench_support.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "core/roofline.hpp"
+#include "foreign/procfs_writer.hpp"
+#include "foreign/scanner.hpp"
+#include "topology/machine.hpp"
+
+namespace {
+
+using namespace numashare;
+using Clock = std::chrono::steady_clock;
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+bool quick_mode() {
+  const char* q = std::getenv("NS_BENCH_QUICK");
+  return q != nullptr && q[0] != '\0' && q[0] != '0';
+}
+
+constexpr double kRequiredAdvantage = 1.3;
+constexpr const char* kGateScenario = "bw_shift";
+
+struct Scenario {
+  std::string name;
+  std::string blurb;
+  topo::Machine machine;
+  std::vector<model::AppSpec> apps;
+  model::ForeignLoad foreign;
+};
+
+/// Asymmetric box: node 0 carries the fat memory controller (12 GB/s),
+/// node 1 the thin one (6 GB/s); 2 cores x 3 GFLOPS each side.
+topo::Machine asymmetric_machine() {
+  topo::Machine machine;
+  machine.add_node(2, 3.0, 12.0);
+  machine.add_node(2, 3.0, 6.0);
+  machine.set_link_bandwidth(0, 1, 5.0);
+  machine.set_link_bandwidth(1, 0, 5.0);
+  return machine;
+}
+
+std::vector<Scenario> make_scenarios() {
+  std::vector<Scenario> scenarios;
+  {
+    // The gate scenario. Blind, the mem-bound app strictly belongs on the
+    // fat node 0 (6 vs 3 GFLOPS) and the compute-bound app is indifferent —
+    // so blind commits mem@0/cpu@1. A foreign draw empties exactly that
+    // controller; aware swaps the two apps (the cpu app doesn't care, the
+    // mem app escapes to the thin-but-clean node). No ties, no tie-break
+    // luck: both searches have strict, opposite optima.
+    Scenario s{"bw_shift",
+               "11.5/12 GB/s foreign draw on the fat node of an asymmetric 2x2",
+               asymmetric_machine(),
+               {model::AppSpec::numa_perfect("cpu", 100.0),
+                model::AppSpec::numa_perfect("mem", 0.5)},
+               {}};
+    s.foreign.bandwidth = {11.5, 0.0};
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // A symmetric bandwidth hog: node 0 keeps its cores but loses 8 of
+    // 10 GB/s. Blind every split ties; aware the tie breaks toward the
+    // clean node.
+    Scenario s{"bw_hog",
+               "foreign draw of 8/10 GB/s on node 0, cores free",
+               topo::Machine::symmetric(2, 2, 1.0, 10.0, 5.0),
+               {model::AppSpec::numa_perfect("cpu", 10.0),
+                model::AppSpec::numa_perfect("mem", 0.5)},
+               {}};
+    s.foreign.bandwidth = {8.0, 0.0};
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // The fence scenario: a hog owns node 0 outright — both cores busy and
+    // the whole 4 GB/s controller drained. On a symmetric box the aggregate
+    // is conserved wherever the victims sit (timesharing), so this row
+    // documents the neutral case the monitor's fence handles instead.
+    Scenario s{"node_hog",
+               "foreign hog owns node 0 (2 cores + full 4 GB/s controller)",
+               topo::Machine::symmetric(2, 2, 1.0, 4.0, 5.0),
+               {model::AppSpec::numa_perfect("mem", 0.5),
+                model::AppSpec::numa_bad("bad", 0.5, 1)},
+               {}};
+    s.foreign.busy_cores = {2.0, 0.0};
+    s.foreign.bandwidth = {4.0, 0.0};
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Partial pressure on a bigger box: 3 of 4 cores and half the
+    // controller on node 0, three cooperating apps.
+    Scenario s{"busy_hog",
+               "3/4 cores + 6/12 GB/s foreign on node 0 of a 2x4",
+               topo::Machine::symmetric(2, 4, 1.0, 12.0, 6.0),
+               {model::AppSpec::numa_perfect("cpu", 8.0),
+                model::AppSpec::numa_perfect("mem", 0.5),
+                model::AppSpec::numa_bad("bad", 1.0, 1)},
+               {}};
+    s.foreign.busy_cores = {3.0, 0.0};
+    s.foreign.bandwidth = {6.0, 0.0};
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+struct Row {
+  std::string name;
+  std::string scenario;
+  std::string unit;
+  double value = 0.0;
+};
+
+std::vector<Row> g_rows;
+
+struct Gate {
+  double blind_gflops = 0.0;
+  double aware_gflops = 0.0;
+  double advantage = 0.0;
+  bool measured = false;
+};
+Gate g_gate;
+
+void record(const std::string& name, const std::string& scenario, const std::string& unit,
+            double value) {
+  g_rows.push_back({name, scenario, unit, value});
+}
+
+double true_score(const Scenario& s, const model::Allocation& allocation) {
+  model::SolveOptions options;
+  options.foreign = s.foreign;
+  return model::score(model::solve(s.machine, s.apps, allocation, options),
+                      model::Objective::kTotalGflops);
+}
+
+void run_scenario(const Scenario& s) {
+  // Both engines search the identical space; only the aware one prices the
+  // hog. Both winners are then scored under the true contended model —
+  // the hog is on the machine whether the search believed in it or not.
+  const auto blind = model::exhaustive_search(s.machine, s.apps,
+                                              model::Objective::kTotalGflops,
+                                              /*require_full=*/true, 1);
+  const auto aware = model::exhaustive_search(s.machine, s.apps,
+                                              model::Objective::kTotalGflops,
+                                              /*require_full=*/true, 1, {}, s.foreign);
+  const double blind_gflops = true_score(s, blind.allocation);
+  const double aware_gflops = true_score(s, aware.allocation);
+  const double advantage = blind_gflops > 0.0 ? aware_gflops / blind_gflops : 0.0;
+  record("blind", s.name, "gflops", blind_gflops);
+  record("aware", s.name, "gflops", aware_gflops);
+  record("advantage", s.name, "x", advantage);
+  if (s.name == kGateScenario) {
+    g_gate.blind_gflops = blind_gflops;
+    g_gate.aware_gflops = aware_gflops;
+    g_gate.advantage = advantage;
+    g_gate.measured = true;
+  }
+  std::printf("  %-10s %-52s blind %6.3f  aware %6.3f  advantage %5.2fx\n", s.name.c_str(),
+              s.blurb.c_str(), blind_gflops, aware_gflops, advantage);
+}
+
+double best_of_us(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = Clock::now();
+    fn();
+    const double us = std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+    best = std::min(best, us);
+  }
+  return best;
+}
+
+void run_timings(const std::vector<Scenario>& scenarios) {
+  const int reps = quick_mode() ? 5 : 200;
+
+  // Foreign-aware streaming search on the largest scenario.
+  const Scenario& big = scenarios.back();
+  const double search_us = best_of_us(reps, [&] {
+    auto result = model::exhaustive_search(big.machine, big.apps,
+                                           model::Objective::kTotalGflops,
+                                           /*require_full=*/true, 1, {}, big.foreign);
+    benchmark::DoNotOptimize(result.objective_value);
+  });
+  record("aware_search", big.name, "us_per_search", search_us);
+  std::printf("  foreign-aware search (%s):  %10.1f us\n", big.name.c_str(), search_us);
+
+  // Steady-state scanner pass over a scripted 32-process tree: the per-tick
+  // cost the daemon pays for detection.
+  foreign::ProcfsWriter proc;
+  proc.set_cpu_times({{100, 100}, {100, 100}, {100, 100}, {100, 100}});
+  for (std::int32_t pid = 100; pid < 132; ++pid) {
+    proc.set_process(pid, "hog-" + std::to_string(pid), 50);
+  }
+  foreign::ScannerOptions scanner_options;
+  scanner_options.proc_root = proc.root();
+  scanner_options.ticks_per_second = 100;
+  foreign::ForeignScanner scanner(topo::Machine::symmetric(2, 2, 1.0, 10.0, 5.0),
+                                  scanner_options);
+  double now = 1.0;
+  scanner.scan(now);  // priming pass
+  const double scan_us = best_of_us(reps, [&] {
+    auto result = scanner.scan(now += 1.0);
+    benchmark::DoNotOptimize(result.has_value());
+  });
+  record("scan", "procfs_32", "us_per_scan", scan_us);
+  std::printf("  scanner pass (32 processes): %9.1f us\n", scan_us);
+}
+
+void emit_json() {
+  const char* env = std::getenv("NS_BENCH_FOREIGN_OUT");
+  const std::string path = env != nullptr && env[0] != '\0' ? env : "BENCH_foreign.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_foreign: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"numashare-bench-foreign/1\",\n");
+  std::fprintf(f, "  \"bench\": \"bench_foreign\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick_mode() ? "true" : "false");
+  std::fprintf(f, "  \"sanitized\": %s,\n", kSanitized ? "true" : "false");
+  std::fprintf(f, "  \"host_cpus\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f,
+               "  \"protocol\": \"per scenario, a foreign-blind and a foreign-aware "
+               "exhaustive search each pick an allocation; both are scored under the "
+               "true contended model (SolveOptions.foreign) and 'advantage' is the "
+               "aware/blind throughput ratio — deterministic model arithmetic, so the "
+               "gate holds in quick and sanitized runs too; timing rows are best-of-N "
+               "wall time\",\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"scenario\": \"%s\", \"unit\": \"%s\", "
+                 "\"value\": %.3f}%s\n",
+                 r.name.c_str(), r.scenario.c_str(), r.unit.c_str(), r.value,
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"gate\": {\n");
+  std::fprintf(f, "    \"scenario\": \"%s\",\n", kGateScenario);
+  std::fprintf(f, "    \"measured\": %s,\n", g_gate.measured ? "true" : "false");
+  std::fprintf(f, "    \"blind_gflops\": %.3f,\n", g_gate.blind_gflops);
+  std::fprintf(f, "    \"aware_gflops\": %.3f,\n", g_gate.aware_gflops);
+  std::fprintf(f, "    \"advantage_x\": %.3f,\n", g_gate.advantage);
+  std::fprintf(f, "    \"required_x\": %.1f,\n", kRequiredAdvantage);
+  std::fprintf(f, "    \"pass\": %s\n",
+               g_gate.measured && g_gate.advantage >= kRequiredAdvantage ? "true" : "false");
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu results, gate %s)\n", path.c_str(), g_rows.size(),
+              g_gate.measured && g_gate.advantage >= kRequiredAdvantage ? "PASS" : "FAIL");
+}
+
+void reproduce() {
+  bench::print_header("E19", "foreign-workload arbitration (blind vs aware placement)");
+  std::printf("  An opaque process occupies part of the machine. 'blind' places the\n"
+              "  cooperating apps ignoring it; 'aware' prices it (docs/FOREIGN.md).\n"
+              "  Both allocations are scored under the true contended model.\n\n");
+  const auto scenarios = make_scenarios();
+  bench::print_section("placement quality under a foreign hog");
+  for (const auto& s : scenarios) run_scenario(s);
+  bench::print_section("arbitration costs");
+  run_timings(scenarios);
+  emit_json();
+}
+
+void BM_ForeignAwareSearch(benchmark::State& state) {
+  const auto machine = topo::Machine::symmetric(2, 4, 1.0, 12.0, 6.0);
+  const std::vector<model::AppSpec> apps{model::AppSpec::numa_perfect("cpu", 8.0),
+                                         model::AppSpec::numa_perfect("mem", 0.5),
+                                         model::AppSpec::numa_bad("bad", 1.0, 1)};
+  model::ForeignLoad foreign;
+  foreign.busy_cores = {3.0, 0.0};
+  foreign.bandwidth = {6.0, 0.0};
+  for (auto _ : state) {
+    auto result = model::exhaustive_search(machine, apps, model::Objective::kTotalGflops,
+                                           true, 1, {}, foreign);
+    benchmark::DoNotOptimize(result.objective_value);
+  }
+}
+BENCHMARK(BM_ForeignAwareSearch)->Unit(benchmark::kMicrosecond);
+
+void BM_ScannerPass(benchmark::State& state) {
+  foreign::ProcfsWriter proc;
+  proc.set_cpu_times({{100, 100}, {100, 100}, {100, 100}, {100, 100}});
+  for (std::int32_t pid = 100; pid < 132; ++pid) {
+    proc.set_process(pid, "hog-" + std::to_string(pid), 50);
+  }
+  foreign::ScannerOptions options;
+  options.proc_root = proc.root();
+  options.ticks_per_second = 100;
+  foreign::ForeignScanner scanner(topo::Machine::symmetric(2, 2, 1.0, 10.0, 5.0), options);
+  double now = 1.0;
+  scanner.scan(now);
+  for (auto _ : state) {
+    auto result = scanner.scan(now += 1.0);
+    benchmark::DoNotOptimize(result.has_value());
+  }
+}
+BENCHMARK(BM_ScannerPass)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+NUMASHARE_BENCH_MAIN(reproduce)

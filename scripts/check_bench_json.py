@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """Validate the machine-readable bench artifacts.
 
-Two schemas share a family:
+Three schemas share a family:
 
   * numashare-bench-runtime/1 — emitted by bench_spawn (task lifecycle);
     rows are {name, workers, unit, value}.
   * numashare-bench-model/1 — emitted by bench_alloc_scale (allocation-search
     scaling); rows are {name, nodes, cores_per_node, apps, unit, value} and
     the document carries a speedup `gate` object plus `peak_rss_kb`.
+  * numashare-bench-foreign/1 — emitted by bench_foreign (foreign-workload
+    arbitration, E19); rows are {name, scenario, unit, value} and the
+    document carries an aware-vs-blind advantage `gate` object.
 
 The schema is dispatched from the document itself. Checks cover the schema
 tag, the required top-level fields, and that every result row is well-formed
@@ -15,7 +18,10 @@ tag, the required top-level fields, and that every result row is well-formed
 non-quick document must additionally have a measured, passing gate at the
 canonical 8x64x8 configuration with bounded peak RSS — so a committed
 BENCH_model.json that silently regressed the >=10x speedup (or started
-materializing the candidate set) fails CI rather than shipping.
+materializing the candidate set) fails CI rather than shipping. The foreign
+gate is pure model arithmetic (no timing involved), so it must pass in every
+run, quick and sanitized included: foreign-aware placement must beat
+foreign-blind by >= 1.3x on the gate scenario.
 
 Usage: check_bench_json.py BENCH.json [--require NAME ...]
 """
@@ -26,15 +32,20 @@ import sys
 
 RUNTIME_SCHEMA = "numashare-bench-runtime/1"
 MODEL_SCHEMA = "numashare-bench-model/1"
+FOREIGN_SCHEMA = "numashare-bench-foreign/1"
 
 RUNTIME_UNITS = {"tasks_per_sec", "ns_per_steal", "ns_median"}
 MODEL_UNITS = {"us_per_search", "us_per_solve", "evals", "kb", "x"}
+FOREIGN_UNITS = {"gflops", "x", "us_per_search", "us_per_scan"}
 
 RUNTIME_DEFAULT_REQUIRE = ["spawn_retire_external", "spawn_retire_nested", "steal_drain",
                            "handoff_latency", "wait_idle_latency"]
 MODEL_DEFAULT_REQUIRE = ["solve", "solve_into", "search_before", "search_after",
                          "search_speedup", "search_evals", "search_candidates",
                          "refine", "peak_rss"]
+FOREIGN_DEFAULT_REQUIRE = ["blind", "aware", "advantage", "aware_search", "scan"]
+
+FOREIGN_GATE_SCENARIO = "bw_shift"
 
 MODEL_GATE_CONFIG = {"nodes": 8, "cores_per_node": 64, "apps": 8}
 # peak_rss_kb snapshots the streaming-only phase (the brute-force reference
@@ -132,6 +143,44 @@ def check_model(doc: dict) -> set:
     return names
 
 
+def check_foreign(doc: dict) -> set:
+    names = set()
+    for i, r in enumerate(doc["results"]):
+        where = f"results[{i}]"
+        for field, kind in (("name", str), ("scenario", str), ("unit", str)):
+            if not isinstance(r.get(field), kind):
+                fail(f"{where}: field {field!r} missing or mistyped")
+        if r["unit"] not in FOREIGN_UNITS:
+            fail(f"{where}: unknown unit {r['unit']!r}")
+        check_row_value(where, r)
+        names.add(r["name"])
+
+    gate = doc.get("gate")
+    if not isinstance(gate, dict):
+        fail("gate object missing")
+    for field, kind in (("scenario", str), ("measured", bool),
+                        ("blind_gflops", (int, float)), ("aware_gflops", (int, float)),
+                        ("advantage_x", (int, float)), ("required_x", (int, float)),
+                        ("pass", bool)):
+        if not isinstance(gate.get(field), kind):
+            fail(f"gate field {field!r} missing or mistyped")
+    if gate["scenario"] != FOREIGN_GATE_SCENARIO:
+        fail(f"gate scenario is {gate['scenario']!r}, expected {FOREIGN_GATE_SCENARIO!r}")
+    # The advantage is deterministic model arithmetic — unlike the model
+    # schema's timing gate there is no quick-mode exemption.
+    if not gate["measured"]:
+        fail("gate scenario was not measured")
+    if not gate["pass"]:
+        fail(f"gate failed: advantage {gate['advantage_x']}x < "
+             f"required {gate['required_x']}x")
+    if gate["advantage_x"] < gate["required_x"]:
+        fail(f"gate pass flag inconsistent with advantage {gate['advantage_x']}x")
+    if gate["blind_gflops"] > 0 and abs(
+            gate["aware_gflops"] / gate["blind_gflops"] - gate["advantage_x"]) > 0.01:
+        fail("gate advantage_x inconsistent with aware/blind gflops")
+    return names
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("path")
@@ -157,8 +206,13 @@ def main() -> None:
         check_common(doc)
         names = check_model(doc)
         required = MODEL_DEFAULT_REQUIRE if args.require is None else args.require
+    elif schema == FOREIGN_SCHEMA:
+        check_common(doc)
+        names = check_foreign(doc)
+        required = FOREIGN_DEFAULT_REQUIRE if args.require is None else args.require
     else:
-        fail(f"schema is {schema!r}, expected {RUNTIME_SCHEMA!r} or {MODEL_SCHEMA!r}")
+        fail(f"schema is {schema!r}, expected {RUNTIME_SCHEMA!r}, {MODEL_SCHEMA!r} "
+             f"or {FOREIGN_SCHEMA!r}")
 
     missing = [n for n in required if n not in names]
     if missing:

@@ -15,9 +15,11 @@ for b in build/bench/bench_*; do
   "$b"
 done
 
-# bench_spawn (run above) left the lifecycle perf trajectory in
-# BENCH_runtime.json; validate it so a broken emitter is caught locally too.
+# bench_spawn and bench_foreign (run above) left their perf trajectories in
+# BENCH_runtime.json / BENCH_foreign.json; validate them so a broken emitter
+# (or a regressed foreign-arbitration gate) is caught locally too.
 python3 scripts/check_bench_json.py BENCH_runtime.json
+python3 scripts/check_bench_json.py BENCH_foreign.json
 
 echo
 echo "=== examples (quick passes) ==="

@@ -37,6 +37,14 @@ std::optional<double> OsLoadSampler::sample() {
     have_prev_ = true;
     return std::nullopt;
   }
+  // /proc/stat counters can regress on some kernels (CPU hotplug, vCPU
+  // steal-time accounting fixes); a plain subtraction would wrap to a huge
+  // unsigned delta and report ~100% busy. Re-baseline on regression and
+  // report no sample — the next delta is taken from the new floor.
+  if (current->total < prev_.total || current->idle < prev_.idle) {
+    prev_ = *current;
+    return std::nullopt;
+  }
   const auto total_delta = current->total - prev_.total;
   const auto idle_delta = current->idle - prev_.idle;
   prev_ = *current;

@@ -129,6 +129,27 @@ std::vector<Directive> ProducerConsumerPolicy::decide(const topo::Machine& machi
   return out;
 }
 
+void ModelGuidedPolicy::on_foreign_load(const model::ForeignLoad& load) {
+  foreign_ = load;
+  // Drift gate vs the load priced into the *last decision* (not the last
+  // report): slow creep eventually crosses the threshold and re-searches.
+  const auto at = [](const std::vector<double>& v, std::size_t i) {
+    return i < v.size() ? v[i] : 0.0;
+  };
+  const std::size_t nodes = std::max(
+      std::max(foreign_.busy_cores.size(), decided_foreign_.busy_cores.size()),
+      std::max(foreign_.bandwidth.size(), decided_foreign_.bandwidth.size()));
+  for (std::size_t n = 0; n < nodes; ++n) {
+    if (std::abs(at(foreign_.busy_cores, n) - at(decided_foreign_.busy_cores, n)) >
+            options_.foreign_core_drift ||
+        std::abs(at(foreign_.bandwidth, n) - at(decided_foreign_.bandwidth, n)) >
+            options_.foreign_bw_drift) {
+      foreign_dirty_ = true;
+      return;
+    }
+  }
+}
+
 std::vector<Directive> ModelGuidedPolicy::decide(const topo::Machine& machine,
                                                  const std::vector<AppView>& views) {
   std::vector<Directive> out(views.size(), Directive::none());
@@ -144,7 +165,7 @@ std::vector<Directive> ModelGuidedPolicy::decide(const topo::Machine& machine,
     ai[a] = views[a].latest.ai_estimate;
   }
 
-  if (!last_ai_.empty() && last_ai_.size() == ai.size()) {
+  if (!last_ai_.empty() && last_ai_.size() == ai.size() && !foreign_dirty_) {
     bool drifted = false;
     for (std::size_t a = 0; a < ai.size(); ++a) {
       if (std::abs(ai[a] - last_ai_[a]) > options_.ai_drift_threshold * last_ai_[a]) {
@@ -187,9 +208,12 @@ std::vector<Directive> ModelGuidedPolicy::decide(const topo::Machine& machine,
   // the structural-drift band of the last *full* search. Those ticks refine
   // the previous allocation with a seeded hill-climb instead of re-running
   // the full pruned enumeration.
+  // A foreign-load change is always structural: the whole point of pricing
+  // it is to potentially vacate a node, which a seeded local climb from the
+  // pre-foreign allocation may not find.
   bool refine = options_.incremental_refine && last_allocation_.has_value() &&
-                caps.empty() && !options_.advise_data_placement && last_homes_ == homes &&
-                last_full_ai_.size() == ai.size() &&
+                caps.empty() && !options_.advise_data_placement && !foreign_dirty_ &&
+                last_homes_ == homes && last_full_ai_.size() == ai.size() &&
                 last_allocation_->app_count() == views.size() &&
                 last_allocation_->node_count() == machine.node_count();
   if (refine) {
@@ -210,11 +234,12 @@ std::vector<Directive> ModelGuidedPolicy::decide(const topo::Machine& machine,
     refine_options.objective = options_.objective;
     refine_options.churn_penalty = options_.churn_penalty;
     refine_options.min_threads_per_app = options_.min_threads_per_app;
+    refine_options.foreign = foreign_;
     auto result = model::refine_search(machine, specs, *last_allocation_, refine_options);
     allocation = result.allocation;
     predicted = result.solution.total_gflops;
     last_search_kind_ = SearchKind::kRefine;
-  } else if (options_.advise_data_placement && caps.empty()) {
+  } else if (options_.advise_data_placement && caps.empty() && !foreign_.any()) {
     auto joint = model::advise_joint(machine, specs, options_.objective,
                                      options_.min_threads_per_app);
     allocation = joint.allocation;
@@ -230,15 +255,33 @@ std::vector<Directive> ModelGuidedPolicy::decide(const topo::Machine& machine,
   } else {
     auto result = model::exhaustive_search(machine, specs, options_.objective,
                                            /*require_full=*/true,
-                                           options_.min_threads_per_app, caps);
+                                           options_.min_threads_per_app, caps, foreign_);
     allocation = result.allocation;
     predicted = result.solution.total_gflops;
+    if (foreign_.any() && caps.empty()) {
+      // Polish: the uniform candidate family cannot express "vacate one
+      // node" (every app runs the same count on every node it uses), which
+      // is precisely the right answer when a foreign hog occupies a node.
+      // A hill-climb seeded from the full-search winner can drop/shift
+      // threads off the hogged node; keep it only when it actually wins.
+      model::RefineOptions polish;
+      polish.objective = options_.objective;
+      polish.min_threads_per_app = options_.min_threads_per_app;
+      polish.foreign = foreign_;
+      auto polished = model::refine_search(machine, specs, allocation, polish);
+      if (polished.objective_value > result.objective_value) {
+        allocation = polished.allocation;
+        predicted = polished.solution.total_gflops;
+      }
+    }
     last_full_ai_ = ai;
     last_search_kind_ = SearchKind::kFull;
   }
   last_ai_ = ai;
   last_homes_ = homes;
   last_allocation_ = allocation;
+  decided_foreign_ = foreign_;
+  foreign_dirty_ = false;
   NS_LOG_INFO("agent", "model-guided allocation: {} ({} GFLOPS predicted)",
               allocation.to_string(), predicted);
   for (std::size_t a = 0; a < views.size(); ++a) {

@@ -120,6 +120,12 @@ struct ModelGuidedOptions {
   /// Churn penalty handed to refine_search (relative to the seed objective):
   /// biases incremental moves toward staying near the enacted allocation.
   double churn_penalty = 0.0;
+  /// Foreign-load drift gates: re-optimize when any node's foreign busy
+  /// cores move by more than this many cores, or its foreign bandwidth by
+  /// more than this many GB/s, since the load priced into the last decision.
+  /// Small wobble below both thresholds is absorbed without a re-search.
+  double foreign_core_drift = 0.25;
+  double foreign_bw_drift = 2.0;
 };
 
 class ModelGuidedPolicy final : public Policy {
@@ -141,6 +147,10 @@ class ModelGuidedPolicy final : public Policy {
     last_allocation_.reset();
     last_search_kind_ = SearchKind::kNone;
   }
+  /// Price opaque background consumers into every subsequent search. A
+  /// change beyond the foreign drift gates forces a full re-search on the
+  /// next decide() even when app AIs are steady.
+  void on_foreign_load(const model::ForeignLoad& load) override;
 
   /// The allocation behind the last issued directives (empty before then).
   const std::optional<model::Allocation>& last_allocation() const { return last_allocation_; }
@@ -153,6 +163,9 @@ class ModelGuidedPolicy final : public Policy {
   std::vector<std::uint32_t> last_homes_;     // advertised homes behind the last decision
   std::optional<model::Allocation> last_allocation_;
   SearchKind last_search_kind_ = SearchKind::kNone;
+  model::ForeignLoad foreign_;          // latest reported load
+  model::ForeignLoad decided_foreign_;  // load priced into the last decision
+  bool foreign_dirty_ = false;          // drifted past the gates since then
 };
 
 }  // namespace numashare::agent

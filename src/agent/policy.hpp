@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "agent/protocol.hpp"
+#include "core/roofline.hpp"
 #include "topology/machine.hpp"
 
 namespace numashare::agent {
@@ -80,6 +81,10 @@ class Policy {
   /// their issued/drift caches here so the next decide() re-partitions the
   /// machine for the new membership.
   virtual void on_membership_change() {}
+  /// Latest estimate of non-participant (foreign) load, from the daemon's
+  /// ForeignMonitor. Default: ignore — only model-aware policies can price
+  /// opaque consumers. An empty load (any() == false) means "machine clean".
+  virtual void on_foreign_load(const model::ForeignLoad& load) { (void)load; }
 };
 
 using PolicyPtr = std::unique_ptr<Policy>;

@@ -49,6 +49,24 @@ GFlops node_core_peak(const topo::Machine& machine, topo::NodeId node) {
   return machine.core(n.cores.front()).peak_gflops;
 }
 
+GBps foreign_node_bw(const ForeignLoad& foreign, topo::NodeId node) {
+  return node < foreign.bandwidth.size() ? std::max(0.0, foreign.bandwidth[node]) : 0.0;
+}
+
+double foreign_node_cores(const topo::Machine& machine, const ForeignLoad& foreign,
+                          topo::NodeId node) {
+  if (node >= foreign.busy_cores.size()) return 0.0;
+  const double cores = machine.cores_in_node(node);
+  return std::min(std::max(0.0, foreign.busy_cores[node]), cores);
+}
+
+void require_foreign_shape(const topo::Machine& machine, const ForeignLoad& foreign) {
+  NS_REQUIRE(foreign.busy_cores.empty() || foreign.busy_cores.size() == machine.node_count(),
+             "foreign busy_cores must be empty or one entry per node");
+  NS_REQUIRE(foreign.bandwidth.empty() || foreign.bandwidth.size() == machine.node_count(),
+             "foreign bandwidth must be empty or one entry per node");
+}
+
 void compose(std::uint32_t apps_left, std::uint32_t budget, bool require_full,
              std::uint32_t min_per_app, std::vector<std::uint32_t>& current,
              std::vector<std::vector<std::uint32_t>>& out) {
@@ -168,13 +186,22 @@ struct SearchBounds {
   std::vector<double> suffix_flat;  // suffix sums of flat, size apps + 1
 };
 
-SearchBounds make_search_bounds(const topo::Machine& machine, const std::vector<AppSpec>& apps) {
+SearchBounds make_search_bounds(const topo::Machine& machine, const std::vector<AppSpec>& apps,
+                                const ForeignLoad& foreign) {
   SearchBounds b;
   const auto nodes_n = machine.node_count();
+  // Foreign load tightens (never loosens) both axes of the bound: the slope
+  // uses the compute left after foreign busy cores — a thread on node m gets
+  // a share min(1, (C-F)/T) <= min(1, C-F) of a core — and the bandwidth
+  // roofline uses the post-foreign effective controller bandwidth, since the
+  // solver serves foreign draw off the top. With no foreign load both reduce
+  // bitwise to the PR-5 bounds.
   double total_bw = 0.0;
   for (topo::NodeId m = 0; m < nodes_n; ++m) {
-    b.slope += node_core_peak(machine, m);
-    total_bw += machine.node(m).memory_bandwidth;
+    const double avail =
+        std::max(0.0, machine.cores_in_node(m) - foreign_node_cores(machine, foreign, m));
+    b.slope += node_core_peak(machine, m) * std::min(1.0, avail);
+    total_bw += std::max(0.0, machine.node(m).memory_bandwidth - foreign_node_bw(foreign, m));
   }
   b.flat.resize(apps.size());
   b.suffix_flat.assign(apps.size() + 1, 0.0);
@@ -183,9 +210,12 @@ SearchBounds make_search_bounds(const topo::Machine& machine, const std::vector<
     if (app.placement == Placement::kNumaBad) {
       NS_REQUIRE(app.home_node < nodes_n, "NUMA-bad home node out of range");
     }
-    double f = app.placement == Placement::kNumaBad
-                   ? machine.node(app.home_node).memory_bandwidth * app.ai
-                   : total_bw * app.ai;
+    const double home_bw =
+        app.placement == Placement::kNumaBad
+            ? std::max(0.0, machine.node(app.home_node).memory_bandwidth -
+                                foreign_node_bw(foreign, app.home_node))
+            : 0.0;
+    double f = app.placement == Placement::kNumaBad ? home_bw * app.ai : total_bw * app.ai;
     if (app.serial_fraction > 0.0) {
       // Amdahl: capped at thread-weighted mean peak x effective threads;
       // for uniform counts the mean is slope / nodes and eff(T) < 1/sigma.
@@ -213,6 +243,8 @@ struct StreamSearch {
   bool require_full;
   std::uint32_t min_per_app;
   const std::vector<std::uint32_t>& caps;
+  /// Carries the foreign load into every candidate (and bound) solve.
+  SolveOptions solve_options;
 
   std::uint32_t apps_n = 0;
   std::uint32_t nodes_n = 0;
@@ -236,18 +268,19 @@ struct StreamSearch {
 
   StreamSearch(const topo::Machine& machine_, const std::vector<AppSpec>& apps_,
                Objective objective_, bool require_full_, std::uint32_t min_per_app_,
-               const std::vector<std::uint32_t>& caps_)
+               const std::vector<std::uint32_t>& caps_, const ForeignLoad& foreign_)
       : machine(machine_),
         apps(apps_),
         objective(objective_),
         require_full(require_full_),
         min_per_app(min_per_app_),
         caps(caps_) {
+    solve_options.foreign = foreign_;
     apps_n = static_cast<std::uint32_t>(apps.size());
     nodes_n = machine.node_count();
     budget = smallest_node_cores(machine);
     prune_enabled = caps.empty();
-    if (prune_enabled) bounds = make_search_bounds(machine, apps);
+    if (prune_enabled) bounds = make_search_bounds(machine, apps, foreign_);
     workspace = Allocation(apps_n, nodes_n);
     best.objective_value = -std::numeric_limits<double>::infinity();
   }
@@ -308,7 +341,7 @@ struct StreamSearch {
       apply_caps(machine, capped, caps, cap_totals, cap_freed);
       candidate = &capped;
     }
-    const Solution& solution = solve_into(machine, apps, *candidate, eval_scratch);
+    const Solution& solution = solve_into(machine, apps, *candidate, eval_scratch, solve_options);
     ++best.evaluated;
     const double value = score(solution, objective);
     if (value > best.objective_value) {
@@ -375,7 +408,8 @@ struct StreamSearch {
         // model run on the prefix alone (tail rows zero). Removing apps only
         // frees bandwidth for the ones that remain, so each assigned app's
         // partial throughput upper-bounds its throughput in any completion.
-        const Solution& partial = solve_into(machine, apps, workspace, bound_scratch);
+        const Solution& partial =
+            solve_into(machine, apps, workspace, bound_scratch, solve_options);
         ++best.bound_solves;
         double p_total = partial.total_gflops;
         double p_min = std::numeric_limits<double>::infinity();
@@ -447,11 +481,14 @@ struct StreamSearch {
 SearchResult climb(const topo::Machine& machine, const std::vector<AppSpec>& apps,
                    const Allocation& start, Objective objective, std::uint32_t max_rounds,
                    double min_relative_gain, double churn_penalty_rel,
-                   const Allocation* churn_seed, std::uint32_t min_app_total) {
+                   const Allocation* churn_seed, std::uint32_t min_app_total,
+                   const ForeignLoad& foreign) {
   SolveScratch eval;
+  SolveOptions solve_options;
+  solve_options.foreign = foreign;
   SearchResult best;
   best.allocation = start;
-  best.solution = solve_into(machine, apps, start, eval);
+  best.solution = solve_into(machine, apps, start, eval, solve_options);
   best.evaluated = 1;
   best.objective_value = score(best.solution, objective);
 
@@ -548,7 +585,7 @@ SearchResult climb(const topo::Machine& machine, const std::vector<AppSpec>& app
     const auto consider = [&](const Move& m) {
       const std::int64_t delta = move_delta(m);
       do_move(m);
-      const Solution& solution = solve_into(machine, apps, current, eval);
+      const Solution& solution = solve_into(machine, apps, current, eval, solve_options);
       ++best.evaluated;
       const double raw = score(solution, objective);
       const double ranked = penalized ? raw - per_unit * static_cast<double>(churn + delta) : raw;
@@ -656,25 +693,30 @@ std::uint64_t count_candidates(const topo::Machine& machine, std::uint32_t apps,
 SearchResult exhaustive_search(const topo::Machine& machine, const std::vector<AppSpec>& apps,
                                Objective objective, bool require_full,
                                std::uint32_t min_threads_per_app,
-                               const std::vector<std::uint32_t>& caps) {
+                               const std::vector<std::uint32_t>& caps,
+                               const ForeignLoad& foreign) {
   NS_REQUIRE(!apps.empty(), "need at least one app");
   NS_REQUIRE(caps.empty() || caps.size() == apps.size(),
              "caps must be empty or one per app");
+  require_foreign_shape(machine, foreign);
   // Clamp an infeasible per-app minimum (more apps than cores per node)
   // rather than refusing: policies run against whatever machine they find.
   const std::uint32_t min_cores = smallest_node_cores(machine);
   const auto apps_n = static_cast<std::uint32_t>(apps.size());
   min_threads_per_app = std::min(min_threads_per_app, min_cores / std::max(1u, apps_n));
-  StreamSearch search(machine, apps, objective, require_full, min_threads_per_app, caps);
+  StreamSearch search(machine, apps, objective, require_full, min_threads_per_app, caps,
+                      foreign);
   return search.run();
 }
 
 SearchResult exhaustive_search_reference(const topo::Machine& machine,
                                          const std::vector<AppSpec>& apps, Objective objective,
                                          bool require_full, std::uint32_t min_threads_per_app,
-                                         const std::vector<std::uint32_t>& caps) {
+                                         const std::vector<std::uint32_t>& caps,
+                                         const ForeignLoad& foreign) {
   NS_REQUIRE(caps.empty() || caps.size() == apps.size(),
              "caps must be empty or one per app");
+  require_foreign_shape(machine, foreign);
   const std::uint32_t min_cores = smallest_node_cores(machine);
   const auto apps_n = static_cast<std::uint32_t>(apps.size());
   min_threads_per_app = std::min(min_threads_per_app, min_cores / std::max(1u, apps_n));
@@ -687,11 +729,13 @@ SearchResult exhaustive_search_reference(const topo::Machine& machine,
   if (!caps.empty()) {
     for (auto& candidate : candidates) apply_caps(machine, candidate, caps);
   }
+  SolveOptions solve_options;
+  solve_options.foreign = foreign;
 
   SearchResult best;
   best.objective_value = -std::numeric_limits<double>::infinity();
   for (const auto& candidate : candidates) {
-    Solution solution = solve(machine, apps, candidate);
+    Solution solution = solve(machine, apps, candidate, solve_options);
     ++best.evaluated;
     ++best.visited;
     const double value = score(solution, objective);
@@ -708,18 +752,20 @@ SearchResult greedy_search(const topo::Machine& machine, const std::vector<AppSp
                            const Allocation& start, const GreedyOptions& options) {
   std::string error;
   NS_REQUIRE(start.validate(machine, &error), error.c_str());
+  require_foreign_shape(machine, options.foreign);
   return climb(machine, apps, start, options.objective, options.max_rounds,
                options.min_relative_gain, /*churn_penalty_rel=*/0.0, /*churn_seed=*/nullptr,
-               /*min_app_total=*/0);
+               /*min_app_total=*/0, options.foreign);
 }
 
 SearchResult refine_search(const topo::Machine& machine, const std::vector<AppSpec>& apps,
                            const Allocation& seed, const RefineOptions& options) {
   std::string error;
   NS_REQUIRE(seed.validate(machine, &error), error.c_str());
+  require_foreign_shape(machine, options.foreign);
   return climb(machine, apps, seed, options.objective, options.max_rounds,
                options.min_relative_gain, options.churn_penalty, &seed,
-               options.min_threads_per_app);
+               options.min_threads_per_app, options.foreign);
 }
 
 }  // namespace numashare::model

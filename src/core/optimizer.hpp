@@ -78,10 +78,18 @@ std::vector<Allocation> enumerate_node_permutations(const topo::Machine& machine
 /// Candidates are clamped to respect the caps and the capacity a cap frees
 /// up is re-granted to apps with headroom, so reclaimed cores stay grantable
 /// instead of idling.
+///
+/// `foreign` (empty = none) injects opaque background consumers into every
+/// candidate solve, so the search prices foreign contention and steers
+/// cooperating apps away from occupied nodes. Foreign load can only lower a
+/// candidate's true score, so the branch-and-bound ceilings stay admissible;
+/// they are additionally *tightened* with the post-foreign effective
+/// bandwidth and compute (never loosened — see docs/FOREIGN.md).
 SearchResult exhaustive_search(const topo::Machine& machine, const std::vector<AppSpec>& apps,
                                Objective objective, bool require_full = false,
                                std::uint32_t min_threads_per_app = 0,
-                               const std::vector<std::uint32_t>& caps = {});
+                               const std::vector<std::uint32_t>& caps = {},
+                               const ForeignLoad& foreign = {});
 
 /// The original materialize-then-evaluate brute force over the same
 /// candidate families (including the historical double evaluation of
@@ -94,7 +102,8 @@ SearchResult exhaustive_search_reference(const topo::Machine& machine,
                                          const std::vector<AppSpec>& apps, Objective objective,
                                          bool require_full = false,
                                          std::uint32_t min_threads_per_app = 0,
-                                         const std::vector<std::uint32_t>& caps = {});
+                                         const std::vector<std::uint32_t>& caps = {},
+                                         const ForeignLoad& foreign = {});
 
 /// Closed-form size of the candidate set exhaustive_search ranges over
 /// (uniform family + node permutations when apps == node_count), after the
@@ -110,6 +119,12 @@ struct GreedyOptions {
   /// Improvements smaller than this (relative) do not count, preventing
   /// floating-point ping-pong.
   double min_relative_gain = 1e-9;
+  /// Opaque background consumers priced into every candidate solve (empty =
+  /// none). The hill-climb's drop moves are what let a policy *vacate* a
+  /// foreign-occupied node — the uniform exhaustive family cannot express
+  /// per-node asymmetry, so foreign-aware policies polish the full-search
+  /// winner with a greedy pass.
+  ForeignLoad foreign;
 };
 
 /// Hill-climb from `start` using single-thread moves: remove a thread,
@@ -132,6 +147,9 @@ struct RefineOptions {
   /// incremental analogue of exhaustive_search's per-node minimum: it keeps
   /// every app running between full searches).
   std::uint32_t min_threads_per_app = 0;
+  /// Opaque background consumers priced into every candidate solve (empty =
+  /// none); see GreedyOptions::foreign.
+  ForeignLoad foreign;
 };
 
 /// Incremental re-optimization for non-structural ticks: hill-climb from the

@@ -58,6 +58,24 @@ const Solution& solve_into(const topo::Machine& machine, const std::vector<AppSp
       NS_REQUIRE(app.home_node < machine.node_count(), "NUMA-bad home node out of range");
     }
   }
+  const ForeignLoad& foreign = options.foreign;
+  const bool has_foreign = !foreign.busy_cores.empty() || !foreign.bandwidth.empty();
+  if (!foreign.busy_cores.empty()) {
+    NS_REQUIRE(foreign.busy_cores.size() == machine.node_count(),
+               "foreign busy_cores must have one entry per node");
+  }
+  if (!foreign.bandwidth.empty()) {
+    NS_REQUIRE(foreign.bandwidth.size() == machine.node_count(),
+               "foreign bandwidth must have one entry per node");
+  }
+  const auto foreign_bw = [&](topo::NodeId m) -> GBps {
+    return m < foreign.bandwidth.size() ? std::max(0.0, foreign.bandwidth[m]) : 0.0;
+  };
+  const auto foreign_cores = [&](topo::NodeId m) -> double {
+    if (m >= foreign.busy_cores.size()) return 0.0;
+    const double cores = machine.cores_in_node(m);
+    return std::min(std::max(0.0, foreign.busy_cores[m]), cores);
+  };
 
   Solution& solution = scratch.solution;
   solution.groups.clear();
@@ -103,6 +121,11 @@ const Solution& solve_into(const topo::Machine& machine, const std::vector<AppSp
     auto& breakdown = solution.nodes[m];
     breakdown.node = m;
     breakdown.bandwidth = machine.node(m).memory_bandwidth;
+    // Opaque foreign consumers are served off the top: they are running
+    // regardless of what the allocator decides, so cooperating flows compete
+    // for only what they leave behind.
+    breakdown.foreign_granted = std::min(foreign_bw(m), breakdown.bandwidth);
+    const GBps coop_bandwidth = breakdown.bandwidth - breakdown.foreign_granted;
     const std::uint32_t begin = scratch.bucket_offset[m];
     const std::uint32_t end = scratch.bucket_offset[m + 1];
 
@@ -123,9 +146,9 @@ const Solution& solve_into(const topo::Machine& machine, const std::vector<AppSp
     // controller; we scale the flows proportionally so the controller's peak
     // is never exceeded.
     double remote_scale = 1.0;
-    if (remote_total > breakdown.bandwidth + kEps) {
-      remote_scale = breakdown.bandwidth / remote_total;
-      remote_total = breakdown.bandwidth;
+    if (remote_total > coop_bandwidth + kEps) {
+      remote_scale = coop_bandwidth / remote_total;
+      remote_total = coop_bandwidth;
     }
     breakdown.remote_granted = remote_total;
     for (std::uint32_t i = begin; i < end; ++i) {
@@ -136,7 +159,7 @@ const Solution& solve_into(const topo::Machine& machine, const std::vector<AppSp
     }
 
     // 2b. Locals split the remainder: equal per-core baseline ...
-    const GBps remaining = std::max(0.0, breakdown.bandwidth - remote_total);
+    const GBps remaining = std::max(0.0, coop_bandwidth - remote_total);
     const double cores = machine.cores_in_node(m);
     breakdown.baseline_per_core = remaining / cores;
     GBps pool = remaining;
@@ -175,14 +198,34 @@ const Solution& solve_into(const topo::Machine& machine, const std::vector<AppSp
       if (options.single_shot_remainder) break;
       if (distributed <= kEps) break;
     }
-    breakdown.total_granted = breakdown.remote_granted + breakdown.local_baseline_granted +
+    breakdown.total_granted = breakdown.foreign_granted + breakdown.remote_granted +
+                              breakdown.local_baseline_granted +
                               breakdown.local_remainder_granted;
     NS_ASSERT(breakdown.total_granted <= breakdown.bandwidth * (1.0 + 1e-9) + kEps);
   }
 
-  // 3. Roofline: bandwidth -> GFLOPS, capped at the compute peak.
+  // 3. Roofline: bandwidth -> GFLOPS, capped at the compute peak. Foreign
+  //    busy cores timeshare the node: with F foreign cores busy out of C and
+  //    T cooperating threads placed there, each cooperating thread can hold
+  //    at most min(1, (C - F) / T) of a core, derating its compute peak.
+  //    (Bandwidth demand is left at the full-peak figure: a timeshared
+  //    thread still issues the same stream when scheduled, and keeping
+  //    demand fixed preserves the paper's split arithmetic.)
+  if (has_foreign) {
+    scratch.node_threads.assign(machine.node_count(), 0);
+    for (const auto& g : solution.groups) scratch.node_threads[g.exec_node] += g.threads;
+  }
+  const auto compute_share = [&](topo::NodeId n) -> double {
+    if (!has_foreign) return 1.0;
+    const double fc = foreign_cores(n);
+    if (fc <= 0.0) return 1.0;
+    const double threads = scratch.node_threads[n];
+    if (threads <= 0.0) return 1.0;
+    const double avail = std::max(0.0, machine.cores_in_node(n) - fc);
+    return std::min(1.0, avail / threads);
+  };
   for (auto& g : solution.groups) {
-    const GFlops peak = core_peak_on_node(machine, g.exec_node);
+    const GFlops peak = core_peak_on_node(machine, g.exec_node) * compute_share(g.exec_node);
     g.per_thread_gflops = achieved_gflops(g.per_thread_granted, apps[g.app].ai, peak);
   }
 
@@ -203,7 +246,8 @@ const Solution& solve_into(const topo::Machine& machine, const std::vector<AppSp
       if (g.app != a) continue;
       raw += g.group_gflops();
       threads += g.threads;
-      thread_peak_sum += g.threads * core_peak_on_node(machine, g.exec_node);
+      thread_peak_sum +=
+          g.threads * core_peak_on_node(machine, g.exec_node) * compute_share(g.exec_node);
     }
     if (threads == 0 || raw <= 0.0) continue;
     const GFlops cap = (thread_peak_sum / threads) * apps[a].effective_threads(threads);

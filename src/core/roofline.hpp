@@ -31,6 +31,37 @@
 
 namespace numashare::model {
 
+/// Fixed background consumers per node: processes the allocator cannot
+/// command (legacy jobs, batch noise) but must price. The foreign subsystem
+/// (src/foreign/) estimates these from OS polling; the solver treats them as
+/// opaque: their bandwidth draw is served off each controller's top before
+/// any cooperating flow, and their compute share timeshares the node's cores
+/// against cooperating threads. Foreign load can only *lower* cooperating
+/// throughput, which is what keeps the search bounds admissible
+/// (docs/FOREIGN.md "Modeling").
+struct ForeignLoad {
+  /// Cores consumed per node (fractional; clamped to [0, cores] by the
+  /// solver). Empty means no foreign compute anywhere.
+  std::vector<double> busy_cores;
+  /// Bandwidth drawn at each node's memory controller, GB/s. Empty means no
+  /// foreign bandwidth anywhere.
+  std::vector<GBps> bandwidth;
+
+  bool any() const {
+    for (double c : busy_cores) {
+      if (c > 0.0) return true;
+    }
+    for (GBps b : bandwidth) {
+      if (b > 0.0) return true;
+    }
+    return false;
+  }
+  void clear() {
+    busy_cores.clear();
+    bandwidth.clear();
+  }
+};
+
 struct SolveOptions {
   /// Stop water-filling after this many rounds (each round either exhausts
   /// the pool or satisfies at least one thread group, so node_count rounds
@@ -40,6 +71,9 @@ struct SolveOptions {
   /// re-distribution of overshoot — the paper's literal Table I/II procedure.
   /// Identical to water-filling whenever no thread's demand is exceeded.
   bool single_shot_remainder = false;
+  /// Opaque background consumers (empty vectors = none, the default). When
+  /// non-empty each vector must have one entry per machine node.
+  ForeignLoad foreign;
 };
 
 /// One homogeneous group of threads: all threads of `app` executing on
@@ -62,6 +96,7 @@ struct GroupResult {
 struct NodeBreakdown {
   topo::NodeId node = 0;
   GBps bandwidth = 0.0;            // the controller's peak
+  GBps foreign_granted = 0.0;      // served to opaque foreign consumers, off the top
   GBps remote_demand = 0.0;        // requested by threads on other nodes
   GBps remote_granted = 0.0;       // served to them (first, link-capped)
   GBps local_demand = 0.0;         // requested by locally-running threads
@@ -98,6 +133,11 @@ struct SolveScratch {
   std::vector<std::uint32_t> bucket_cursor;
   std::vector<std::uint32_t> bucket_offset;
   std::vector<std::uint32_t> bucket_groups;
+
+  /// Cooperating threads per execution node, used to timeshare compute
+  /// against foreign busy cores. Only populated when the solve options carry
+  /// a ForeignLoad; untouched (and unallocated) otherwise.
+  std::vector<std::uint32_t> node_threads;
 };
 
 /// Solve the model. `allocation` must validate against `machine`; app specs

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <unordered_set>
 
 #include "agent/policies.hpp"
 #include "common/assert.hpp"
@@ -56,6 +57,9 @@ Daemon::Daemon(topo::Machine machine, agent::PolicyPtr policy, DaemonOptions opt
   auto wrapped = std::make_unique<AdvertisedAiPolicy>(std::move(policy), std::move(lookup));
   agent::AgentOptions agent_options = options_.agent;
   agent_ = std::make_unique<agent::Agent>(machine_, std::move(wrapped), agent_options);
+  if (options_.foreign_enabled) {
+    foreign_ = std::make_unique<foreign::ForeignMonitor>(machine_, options_.foreign);
+  }
   for (auto& seen : claim_first_seen_s_) seen = -1.0;
 }
 
@@ -67,6 +71,10 @@ void Daemon::shutdown() {
   shut_down_ = true;
   if (registry_ == nullptr) return;
   const double now = monotonic_seconds();
+  if (foreign_ != nullptr) {
+    // Leave no foreign process pinned by a daemon that no longer arbitrates.
+    journal_foreign_events(foreign_->release_all(), now);
+  }
   for (std::uint32_t i = 0; i < kMaxClients; ++i) {
     if (clients_[i].used) retire(i, "daemon-shutdown", now);
   }
@@ -320,6 +328,13 @@ std::uint32_t Daemon::tick(double now) {
     }
   }
 
+  // Foreign arbitration runs before the agent step so the policy prices the
+  // freshest opaque-consumer load into this tick's decision.
+  if (foreign_ != nullptr && options_.foreign_scan_every_ticks > 0 &&
+      stats_.ticks % options_.foreign_scan_every_ticks == 0) {
+    foreign_tick(now);
+  }
+
   const std::uint32_t sent = agent_->step(now);
   // The compliance watchdog runs on the views the step just refreshed.
   // Liveness eviction (above) already removed the dead, so everything left
@@ -475,6 +490,94 @@ void Daemon::check_compliance(std::uint32_t index, double now) {
     slot.telemetry_dropped.store(client.channel->telemetry_dropped(),
                                  std::memory_order_relaxed);
   }
+}
+
+void Daemon::foreign_tick(double now) {
+  // Our own pid and every client's: their CPU time is cooperating load the
+  // model already accounts for, never foreign.
+  std::unordered_set<std::int32_t> participants;
+  participants.insert(static_cast<std::int32_t>(::getpid()));
+  for (const auto& client : clients_) {
+    if (client.used) participants.insert(static_cast<std::int32_t>(client.pid));
+  }
+  foreign_->set_participants(participants);
+  const auto events = foreign_->tick(now);
+  ++stats_.foreign_scans;
+  journal_foreign_events(events, now);
+  agent_->policy().on_foreign_load(foreign_->load());
+  mirror_foreign_shard();
+}
+
+void Daemon::journal_foreign_events(const std::vector<foreign::ForeignEvent>& events,
+                                    double now) {
+  for (const auto& event : events) {
+    switch (event.kind) {
+      case foreign::ForeignEvent::Kind::kSeen:
+        ++stats_.foreign_seen;
+        NS_LOG_INFO("daemon", "foreign-seen: '{}' pid {} ({} cores)", event.name,
+                    event.pid, event.cpu_cores);
+        journal_.record(now, "foreign-seen",
+                        {{"pid", jnum(static_cast<std::uint64_t>(event.pid))},
+                         {"name", jstr(event.name)},
+                         {"cores", jnum(event.cpu_cores)}});
+        break;
+      case foreign::ForeignEvent::Kind::kGone:
+        ++stats_.foreign_gone;
+        NS_LOG_INFO("daemon", "foreign-gone: '{}' pid {}", event.name, event.pid);
+        journal_.record(now, "foreign-gone",
+                        {{"pid", jnum(static_cast<std::uint64_t>(event.pid))},
+                         {"name", jstr(event.name)}});
+        break;
+      case foreign::ForeignEvent::Kind::kFence:
+        ++stats_.foreign_fences;
+        NS_LOG_INFO("daemon", "foreign-fence: '{}' pid {} -> node {} ({})", event.name,
+                    event.pid, event.node, foreign::to_string(event.fence));
+        journal_.record(now, "foreign-fence",
+                        {{"pid", jnum(static_cast<std::uint64_t>(event.pid))},
+                         {"name", jstr(event.name)},
+                         {"node", jnum(event.node)},
+                         {"state", jstr(foreign::to_string(event.fence))}});
+        break;
+      case foreign::ForeignEvent::Kind::kRelease:
+        ++stats_.foreign_releases;
+        NS_LOG_INFO("daemon", "foreign-fence released: '{}' pid {}", event.name, event.pid);
+        journal_.record(now, "foreign-fence",
+                        {{"pid", jnum(static_cast<std::uint64_t>(event.pid))},
+                         {"name", jstr(event.name)},
+                         {"state", jstr("released")}});
+        break;
+    }
+  }
+}
+
+void Daemon::mirror_foreign_shard() {
+  auto& header = registry_->header();
+  const auto tracked = foreign_->tracked();
+  const auto count =
+      std::min<std::uint32_t>(static_cast<std::uint32_t>(tracked.size()), kMaxForeign);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto& info = tracked[i];
+    auto& row = header.foreign[i];
+    std::memset(row.name, 0, sizeof(row.name));
+    std::strncpy(row.name, info.name.c_str(), sizeof(row.name) - 1);
+    row.fence.store(static_cast<std::uint32_t>(info.fence), std::memory_order_relaxed);
+    row.fence_node.store(info.fence_node == topo::kInvalidNode ? agent::kMaxNodes
+                                                               : info.fence_node,
+                         std::memory_order_relaxed);
+    row.busy_millicores.store(static_cast<std::uint64_t>(info.cpu_cores * 1000.0),
+                              std::memory_order_relaxed);
+    for (std::uint32_t n = 0; n < agent::kMaxNodes; ++n) {
+      const double share = n < info.node_cores.size() ? info.node_cores[n] : 0.0;
+      row.node_millicores[n].store(static_cast<std::uint64_t>(share * 1000.0),
+                                   std::memory_order_relaxed);
+    }
+    // pid last: readers treat pid != 0 as "row valid".
+    row.pid.store(info.pid, std::memory_order_release);
+  }
+  for (std::uint32_t i = count; i < kMaxForeign; ++i) {
+    header.foreign[i].pid.store(0, std::memory_order_relaxed);
+  }
+  header.foreign_count.store(count, std::memory_order_release);
 }
 
 void Daemon::journal_allocation(double now) {

@@ -31,6 +31,7 @@
 #include "agent/shm_channel.hpp"
 #include "daemon/journal.hpp"
 #include "daemon/registry.hpp"
+#include "foreign/monitor.hpp"
 
 namespace numashare::nsd {
 
@@ -81,6 +82,17 @@ struct DaemonOptions {
   /// Journal durability (docs/DAEMON.md). The default fsyncs checkpoints
   /// and rotations; every-write fsyncs each record; none only flushes.
   FsyncPolicy fsync_policy = FsyncPolicy::kCheckpoint;
+
+  // --- Foreign-workload arbitration (src/foreign/, docs/FOREIGN.md).
+  /// Run the ForeignMonitor: detect non-participant processes, feed their
+  /// load to the policy, journal foreign-seen/gone/fence, mirror the
+  /// tracked set into the registry's foreign shard.
+  bool foreign_enabled = false;
+  /// Monitor cadence: one scan every N daemon ticks (procfs reads are not
+  /// free; foreign load moves on human timescales).
+  std::uint64_t foreign_scan_every_ticks = 10;
+  foreign::MonitorOptions foreign;
+
   agent::AgentOptions agent;
 };
 
@@ -108,6 +120,12 @@ struct DaemonStats {
   /// (0 when the journal was empty/absent).
   std::uint64_t recovered_tail_entries = 0;
   bool recovered_from_checkpoint = false;
+  // Foreign-workload arbitration counters.
+  std::uint64_t foreign_scans = 0;     ///< monitor ticks run
+  std::uint64_t foreign_seen = 0;      ///< processes admitted
+  std::uint64_t foreign_gone = 0;      ///< processes aged out
+  std::uint64_t foreign_fences = 0;    ///< fences decided
+  std::uint64_t foreign_releases = 0;  ///< fences released
 };
 
 class Daemon {
@@ -156,6 +174,9 @@ class Daemon {
   };
   std::optional<ComplianceView> compliance_view(const std::string& app_name) const;
 
+  /// The foreign monitor (nullptr unless options.foreign_enabled).
+  foreign::ForeignMonitor* foreign_monitor() { return foreign_.get(); }
+
  private:
   struct Client {
     bool used = false;
@@ -184,6 +205,9 @@ class Daemon {
   void retire(std::uint32_t index, const char* reason, double now);
   void check_liveness(std::uint32_t index, double now);
   void check_compliance(std::uint32_t index, double now);
+  void foreign_tick(double now);
+  void journal_foreign_events(const std::vector<foreign::ForeignEvent>& events, double now);
+  void mirror_foreign_shard();
   void journal_allocation(double now);
   void journal_snapshot(double now);
   void journal_checkpoint(double now);
@@ -193,6 +217,7 @@ class Daemon {
   topo::Machine machine_;
   DaemonOptions options_;
   std::unique_ptr<agent::Agent> agent_;
+  std::unique_ptr<foreign::ForeignMonitor> foreign_;
   std::unique_ptr<Registry> registry_;
   JournalWriter journal_;
   Client clients_[kMaxClients];
@@ -226,6 +251,9 @@ class AdvertisedAiPolicy final : public agent::Policy {
   std::vector<agent::Directive> decide(const topo::Machine& machine,
                                        const std::vector<agent::AppView>& views) override;
   void on_membership_change() override { inner_->on_membership_change(); }
+  void on_foreign_load(const model::ForeignLoad& load) override {
+    inner_->on_foreign_load(load);
+  }
 
   agent::Policy& inner() { return *inner_; }
 

@@ -13,6 +13,11 @@
 //     --checkpoint-every=N        journal checkpoint cadence in ticks (default 1000)
 //     --compact-after=N           rotate the journal past N lines (default 4096)
 //     --fsync=none|checkpoint|every-write  journal durability (default checkpoint)
+//     --foreign                   arbitrate foreign (non-participant) workloads
+//     --foreign-enforce           enforce fences with sched_setaffinity (needs
+//                                 ownership/CAP_SYS_NICE; default: advisory)
+//     --foreign-scan-ticks=N      foreign scan cadence in daemon ticks (default 10)
+//     --foreign-proc-root=path    procfs root for the scanner (default /proc)
 //     --duration-s=X              exit after X seconds (default: run until signal)
 //     --verbose                   info-level logging
 //
@@ -53,6 +58,8 @@ int usage() {
                "                  [--snapshot-every=N] [--enactment-deadline-ms=N]\n"
                "                  [--checkpoint-every=N] [--compact-after=N]\n"
                "                  [--fsync=none|checkpoint|every-write]\n"
+               "                  [--foreign] [--foreign-enforce]\n"
+               "                  [--foreign-scan-ticks=N] [--foreign-proc-root=path]\n"
                "                  [--duration-s=X] [--verbose]\n");
   return 2;
 }
@@ -140,6 +147,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: bad --fsync value\n");
     return usage();
   }
+  options.foreign_enabled =
+      has_flag(argc, argv, "--foreign") || has_flag(argc, argv, "--foreign-enforce");
+  options.foreign.enforce_fences = has_flag(argc, argv, "--foreign-enforce");
+  options.foreign_scan_every_ticks = static_cast<std::uint64_t>(
+      std::strtoul(flag_value(argc, argv, "--foreign-scan-ticks", "10").c_str(), nullptr, 10));
+  options.foreign.scanner.proc_root = flag_value(argc, argv, "--foreign-proc-root", "/proc");
   const double duration_s =
       std::strtod(flag_value(argc, argv, "--duration-s", "0").c_str(), nullptr);
 

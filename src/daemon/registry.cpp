@@ -19,7 +19,9 @@ constexpr std::uint64_t kMagic = 0x6e756d617372656dull;  // "numasrem" (registry
 // v2: slot state is a packed {nonce, state} word (torn-claim hardening).
 // v3: slots mirror compliance state (health, commanded/enacted epochs,
 //     channel drop counters) for status tools.
-constexpr std::uint32_t kVersion = 3;
+// v4: foreign-workload shard (foreign_count + ForeignSlot rows) appended for
+//     daemon-status visibility into non-participant arbitration.
+constexpr std::uint32_t kVersion = 4;
 
 RegistryHeader* map_segment(int fd) {
   void* mapped =
@@ -65,6 +67,15 @@ std::unique_ptr<Registry> Registry::create(const std::string& name, std::string*
     slot.enacted_epoch.store(0, std::memory_order_relaxed);
     slot.commands_dropped.store(0, std::memory_order_relaxed);
     slot.telemetry_dropped.store(0, std::memory_order_relaxed);
+  }
+  header->foreign_count.store(0, std::memory_order_relaxed);
+  for (auto& row : header->foreign) {
+    row.pid.store(0, std::memory_order_relaxed);
+    std::memset(row.name, 0, sizeof(row.name));
+    row.fence.store(0, std::memory_order_relaxed);
+    row.fence_node.store(agent::kMaxNodes, std::memory_order_relaxed);
+    row.busy_millicores.store(0, std::memory_order_relaxed);
+    for (auto& m : row.node_millicores) m.store(0, std::memory_order_relaxed);
   }
   header->magic.store(kMagic, std::memory_order_release);
   return std::unique_ptr<Registry>(new Registry(name, header, /*creator=*/true));

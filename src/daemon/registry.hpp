@@ -29,6 +29,8 @@ namespace numashare::nsd {
 inline constexpr std::uint32_t kMaxClients = 32;
 inline constexpr std::uint32_t kClientNameChars = 48;
 inline constexpr std::uint32_t kShmNameChars = 64;
+inline constexpr std::uint32_t kMaxForeign = 16;
+inline constexpr std::uint32_t kForeignNameChars = 32;
 inline constexpr const char* kDefaultRegistryName = "/numashare-registry";
 
 /// Slot lifecycle. Transitions:
@@ -148,6 +150,21 @@ struct ClientSlot {
   }
 };
 
+/// Foreign-workload mirror, daemon-written after each ForeignMonitor tick so
+/// `daemon-status` shows the non-participants the model is pricing without
+/// any extra IPC. Shares are scaled to millicores (×1000) to stay atomic
+/// integers. pid == 0 marks an unused row. The name is plain chars like
+/// ClientSlot::name — a reader racing a rewrite can tear it; status tooling
+/// tolerates that (one garbled render, next read is fine).
+struct ForeignSlot {
+  std::atomic<std::int32_t> pid;
+  char name[kForeignNameChars];
+  std::atomic<std::uint32_t> fence;        ///< foreign::FenceState
+  std::atomic<std::uint32_t> fence_node;   ///< agent::kMaxNodes = none
+  std::atomic<std::uint64_t> busy_millicores;
+  std::atomic<std::uint64_t> node_millicores[agent::kMaxNodes];
+};
+
 struct RegistryHeader {
   std::atomic<std::uint64_t> magic;
   std::uint32_t version;
@@ -163,6 +180,9 @@ struct RegistryHeader {
   std::atomic<std::uint32_t> node_count;
   std::atomic<std::uint32_t> node_cores[agent::kMaxNodes];
   ClientSlot slots[kMaxClients];
+  /// Foreign shard (v4): rows [0, foreign_count) are meaningful.
+  std::atomic<std::uint32_t> foreign_count;
+  ForeignSlot foreign[kMaxForeign];
 };
 
 /// RAII mapping of the registry segment. The daemon create()s (exclusively)

@@ -1,0 +1,38 @@
+#include "foreign/fence.hpp"
+
+#include "topology/affinity.hpp"
+
+namespace numashare::foreign {
+
+const char* to_string(FenceState state) {
+  switch (state) {
+    case FenceState::kNone: return "none";
+    case FenceState::kAdvisory: return "advisory";
+    case FenceState::kApplied: return "applied";
+    case FenceState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+FenceState apply_fence(const topo::Machine& machine, std::int32_t pid,
+                       topo::NodeId node, bool enforce) {
+  if (!enforce) return FenceState::kAdvisory;
+  const auto set = topo::CpuSet::whole_node(machine, node);
+  switch (topo::bind_process(pid, set)) {
+    case topo::BindResult::kApplied: return FenceState::kApplied;
+    case topo::BindResult::kUnsupported: return FenceState::kAdvisory;
+    case topo::BindResult::kFailed: return FenceState::kFailed;
+  }
+  return FenceState::kFailed;
+}
+
+FenceState release_fence(const topo::Machine& machine, std::int32_t pid,
+                         FenceState current) {
+  if (current != FenceState::kApplied) return FenceState::kNone;
+  const auto set = topo::CpuSet::all(machine);
+  return topo::bind_process(pid, set) == topo::BindResult::kApplied
+             ? FenceState::kNone
+             : FenceState::kFailed;
+}
+
+}  // namespace numashare::foreign

@@ -1,0 +1,41 @@
+// The foreign-workload fence: confine a detected foreign process to one
+// NUMA node so the model's per-node attribution becomes true by
+// construction rather than an estimate.
+//
+// Enforcement is sched_setaffinity on the foreign pid (topo::bind_process),
+// which requires the daemon to own the process or hold CAP_SYS_NICE. When
+// the syscall is denied — the common unprivileged case — the fence degrades
+// to *advisory*: the decision is journaled (foreign-fence records) and the
+// model still prices the process where it was observed, but nothing is
+// moved. The arbiter therefore stays strictly advisory by default, exactly
+// like its treatment of cooperating applications.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/machine.hpp"
+
+namespace numashare::foreign {
+
+enum class FenceState : std::uint8_t {
+  kNone = 0,      // not fenced
+  kAdvisory,      // fence decided, not enforced (no permission / disabled)
+  kApplied,       // sched_setaffinity succeeded
+  kFailed,        // enforcement attempted and the syscall failed
+};
+
+const char* to_string(FenceState state);
+
+/// Fence `pid` to every core of `node`. With enforce=false the syscall is
+/// skipped and the result is kAdvisory.
+FenceState apply_fence(const topo::Machine& machine, std::int32_t pid,
+                       topo::NodeId node, bool enforce);
+
+/// Release a fence: restore the full-machine mask. Advisory fences have
+/// nothing to undo. Returns the state the fence ends in (kNone on success,
+/// kFailed when the restore syscall failed — e.g. the process already died,
+/// which callers treat as released anyway).
+FenceState release_fence(const topo::Machine& machine, std::int32_t pid,
+                         FenceState current);
+
+}  // namespace numashare::foreign

@@ -133,7 +133,7 @@ std::optional<FaultPlan> parse_plan(const std::string& spec, std::string* error)
         const std::string value = eq == std::string::npos ? "" : param.substr(eq + 1);
         std::uint64_t number = 0;
         if (key == "seq" || key == "count" || key == "after" || key == "us" ||
-            key == "ms" || key == "ticks" || key == "exit") {
+            key == "ms" || key == "ticks" || key == "exit" || key == "pct") {
           if (!parse_u64(value, &number)) {
             return fail(ns_format("parameter '{}' needs a number in clause '{}'", key, clause));
           }
@@ -145,6 +145,7 @@ std::optional<FaultPlan> parse_plan(const std::string& spec, std::string* error)
         else if (key == "ms") rule.delay_us = static_cast<std::int64_t>(number) * 1000;
         else if (key == "ticks") rule.ticks = number;
         else if (key == "exit") rule.exit_code = static_cast<int>(number);
+        else if (key == "pct") rule.pct = number;
         else if (key == "site" || key == "state") {
           if (!valid_name(value)) {
             return fail(ns_format("parameter '{}' needs a name in clause '{}'", key, clause));
@@ -227,6 +228,16 @@ bool fire_pause(const char* site, const char* where) {
   // Sleep outside the lock: other threads' hooks must stay live while this
   // one stalls (that is the whole point of a pause fault).
   if (delay_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  return true;
+}
+
+bool fire_value(const char* site, std::uint64_t* pct, const char* where) {
+  auto& g = state();
+  std::lock_guard lock(g.mutex);
+  if (g.plan.rules.empty()) return false;
+  const int index = fire_locked(g, site, kAnySeq, where);
+  if (index < 0) return false;
+  if (pct) *pct = g.plan.rules[static_cast<std::size_t>(index)].pct;
   return true;
 }
 

@@ -46,6 +46,7 @@ struct FaultRule {
   std::int64_t delay_us = 0;    ///< sleep duration for *.pause sites
   std::uint64_t ticks = 1;      ///< ops to hold a message for *.delay sites
   int exit_code = -1;           ///< _exit code override for *.die sites (< 0 = site default)
+  std::uint64_t pct = 100;      ///< magnitude for value sites (foreign.balloon@pct=N)
 };
 
 struct FaultPlan {
@@ -56,7 +57,7 @@ struct FaultPlan {
 };
 
 /// Parse a plan spec: clause (';' clause)*, clause = site ['@' k[=v] (',' k[=v])*].
-/// Keys: seq, count, after, us, ticks, exit (numeric); site / state (name).
+/// Keys: seq, count, after, us, ticks, exit, pct (numeric); site / state (name).
 /// Returns nullopt and sets `error` on malformed input.
 std::optional<FaultPlan> parse_plan(const std::string& spec, std::string* error = nullptr);
 
@@ -89,6 +90,12 @@ bool fire_pause(const char* site, const char* where = nullptr);
 /// `default_exit_code` when the rule does not override it).
 void fire_die(const char* site, const char* where, int default_exit_code);
 
+/// fire(), and when firing, write the rule's `pct` magnitude into *pct.
+/// Returns the firing; *pct is untouched when the site stays quiet. Used by
+/// value sites (foreign.balloon@pct=N) where the rule carries how big the
+/// injected effect should be, not just whether it happens.
+bool fire_value(const char* site, std::uint64_t* pct, const char* where = nullptr);
+
 /// Message hold for *.delay sites: when the rule fires, copy `len` bytes
 /// into the pending store and return true (the caller suppresses the send).
 bool hold(const char* site, std::uint64_t seq, const void* bytes, std::size_t len);
@@ -110,10 +117,12 @@ bool take_ready(const char* site, void* out, std::size_t len);
 #define NS_FAULT_AT(site) (::numashare::inject::fire((site)))
 #define NS_FAULT_PAUSE(site, where) ((void)::numashare::inject::fire_pause((site), (where)))
 #define NS_FAULT_DIE(site, where, code) (::numashare::inject::fire_die((site), (where), (code)))
+#define NS_FAULT_VALUE(site, pct_out) (::numashare::inject::fire_value((site), (pct_out)))
 #else
 #define NS_FAULT_ENABLED 0
 #define NS_FAULT(site, seq) false
 #define NS_FAULT_AT(site) false
 #define NS_FAULT_PAUSE(site, where) ((void)0)
 #define NS_FAULT_DIE(site, where, code) ((void)0)
+#define NS_FAULT_VALUE(site, pct_out) false
 #endif

@@ -127,6 +127,25 @@ BindResult bind_current_thread(const CpuSet& set) {
 #endif
 }
 
+BindResult bind_process(std::int32_t pid, const CpuSet& set) {
+  NS_REQUIRE(!set.empty(), "cannot bind to an empty cpu set");
+  NS_REQUIRE(pid > 0, "bind_process needs a concrete pid");
+#if defined(__linux__)
+  cpu_set_t native;
+  CPU_ZERO(&native);
+  for (auto core : set.cores()) {
+    if (core < CPU_SETSIZE) CPU_SET(core, &native);
+  }
+  if (sched_setaffinity(static_cast<pid_t>(pid), sizeof(native), &native) == 0) {
+    return BindResult::kApplied;
+  }
+  return BindResult::kFailed;
+#else
+  (void)pid;
+  return BindResult::kUnsupported;
+#endif
+}
+
 CpuSet current_thread_affinity() {
   CpuSet set;
 #if defined(__linux__)

@@ -57,6 +57,14 @@ enum class BindResult {
 /// kFailed/kUnsupported as "intended binding only" and continues.
 BindResult bind_current_thread(const CpuSet& set);
 
+/// Bind another process's main thread to `set` — the foreign-workload fence
+/// (src/foreign/). Linux sched_setaffinity(pid) applies to the one thread
+/// whose TID equals `pid`; for the single- and few-threaded batch jobs the
+/// fence targets, steering the main thread is what moves the load. Fails
+/// (kFailed) without CAP_SYS_NICE on other users' processes, which callers
+/// downgrade to advisory journaling.
+BindResult bind_process(std::int32_t pid, const CpuSet& set);
+
 /// The affinity mask the calling thread currently has (empty when unknown).
 CpuSet current_thread_affinity();
 

@@ -75,6 +75,34 @@ TEST(OsLoad, MissingFileReturnsNullopt) {
   EXPECT_FALSE(sampler.sample().has_value());
 }
 
+TEST(OsLoad, CounterRegressionReturnsNulloptNotGarbage) {
+  FakeStat stat;
+  stat.write(100, 50, 800, 50);
+  OsLoadSampler sampler(stat.path());
+  sampler.sample();
+  // Counters regress (kernel hotplug / steal-time rewind): the unsigned
+  // deltas must not wrap — the sampler re-baselines and reports nothing.
+  stat.write(90, 40, 700, 40);
+  EXPECT_FALSE(sampler.sample().has_value());
+  // The regressed snapshot is the new baseline: the next well-formed delta
+  // is measured from it, not from the pre-regression counters.
+  stat.write(190, 90, 750, 40);  // +150 busy, +50 idle from the new floor
+  const auto load = sampler.sample();
+  ASSERT_TRUE(load.has_value());
+  EXPECT_NEAR(*load, 0.75, 1e-9);
+}
+
+TEST(OsLoad, IdleOnlyRegressionReturnsNullopt) {
+  FakeStat stat;
+  stat.write(100, 50, 800, 50);
+  OsLoadSampler sampler(stat.path());
+  sampler.sample();
+  // Total moves forward but idle regresses: still a regression, still no
+  // sample (a wrapped idle delta would report ~0% idle as ~100% busy).
+  stat.write(300, 150, 700, 40);
+  EXPECT_FALSE(sampler.sample().has_value());
+}
+
 TEST(OsLoad, NoDeltaReturnsNullopt) {
   FakeStat stat;
   stat.write(100, 50, 800, 50);

@@ -13,7 +13,11 @@
 //         of ticks once the clients are gone;
 //      3. the journal never records a reallocation naming a client outside
 //         the membership its own join/leave/evict/abandon events define
-//         (checkpoint records reseed that membership after a rotation).
+//         (checkpoint records reseed that membership after a rotation);
+//      4. every foreign fence the journal records is released by the end —
+//         either its process aged out (foreign-gone) or the shutdown
+//         release produced a state:"released" record. The daemon must
+//         never exit leaving a foreign pid pinned.
 //    On failure the seed and the full schedule are printed so the exact
 //    run reproduces with no other input.
 //
@@ -22,6 +26,11 @@
 // (client.enact.stall@ms=N), and the daemon runs with tight compliance
 // deadlines plus periodic checkpoints and journal compaction, so laggard
 // demotion, quarantine, and checkpoint rotation all happen under fire.
+//
+// Foreign arbitration runs live in every schedule: the daemon menu scripts
+// synthetic hogs through the monitor's fault sites (foreign.appear,
+// foreign.balloon@pct=N, foreign.die), so detection hysteresis, fencing,
+// and the policy's foreign-aware re-search all happen under the same churn.
 #include <gtest/gtest.h>
 #include <signal.h>
 #include <sys/wait.h>
@@ -86,6 +95,13 @@ DaemonOptions sweep_options(const std::string& registry, const std::string& jour
   // Checkpoints and compaction running concurrently with the fault schedule.
   options.checkpoint_every_ticks = 200;
   options.compact_after_lines = 400;
+  // Foreign arbitration live for every schedule. The scanner points at a
+  // nonexistent proc root — nothing real to observe, so the run stays
+  // deterministic — and the foreign.* fault sites feed the monitor with
+  // synthetic hogs instead.
+  options.foreign_enabled = true;
+  options.foreign_scan_every_ticks = 5;
+  options.foreign.scanner.proc_root = "/nonexistent/ns-sweep-foreign";
   return options;
 }
 
@@ -201,6 +217,29 @@ void check_journal_consistency(const std::vector<JournalEntry>& entries) {
     }
   }
   EXPECT_TRUE(live.empty()) << "journal ends with live clients unaccounted for";
+}
+
+/// Invariant 4: replay the foreign records. A "foreign-fence" whose state
+/// is anything but "released" marks the pid fenced; a released record or a
+/// "foreign-gone" clears it (an advisory fence dies with its entry — only
+/// still-fenced pids need the shutdown release). A complete journal must
+/// end with nothing fenced.
+void check_foreign_fences_released(const std::vector<JournalEntry>& entries) {
+  std::set<std::string> fenced;
+  for (const auto& entry : entries) {
+    const auto pid = journal_field(entry.raw, "pid").value_or("");
+    if (entry.event == "foreign-fence") {
+      if (unquote(journal_field(entry.raw, "state").value_or("")) == "released") {
+        fenced.erase(pid);
+      } else {
+        fenced.insert(pid);
+      }
+    } else if (entry.event == "foreign-gone") {
+      fenced.erase(pid);
+    }
+  }
+  EXPECT_TRUE(fenced.empty())
+      << fenced.size() << " foreign fence(s) never released by the end of the journal";
 }
 
 // ---- directed regressions ----------------------------------------------
@@ -422,6 +461,16 @@ Schedule make_schedule(std::uint64_t seed) {
       "shm.cmd.dup@count=" + std::to_string(1 + rng.uniform_u64(2)),
       "shm.cmd.delay@ticks=" + std::to_string(1 + rng.uniform_u64(2)) + ",count=" +
           std::to_string(1 + rng.uniform_u64(2)),
+      // Foreign churn: `after` counts monitor ticks (one per
+      // foreign_scan_every_ticks daemon ticks), so hogs appear, balloon,
+      // and die at staggered points of the run.
+      "foreign.appear@after=" + std::to_string(rng.uniform_u64(20)) + ",count=1",
+      "foreign.appear@count=1;foreign.balloon@pct=" +
+          std::to_string(25 + rng.uniform_u64(275)) + ",after=" +
+          std::to_string(2 + rng.uniform_u64(30)) + ",count=" +
+          std::to_string(1 + rng.uniform_u64(3)),
+      "foreign.appear@count=1;foreign.die@after=" +
+          std::to_string(4 + rng.uniform_u64(50)) + ",count=1",
   };
   const std::uint64_t daemon_clauses = rng.uniform_u64(3);  // 0..2
   for (std::uint64_t i = 0; i < daemon_clauses; ++i) {
@@ -614,9 +663,12 @@ TEST_P(FaultSweep, InvariantsHoldUnderSchedule) {
     EXPECT_TRUE(reclaimed) << "slots/cores not reclaimed within " << max_ticks << " ticks";
   }
 
-  // Invariant 3: journal replay consistency (the daemon is destroyed, so
-  // the journal is complete including the shutdown events).
-  check_journal_consistency(read_journal(journal));
+  // Invariants 3 + 4: journal replay consistency and foreign-fence release
+  // (the daemon is destroyed, so the journal is complete including the
+  // shutdown events).
+  const auto entries = read_journal(journal);
+  check_journal_consistency(entries);
+  check_foreign_fences_released(entries);
   std::remove(journal.c_str());
 }
 

@@ -111,5 +111,74 @@ TEST(ForeignThreads, RoleNames) {
   EXPECT_STREQ(to_string(ForeignRole::kIo), "io");
 }
 
+TEST(ForeignThreads, RebindRacesHandleDestruction) {
+  // The controller re-binds by id while enrolled threads churn: a
+  // request_bind must either land on a live handle or return false for an
+  // already-deregistered id — never touch a destroyed handle. Run under
+  // TSan/ASan this is the lifecycle-race regression for the registry's
+  // id-indexed lookup against ~ForeignThreadHandle.
+  const auto machine = topo::Machine::symmetric(2, 2, 1.0, 10.0);
+  ForeignThreadRegistry registry(machine);
+  std::atomic<bool> stop{false};
+
+  std::thread churner([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto handle = registry.enroll("churn", ForeignRole::kCompute);
+      handle->poll();
+      // handle dies here, racing the binder's request_bind on its id
+    }
+  });
+
+  for (int i = 0; i < 2000; ++i) {
+    for (const auto& entry : registry.list()) {
+      registry.request_bind(entry.id, static_cast<topo::NodeId>(i % 2));
+    }
+  }
+  stop.store(true);
+  churner.join();
+  EXPECT_EQ(registry.count(), 0u);
+}
+
+TEST(ForeignThreads, ConcurrentEnrollPollAndAccounting) {
+  // Many foreign threads enroll/poll/deregister while the controller binds
+  // and reads the per-node accounting. Nothing may crash, deadlock, or
+  // leave a stale entry behind; counts observed mid-run are only ever of
+  // live handles.
+  const auto machine = topo::Machine::symmetric(2, 2, 1.0, 10.0);
+  ForeignThreadRegistry registry(machine);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        auto handle = registry.enroll("w" + std::to_string(t),
+                                      t % 2 == 0 ? ForeignRole::kCompute
+                                                 : ForeignRole::kIo);
+        for (int p = 0; p < 4; ++p) handle->poll();
+      }
+    });
+  }
+  std::thread binder([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const auto& entry : registry.list()) {
+        registry.request_bind(entry.id, static_cast<topo::NodeId>(entry.id % 2));
+      }
+      const auto per_node = registry.compute_bound_per_node();
+      ASSERT_EQ(per_node.size(), 2u);
+      EXPECT_LE(per_node[0] + per_node[1], registry.count() + kThreads);
+    }
+  });
+
+  for (auto& worker : workers) worker.join();
+  stop.store(true);
+  binder.join();
+  EXPECT_EQ(registry.count(), 0u);
+  EXPECT_EQ(registry.compute_bound_per_node()[0], 0u);
+}
+
 }  // namespace
 }  // namespace numashare::rt

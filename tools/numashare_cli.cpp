@@ -29,6 +29,7 @@
 #include "core/roofline.hpp"
 #include "core/scenario_io.hpp"
 #include "daemon/registry.hpp"
+#include "foreign/fence.hpp"
 #include "topology/discovery.hpp"
 
 using namespace numashare;
@@ -248,6 +249,38 @@ int cmd_daemon_status(int argc, char** argv) {
     std::printf("no active clients\n");
   } else {
     std::printf("%s", table.render().c_str());
+  }
+
+  // Foreign shard (registry v4): the non-participant processes the daemon's
+  // ForeignMonitor is pricing into the model, with per-node shares in cores
+  // (mirrored as millicores) and each one's fence state.
+  const auto foreign_count =
+      std::min(header.foreign_count.load(std::memory_order_acquire), nsd::kMaxForeign);
+  std::uint32_t foreign_shown = 0;
+  TextTable foreign_table({"pid", "name", "cores", "per-node", "fence", "node"});
+  for (std::uint32_t i = 0; i < foreign_count; ++i) {
+    const auto& row = header.foreign[i];
+    const auto pid = row.pid.load(std::memory_order_acquire);
+    if (pid == 0) continue;
+    ++foreign_shown;
+    std::string per_node;
+    const auto nodes = std::min(header.node_count.load(), agent::kMaxNodes);
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      if (n > 0) per_node += ",";
+      per_node += fmt_compact(
+          static_cast<double>(row.node_millicores[n].load()) / 1000.0, 2);
+    }
+    const auto fence = static_cast<foreign::FenceState>(row.fence.load());
+    const auto fence_node = row.fence_node.load();
+    foreign_table.add_row(
+        {std::to_string(pid), std::string(row.name, strnlen(row.name, sizeof(row.name))),
+         fmt_compact(static_cast<double>(row.busy_millicores.load()) / 1000.0, 2), per_node,
+         foreign::to_string(fence),
+         fence_node >= agent::kMaxNodes ? "-" : std::to_string(fence_node)});
+  }
+  if (foreign_shown > 0) {
+    std::printf("\nforeign workloads (non-participants priced into the model):\n%s",
+                foreign_table.render().c_str());
   }
   return alive ? 0 : 1;
 }
