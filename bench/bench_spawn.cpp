@@ -31,6 +31,9 @@
 #include <thread>
 #include <vector>
 
+#include "agent/channel.hpp"
+#include "agent/protocol.hpp"
+#include "obs/histogram.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/wsdeque.hpp"
 #include "topology/machine.hpp"
@@ -87,6 +90,49 @@ void record(const std::string& name, std::uint32_t workers, const std::string& u
   g_results.push_back({name, workers, unit, value});
   std::printf("  %-28s w=%-3u %14.1f %s\n", name.c_str(), workers, value, unit.c_str());
 }
+
+/// One latency distribution row (schema v2): full-percentile view of a
+/// runtime-internal latency, from the obs histograms.
+struct LatencyRow {
+  std::string name;
+  std::uint32_t workers;
+  std::uint64_t count;
+  double p50;
+  double p99;
+  double p999;
+  double max;
+};
+
+std::vector<LatencyRow> g_latency;
+
+void record_latency(const std::string& name, std::uint32_t workers,
+                    const obs::HistogramSnapshot& snap) {
+  if (snap.count == 0) return;  // nothing observed (e.g. no steals at w=1)
+  const LatencyRow row{name,
+                       workers,
+                       snap.count,
+                       snap.percentile(50.0),
+                       snap.percentile(99.0),
+                       snap.percentile(99.9),
+                       static_cast<double>(snap.max_ns)};
+  g_latency.push_back(row);
+  std::printf("  %-16s w=%-3u n=%-8llu p50=%10.0f p99=%10.0f p999=%10.0f max=%10.0f ns\n",
+              name.c_str(), workers, static_cast<unsigned long long>(row.count),
+              row.p50, row.p99, row.p999, row.max);
+}
+
+/// Measured obs-overhead gate (filled by bench_obs_overhead) and the p99
+/// handoff gate, both exported in the JSON "gates" object and enforced by
+/// scripts/check_bench_json.py on non-quick documents.
+double g_obs_overhead_x = 0.0;
+constexpr double kObsOverheadLimitX = 1.02;  // < 2% throughput cost
+/// p99 of the dedicated single-task handoff distribution (w=1). Measured
+/// ~2.2 us on the reference container (p50 ~0.6 us; the p999 ~15 us tail is
+/// scheduler preemption on the shared CPU). The limit sits ~10x over the
+/// measured p99 and above the observed p999, so container noise can't trip
+/// it, while a lost-wake regression — which drives p99 toward the park
+/// timeout, hundreds of microseconds — lands far past it.
+constexpr double kHandoffP99LimitNs = 25'000.0;
 
 /// Worker-count sweep points and the virtual machines providing them.
 topo::Machine machine_for(std::uint32_t workers) {
@@ -201,6 +247,118 @@ void bench_wait_idle_latency(std::uint32_t workers) {
   record("wait_idle_latency", workers, "ns_median", median(samples));
 }
 
+void bench_latency_percentiles(std::uint32_t workers) {
+  rt::RuntimeOptions options;
+  options.name = "bspawn";
+  options.latency_sample_shift = 0;  // stamp every handoff for the full tail
+
+  // Phase 1 — single-task handoffs with park/wake cycles between reps: the
+  // same shape as handoff_latency, now captured as a full distribution
+  // (each rep also exercises the wake path when the pool re-parks). This
+  // phase gets its own runtime so the handoff row is a pure ready->running
+  // distribution; mixing in the burst phase below would swamp these ~20k
+  // samples with ~130k queue-depth-dominated ones and turn the p99 gate
+  // into a burst-size measurement.
+  {
+    rt::Runtime runtime(machine_for(workers), options);
+    const std::uint64_t reps = scaled(20'000);
+    // Warm up with the same single-task shape so warmup samples match.
+    for (int i = 0; i < 64; ++i) {
+      runtime.spawn([](rt::TaskContext&) {});
+      runtime.wait_idle();
+    }
+    for (std::uint64_t i = 0; i < reps; ++i) {
+      std::atomic<bool> ran{false};
+      runtime.spawn([&](rt::TaskContext&) { ran.store(true, std::memory_order_release); });
+      while (!ran.load(std::memory_order_acquire)) std::this_thread::yield();
+      runtime.wait_idle();
+    }
+    const auto lat = runtime.latency_snapshot();
+    record_latency("handoff", workers, lat.handoff);
+    record_latency("wake", workers, lat.wake);
+  }
+
+  // Phase 2 — burst churn in a fresh runtime: multi-worker pools drain
+  // shared bursts, which is what populates the steal distribution
+  // (same-node deque steals).
+  {
+    rt::Runtime runtime(machine_for(workers), options);
+    const std::uint64_t bursts = scaled(512);
+    for (std::uint64_t b = 0; b < bursts; ++b) {
+      for (int i = 0; i < 256; ++i) runtime.spawn([](rt::TaskContext&) {});
+      runtime.wait_idle();
+    }
+    record_latency("steal", workers, runtime.latency_snapshot().steal);
+  }
+}
+
+void bench_enactment_lag() {
+  // Issue alternating thread-target epochs through the real agent plumbing
+  // (Channel -> RuntimeAdapter) with issued_ns stamped like agent::send()
+  // does, pumping until each epoch is enacted — the enact_lag histogram then
+  // holds the full issue -> enactment-ack distribution, including shrink
+  // epochs that wait for surplus workers to genuinely park.
+  rt::RuntimeOptions options;
+  options.name = "bspawn";
+  rt::Runtime runtime(machine_for(4), options);
+  agent::Channel channel;
+  agent::RuntimeAdapter adapter(runtime, channel);
+
+  const std::uint64_t reps = scaled(2'000);
+  agent::Command command;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    command.type = agent::CommandType::kSetTotalThreads;
+    command.total_threads = rep % 2 == 0 ? 2 : 4;
+    command.seq = rep + 1;
+    command.epoch = rep + 1;
+    command.issued_ns = obs::now_ns();
+    channel.push_command(command);
+    while (adapter.enacted_epoch() < command.epoch) {
+      adapter.pump();
+      std::this_thread::yield();
+    }
+  }
+  runtime.clear_thread_controls();
+  record_latency("enact_lag", 4, runtime.latency_snapshot().enact);
+}
+
+double spawn_throughput_once(bool histograms) {
+  rt::RuntimeOptions options;
+  options.name = "bspawn";
+  options.latency_histograms = histograms;  // default sampling (1/64)
+  rt::Runtime runtime(machine_for(4), options);
+  const std::uint64_t tasks = scaled(100'000);
+  for (int i = 0; i < 256; ++i) runtime.spawn([](rt::TaskContext&) {});
+  runtime.wait_idle();
+
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < tasks; ++i) {
+    runtime.spawn([](rt::TaskContext&) {});
+  }
+  runtime.wait_idle();
+  return static_cast<double>(tasks) / seconds_since(start);
+}
+
+void bench_obs_overhead() {
+  // Histogram recording cost on the hottest path, as a throughput ratio:
+  // best-of-5 interleaved off/on runs of the external spawn+retire loop at
+  // production sampling (1 in 64 handoffs stamped). Best-of over interleaved
+  // rounds because the reference container is a single shared CPU: the
+  // best run of each arm is the least-perturbed one, and interleaving keeps
+  // slow ambient phases from landing entirely on one arm. The gate demands
+  // the ratio stay under kObsOverheadLimitX (< 2% cost) on full runs.
+  double best_off = 0.0;
+  double best_on = 0.0;
+  for (int round = 0; round < 5; ++round) {
+    best_off = std::max(best_off, spawn_throughput_once(false));
+    best_on = std::max(best_on, spawn_throughput_once(true));
+  }
+  g_obs_overhead_x = best_off / best_on;
+  record("obs_overhead", 4, "x", g_obs_overhead_x);
+  std::printf("  (histograms off %.0f tasks/s, on %.0f tasks/s, limit %.2fx)\n",
+              best_off, best_on, kObsOverheadLimitX);
+}
+
 void emit_json() {
   const char* env = std::getenv("NS_BENCH_OUT");
   const std::string path = env != nullptr && env[0] != '\0' ? env : "BENCH_runtime.json";
@@ -210,11 +368,19 @@ void emit_json() {
     return;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"numashare-bench-runtime/1\",\n");
+  std::fprintf(f, "  \"schema\": \"numashare-bench-runtime/2\",\n");
   std::fprintf(f, "  \"bench\": \"bench_spawn\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick_mode() ? "true" : "false");
   std::fprintf(f, "  \"sanitized\": %s,\n", kSanitized ? "true" : "false");
   std::fprintf(f, "  \"host_cpus\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f,
+               "  \"protocol\": \"throughput/median rows: best of 3 runs; "
+               "latency rows: full obs-histogram distributions (handoff/wake "
+               "from a dedicated single-task phase, steal from burst churn, "
+               "enact_lag through Channel+RuntimeAdapter); obs_overhead: "
+               "best-of-5 interleaved off/on at production 1/64 sampling; "
+               "single shared-CPU container, so all multi-worker points are "
+               "oversubscribed and tails include scheduler preemption\",\n");
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < g_results.size(); ++i) {
     const Result& r = g_results[i];
@@ -224,7 +390,64 @@ void emit_json() {
                  r.name.c_str(), r.workers, r.unit.c_str(), r.value,
                  i + 1 < g_results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  // v2: full-percentile latency distributions from the obs histograms. The
+  // checker enforces p50 <= p99 <= p999 <= max on every row.
+  std::fprintf(f, "  \"latency\": [\n");
+  for (std::size_t i = 0; i < g_latency.size(); ++i) {
+    const LatencyRow& r = g_latency[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"workers\": %u, \"unit\": \"ns\", "
+                 "\"count\": %llu, \"p50\": %.1f, \"p99\": %.1f, "
+                 "\"p999\": %.1f, \"max\": %.1f}%s\n",
+                 r.name.c_str(), r.workers,
+                 static_cast<unsigned long long>(r.count), r.p50, r.p99,
+                 r.p999, r.max, i + 1 < g_latency.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  // Regression gates: the recording-overhead ratio and the w=1 handoff p99,
+  // enforced by scripts/check_bench_json.py when quick=false.
+  double handoff_p99 = 0.0;
+  for (const LatencyRow& r : g_latency) {
+    if (r.name == "handoff" && r.workers == 1) handoff_p99 = r.p99;
+  }
+  std::fprintf(f, "  \"gates\": {\n");
+  std::fprintf(f, "    \"obs_overhead_x\": %.4f,\n", g_obs_overhead_x);
+  std::fprintf(f, "    \"obs_limit_x\": %.2f,\n", kObsOverheadLimitX);
+  std::fprintf(f, "    \"handoff_p99_ns\": %.1f,\n", handoff_p99);
+  std::fprintf(f, "    \"handoff_p99_limit_ns\": %.1f,\n", kHandoffP99LimitNs);
+  std::fprintf(f, "    \"measured\": %s,\n",
+               g_obs_overhead_x > 0.0 && handoff_p99 > 0.0 ? "true" : "false");
+  std::fprintf(f, "    \"pass\": %s\n",
+               g_obs_overhead_x <= kObsOverheadLimitX &&
+                       handoff_p99 <= kHandoffP99LimitNs
+                   ? "true"
+                   : "false");
+  std::fprintf(f, "  },\n");
+  // Historical before/after context carried in the artifact itself: the
+  // pre-lifecycle-rework numbers (commit eb74b81, same machine, same bench
+  // source) that the PR 4 speedup claims were measured against.
+  std::fprintf(f, "%s", R"json(  "baseline": {
+    "commit": "eb74b81",
+    "note": "same machine, same bench source, runtime before the slab-pool/MPMC/sharded-metrics lifecycle rework",
+    "results": [
+      {"name": "spawn_retire_external", "workers": 1, "unit": "tasks_per_sec", "value": 2153624.264},
+      {"name": "spawn_retire_external", "workers": 4, "unit": "tasks_per_sec", "value": 1288099.952},
+      {"name": "spawn_retire_external", "workers": 8, "unit": "tasks_per_sec", "value": 1710397.775},
+      {"name": "spawn_retire_external", "workers": 16, "unit": "tasks_per_sec", "value": 1229898.569},
+      {"name": "spawn_retire_nested", "workers": 1, "unit": "tasks_per_sec", "value": 6776643.917},
+      {"name": "spawn_retire_nested", "workers": 4, "unit": "tasks_per_sec", "value": 6781273.992},
+      {"name": "spawn_retire_nested", "workers": 8, "unit": "tasks_per_sec", "value": 6578669.526},
+      {"name": "spawn_retire_nested", "workers": 16, "unit": "tasks_per_sec", "value": 6769592.815},
+      {"name": "steal_drain", "workers": 1, "unit": "ns_per_steal", "value": 16.049},
+      {"name": "handoff_latency", "workers": 1, "unit": "ns_median", "value": 2175.0},
+      {"name": "handoff_latency", "workers": 4, "unit": "ns_median", "value": 2078.0},
+      {"name": "wait_idle_latency", "workers": 1, "unit": "ns_median", "value": 2222.0},
+      {"name": "wait_idle_latency", "workers": 4, "unit": "ns_median", "value": 2122.0}
+    ]
+  }
+}
+)json");
   std::fclose(f);
   std::printf("\nwrote %s (%zu results)\n", path.c_str(), g_results.size());
 }
@@ -242,6 +465,13 @@ void reproduce() {
   bench_steal_drain();
   for (std::uint32_t w : {1u, 4u}) bench_handoff_latency(w);
   for (std::uint32_t w : {1u, 4u}) bench_wait_idle_latency(w);
+
+  bench::print_section("latency distributions (obs histograms, p50/p99/p999/max)");
+  for (std::uint32_t w : {1u, 4u}) bench_latency_percentiles(w);
+  bench_enactment_lag();
+
+  bench::print_section("observability overhead (histograms off vs on)");
+  bench_obs_overhead();
 
   emit_json();
 }

@@ -3,8 +3,15 @@
 
 Three schemas share a family:
 
-  * numashare-bench-runtime/1 — emitted by bench_spawn (task lifecycle);
-    rows are {name, workers, unit, value}.
+  * numashare-bench-runtime/1 and /2 — emitted by bench_spawn (task
+    lifecycle); rows are {name, workers, unit, value}. The /2 revision adds
+    a `latency` array of full-percentile rows ({name, workers, unit:"ns",
+    count, p50, p99, p999, max}, checked for p50 <= p99 <= p999 <= max) and
+    a `gates` object: the histogram-recording overhead ratio must stay
+    under its limit and the w=1 handoff p99 under its regression ceiling —
+    both enforced on non-quick documents, so a committed BENCH_runtime.json
+    with a regressed tail or a histogram hot-path that got expensive fails
+    CI rather than shipping.
   * numashare-bench-model/1 — emitted by bench_alloc_scale (allocation-search
     scaling); rows are {name, nodes, cores_per_node, apps, unit, value} and
     the document carries a speedup `gate` object plus `peak_rss_kb`.
@@ -31,15 +38,19 @@ import math
 import sys
 
 RUNTIME_SCHEMA = "numashare-bench-runtime/1"
+RUNTIME_SCHEMA_V2 = "numashare-bench-runtime/2"
 MODEL_SCHEMA = "numashare-bench-model/1"
 FOREIGN_SCHEMA = "numashare-bench-foreign/1"
 
-RUNTIME_UNITS = {"tasks_per_sec", "ns_per_steal", "ns_median"}
+RUNTIME_UNITS = {"tasks_per_sec", "ns_per_steal", "ns_median", "x"}
 MODEL_UNITS = {"us_per_search", "us_per_solve", "evals", "kb", "x"}
 FOREIGN_UNITS = {"gflops", "x", "us_per_search", "us_per_scan"}
 
 RUNTIME_DEFAULT_REQUIRE = ["spawn_retire_external", "spawn_retire_nested", "steal_drain",
                            "handoff_latency", "wait_idle_latency"]
+# v2 latency rows that must be present on a full (non-quick) run; quick runs
+# may legitimately miss e.g. steals when the trimmed churn never triggers one.
+RUNTIME_LATENCY_REQUIRE = ["handoff", "steal", "wake", "enact_lag"]
 MODEL_DEFAULT_REQUIRE = ["solve", "solve_into", "search_before", "search_after",
                          "search_speedup", "search_evals", "search_candidates",
                          "refine", "peak_rss"]
@@ -90,6 +101,64 @@ def check_runtime(doc: dict) -> set:
         check_row_value(where, r)
         names.add(r["name"])
     return names
+
+
+def check_runtime_v2(doc: dict) -> None:
+    """The /2 additions: percentile latency rows and the regression gates."""
+    latency = doc.get("latency")
+    if not isinstance(latency, list):
+        fail("v2 document: 'latency' array missing")
+    names = set()
+    for i, r in enumerate(latency):
+        where = f"latency[{i}]"
+        for field, kind in (("name", str), ("workers", int), ("unit", str),
+                            ("count", int)):
+            if not isinstance(r.get(field), kind):
+                fail(f"{where}: field {field!r} missing or mistyped")
+        if r["unit"] != "ns":
+            fail(f"{where}: latency rows must be in ns, got {r['unit']!r}")
+        if not (0 < r["workers"] <= 1024):
+            fail(f"{where}: implausible worker count {r['workers']}")
+        if r["count"] <= 0:
+            fail(f"{where}: empty distribution committed (count={r['count']})")
+        quantiles = []
+        for field in ("p50", "p99", "p999", "max"):
+            v = r.get(field)
+            if not isinstance(v, (int, float)) or not math.isfinite(float(v)) or v < 0:
+                fail(f"{where}: field {field!r} missing or not a finite non-negative number")
+            quantiles.append(float(v))
+        if not (quantiles[0] <= quantiles[1] <= quantiles[2] <= quantiles[3]):
+            fail(f"{where}: percentiles not monotone: p50={quantiles[0]} "
+                 f"p99={quantiles[1]} p999={quantiles[2]} max={quantiles[3]}")
+        names.add(r["name"])
+
+    gates = doc.get("gates")
+    if not isinstance(gates, dict):
+        fail("v2 document: 'gates' object missing")
+    for field in ("obs_overhead_x", "obs_limit_x", "handoff_p99_ns",
+                  "handoff_p99_limit_ns"):
+        v = gates.get(field)
+        if not isinstance(v, (int, float)) or not math.isfinite(float(v)) or v < 0:
+            fail(f"gates field {field!r} missing or not a finite non-negative number")
+    for field in ("measured", "pass"):
+        if not isinstance(gates.get(field), bool):
+            fail(f"gates field {field!r} missing or not a bool")
+
+    if doc["quick"]:
+        return  # smoke runs validate plumbing, not tails measured in noise
+    missing = [n for n in RUNTIME_LATENCY_REQUIRE if n not in names]
+    if missing:
+        fail(f"full run missing latency distributions: {', '.join(missing)}")
+    if not gates["measured"]:
+        fail("full run did not measure the observability gates")
+    if gates["obs_overhead_x"] > gates["obs_limit_x"]:
+        fail(f"histogram recording overhead {gates['obs_overhead_x']}x exceeds "
+             f"limit {gates['obs_limit_x']}x")
+    if gates["handoff_p99_ns"] > gates["handoff_p99_limit_ns"]:
+        fail(f"handoff p99 {gates['handoff_p99_ns']} ns exceeds regression "
+             f"ceiling {gates['handoff_p99_limit_ns']} ns")
+    if not gates["pass"]:
+        fail("gates pass flag is false on a full run")
 
 
 def check_model(doc: dict) -> set:
@@ -198,9 +267,11 @@ def main() -> None:
         fail(f"cannot parse {args.path}: {e}")
 
     schema = doc.get("schema")
-    if schema == RUNTIME_SCHEMA:
+    if schema in (RUNTIME_SCHEMA, RUNTIME_SCHEMA_V2):
         check_common(doc)
         names = check_runtime(doc)
+        if schema == RUNTIME_SCHEMA_V2:
+            check_runtime_v2(doc)
         required = RUNTIME_DEFAULT_REQUIRE if args.require is None else args.require
     elif schema == MODEL_SCHEMA:
         check_common(doc)
@@ -211,8 +282,8 @@ def main() -> None:
         names = check_foreign(doc)
         required = FOREIGN_DEFAULT_REQUIRE if args.require is None else args.require
     else:
-        fail(f"schema is {schema!r}, expected {RUNTIME_SCHEMA!r}, {MODEL_SCHEMA!r} "
-             f"or {FOREIGN_SCHEMA!r}")
+        fail(f"schema is {schema!r}, expected {RUNTIME_SCHEMA!r}, "
+             f"{RUNTIME_SCHEMA_V2!r}, {MODEL_SCHEMA!r} or {FOREIGN_SCHEMA!r}")
 
     missing = [n for n in required if n not in names]
     if missing:

@@ -8,6 +8,12 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure
 
+# Latency observability suite gets a dedicated serial pass (same shape as
+# the CI sanitizer jobs): the allocation-free proof and the concurrent
+# record/snapshot conservation test are the contracts the rest of this
+# script's numbers stand on.
+ctest --test-dir build --output-on-failure -L obs
+
 echo
 echo "=== experiment benches (every paper table & figure) ==="
 for b in build/bench/bench_*; do

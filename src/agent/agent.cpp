@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "common/threading.hpp"
+#include "obs/histogram.hpp"
 
 namespace numashare::agent {
 
@@ -87,6 +88,7 @@ Agent::ComplianceState Agent::compliance(const std::string& name) const {
     state.enacted_epoch = views_[a].enacted_epoch;
     state.enacted_target = views_[a].enacted_target;
     state.thread_cap = apps_[a].thread_cap;
+    state.stalled_workers = views_[a].latest.stalled_workers;
     return state;
   }
   return {};
@@ -151,8 +153,10 @@ void Agent::send(ManagedApp& app, const Directive& directive) {
     }
   }
   // Every thread-target command carries a fresh compliance epoch; the
-  // runtime acks the newest epoch it has fully enacted.
+  // runtime acks the newest epoch it has fully enacted. The issue stamp is
+  // the enactment-lag histogram's zero point.
   command.epoch = app.commanded_epoch + 1;
+  command.issued_ns = obs::now_ns();
   if (app.channel->push_command(command)) {
     ++commands_sent_;
     app.commanded_epoch = command.epoch;

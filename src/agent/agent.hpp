@@ -69,6 +69,9 @@ class Agent {
     std::uint64_t enacted_epoch = 0;
     std::uint32_t enacted_target = kUnconstrained;
     std::uint32_t thread_cap = 0xffffffffu;
+    /// Watchdog-reported workers the OS is not scheduling (latest
+    /// telemetry): nonzero means "behind because starved, not defiant".
+    std::uint32_t stalled_workers = 0;
   };
   ComplianceState compliance(const std::string& name) const;
 

@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "common/threading.hpp"
+#include "obs/histogram.hpp"
 #include "topology/affinity.hpp"
 
 namespace numashare::agent {
@@ -58,6 +59,7 @@ void RuntimeAdapter::apply(const Command& command) {
     }
     pending_epoch_ = command.epoch;
     pending_target_ = target;
+    pending_issue_ns_ = command.issued_ns != 0 ? command.issued_ns : obs::now_ns();
   }
   switch (command.type) {
     case CommandType::kSetTotalThreads:
@@ -118,6 +120,14 @@ std::uint32_t RuntimeAdapter::pump() {
     enacted_target_ = pending_target_;
     enacted_epoch_pub_.store(enacted_epoch_, std::memory_order_relaxed);
     enacted_target_pub_.store(enacted_target_, std::memory_order_relaxed);
+    // The epoch's full issue -> enactment-ack interval, daemon clock to
+    // here: the command-enactment-lag histogram the bench gates on.
+    if (pending_issue_ns_ != 0) {
+      const std::uint64_t now = obs::now_ns();
+      runtime_.record_enactment_lag(now > pending_issue_ns_ ? now - pending_issue_ns_
+                                                            : 0);
+      pending_issue_ns_ = 0;
+    }
   }
   if (auto_ai_) {
     // Derive the arithmetic intensity from the application's accounted
@@ -157,6 +167,7 @@ std::uint32_t RuntimeAdapter::pump() {
   t.data_home_node = data_home_node_.load(std::memory_order_relaxed);
   t.enacted_epoch = enacted_epoch_;
   t.enacted_target = enacted_target_;
+  t.stalled_workers = stats.stalled_workers;
   // Telemetry is lossy by design: a full ring means the agent is behind and
   // stale samples are better dropped than blocking the runtime.
   channel_.push_telemetry(t);

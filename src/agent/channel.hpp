@@ -142,6 +142,10 @@ class RuntimeAdapter {
   /// workers have genuinely parked.
   std::uint64_t pending_epoch_ = 0;
   std::uint32_t pending_target_ = kUnconstrained;
+  /// Issue stamp of the pending epoch (Command::issued_ns, or our receipt
+  /// time when the sender did not stamp); consumed into the runtime's
+  /// enactment-lag histogram when the epoch is promoted to enacted.
+  std::uint64_t pending_issue_ns_ = 0;
   std::uint64_t enacted_epoch_ = 0;
   std::uint32_t enacted_target_ = kUnconstrained;
   /// Mirrors of the enacted pair for cross-thread accessors.

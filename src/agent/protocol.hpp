@@ -46,6 +46,12 @@ struct Command {
   /// slow-but-cooperating client from one that ignores commands. 0 on
   /// non-thread-target commands (kSuggestDataHome is advisory).
   std::uint64_t epoch = 0;
+  /// Issue timestamp: obs::now_ns() (CLOCK_MONOTONIC ns — comparable across
+  /// processes on one machine) at the moment the sender stamped the epoch.
+  /// The runtime adapter measures issue -> enactment-ack against it, the
+  /// command-enactment-lag histogram. 0 = sender did not stamp (the adapter
+  /// then falls back to its own receipt time).
+  std::uint64_t issued_ns = 0;
 };
 static_assert(std::is_trivially_copyable_v<Command>);
 
@@ -84,6 +90,12 @@ struct Telemetry {
   /// enactment deadline.
   std::uint64_t enacted_epoch = 0;
   std::uint32_t enacted_target = kUnconstrained;
+  /// Scheduler-latency watchdog report: commanded-online workers whose
+  /// heartbeat is silent past the deadline — the OS is not scheduling them.
+  /// Nonzero tells the daemon "this app is behind because it is *starved*,
+  /// not because it ignores commands", and compliance escalation holds off.
+  /// 0 when the watchdog is disabled or all workers are being scheduled.
+  std::uint32_t stalled_workers = 0;
 };
 static_assert(std::is_trivially_copyable_v<Telemetry>);
 

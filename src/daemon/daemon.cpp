@@ -361,11 +361,35 @@ void Daemon::check_compliance(std::uint32_t index, double now) {
   const auto comp = agent_->compliance(client.app_name);
   client.commanded_epoch = comp.commanded_epoch;
   client.enacted_epoch = comp.enacted_epoch;
+  client.stalled_workers = comp.stalled_workers;
   const bool behind = comp.commanded_epoch > comp.enacted_epoch;
   if (!behind) {
     client.behind_since_s = -1.0;
   } else if (client.behind_since_s < 0.0) {
     client.behind_since_s = now;
+  }
+
+  // The client's own scheduler-latency watchdog distinguishes "app ignoring
+  // commands" from "OS not scheduling the app": while it reports stalled
+  // (commanded-online but unscheduled) workers, being behind is starvation,
+  // not defiance — punishing it would only deepen the starvation. Hold the
+  // escalation clock; it restarts the moment the stall clears.
+  if (behind && comp.stalled_workers > 0 && client.health == ClientHealth::kHealthy) {
+    client.behind_since_s = now;
+    if (client.stall_journaled_epoch != comp.commanded_epoch) {
+      client.stall_journaled_epoch = comp.commanded_epoch;
+      NS_LOG_WARN("daemon",
+                  "enactment-stalled: '{}' behind (commanded {} enacted {}) with {} "
+                  "unscheduled workers; holding escalation",
+                  client.app_name, comp.commanded_epoch, comp.enacted_epoch,
+                  comp.stalled_workers);
+      journal_.record(now, "enactment-stalled",
+                      {{"client", jstr(client.app_name)},
+                       {"slot", jnum(index)},
+                       {"commanded", jnum(comp.commanded_epoch)},
+                       {"enacted", jnum(comp.enacted_epoch)},
+                       {"stalled_workers", jnum(comp.stalled_workers)}});
+    }
   }
 
   switch (client.health) {
@@ -485,6 +509,7 @@ void Daemon::check_compliance(std::uint32_t index, double now) {
   slot.health.store(static_cast<std::uint32_t>(client.health), std::memory_order_relaxed);
   slot.commanded_epoch.store(client.commanded_epoch, std::memory_order_relaxed);
   slot.enacted_epoch.store(client.enacted_epoch, std::memory_order_relaxed);
+  slot.stalled_workers.store(client.stalled_workers, std::memory_order_relaxed);
   if (client.channel != nullptr) {
     slot.commands_dropped.store(client.channel->commands_dropped(), std::memory_order_relaxed);
     slot.telemetry_dropped.store(client.channel->telemetry_dropped(),
@@ -729,6 +754,7 @@ std::optional<Daemon::ComplianceView> Daemon::compliance_view(
     view.probing = client.probing;
     view.next_probe_s = client.next_probe_s;
     view.backoff_s = client.backoff_s;
+    view.stalled_workers = client.stalled_workers;
     return view;
   }
   return std::nullopt;

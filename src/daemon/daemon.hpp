@@ -171,6 +171,8 @@ class Daemon {
     bool probing = false;
     double next_probe_s = -1.0;
     double backoff_s = 0.0;
+    /// Watchdog-reported unscheduled workers (holds escalation when > 0).
+    std::uint32_t stalled_workers = 0;
   };
   std::optional<ComplianceView> compliance_view(const std::string& app_name) const;
 
@@ -199,6 +201,13 @@ class Daemon {
     /// Last observed epochs, mirrored into the registry slot.
     std::uint64_t commanded_epoch = 0;
     std::uint64_t enacted_epoch = 0;
+    /// Latest watchdog report from the client's telemetry: workers the OS
+    /// is not scheduling. Nonzero holds compliance escalation (the client
+    /// is starved, not defiant).
+    std::uint32_t stalled_workers = 0;
+    /// Epoch for which an "enactment-stalled" journal entry was last
+    /// written, so a long stall journals once per commanded epoch.
+    std::uint64_t stall_journaled_epoch = 0;
   };
 
   void admit(std::uint32_t index, std::uint64_t joining_word, double now);

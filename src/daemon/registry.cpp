@@ -21,7 +21,9 @@ constexpr std::uint64_t kMagic = 0x6e756d617372656dull;  // "numasrem" (registry
 //     channel drop counters) for status tools.
 // v4: foreign-workload shard (foreign_count + ForeignSlot rows) appended for
 //     daemon-status visibility into non-participant arbitration.
-constexpr std::uint32_t kVersion = 4;
+// v5: per-client stalled_workers mirror (scheduler-latency watchdog) so
+//     status tools can tell a starved client from a defiant one.
+constexpr std::uint32_t kVersion = 5;
 
 RegistryHeader* map_segment(int fd) {
   void* mapped =

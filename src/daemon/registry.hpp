@@ -126,6 +126,10 @@ struct ClientSlot {
   std::atomic<std::uint64_t> enacted_epoch;     ///< newest epoch acked
   std::atomic<std::uint64_t> commands_dropped;  ///< channel drop counters
   std::atomic<std::uint64_t> telemetry_dropped;
+  /// Scheduler-latency watchdog mirror (v5): commanded-online workers the
+  /// client's OS is not scheduling (Telemetry::stalled_workers). Nonzero
+  /// while the client is behind = "starved, not defiant".
+  std::atomic<std::uint32_t> stalled_workers;
 
   SlotState state(std::memory_order order = std::memory_order_acquire) const {
     return state_of(state_word.load(order));

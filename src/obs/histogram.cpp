@@ -1,0 +1,57 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+
+namespace numashare::obs {
+
+void LatencyHistogram::snapshot_into(HistogramSnapshot& out) const {
+  for (std::uint32_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    out.counts[i] += c;
+    out.count += c;
+  }
+  out.sum_ns += sum_ns_.load(std::memory_order_relaxed);
+  out.max_ns = std::max(out.max_ns, max_ns_.load(std::memory_order_relaxed));
+}
+
+void LatencyHistogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum_ns += other.sum_ns;
+  max_ns = std::max(max_ns, other.max_ns);
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target event, 1-based; p=100 asks for the last event.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      const std::uint64_t ceil = LatencyHistogram::bucket_ceil(i);
+      return static_cast<double>(std::min(ceil, max_ns));
+    }
+  }
+  return static_cast<double>(max_ns);
+}
+
+const char* to_string(LatencyKind kind) {
+  switch (kind) {
+    case LatencyKind::kHandoff: return "handoff";
+    case LatencyKind::kSteal: return "steal";
+    case LatencyKind::kWake: return "wake";
+    case LatencyKind::kEnact: return "enact_lag";
+  }
+  return "unknown";
+}
+
+}  // namespace numashare::obs

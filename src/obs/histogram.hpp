@@ -1,0 +1,190 @@
+// Zero-allocation latency observability: HDR-style log-linear histograms.
+//
+// The runtime's reallocation loop perturbs exactly the events that means
+// hide — a handoff that waits out a park timeout, a steal round stretched by
+// a control flip, an enactment that straggles behind its epoch. These
+// histograms make the tails first-class: every bucket count is a relaxed
+// atomic in a fixed-footprint array, so the record path is wait-free, does
+// no heap allocation ever, and the whole instance can live inside a
+// cache-line-aligned per-worker shard (the PR 3 sharded-Metrics discipline:
+// owners increment their own lines, aggregation happens lazily on the
+// consumer's clock).
+//
+// Bucketing is log-linear (the HdrHistogram family): values below
+// kSubBucketCount nanoseconds get exact 1 ns buckets; above that, each
+// doubling of magnitude is split into kHalf linear sub-buckets, so the
+// relative width of any bucket is bounded by 1/kHalf (3.125%). Values past
+// the top tier saturate into the last bucket instead of overflowing —
+// `max_ns` still records the exact maximum seen.
+//
+// Concurrency contract: record() may race record() and snapshot_into() on
+// any threads. Counts are monotone per bucket, so a concurrent snapshot sees
+// some valid prefix of the recorded history (never torn counts, never a sum
+// above what was recorded). Exact totals require quiescence, same as
+// rt::Metrics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace numashare::obs {
+
+/// Monotonic nanoseconds since an arbitrary epoch (CLOCK_MONOTONIC's boot
+/// origin on Linux), comparable across threads and — on one machine —
+/// across processes, which is what lets a daemon-stamped command be timed
+/// against a client-side enactment.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct HistogramSnapshot;
+
+class alignas(64) LatencyHistogram {
+ public:
+  /// 2^kSubBucketBits exact 1 ns buckets, then kHalf sub-buckets per
+  /// doubling: relative bucket width <= 1/kHalf = 3.125%.
+  static constexpr std::uint32_t kSubBucketBits = 6;
+  static constexpr std::uint32_t kSubBucketCount = 1u << kSubBucketBits;  // 64
+  static constexpr std::uint32_t kHalf = kSubBucketCount / 2;             // 32
+  /// Doubling tiers past the linear range. Tier kTiers tops out at
+  /// 63 * 2^30 ns (~68 s); anything slower saturates into the last bucket.
+  static constexpr std::uint32_t kTiers = 30;
+  static constexpr std::uint32_t kBucketCount = kSubBucketCount + kTiers * kHalf;  // 1024
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Bucket for a nanosecond value; the last bucket absorbs everything past
+  /// the top tier (saturation, not overflow).
+  static constexpr std::uint32_t bucket_index(std::uint64_t ns) {
+    if (ns < kSubBucketCount) return static_cast<std::uint32_t>(ns);
+    const std::uint32_t exp =
+        static_cast<std::uint32_t>(std::bit_width(ns)) - kSubBucketBits;
+    if (exp > kTiers) return kBucketCount - 1;
+    return kSubBucketCount + (exp - 1) * kHalf +
+           static_cast<std::uint32_t>((ns >> exp) - kHalf);
+  }
+
+  /// Smallest value mapping to `index`.
+  static constexpr std::uint64_t bucket_floor(std::uint32_t index) {
+    if (index < kSubBucketCount) return index;
+    const std::uint32_t tier = (index - kSubBucketCount) / kHalf;  // exp - 1
+    const std::uint32_t sub = (index - kSubBucketCount) % kHalf;
+    return static_cast<std::uint64_t>(kHalf + sub) << (tier + 1);
+  }
+
+  /// Largest value mapping to `index` (inclusive). The saturation bucket is
+  /// unbounded; percentile queries clamp it with the recorded max.
+  static constexpr std::uint64_t bucket_ceil(std::uint32_t index) {
+    if (index < kSubBucketCount) return index;
+    if (index == kBucketCount - 1) return ~0ull;
+    const std::uint32_t tier = (index - kSubBucketCount) / kHalf;
+    return bucket_floor(index) + ((1ull << (tier + 1)) - 1);
+  }
+
+  /// Wait-free, allocation-free; any thread.
+  void record(std::uint64_t ns) {
+    counts_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (ns > seen &&
+           !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Additive merge into `out` (relaxed loads; see the class contract).
+  /// Allocation-free: `out` is caller-owned fixed storage.
+  void snapshot_into(HistogramSnapshot& out) const;
+
+  /// Recorded events so far (relaxed sum over buckets).
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  std::uint64_t max_ns() const { return max_ns_.load(std::memory_order_relaxed); }
+
+  /// Zero every bucket (NOT safe against concurrent record; quiesce first).
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> counts_[kBucketCount] = {};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Point-in-time, plain-value copy; mergeable (associative + commutative,
+/// bucketwise addition) so per-worker shards, per-runtime aggregates and
+/// cross-run unions all compose through the same type.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, LatencyHistogram::kBucketCount> counts{};
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  void merge(const HistogramSnapshot& other);
+
+  /// Value at percentile p (0..100], as the conservative upper bound of the
+  /// owning bucket, clamped to the recorded max — so p50 <= p99 <= p999 <=
+  /// max always holds. 0 when empty.
+  double percentile(double p) const;
+
+  double mean_ns() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum_ns) / static_cast<double>(count);
+  }
+};
+
+/// Which latency a runtime records; indexes into a LatencySet shard.
+enum class LatencyKind : std::uint8_t {
+  kHandoff = 0,  // task ready -> task body running (sampled)
+  kSteal = 1,    // empty-handed local pop -> successful steal/poach
+  kWake = 2,     // unpark request -> parked worker resumed
+  kEnact = 3,    // command epoch issued -> enactment acked
+};
+inline constexpr std::uint32_t kLatencyKinds = 4;
+
+/// Per-worker histogram shards, one block of kLatencyKinds histograms per
+/// shard, cache-line aligned so neighbouring workers never share a line.
+/// Allocation happens once, at construction; record paths are index + record.
+class LatencySet {
+ public:
+  explicit LatencySet(std::uint32_t shard_count) : shards_(shard_count) {}
+
+  LatencySet(const LatencySet&) = delete;
+  LatencySet& operator=(const LatencySet&) = delete;
+
+  LatencyHistogram& hist(std::uint32_t shard, LatencyKind kind) {
+    return shards_[shard].hist[static_cast<std::uint32_t>(kind)];
+  }
+  const LatencyHistogram& hist(std::uint32_t shard, LatencyKind kind) const {
+    return shards_[shard].hist[static_cast<std::uint32_t>(kind)];
+  }
+  std::uint32_t shard_count() const { return static_cast<std::uint32_t>(shards_.size()); }
+
+  /// Merge every shard's `kind` histogram into `out` (lazy aggregation, the
+  /// consumer's clock — the record path never pays for it).
+  void aggregate_into(LatencyKind kind, HistogramSnapshot& out) const {
+    for (const auto& shard : shards_) {
+      shard.hist[static_cast<std::uint32_t>(kind)].snapshot_into(out);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    LatencyHistogram hist[kLatencyKinds];
+  };
+  std::vector<Shard> shards_;
+};
+
+const char* to_string(LatencyKind kind);
+
+}  // namespace numashare::obs

@@ -62,6 +62,9 @@ struct MetricsSnapshot {
   std::vector<std::uint32_t> running_per_node;
   std::uint64_t outstanding_tasks = 0;
   std::uint64_t ready_queue_depth = 0;  // approximate
+  /// Commanded-online workers the scheduler-latency watchdog currently sees
+  /// as silent past the deadline (obs::Watchdog); 0 when the watchdog is off.
+  std::uint32_t stalled_workers = 0;
 };
 
 class Metrics {

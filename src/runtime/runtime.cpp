@@ -58,11 +58,32 @@ Runtime::Runtime(topo::Machine machine, RuntimeOptions options)
   for (auto& w : workers_) {
     w->thread = std::thread([this, worker = w.get()] { worker_main(*worker); });
   }
+
+  if (options_.watchdog_deadline_us > 0) {
+    obs::WatchdogOptions wd;
+    wd.deadline_us = options_.watchdog_deadline_us;
+    wd.tracer = options_.tracer;
+    watchdog_ = std::make_unique<obs::Watchdog>(
+        worker_count(), wd, [this](std::vector<obs::WatchdogSample>& samples) {
+          for (std::uint32_t i = 0; i < samples.size(); ++i) {
+            Worker& w = *workers_[i];
+            samples[i].heartbeat = w.heartbeat.load(std::memory_order_relaxed);
+            // A policy-blocked worker is *supposed* to be silent: it is not
+            // commanded online, so the watchdog must not accuse it. This is
+            // the "app ignoring commands" vs "OS not scheduling" split.
+            samples[i].commanded_online =
+                !w.policy_blocked.load(std::memory_order_acquire);
+          }
+        });
+    watchdog_->start();
+  }
   NS_LOG_DEBUG("rt", "runtime '{}' started with {} workers on {} nodes", options_.name,
                workers_.size(), machine_.node_count());
 }
 
 Runtime::~Runtime() {
+  // The watchdog samples workers_; stop it before any worker can be joined.
+  watchdog_.reset();
   stop_.store(true, std::memory_order_release);
   wake_all();
   for (auto& w : workers_) {
@@ -166,6 +187,14 @@ void Runtime::on_dependency_satisfied(TaskNode* task) {
 }
 
 void Runtime::enqueue_ready(TaskNode* task) {
+  // Sampled handoff stamp: one in 2^latency_sample_shift ready tasks (per
+  // submitting thread) carries its queue-entry time, so run_task can record
+  // the ready->running interval without putting a clock read on every task.
+  if (options_.latency_histograms) {
+    thread_local std::uint64_t sample_tick = 0;
+    const std::uint64_t mask = (1ull << options_.latency_sample_shift) - 1;
+    if ((sample_tick++ & mask) == 0) task->submit_ns = obs::now_ns();
+  }
   // Same-runtime worker thread with compatible affinity: push locally.
   if (tl_runtime == this && tl_worker_id != kExternalWorker) {
     Worker& w = *workers_[tl_worker_id];
@@ -226,6 +255,20 @@ TaskNode* Runtime::find_task(Worker& w) {
   if (TaskNode* task = w.deque.pop()) return task;
   if (TaskNode* task = pop_injection(w.node)) return task;
 
+  // Empty-handed locally: everything below is a steal/poach. The clock read
+  // sits off the throughput path (local pops above return before it), so
+  // steal latency is recorded unsampled.
+  const std::uint64_t steal_start_ns =
+      options_.latency_histograms ? obs::now_ns() : 0;
+  const auto record_steal = [&](TaskNode* task) -> TaskNode* {
+    if (steal_start_ns != 0) {
+      const std::uint64_t now = obs::now_ns();
+      latency_.hist(w.id, obs::LatencyKind::kSteal)
+          .record(now > steal_start_ns ? now - steal_start_ns : 0);
+    }
+    return task;
+  };
+
   // Steal: same NUMA node first (locality), then the rest of the machine.
   const auto try_steal_range = [&](const std::vector<topo::CoreId>& victims) -> TaskNode* {
     if (victims.empty()) return nullptr;
@@ -241,21 +284,23 @@ TaskNode* Runtime::find_task(Worker& w) {
     return nullptr;
   };
 
-  if (TaskNode* task = try_steal_range(machine_.node(w.node).cores)) return task;
+  if (TaskNode* task = try_steal_range(machine_.node(w.node).cores)) {
+    return record_steal(task);
+  }
 
   // Cross-node work is a last resort, and a *reluctant* one: respect other
   // nodes' affinity hints until this worker has come up dry a few times.
   if (w.dry_rounds >= options_.cross_node_reluctance) {
     for (topo::NodeId n = 0; n < machine_.node_count(); ++n) {
       if (n == w.node) continue;
-      if (TaskNode* task = pop_injection(n)) return task;
+      if (TaskNode* task = pop_injection(n)) return record_steal(task);
     }
     std::vector<topo::CoreId> others;
     others.reserve(machine_.core_count());
     for (const auto& core : machine_.cores()) {
       if (core.node != w.node) others.push_back(core.id);
     }
-    if (TaskNode* task = try_steal_range(others)) return task;
+    if (TaskNode* task = try_steal_range(others)) return record_steal(task);
   }
 
   metrics_.shard(w.id).failed_steal_rounds.fetch_add(1, std::memory_order_relaxed);
@@ -263,6 +308,11 @@ TaskNode* Runtime::find_task(Worker& w) {
 }
 
 void Runtime::run_task(TaskNode* task, TaskContext& context, std::uint64_t& retired) {
+  if (task->submit_ns != 0) {
+    const std::uint64_t now = obs::now_ns();
+    latency_.hist(current_shard(), obs::LatencyKind::kHandoff)
+        .record(now > task->submit_ns ? now - task->submit_ns : 0);
+  }
   {
     const std::uint32_t lane =
         context.worker_id == kExternalWorker ? worker_count() : context.worker_id;
@@ -347,6 +397,10 @@ void Runtime::worker_main(Worker& w) {
 
   std::uint64_t retired = 0;  // completions not yet published to outstanding_
   while (!stop_.load(std::memory_order_acquire)) {
+    // Liveness proof for the watchdog: this line is reached on every pass —
+    // busy, stealing, or bouncing off a 500us park timeout — so a heartbeat
+    // that stops moving means the OS stopped scheduling this thread.
+    w.heartbeat.fetch_add(1, std::memory_order_relaxed);
     if (controls_engaged_.load(std::memory_order_acquire)) {
       flush_retired(retired);  // never carry a batch into a blocking episode
       maybe_block(w);
@@ -401,6 +455,13 @@ void Runtime::worker_main(Worker& w) {
     metrics_.shard(w.id).idle_parks.fetch_add(1, std::memory_order_relaxed);
     w.parker.park_for_us(options_.idle_park_us);
     retract_idle(w);
+    // A waker stamped obs::now_ns() into wake_ns when it unparked us; the
+    // interval to here is the park/unpark wake latency.
+    if (const std::uint64_t t = w.wake_ns.exchange(0, std::memory_order_relaxed);
+        t != 0) {
+      const std::uint64_t now = obs::now_ns();
+      latency_.hist(w.id, obs::LatencyKind::kWake).record(now > t ? now - t : 0);
+    }
   }
   flush_retired(retired);
   tl_runtime = nullptr;
@@ -445,6 +506,9 @@ void Runtime::maybe_block(Worker& w) {
 }
 
 void Runtime::publish_idle(Worker& w) {
+  // Drop any wake stamp left from a prior idle episode (the waker raced our
+  // retract): only wakes aimed at *this* park should be measured.
+  w.wake_ns.store(0, std::memory_order_relaxed);
   idle_count_.fetch_add(1, std::memory_order_relaxed);
   w.idle.store(true, std::memory_order_release);
 }
@@ -462,16 +526,32 @@ void Runtime::wake_one_idle(topo::NodeId preferred_node) {
   // the worker itself to retract: re-unparking an already-permitted parker
   // is cheap, and eager wakes double as producer backpressure when the
   // machine is oversubscribed.
+  const auto stamp_and_unpark = [&](Worker& w) {
+    // First waker of this idle episode stamps the request time (CAS from 0);
+    // the worker measures request -> resume when it comes back. The relaxed
+    // pre-check matters: CAS arguments evaluate unconditionally, and an
+    // oversubscribed producer re-wakes the same not-yet-scheduled worker on
+    // every spawn — without the check that is a clock read per spawn, which
+    // alone blows the <2% recording-overhead budget. Losing a stamp to the
+    // stale-read race just drops one wake sample, never corrupts one.
+    if (options_.latency_histograms &&
+        w.wake_ns.load(std::memory_order_relaxed) == 0) {
+      std::uint64_t expected = 0;
+      w.wake_ns.compare_exchange_strong(expected, obs::now_ns(),
+                                        std::memory_order_relaxed);
+    }
+    w.parker.unpark();
+  };
   for (auto core : machine_.node(preferred_node).cores) {
     Worker& w = *workers_[core];
     if (w.idle.load(std::memory_order_acquire)) {
-      w.parker.unpark();
+      stamp_and_unpark(w);
       return;
     }
   }
   for (auto& w : workers_) {
     if (w->idle.load(std::memory_order_acquire)) {
-      w->parker.unpark();
+      stamp_and_unpark(*w);
       return;
     }
   }
@@ -624,9 +704,23 @@ void Runtime::report_work(double gflop, double gbytes) {
   }
 }
 
+Runtime::LatencySnapshot Runtime::latency_snapshot() const {
+  LatencySnapshot s;
+  latency_.aggregate_into(obs::LatencyKind::kHandoff, s.handoff);
+  latency_.aggregate_into(obs::LatencyKind::kSteal, s.steal);
+  latency_.aggregate_into(obs::LatencyKind::kWake, s.wake);
+  latency_.aggregate_into(obs::LatencyKind::kEnact, s.enact);
+  return s;
+}
+
+void Runtime::record_enactment_lag(std::uint64_t ns) {
+  latency_.hist(current_shard(), obs::LatencyKind::kEnact).record(ns);
+}
+
 MetricsSnapshot Runtime::stats() const {
   MetricsSnapshot s;
   metrics_.aggregate_into(s);
+  if (watchdog_) s.stalled_workers = watchdog_->stalled_count();
   s.total_workers = worker_count();
   s.running_threads = running_threads();
   s.blocked_threads = blocked_threads();

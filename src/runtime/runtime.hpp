@@ -33,6 +33,8 @@
 #include "common/mpmc_ring.hpp"
 #include "common/rng.hpp"
 #include "common/threading.hpp"
+#include "obs/histogram.hpp"
+#include "obs/watchdog.hpp"
 #include "runtime/datablock.hpp"
 #include "runtime/event.hpp"
 #include "runtime/foreign.hpp"
@@ -76,6 +78,18 @@ struct RuntimeOptions {
   /// Records one span per task execution and per blocking episode, plus
   /// instants for control changes — lanes are worker ids.
   trace::Tracer* tracer = nullptr;
+  /// Always-on latency histograms (handoff/steal/wake/enactment-lag); the
+  /// record paths are wait-free and allocation-free, overhead is bounded by
+  /// sampling (below) and gated in bench_spawn at < 2%.
+  bool latency_histograms = true;
+  /// Handoff latency samples one in 2^latency_sample_shift ready tasks (per
+  /// submitting thread); steal/wake/enactment are rare enough to record
+  /// unsampled. 0 stamps every task (tests).
+  std::uint32_t latency_sample_shift = 6;
+  /// Scheduler-latency watchdog deadline: a commanded-online worker whose
+  /// heartbeat is silent this long is reported stalled (the OS isn't
+  /// scheduling it). 0 (default) = watchdog off.
+  std::int64_t watchdog_deadline_us = 0;
 };
 
 class Runtime {
@@ -166,6 +180,27 @@ class Runtime {
   /// fills in pool/queue state.
   MetricsSnapshot stats() const;
 
+  // --- latency observability (src/obs) -----------------------------------
+  /// Aggregated latency distributions, one per obs::LatencyKind. Plain-value
+  /// copies; safe to take while the runtime runs (relaxed-prefix contract).
+  struct LatencySnapshot {
+    obs::HistogramSnapshot handoff;
+    obs::HistogramSnapshot steal;
+    obs::HistogramSnapshot wake;
+    obs::HistogramSnapshot enact;
+  };
+  LatencySnapshot latency_snapshot() const;
+  /// Record one command-issue -> enactment-ack interval (called by the
+  /// agent channel adapter when a pending epoch is promoted to enacted).
+  void record_enactment_lag(std::uint64_t ns);
+  /// Scheduler-latency watchdog view (null when watchdog_deadline_us == 0).
+  const obs::Watchdog* watchdog() const { return watchdog_.get(); }
+  /// Monotone per-worker loop counter sampled by the watchdog; any change
+  /// proves the OS ran the worker (bumped even on idle park timeouts).
+  std::uint64_t worker_heartbeat(std::uint32_t worker) const {
+    return workers_[worker]->heartbeat.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Worker {
     std::uint32_t id = 0;
@@ -182,6 +217,13 @@ class Runtime {
     std::atomic<bool> idle{false};
     /// Consecutive find_task failures; gates cross-node poaching.
     std::uint32_t dry_rounds = 0;
+    /// Bumped every worker_main loop pass (including idle park timeouts);
+    /// the watchdog's proof the OS is scheduling this worker.
+    std::atomic<std::uint64_t> heartbeat{0};
+    /// Wake-latency stamp: a waker CASes obs::now_ns() in when it unparks
+    /// this idle worker; the worker consumes (exchanges to 0) it on resume.
+    /// 0 = no wake in flight.
+    std::atomic<std::uint64_t> wake_ns{0};
     std::thread thread;
   };
 
@@ -227,8 +269,14 @@ class Runtime {
   topo::Machine machine_;
   RuntimeOptions options_;
   Metrics metrics_;
+  /// Per-worker latency histogram shards (+1 external), same layout
+  /// discipline as metrics_; constructed once, record paths never allocate.
+  obs::LatencySet latency_{machine_.core_count() + 1};
   DatablockRegistry datablocks_;
   ForeignThreadRegistry foreign_{machine_};
+  /// Scheduler-latency watchdog; constructed and started only when
+  /// options_.watchdog_deadline_us > 0, stopped before workers join.
+  std::unique_ptr<obs::Watchdog> watchdog_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<NodeQueues>> node_queues_;

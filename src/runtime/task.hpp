@@ -49,6 +49,9 @@ struct TaskNode {
   EventPtr done;
   /// Back-pointer to the pool slot this node lives in (see task_pool.hpp).
   TaskSlot* slot;
+  /// Ready-queue entry timestamp for sampled handoff-latency measurement
+  /// (obs::now_ns at enqueue_ready). 0 = this task was not sampled.
+  std::uint64_t submit_ns = 0;
 };
 
 }  // namespace numashare::rt

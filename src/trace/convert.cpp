@@ -1,0 +1,383 @@
+#include "trace/convert.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+
+#include "common/format.hpp"
+
+namespace numashare::trace {
+
+namespace {
+
+// --- minimal JSON scanning over to_chrome_json()'s output ------------------
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+  bool done() {
+    skip_ws();
+    return pos >= text.size();
+  }
+};
+
+bool parse_string(Cursor& c, std::string& out) {
+  if (!c.eat('"')) return false;
+  out.clear();
+  while (c.pos < c.text.size()) {
+    const char ch = c.text[c.pos++];
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (c.pos >= c.text.size()) return false;
+      const char esc = c.text[c.pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        default:
+          // Interned trace names never contain other escapes; reject rather
+          // than guess (\uXXXX would need full decoding).
+          return false;
+      }
+    } else {
+      out += ch;
+    }
+  }
+  return false;
+}
+
+bool parse_number(Cursor& c, double& out) {
+  c.skip_ws();
+  const std::size_t start = c.pos;
+  while (c.pos < c.text.size() &&
+         (std::isdigit(static_cast<unsigned char>(c.text[c.pos])) ||
+          c.text[c.pos] == '-' || c.text[c.pos] == '+' || c.text[c.pos] == '.' ||
+          c.text[c.pos] == 'e' || c.text[c.pos] == 'E')) {
+    ++c.pos;
+  }
+  if (c.pos == start) return false;
+  try {
+    out = std::stod(std::string(c.text.substr(start, c.pos - start)));
+  } catch (...) {
+    return false;
+  }
+  return std::isfinite(out);
+}
+
+/// Skip any value (used for fields we don't keep, e.g. "s":"t" and nested
+/// "args" objects).
+bool skip_value(Cursor& c) {
+  c.skip_ws();
+  if (c.pos >= c.text.size()) return false;
+  const char ch = c.text[c.pos];
+  if (ch == '"') {
+    std::string ignored;
+    return parse_string(c, ignored);
+  }
+  if (ch == '{' || ch == '[') {
+    const char open = ch;
+    const char close = ch == '{' ? '}' : ']';
+    int depth = 0;
+    bool in_string = false;
+    while (c.pos < c.text.size()) {
+      const char cur = c.text[c.pos++];
+      if (in_string) {
+        if (cur == '\\') {
+          ++c.pos;
+        } else if (cur == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (cur == '"') in_string = true;
+      else if (cur == open) ++depth;
+      else if (cur == close && --depth == 0) return true;
+    }
+    return false;
+  }
+  double ignored;
+  if (parse_number(c, ignored)) return true;
+  // true/false/null
+  for (std::string_view lit : {"true", "false", "null"}) {
+    if (c.text.substr(c.pos, lit.size()) == lit) {
+      c.pos += lit.size();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_event(Cursor& c, OwnedEvent& out, std::string* error) {
+  if (!c.eat('{')) {
+    if (error) *error = "expected event object";
+    return false;
+  }
+  out = OwnedEvent{};
+  bool first = true;
+  while (!c.peek('}')) {
+    if (!first && !c.eat(',')) {
+      if (error) *error = "expected ',' between event fields";
+      return false;
+    }
+    first = false;
+    std::string key;
+    if (!parse_string(c, key) || !c.eat(':')) {
+      if (error) *error = "malformed event field";
+      return false;
+    }
+    if (key == "name" || key == "cat" || key == "ph") {
+      std::string value;
+      if (!parse_string(c, value)) {
+        if (error) *error = "malformed string field '" + key + "'";
+        return false;
+      }
+      if (key == "name") out.name = std::move(value);
+      else if (key == "cat") out.category = std::move(value);
+      else out.phase = value.empty() ? 'i' : value[0];
+    } else if (key == "ts" || key == "dur" || key == "tid" || key == "pid") {
+      double value = 0.0;
+      if (!parse_number(c, value)) {
+        if (error) *error = "malformed number field '" + key + "'";
+        return false;
+      }
+      if (key == "ts") out.start_us = value;
+      else if (key == "dur") out.duration_us = value;
+      else if (key == "tid") out.thread = static_cast<std::uint32_t>(value);
+    } else if (key == "args") {
+      // Counters carry {"value": N}; dig it out, skip anything else.
+      if (!c.eat('{')) {
+        if (error) *error = "malformed args object";
+        return false;
+      }
+      bool args_first = true;
+      while (!c.peek('}')) {
+        if (!args_first && !c.eat(',')) {
+          if (error) *error = "malformed args object";
+          return false;
+        }
+        args_first = false;
+        std::string arg_key;
+        if (!parse_string(c, arg_key) || !c.eat(':')) {
+          if (error) *error = "malformed args field";
+          return false;
+        }
+        if (arg_key == "value") {
+          if (!parse_number(c, out.value)) {
+            if (error) *error = "malformed counter value";
+            return false;
+          }
+        } else if (!skip_value(c)) {
+          if (error) *error = "malformed args value";
+          return false;
+        }
+      }
+      c.eat('}');
+    } else {
+      if (!skip_value(c)) {
+        if (error) *error = "malformed value for field '" + key + "'";
+        return false;
+      }
+    }
+  }
+  c.eat('}');
+  return true;
+}
+
+}  // namespace
+
+bool parse_chrome_json(std::string_view json, ParsedTrace& out, std::string* error) {
+  out = ParsedTrace{};
+  Cursor c{json};
+  if (!c.eat('{')) {
+    if (error) *error = "not a JSON object";
+    return false;
+  }
+  bool first = true;
+  while (!c.peek('}')) {
+    if (!first && !c.eat(',')) {
+      if (error) *error = "expected ',' between top-level fields";
+      return false;
+    }
+    first = false;
+    std::string key;
+    if (!parse_string(c, key) || !c.eat(':')) {
+      if (error) *error = "malformed top-level field";
+      return false;
+    }
+    if (key == "traceEvents") {
+      if (!c.eat('[')) {
+        if (error) *error = "traceEvents is not an array";
+        return false;
+      }
+      bool ev_first = true;
+      while (!c.peek(']')) {
+        if (!ev_first && !c.eat(',')) {
+          if (error) *error = "expected ',' between events";
+          return false;
+        }
+        ev_first = false;
+        OwnedEvent event;
+        if (!parse_event(c, event, error)) return false;
+        out.events.push_back(std::move(event));
+      }
+      c.eat(']');
+    } else if (key == "dropped") {
+      double value = 0.0;
+      if (!parse_number(c, value) || value < 0) {
+        if (error) *error = "malformed dropped counter";
+        return false;
+      }
+      out.dropped = static_cast<std::uint64_t>(value);
+    } else if (!skip_value(c)) {
+      if (error) *error = "malformed value for top-level field '" + key + "'";
+      return false;
+    }
+  }
+  if (!c.eat('}')) {
+    if (error) *error = "unterminated top-level object";
+    return false;
+  }
+  if (!c.done()) {
+    if (error) *error = "trailing content after top-level object";
+    return false;
+  }
+  return true;
+}
+
+std::string to_collapsed_stacks(const ParsedTrace& trace) {
+  // Reconstruct nesting per lane by interval containment: sort spans by
+  // (start ascending, duration descending) so a parent precedes everything
+  // it contains, then keep a stack of still-open ancestors. Self time =
+  // duration minus direct children's durations, the flame-graph weight.
+  struct SpanRef {
+    const OwnedEvent* event;
+    double self_us;
+  };
+  std::map<std::uint32_t, std::vector<const OwnedEvent*>> lanes;
+  for (const auto& event : trace.events) {
+    if (event.phase == 'X') lanes[event.thread].push_back(&event);
+  }
+
+  // Accumulate weights per distinct stack line; map keeps output ordering
+  // deterministic for tests and diffs.
+  std::map<std::string, std::uint64_t> folded;
+  for (auto& [lane, spans] : lanes) {
+    std::sort(spans.begin(), spans.end(), [](const OwnedEvent* a, const OwnedEvent* b) {
+      if (a->start_us != b->start_us) return a->start_us < b->start_us;
+      return a->duration_us > b->duration_us;
+    });
+    std::vector<SpanRef> open;
+    const std::string lane_frame = ns_format("lane{}", lane);
+    auto flush = [&](const SpanRef& ref, const std::vector<SpanRef>& ancestors) {
+      std::string line = lane_frame;
+      for (const auto& ancestor : ancestors) {
+        line += ';';
+        line += ancestor.event->name;
+      }
+      line += ';';
+      line += ref.event->name;
+      const double self = std::max(ref.self_us, 0.0);
+      auto weight = static_cast<std::uint64_t>(std::llround(self));
+      if (weight == 0 && ref.event->duration_us > 0.0) weight = 1;
+      folded[line] += weight;
+    };
+    for (const OwnedEvent* span : spans) {
+      while (!open.empty() &&
+             span->start_us >=
+                 open.back().event->start_us + open.back().event->duration_us) {
+        const SpanRef closed = open.back();
+        open.pop_back();
+        flush(closed, open);
+      }
+      if (!open.empty()) open.back().self_us -= span->duration_us;
+      open.push_back(SpanRef{span, span->duration_us});
+    }
+    while (!open.empty()) {
+      const SpanRef closed = open.back();
+      open.pop_back();
+      flush(closed, open);
+    }
+  }
+
+  std::string out;
+  for (const auto& [line, weight] : folded) {
+    out += ns_format("{} {}\n", line, weight);
+  }
+  if (trace.dropped > 0) {
+    out += ns_format("trace;(dropped-events) {}\n", trace.dropped);
+  }
+  return out;
+}
+
+std::string render_timeline(const ParsedTrace& trace, std::size_t width) {
+  if (width < 8) width = 8;
+  if (trace.events.empty()) return "(no trace events)\n";
+
+  double t0 = 1e300, t1 = -1e300;
+  std::uint32_t max_thread = 0;
+  for (const auto& event : trace.events) {
+    t0 = std::min(t0, event.start_us);
+    t1 = std::max(t1, event.start_us + event.duration_us);
+    max_thread = std::max(max_thread, event.thread);
+  }
+  if (t1 <= t0) t1 = t0 + 1.0;
+  const double scale = static_cast<double>(width) / (t1 - t0);
+
+  std::vector<std::string> lanes(max_thread + 1, std::string(width, '.'));
+  for (const auto& event : trace.events) {
+    const auto from = static_cast<std::size_t>((event.start_us - t0) * scale);
+    if (event.phase == 'X') {
+      auto to = static_cast<std::size_t>((event.start_us + event.duration_us - t0) * scale);
+      to = std::min(to, width - 1);
+      const char glyph = event.name.empty() ? '#' : event.name[0];
+      for (std::size_t i = from; i <= to && i < width; ++i) lanes[event.thread][i] = glyph;
+    } else if (event.phase == 'i') {
+      if (from < width) lanes[event.thread][from] = '!';
+    }
+  }
+
+  std::string out = ns_format("timeline: {} .. {} us ({} events)\n", fmt_compact(t0, 1),
+                              fmt_compact(t1, 1), trace.events.size());
+  for (std::uint32_t lane = 0; lane <= max_thread; ++lane) {
+    out += ns_format("  lane {} |{}|\n", lane, lanes[lane]);
+  }
+  if (trace.dropped > 0) {
+    out += ns_format("  dropped: {} events (per-thread buffers filled)\n", trace.dropped);
+  }
+  return out;
+}
+
+std::string summarize(const ParsedTrace& trace) {
+  std::uint32_t max_thread = 0;
+  for (const auto& event : trace.events) max_thread = std::max(max_thread, event.thread);
+  return ns_format("{} events ({} spans, {} instants, {} counters) on {} lanes, {} dropped\n",
+                   trace.events.size(), trace.span_count(), trace.instant_count(),
+                   trace.counter_count(), trace.events.empty() ? 0 : max_thread + 1,
+                   trace.dropped);
+}
+
+}  // namespace numashare::trace

@@ -152,7 +152,10 @@ std::string Tracer::to_chrome_json() const {
         break;
     }
   }
-  out += "]}";
+  // Drop accounting travels with the export: buffers that filled mid-run
+  // silently truncate the event stream, and a reader must be able to tell a
+  // quiet trace from a lossy one without access to the live Tracer.
+  out += ns_format("],\"dropped\":{}}", dropped());
   return out;
 }
 
@@ -196,6 +199,9 @@ std::string Tracer::ascii_timeline(std::size_t width) const {
                 fmt_compact(t1, 1), events.size());
   for (std::uint32_t lane = 0; lane <= max_thread; ++lane) {
     out += ns_format("  lane {} |{}|\n", lane, lanes[lane]);
+  }
+  if (const std::uint64_t lost = dropped(); lost > 0) {
+    out += ns_format("  dropped: {} events (per-thread buffers filled)\n", lost);
   }
   return out;
 }

@@ -8,9 +8,22 @@
 //
 // Names and categories are interned string literals (const char*) so the
 // record path does no allocation; buffers are bounded and drop-counting.
-// Export is intended after the traced workload quiesces (the usual
-// pattern: run, wait_idle, export); concurrent export sees a racy but
-// memory-safe prefix.
+//
+// Concurrent-export contract. Export is intended after the traced workload
+// quiesces (the usual pattern: run, wait_idle, export), but exporting WHILE
+// threads record is defined behaviour: each thread buffer's storage is
+// reserved to capacity up front (push_back never reallocates), and readers
+// take only the `committed` prefix — a release-store made after each push —
+// so a racy snapshot sees a memory-safe, self-consistent prefix of every
+// buffer, never torn events. Events recorded after the snapshot's prefix
+// loads are simply absent from that export.
+//
+// Drop accounting. When a thread's buffer fills, further events from that
+// thread are dropped and counted (never silently lost). The counter is
+// surfaced in every export: dropped() on the live tracer, a top-level
+// "dropped" field in to_chrome_json(), and a trailing summary line in
+// ascii_timeline() — so a reader of the artifact alone can tell a quiet
+// trace from a truncated one.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,343 @@
+// Latency histogram properties: log-linear bucketing with bounded relative
+// error, merge algebra (associative + commutative), percentile monotonicity,
+// count conservation under concurrent record+snapshot, saturation, and the
+// headline guarantee — the record path never touches the heap.
+//
+// The whole binary's global operator new/delete are replaced with counting
+// versions gated on an atomic flag (same technique as
+// tests/core/solve_scratch_test.cpp), so only the instrumented windows are
+// counted; gtest allocates freely outside them. That is why test_obs is its
+// own binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/histogram.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+void note_allocation() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* checked_malloc(std::size_t size) {
+  note_allocation();
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* checked_aligned(std::size_t size, std::align_val_t alignment) {
+  note_allocation();
+  void* p = nullptr;
+  const auto align = static_cast<std::size_t>(alignment);
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return checked_malloc(size); }
+void* operator new[](std::size_t size) { return checked_malloc(size); }
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return checked_aligned(size, alignment);
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return checked_aligned(size, alignment);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace numashare::obs {
+namespace {
+
+using Hist = LatencyHistogram;
+
+// --- bucketing -------------------------------------------------------------
+
+TEST(HistogramBuckets, FloorAndCeilBracketEveryProbe) {
+  // Sweep powers of two with neighbourhoods, covering every tier boundary.
+  std::vector<std::uint64_t> probes = {0, 1, 2, 63, 64, 65};
+  for (std::uint32_t shift = 6; shift < 40; ++shift) {
+    const std::uint64_t base = 1ull << shift;
+    for (std::uint64_t delta : {std::uint64_t{0}, std::uint64_t{1}, base / 2,
+                                base - 1}) {
+      probes.push_back(base + delta);
+      if (base > delta) probes.push_back(base - delta);
+    }
+  }
+  for (const std::uint64_t ns : probes) {
+    const std::uint32_t index = Hist::bucket_index(ns);
+    ASSERT_LT(index, Hist::kBucketCount) << "ns=" << ns;
+    EXPECT_LE(Hist::bucket_floor(index), ns) << "ns=" << ns;
+    EXPECT_GE(Hist::bucket_ceil(index), ns) << "ns=" << ns;
+  }
+}
+
+TEST(HistogramBuckets, IndexIsMonotone) {
+  // Dense scan of the linear range and the first tiers, then sampled beyond.
+  std::uint32_t last = 0;
+  for (std::uint64_t ns = 0; ns < 1u << 14; ++ns) {
+    const std::uint32_t index = Hist::bucket_index(ns);
+    ASSERT_GE(index, last) << "ns=" << ns;
+    last = index;
+  }
+  Xoshiro256 rng(0xb0b);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng.next() >> (rng.next() % 24);
+    const std::uint64_t b = a + 1 + (rng.next() % 1024);
+    EXPECT_LE(Hist::bucket_index(a), Hist::bucket_index(b));
+  }
+}
+
+TEST(HistogramBuckets, RelativeErrorBounded) {
+  // Any bucket's width over its floor is <= 1/kHalf (linear range is exact).
+  for (std::uint32_t index = Hist::kSubBucketCount;
+       index + 1 < Hist::kBucketCount; ++index) {
+    const double floor = static_cast<double>(Hist::bucket_floor(index));
+    const double ceil = static_cast<double>(Hist::bucket_ceil(index));
+    EXPECT_LE((ceil - floor) / floor, 1.0 / Hist::kHalf + 1e-12)
+        << "bucket " << index;
+  }
+}
+
+TEST(HistogramBuckets, SaturatesIntoLastBucket) {
+  const std::uint64_t huge = 1ull << 62;
+  EXPECT_EQ(Hist::bucket_index(huge), Hist::kBucketCount - 1);
+  EXPECT_EQ(Hist::bucket_index(~0ull), Hist::kBucketCount - 1);
+
+  Hist hist;
+  hist.record(huge);
+  hist.record(~0ull);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.max_ns(), ~0ull);
+  HistogramSnapshot snap;
+  hist.snapshot_into(snap);
+  EXPECT_EQ(snap.counts[Hist::kBucketCount - 1], 2u);
+  // The saturation bucket is unbounded, so percentiles clamp to the max.
+  EXPECT_EQ(snap.percentile(99.0), static_cast<double>(~0ull));
+}
+
+// --- percentiles -----------------------------------------------------------
+
+TEST(HistogramPercentiles, OrderedAndClampedToMax) {
+  Hist hist;
+  Xoshiro256 rng(0x5eed);
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t ns = rng.next() % 3'000'000;  // 0..3 ms
+    hist.record(ns);
+    max_seen = std::max(max_seen, ns);
+  }
+  HistogramSnapshot snap;
+  hist.snapshot_into(snap);
+  const double p50 = snap.percentile(50.0);
+  const double p99 = snap.percentile(99.0);
+  const double p999 = snap.percentile(99.9);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, static_cast<double>(snap.max_ns));
+  EXPECT_EQ(snap.max_ns, max_seen);
+  // Uniform distribution: p50 lands near the middle, within bucket error.
+  EXPECT_NEAR(p50, 1'500'000.0, 1'500'000.0 * 0.05);
+}
+
+TEST(HistogramPercentiles, EmptyIsZero) {
+  HistogramSnapshot snap;
+  EXPECT_EQ(snap.percentile(50.0), 0.0);
+  EXPECT_EQ(snap.percentile(99.9), 0.0);
+  EXPECT_EQ(snap.mean_ns(), 0.0);
+}
+
+TEST(HistogramPercentiles, SingleValueEverywhere) {
+  Hist hist;
+  hist.record(1000);
+  HistogramSnapshot snap;
+  hist.snapshot_into(snap);
+  // All percentiles bound the one value, clamped by the exact max.
+  EXPECT_EQ(snap.percentile(1.0), 1000.0);
+  EXPECT_EQ(snap.percentile(50.0), 1000.0);
+  EXPECT_EQ(snap.percentile(100.0), 1000.0);
+  EXPECT_EQ(snap.mean_ns(), 1000.0);
+}
+
+// --- merge algebra ---------------------------------------------------------
+
+HistogramSnapshot snap_of(const std::vector<std::uint64_t>& values) {
+  Hist hist;
+  for (const auto v : values) hist.record(v);
+  HistogramSnapshot snap;
+  hist.snapshot_into(snap);
+  return snap;
+}
+
+bool same(const HistogramSnapshot& a, const HistogramSnapshot& b) {
+  return a.counts == b.counts && a.count == b.count && a.sum_ns == b.sum_ns &&
+         a.max_ns == b.max_ns;
+}
+
+TEST(HistogramMerge, CommutativeAndAssociative) {
+  const auto a = snap_of({1, 5, 900, 1u << 20});
+  const auto b = snap_of({0, 63, 64, 7'777'777});
+  const auto c = snap_of({42, 42, 42, 1ull << 40});
+
+  HistogramSnapshot ab = a;
+  ab.merge(b);
+  HistogramSnapshot ba = b;
+  ba.merge(a);
+  EXPECT_TRUE(same(ab, ba));
+
+  HistogramSnapshot ab_c = ab;
+  ab_c.merge(c);
+  HistogramSnapshot bc = b;
+  bc.merge(c);
+  HistogramSnapshot a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_TRUE(same(ab_c, a_bc));
+
+  // Merging equals recording everything into one histogram.
+  const auto all = snap_of({1, 5, 900, 1u << 20, 0, 63, 64, 7'777'777, 42, 42,
+                            42, 1ull << 40});
+  EXPECT_TRUE(same(ab_c, all));
+}
+
+TEST(HistogramMerge, IdentityAndTotals) {
+  const auto a = snap_of({10, 20, 30});
+  HistogramSnapshot merged = a;
+  merged.merge(HistogramSnapshot{});  // empty is the identity
+  EXPECT_TRUE(same(merged, a));
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.sum_ns, 60u);
+  EXPECT_EQ(a.max_ns, 30u);
+  EXPECT_DOUBLE_EQ(a.mean_ns(), 20.0);
+}
+
+// --- concurrency -----------------------------------------------------------
+
+TEST(HistogramConcurrency, CountConservedUnderConcurrentSnapshots) {
+  // Writers hammer one histogram while a reader snapshots mid-flight; every
+  // intermediate snapshot must be internally consistent (count == sum of
+  // buckets, never above what will have been recorded) and the final count
+  // must be exact.
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 200'000;
+  Hist hist;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&hist, t] {
+      Xoshiro256 rng(0x1234 + static_cast<std::uint64_t>(t));
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        hist.record(rng.next() % 1'000'000);
+      }
+    });
+  }
+  std::thread reader([&hist, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      HistogramSnapshot snap;
+      hist.snapshot_into(snap);
+      std::uint64_t total = 0;
+      for (const auto c : snap.counts) total += c;
+      EXPECT_EQ(total, snap.count);
+      EXPECT_LE(snap.count, kWriters * kPerWriter);
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+
+  HistogramSnapshot final_snap;
+  hist.snapshot_into(final_snap);
+  EXPECT_EQ(final_snap.count, kWriters * kPerWriter);
+  EXPECT_EQ(hist.count(), kWriters * kPerWriter);
+}
+
+// --- allocation freedom ----------------------------------------------------
+
+TEST(HistogramAllocation, RecordPathNeverAllocates) {
+  Hist hist;
+  Xoshiro256 rng(0xfeed);
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 100'000; ++i) {
+    hist.record(rng.next() >> (rng.next() % 32));
+  }
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "LatencyHistogram::record heap-allocated inside the instrumented window";
+  EXPECT_EQ(hist.count(), 100'000u);
+}
+
+TEST(HistogramAllocation, ShardedRecordAndSnapshotAllocationFree) {
+  // The runtime-facing shape: a LatencySet constructed once, then record
+  // into per-worker shards and aggregate into caller-owned snapshots — all
+  // without touching the heap after construction.
+  LatencySet set(4 + 1);
+  HistogramSnapshot snap;  // caller-owned fixed storage
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (std::uint32_t shard = 0; shard < set.shard_count(); ++shard) {
+    for (int kind = 0; kind < static_cast<int>(kLatencyKinds); ++kind) {
+      for (int i = 0; i < 1000; ++i) {
+        set.hist(shard, static_cast<LatencyKind>(kind))
+            .record(static_cast<std::uint64_t>(i) * 37);
+      }
+    }
+  }
+  set.aggregate_into(LatencyKind::kHandoff, snap);
+  set.aggregate_into(LatencyKind::kSteal, snap);
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "sharded record/aggregate heap-allocated inside the instrumented window";
+  EXPECT_EQ(snap.count, 2u * set.shard_count() * 1000u);
+}
+
+// --- misc ------------------------------------------------------------------
+
+TEST(Histogram, ResetZeroesEverything) {
+  Hist hist;
+  hist.record(123);
+  hist.record(1ull << 33);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.max_ns(), 0u);
+  HistogramSnapshot snap;
+  hist.snapshot_into(snap);
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum_ns, 0u);
+}
+
+TEST(Histogram, KindNames) {
+  EXPECT_STREQ(to_string(LatencyKind::kHandoff), "handoff");
+  EXPECT_STREQ(to_string(LatencyKind::kSteal), "steal");
+  EXPECT_STREQ(to_string(LatencyKind::kWake), "wake");
+  EXPECT_STREQ(to_string(LatencyKind::kEnact), "enact_lag");
+}
+
+}  // namespace
+}  // namespace numashare::obs

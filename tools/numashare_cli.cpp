@@ -216,7 +216,7 @@ int cmd_daemon_status(int argc, char** argv) {
   std::printf("tick:       %llu\n\n", static_cast<unsigned long long>(header.tick.load()));
 
   TextTable table({"slot", "state", "name", "pid", "ai", "heartbeat", "health", "cmd/enacted",
-                   "drops c/t", "channel"});
+                   "drops c/t", "stalled", "channel"});
   std::uint32_t active = 0;
   for (std::uint32_t i = 0; i < nsd::kMaxClients; ++i) {
     const auto& slot = registry->slot(i);
@@ -242,6 +242,7 @@ int cmd_daemon_status(int argc, char** argv) {
                    std::string(slot.name, strnlen(slot.name, sizeof(slot.name))),
                    std::to_string(slot.pid.load()), fmt_compact(slot.advertised_ai.load(), 4),
                    std::to_string(slot.heartbeat.load()), nsd::to_string(health), epochs, drops,
+                   std::to_string(slot.stalled_workers.load()),
                    std::string(slot.channel_name,
                                strnlen(slot.channel_name, sizeof(slot.channel_name)))});
   }

@@ -1,0 +1,94 @@
+// trace2flame: convert a Tracer Chrome-trace JSON export into flame-graph
+// and terminal-friendly views.
+//
+//   trace2flame trace.json              # collapsed stacks (flamegraph.pl input)
+//   trace2flame trace.json --timeline   # ASCII per-lane timeline
+//   trace2flame trace.json --summary    # one-line inventory
+//
+// The collapsed-stack output feeds straight into the classic flame-graph
+// pipeline (flamegraph.pl, speedscope, inferno): "lane0;task 1234" per line,
+// weight = self-time in integer microseconds. Drop counters recorded in the
+// export survive conversion — a lossy trace renders a visible
+// "trace;(dropped-events)" frame instead of silently pretending it is whole.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/convert.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s TRACE.json [--folded|--timeline|--summary] [--width N]\n"
+               "  --folded    collapsed-stack flame format (default)\n"
+               "  --timeline  ASCII per-lane timeline\n"
+               "  --summary   event inventory one-liner\n"
+               "  --width N   timeline width in columns (default 72)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+
+  const char* path = nullptr;
+  enum class Mode { kFolded, kTimeline, kSummary } mode = Mode::kFolded;
+  std::size_t width = 72;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--folded") == 0) {
+      mode = Mode::kFolded;
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      mode = Mode::kTimeline;
+    } else if (std::strcmp(argv[i], "--summary") == 0) {
+      mode = Mode::kSummary;
+    } else if (std::strcmp(argv[i], "--width") == 0 && i + 1 < argc) {
+      width = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (width < 8) {
+        std::fprintf(stderr, "trace2flame: width must be >= 8\n");
+        return 2;
+      }
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path == nullptr) return usage(argv[0]);
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace2flame: cannot open '%s'\n", path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  numashare::trace::ParsedTrace trace;
+  std::string error;
+  if (!numashare::trace::parse_chrome_json(buffer.str(), trace, &error)) {
+    std::fprintf(stderr, "trace2flame: cannot parse '%s': %s\n", path, error.c_str());
+    return 1;
+  }
+
+  std::string out;
+  switch (mode) {
+    case Mode::kFolded:
+      out = numashare::trace::to_collapsed_stacks(trace);
+      break;
+    case Mode::kTimeline:
+      out = numashare::trace::render_timeline(trace, width);
+      break;
+    case Mode::kSummary:
+      out = numashare::trace::summarize(trace);
+      break;
+  }
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
