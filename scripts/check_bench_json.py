@@ -18,6 +18,13 @@ Three schemas share a family:
   * numashare-bench-foreign/1 — emitted by bench_foreign (foreign-workload
     arbitration, E19); rows are {name, scenario, unit, value} and the
     document carries an aware-vs-blind advantage `gate` object.
+  * numashare-bench-memory/1 — emitted by bench_datablock (memory-side
+    control, E21); rows are {name, scenario, unit, value} and the document
+    carries two gates: the locality-aware vs locality-blind stealing
+    advantage (deterministic virtual-time pricing, >= 1.3x on the bw_skew
+    scenario, enforced in every run) and the steal-path p99 regression
+    (real timing with a documented absolute noise floor, enforced only when
+    the document says so — full unsanitized runs).
 
 The schema is dispatched from the document itself. Checks cover the schema
 tag, the required top-level fields, and that every result row is well-formed
@@ -41,10 +48,12 @@ RUNTIME_SCHEMA = "numashare-bench-runtime/1"
 RUNTIME_SCHEMA_V2 = "numashare-bench-runtime/2"
 MODEL_SCHEMA = "numashare-bench-model/1"
 FOREIGN_SCHEMA = "numashare-bench-foreign/1"
+MEMORY_SCHEMA = "numashare-bench-memory/1"
 
 RUNTIME_UNITS = {"tasks_per_sec", "ns_per_steal", "ns_median", "x"}
 MODEL_UNITS = {"us_per_search", "us_per_solve", "evals", "kb", "x"}
 FOREIGN_UNITS = {"gflops", "x", "us_per_search", "us_per_scan"}
+MEMORY_UNITS = {"gbps", "x", "ns", "ms", "count"}
 
 RUNTIME_DEFAULT_REQUIRE = ["spawn_retire_external", "spawn_retire_nested", "steal_drain",
                            "handoff_latency", "wait_idle_latency"]
@@ -55,8 +64,13 @@ MODEL_DEFAULT_REQUIRE = ["solve", "solve_into", "search_before", "search_after",
                          "search_speedup", "search_evals", "search_candidates",
                          "refine", "peak_rss"]
 FOREIGN_DEFAULT_REQUIRE = ["blind", "aware", "advantage", "aware_search", "scan"]
+MEMORY_DEFAULT_REQUIRE = ["blind", "aware", "advantage", "migrate_payoff"]
+# Steal rows that must be present on a full (non-quick) run; a trimmed quick
+# round may legitimately drain before any thief records a steal.
+MEMORY_STEAL_REQUIRE = ["steal_p99_blind", "steal_p99_aware", "steal_p99_ratio"]
 
 FOREIGN_GATE_SCENARIO = "bw_shift"
+MEMORY_GATE_SCENARIO = "bw_skew"
 
 MODEL_GATE_CONFIG = {"nodes": 8, "cores_per_node": 64, "apps": 8}
 # peak_rss_kb snapshots the streaming-only phase (the brute-force reference
@@ -250,6 +264,72 @@ def check_foreign(doc: dict) -> set:
     return names
 
 
+def check_memory(doc: dict) -> set:
+    names = set()
+    for i, r in enumerate(doc["results"]):
+        where = f"results[{i}]"
+        for field, kind in (("name", str), ("scenario", str), ("unit", str)):
+            if not isinstance(r.get(field), kind):
+                fail(f"{where}: field {field!r} missing or mistyped")
+        if r["unit"] not in MEMORY_UNITS:
+            fail(f"{where}: unknown unit {r['unit']!r}")
+        check_row_value(where, r)
+        names.add(r["name"])
+
+    gate = doc.get("gate")
+    if not isinstance(gate, dict):
+        fail("gate object missing")
+    for field, kind in (("scenario", str), ("measured", bool),
+                        ("blind_gbps", (int, float)), ("aware_gbps", (int, float)),
+                        ("advantage_x", (int, float)), ("required_x", (int, float)),
+                        ("pass", bool)):
+        if not isinstance(gate.get(field), kind):
+            fail(f"gate field {field!r} missing or mistyped")
+    if gate["scenario"] != MEMORY_GATE_SCENARIO:
+        fail(f"gate scenario is {gate['scenario']!r}, expected {MEMORY_GATE_SCENARIO!r}")
+    # The advantage is deterministic virtual-time pricing — no quick-mode or
+    # sanitizer exemption: locality-aware stealing must beat blind >= 1.3x.
+    if not gate["measured"]:
+        fail("gate scenario was not measured")
+    if not gate["pass"]:
+        fail(f"gate failed: advantage {gate['advantage_x']}x < "
+             f"required {gate['required_x']}x")
+    if gate["advantage_x"] < gate["required_x"]:
+        fail(f"gate pass flag inconsistent with advantage {gate['advantage_x']}x")
+    if gate["blind_gbps"] > 0 and abs(
+            gate["aware_gbps"] / gate["blind_gbps"] - gate["advantage_x"]) > 0.01:
+        fail("gate advantage_x inconsistent with aware/blind gbps")
+
+    steal = doc.get("steal_gate")
+    if not isinstance(steal, dict):
+        fail("steal_gate object missing")
+    for field, kind in (("measured", bool), ("enforced", bool),
+                        ("blind_p99_ns", (int, float)), ("aware_p99_ns", (int, float)),
+                        ("ratio_x", (int, float)), ("limit_x", (int, float)),
+                        ("floor_ns", (int, float)), ("pass", bool)):
+        if not isinstance(steal.get(field), kind):
+            fail(f"steal_gate field {field!r} missing or mistyped")
+    if steal["enforced"]:
+        if not steal["measured"]:
+            fail("steal gate enforced but not measured")
+        if not steal["pass"]:
+            fail(f"steal gate failed: aware p99 {steal['aware_p99_ns']} ns vs "
+                 f"blind {steal['blind_p99_ns']} ns (limit {steal['limit_x']}x "
+                 f"+ {steal['floor_ns']} ns floor)")
+        if steal["aware_p99_ns"] > (steal["blind_p99_ns"] * steal["limit_x"]
+                                    + steal["floor_ns"]):
+            fail("steal gate pass flag inconsistent with recorded p99s")
+    # A full unsanitized run must actually enforce the timing gate — a
+    # committed BENCH_memory.json that quietly skipped it fails here.
+    if not doc["quick"] and not doc["sanitized"] and not steal["enforced"]:
+        fail("full unsanitized run did not enforce the steal gate")
+    if not doc["quick"]:
+        missing = [n for n in MEMORY_STEAL_REQUIRE if n not in names]
+        if missing:
+            fail(f"full run missing steal rows: {', '.join(missing)}")
+    return names
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("path")
@@ -281,9 +361,14 @@ def main() -> None:
         check_common(doc)
         names = check_foreign(doc)
         required = FOREIGN_DEFAULT_REQUIRE if args.require is None else args.require
+    elif schema == MEMORY_SCHEMA:
+        check_common(doc)
+        names = check_memory(doc)
+        required = MEMORY_DEFAULT_REQUIRE if args.require is None else args.require
     else:
         fail(f"schema is {schema!r}, expected {RUNTIME_SCHEMA!r}, "
-             f"{RUNTIME_SCHEMA_V2!r}, {MODEL_SCHEMA!r} or {FOREIGN_SCHEMA!r}")
+             f"{RUNTIME_SCHEMA_V2!r}, {MODEL_SCHEMA!r}, {FOREIGN_SCHEMA!r} "
+             f"or {MEMORY_SCHEMA!r}")
 
     missing = [n for n in required if n not in names]
     if missing:

@@ -14,6 +14,10 @@ ctest --test-dir build --output-on-failure
 # script's numbers stand on.
 ctest --test-dir build --output-on-failure -L obs
 
+# Memory tier (arenas, datablock accounting, locality-aware stealing) gets
+# the same dedicated pass the CI sanitizer jobs run.
+ctest --test-dir build --output-on-failure -L memory
+
 echo
 echo "=== experiment benches (every paper table & figure) ==="
 for b in build/bench/bench_*; do
@@ -21,11 +25,13 @@ for b in build/bench/bench_*; do
   "$b"
 done
 
-# bench_spawn and bench_foreign (run above) left their perf trajectories in
-# BENCH_runtime.json / BENCH_foreign.json; validate them so a broken emitter
-# (or a regressed foreign-arbitration gate) is caught locally too.
+# bench_spawn, bench_foreign and bench_datablock (run above) left their perf
+# trajectories in BENCH_runtime.json / BENCH_foreign.json / BENCH_memory.json;
+# validate them so a broken emitter (or a regressed arbitration or
+# locality-stealing gate) is caught locally too.
 python3 scripts/check_bench_json.py BENCH_runtime.json
 python3 scripts/check_bench_json.py BENCH_foreign.json
+python3 scripts/check_bench_json.py BENCH_memory.json
 
 echo
 echo "=== examples (quick passes) ==="

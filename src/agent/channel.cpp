@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "common/threading.hpp"
+#include "core/placement.hpp"
 #include "obs/histogram.hpp"
 #include "topology/affinity.hpp"
 
@@ -88,6 +89,14 @@ void RuntimeAdapter::apply(const Command& command) {
       std::vector<std::uint32_t> targets(command.node_threads,
                                          command.node_threads + command.node_count);
       runtime_.set_node_thread_targets(targets);
+      // Reallocation tick: the agent moved this app's compute; chase it with
+      // the hottest datablocks, but only when the placement actually changed
+      // (a re-asserted identical allocation must not churn data).
+      if (migrate_on_realloc_.load(std::memory_order_relaxed) &&
+          targets != last_node_targets_) {
+        runtime_.migrate_datablocks_toward(targets);
+      }
+      last_node_targets_ = std::move(targets);
       break;
     }
     case CommandType::kClearControls:
@@ -146,6 +155,19 @@ std::uint32_t RuntimeAdapter::pump() {
       ai_estimate_.store(ai_ewma_.value(), std::memory_order_relaxed);
     }
   }
+  if (auto_data_home_.load(std::memory_order_relaxed)) {
+    // Advertise where the data actually lives: plurality residency across
+    // the registry's per-node byte totals, kMaxNodes when no node holds a
+    // meaningful share (spread data has no home worth reporting).
+    auto& registry = runtime_.datablocks();
+    std::vector<std::uint64_t> resident(registry.node_count());
+    for (std::uint32_t n = 0; n < registry.node_count(); ++n) {
+      resident[n] = registry.bytes_on_node(n);
+    }
+    const std::uint32_t home = model::dominant_residency(resident, auto_home_min_fraction_);
+    data_home_node_.store(home < registry.node_count() ? home : kMaxNodes,
+                          std::memory_order_relaxed);
+  }
   Telemetry t;
   t.seq = ++telemetry_seq_;
   t.timestamp = monotonic_seconds();
@@ -168,6 +190,8 @@ std::uint32_t RuntimeAdapter::pump() {
   t.enacted_epoch = enacted_epoch_;
   t.enacted_target = enacted_target_;
   t.stalled_workers = stats.stalled_workers;
+  t.blocks_migrated = stats.blocks_migrated;
+  t.bytes_migrated = stats.bytes_migrated;
   // Telemetry is lossy by design: a full ring means the agent is behind and
   // stale samples are better dropped than blocking the runtime.
   channel_.push_telemetry(t);

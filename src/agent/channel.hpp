@@ -120,6 +120,29 @@ class RuntimeAdapter {
   }
   std::uint32_t data_home() const { return data_home_node_.load(std::memory_order_relaxed); }
 
+  /// Derive the advertised data home from the datablock registry's per-node
+  /// residency each pump (model::dominant_residency) instead of a static
+  /// declaration — §III.A's access-pattern detection applied to placement.
+  /// An app that calls set_data_home() later overrides the derivation until
+  /// re-enabled.
+  void enable_auto_data_home(double min_fraction = 0.5) {
+    auto_home_min_fraction_ = min_fraction;
+    auto_data_home_.store(true, std::memory_order_relaxed);
+  }
+  void disable_auto_data_home() { auto_data_home_.store(false, std::memory_order_relaxed); }
+
+  /// Reallocation-tick migration (on by default): when a kSetNodeThreads
+  /// command *changes* the per-node targets, nudge the hottest datablocks
+  /// toward the new placement (Runtime::migrate_datablocks_toward, bounded
+  /// by RuntimeOptions::migration_budget_bytes). Off = threads move, data
+  /// stays — the paper's baseline behaviour.
+  void set_migrate_on_realloc(bool enabled) {
+    migrate_on_realloc_.store(enabled, std::memory_order_relaxed);
+  }
+  bool migrate_on_realloc() const {
+    return migrate_on_realloc_.load(std::memory_order_relaxed);
+  }
+
  private:
   void apply(const Command& command);
 
@@ -133,6 +156,13 @@ class RuntimeAdapter {
   Ewma ai_ewma_{0.3};
   std::atomic<std::uint32_t> data_home_node_;
   std::function<void(topo::NodeId)> home_handler_;
+  std::atomic<bool> auto_data_home_{false};
+  double auto_home_min_fraction_ = 0.5;
+  std::atomic<bool> migrate_on_realloc_{true};
+  /// Last per-node targets applied (pump-thread only); migration fires only
+  /// when a kSetNodeThreads command actually *changes* them, so a policy
+  /// that re-asserts the same allocation every tick never churns data.
+  std::vector<std::uint32_t> last_node_targets_;
   std::atomic<std::uint64_t> commands_applied_{0};
   std::atomic<std::uint64_t> last_seq_{0};
   /// Enactment tracking (pump-thread only): the newest thread-target epoch

@@ -96,6 +96,12 @@ struct Telemetry {
   /// not because it ignores commands", and compliance escalation holds off.
   /// 0 when the watchdog is disabled or all workers are being scheduled.
   std::uint32_t stalled_workers = 0;
+  /// Cumulative datablock migration traffic (reallocation-tick moves plus
+  /// explicit move_to calls): how much the runtime has actually shifted data
+  /// chasing the allocation. Lets the daemon weigh placement churn against
+  /// the throughput it buys.
+  std::uint64_t blocks_migrated = 0;
+  std::uint64_t bytes_migrated = 0;
 };
 static_assert(std::is_trivially_copyable_v<Telemetry>);
 

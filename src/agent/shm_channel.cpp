@@ -19,7 +19,9 @@ constexpr std::uint64_t kMagic = 0x6e756d6173686172ull;  // "numashar"
 // v2: added cross-process drop counters after the rings.
 // v3: Command carries a compliance epoch; Telemetry carries the enacted
 //     epoch/target ack (message sizes changed).
-constexpr std::uint32_t kVersion = 3;
+// v4: Telemetry carries cumulative datablock migration counters
+//     (blocks_migrated / bytes_migrated; message size changed).
+constexpr std::uint32_t kVersion = 4;
 }  // namespace
 
 struct ShmChannel::Layout {

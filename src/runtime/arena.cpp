@@ -59,7 +59,10 @@ std::uint32_t NodeArenaSet::size(topo::NodeId node) const {
 }
 
 void NodeArenaSet::resize(const std::vector<std::uint32_t>& sizes) {
-  NS_REQUIRE(sizes.size() == sizes_.size(), "one size per node");
+  // Validate against the machine's node count, not sizes_'s current length:
+  // the two start equal, but only node_count() is the authoritative shape —
+  // a mismatched vector must die here, not mis-index the runtime's targets.
+  NS_REQUIRE(sizes.size() == node_count(), "one size per node");
   sizes_ = sizes;
   runtime_.set_node_thread_targets(sizes_);
 }

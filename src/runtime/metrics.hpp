@@ -27,6 +27,19 @@ struct alignas(64) MetricsShard {
   std::atomic<std::uint64_t> tasks_spawned{0};
   std::atomic<std::uint64_t> tasks_executed{0};
   std::atomic<std::uint64_t> steals{0};
+  /// Locality split of `steals`: victim on the thief's node vs a remote one.
+  std::atomic<std::uint64_t> local_steals{0};
+  std::atomic<std::uint64_t> remote_steals{0};
+  /// Datablock bytes resident on another node than the acquiring worker at
+  /// cross-node acquisition time (steal or foreign injection pop) — the
+  /// traffic the locality-aware policy exists to avoid.
+  std::atomic<std::uint64_t> bytes_pulled_remote{0};
+  /// Cross-node acquisitions bounced home by the poach threshold.
+  std::atomic<std::uint64_t> steal_vetoes{0};
+  /// Reallocation-tick datablock migration activity (Runtime::
+  /// migrate_datablocks_toward).
+  std::atomic<std::uint64_t> blocks_migrated{0};
+  std::atomic<std::uint64_t> bytes_migrated{0};
   std::atomic<std::uint64_t> failed_steal_rounds{0};
   std::atomic<std::uint64_t> idle_parks{0};
   std::atomic<std::uint64_t> blocks{0};    // policy-driven thread blocks
@@ -49,6 +62,12 @@ struct MetricsSnapshot {
   std::uint64_t tasks_spawned = 0;
   std::uint64_t tasks_executed = 0;
   std::uint64_t steals = 0;
+  std::uint64_t local_steals = 0;
+  std::uint64_t remote_steals = 0;
+  std::uint64_t bytes_pulled_remote = 0;
+  std::uint64_t steal_vetoes = 0;
+  std::uint64_t blocks_migrated = 0;
+  std::uint64_t bytes_migrated = 0;
   std::uint64_t failed_steal_rounds = 0;
   std::uint64_t idle_parks = 0;
   std::uint64_t blocks = 0;
@@ -89,6 +108,12 @@ class Metrics {
       s.tasks_spawned += m.tasks_spawned.load(std::memory_order_relaxed);
       s.tasks_executed += m.tasks_executed.load(std::memory_order_relaxed);
       s.steals += m.steals.load(std::memory_order_relaxed);
+      s.local_steals += m.local_steals.load(std::memory_order_relaxed);
+      s.remote_steals += m.remote_steals.load(std::memory_order_relaxed);
+      s.bytes_pulled_remote += m.bytes_pulled_remote.load(std::memory_order_relaxed);
+      s.steal_vetoes += m.steal_vetoes.load(std::memory_order_relaxed);
+      s.blocks_migrated += m.blocks_migrated.load(std::memory_order_relaxed);
+      s.bytes_migrated += m.bytes_migrated.load(std::memory_order_relaxed);
       s.failed_steal_rounds += m.failed_steal_rounds.load(std::memory_order_relaxed);
       s.idle_parks += m.idle_parks.load(std::memory_order_relaxed);
       s.blocks += m.blocks.load(std::memory_order_relaxed);

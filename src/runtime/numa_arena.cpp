@@ -1,0 +1,263 @@
+#include "runtime/numa_arena.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/assert.hpp"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace numashare::rt {
+
+namespace {
+
+constexpr std::size_t kPage = 4096;
+constexpr std::size_t kChunkAlign = 64;
+
+std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+/// Best-effort MPOL_PREFERRED bind of [p, p+len) to `node` via the raw
+/// syscall (the toolchain image has no libnuma). Preferred — not strict —
+/// policy: under memory pressure or on a machine with fewer real nodes than
+/// the virtual description, allocation falls back instead of failing.
+bool try_mbind(void* p, std::size_t len, topo::NodeId node) {
+#if defined(__linux__) && defined(__NR_mbind)
+  constexpr int kMpolPreferred = 1;
+  if (node >= 64) return false;
+  unsigned long nodemask = 1ul << node;
+  // maxnode counts bits and must exceed the highest set bit.
+  const long rc = ::syscall(__NR_mbind, p, len, kMpolPreferred, &nodemask,
+                            sizeof(nodemask) * 8 + 1, 0u);
+  return rc == 0;
+#else
+  (void)p;
+  (void)len;
+  (void)node;
+  return false;
+#endif
+}
+
+void* page_aligned_alloc(std::size_t bytes) {
+  void* p = std::aligned_alloc(kPage, round_up(bytes, kPage));
+  NS_REQUIRE(p != nullptr, "memory backend allocation failed");
+  return p;
+}
+
+}  // namespace
+
+MemoryBackendStats MemoryBackend::stats() const {
+  MemoryBackendStats s;
+  s.allocations = allocations_.load(std::memory_order_relaxed);
+  s.deallocations = deallocations_.load(std::memory_order_relaxed);
+  s.migrations = migrations_.load(std::memory_order_relaxed);
+  s.bytes_migrated = bytes_migrated_.load(std::memory_order_relaxed);
+  s.bind_attempts = bind_attempts_.load(std::memory_order_relaxed);
+  s.bind_successes = bind_successes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- SystemBackend ---------------------------------------------------------
+
+void* SystemBackend::allocate(std::size_t bytes, topo::NodeId node) {
+  void* p = page_aligned_alloc(bytes);
+  count_bind(try_mbind(p, round_up(bytes, kPage), node));
+  count_allocation();
+  return p;
+}
+
+void SystemBackend::deallocate(void* p, std::size_t bytes, topo::NodeId node) {
+  (void)bytes;
+  (void)node;
+  std::free(p);
+  count_deallocation();
+}
+
+void SystemBackend::migrate(void* dst, const void* src, std::size_t bytes,
+                            topo::NodeId from, topo::NodeId to) {
+  (void)from;
+  (void)to;
+  std::memcpy(dst, src, bytes);
+  count_migration(bytes);
+}
+
+SystemBackend& SystemBackend::process_default() {
+  static SystemBackend backend;
+  return backend;
+}
+
+// --- SimulatedBackend ------------------------------------------------------
+
+SimulatedBackend::SimulatedBackend(const topo::Machine& machine, sim::SimEffects effects,
+                                   double time_scale)
+    : machine_(machine), effects_(effects), time_scale_(time_scale) {
+  NS_REQUIRE(machine_.node_count() > 0, "simulated backend needs a machine");
+}
+
+void* SimulatedBackend::allocate(std::size_t bytes, topo::NodeId node) {
+  NS_REQUIRE(node < machine_.node_count(), "allocation node out of range");
+  count_allocation();
+  return page_aligned_alloc(bytes);
+}
+
+void SimulatedBackend::deallocate(void* p, std::size_t bytes, topo::NodeId node) {
+  (void)bytes;
+  (void)node;
+  std::free(p);
+  count_deallocation();
+}
+
+double SimulatedBackend::migrate_seconds(std::size_t bytes, topo::NodeId from,
+                                         topo::NodeId to) const {
+  if (from == to || bytes == 0) return 0.0;
+  // Bulk page migration streams across the inter-node link at a fraction of
+  // its nominal peak (kernel chunking, TLB shootdowns): the same shape as
+  // move_pages(2) on real iron. With no link modelled, fall back to the
+  // destination controller's bandwidth.
+  double bw = machine_.link_bandwidth(from, to);
+  if (bw <= 0.0) bw = machine_.node(to).memory_bandwidth;
+  if (bw <= 0.0) return 0.0;
+  const double effective =
+      bw * effects_.remote_link_efficiency * effects_.migration_efficiency;
+  if (effective <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / 1e9 / effective;
+}
+
+double SimulatedBackend::remote_access_penalty(topo::NodeId resident,
+                                               topo::NodeId executing) const {
+  if (resident == executing) return 1.0;
+  const double local = machine_.node(executing).memory_bandwidth;
+  double link = machine_.link_bandwidth(resident, executing);
+  if (link <= 0.0) link = local;
+  double ratio = 1.0;
+  if (local > 0.0 && link > 0.0) {
+    ratio = local / (link * effects_.remote_link_efficiency);
+  }
+  return std::max(1.0, ratio) * effects_.remote_access_latency_penalty;
+}
+
+void SimulatedBackend::migrate(void* dst, const void* src, std::size_t bytes,
+                               topo::NodeId from, topo::NodeId to) {
+  std::memcpy(dst, src, bytes);
+  const double seconds = migrate_seconds(bytes, from, to);
+  // Relaxed CAS loop: std::atomic<double> has no fetch_add pre-C++20 on all
+  // toolchains; contention here is one migrator per tick.
+  double cur = virtual_seconds_.load(std::memory_order_relaxed);
+  while (!virtual_seconds_.compare_exchange_weak(cur, cur + seconds,
+                                                 std::memory_order_relaxed)) {
+  }
+  if (time_scale_ > 0.0 && seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds * time_scale_));
+  }
+  count_migration(bytes);
+}
+
+// --- NumaArena -------------------------------------------------------------
+
+NumaArena::NumaArena(topo::NodeId node, MemoryBackend& backend, std::size_t slab_bytes)
+    : node_(node), backend_(backend), slab_bytes_(std::max(slab_bytes, kPage)) {}
+
+NumaArena::~NumaArena() {
+  for (const Slab& s : slabs_) backend_.deallocate(s.base, s.bytes, node_);
+}
+
+void* NumaArena::allocate(std::size_t bytes) {
+  NS_REQUIRE(bytes > 0, "empty arena allocation");
+  const std::size_t chunk = round_up(bytes, kChunkAlign);
+  std::scoped_lock lock(mutex_);
+  stats_.used_bytes += chunk;
+
+  // Exact-size recycling first: datablock workloads allocate in repeated
+  // sizes, so the free map is where most steady-state requests land.
+  if (auto it = free_.find(chunk); it != free_.end() && !it->second.empty()) {
+    void* p = it->second.back();
+    it->second.pop_back();
+    ++stats_.recycled_chunks;
+    std::memset(p, 0, chunk);
+    return p;
+  }
+
+  // Big request: dedicated backend allocation, returned to the backend on
+  // free (never pinned inside a slab it would dominate).
+  if (chunk >= slab_bytes_ / 2) {
+    void* p = backend_.allocate(chunk, node_);
+    dedicated_.insert(p);
+    ++stats_.slab_count;
+    stats_.slab_bytes += chunk;
+    std::memset(p, 0, chunk);  // first touch on the bound pages
+    return p;
+  }
+
+  if (bump_left_ < chunk) {
+    // Unused bump tail becomes a recyclable chunk rather than leaking.
+    if (bump_left_ >= kChunkAlign) free_[bump_left_].push_back(bump_);
+    void* base = backend_.allocate(slab_bytes_, node_);
+    slabs_.push_back({base, slab_bytes_});
+    ++stats_.slab_count;
+    stats_.slab_bytes += slab_bytes_;
+    bump_ = static_cast<std::byte*>(base);
+    bump_left_ = slab_bytes_;
+  }
+  void* p = bump_;
+  bump_ += chunk;
+  bump_left_ -= chunk;
+  std::memset(p, 0, chunk);  // first touch
+  return p;
+}
+
+void NumaArena::deallocate(void* p, std::size_t bytes) {
+  if (p == nullptr) return;
+  const std::size_t chunk = round_up(bytes, kChunkAlign);
+  std::scoped_lock lock(mutex_);
+  stats_.used_bytes -= std::min<std::uint64_t>(stats_.used_bytes, chunk);
+  if (auto it = dedicated_.find(p); it != dedicated_.end()) {
+    dedicated_.erase(it);
+    stats_.slab_bytes -= std::min<std::uint64_t>(stats_.slab_bytes, chunk);
+    --stats_.slab_count;
+    backend_.deallocate(p, chunk, node_);
+    return;
+  }
+  free_[chunk].push_back(p);
+}
+
+NumaArena::Stats NumaArena::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+// --- NumaArenaSet ----------------------------------------------------------
+
+NumaArenaSet::NumaArenaSet(std::uint32_t nodes, MemoryBackend& backend,
+                           std::size_t slab_bytes)
+    : backend_(backend) {
+  NS_REQUIRE(nodes > 0, "arena set needs at least one node");
+  arenas_.reserve(nodes);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    arenas_.push_back(std::make_unique<NumaArena>(n, backend, slab_bytes));
+  }
+}
+
+void* NumaArenaSet::allocate(std::size_t bytes, topo::NodeId node) {
+  NS_REQUIRE(node < arenas_.size(), "arena node out of range");
+  return arenas_[node]->allocate(bytes);
+}
+
+void NumaArenaSet::deallocate(void* p, std::size_t bytes, topo::NodeId node) {
+  NS_REQUIRE(node < arenas_.size(), "arena node out of range");
+  arenas_[node]->deallocate(p, bytes);
+}
+
+NumaArena::Stats NumaArenaSet::stats(topo::NodeId node) const {
+  NS_REQUIRE(node < arenas_.size(), "arena node out of range");
+  return arenas_[node]->stats();
+}
+
+}  // namespace numashare::rt

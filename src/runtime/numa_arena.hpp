@@ -1,0 +1,208 @@
+// Node-affine memory: the placement half of the paper's §III OCR argument.
+//
+// The roofline solver prices per-node bandwidth, and PR 8 closes the loop so
+// something actually *places* bytes: every Datablock allocation now comes out
+// of a per-node slab arena, and physical placement / migration goes through a
+// MemoryBackend —
+//
+//  * SystemBackend binds slab pages to their node with a raw mbind(2) syscall
+//    where the host supports it (no libnuma dependency; silently best-effort
+//    elsewhere) and migrates by allocate-copy-retire, the same cost shape as
+//    move_pages(2).
+//  * SimulatedBackend reproduces that cost shape from the machine description
+//    and sim::SimEffects (link bandwidth x migration efficiency, remote-access
+//    latency penalty) so a container with no real NUMA still exercises — and
+//    prices — every placement decision deterministically.
+//
+// Arenas use first-touch semantics: a fresh chunk is zero-filled immediately
+// after the backend binds it, so its pages fault in on the intended node.
+// Freed chunks recycle inside their node's arena (exact-size free lists);
+// slabs return to the backend only when the arena dies.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/effects.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::rt {
+
+/// Cumulative backend activity; all counters relaxed (telemetry only).
+struct MemoryBackendStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t deallocations = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t bytes_migrated = 0;
+  /// mbind attempts / successes (SystemBackend; both 0 when simulated or
+  /// the platform lacks the syscall).
+  std::uint64_t bind_attempts = 0;
+  std::uint64_t bind_successes = 0;
+};
+
+/// Physical placement seam between arenas and the host. allocate() returns
+/// page-aligned memory intended for `node`; migrate() copies `bytes` from a
+/// `from`-resident buffer into a `to`-resident one, charging whatever that
+/// costs on this backend (real copy bandwidth, or simulated link time).
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+
+  virtual void* allocate(std::size_t bytes, topo::NodeId node) = 0;
+  virtual void deallocate(void* p, std::size_t bytes, topo::NodeId node) = 0;
+  virtual void migrate(void* dst, const void* src, std::size_t bytes,
+                       topo::NodeId from, topo::NodeId to) = 0;
+  /// True when placement reaches real kernel policy (mbind succeeded at
+  /// least once is observable via stats().bind_successes).
+  virtual bool real() const = 0;
+  virtual const char* name() const = 0;
+
+  MemoryBackendStats stats() const;
+
+ protected:
+  void count_allocation() { allocations_.fetch_add(1, std::memory_order_relaxed); }
+  void count_deallocation() { deallocations_.fetch_add(1, std::memory_order_relaxed); }
+  void count_migration(std::size_t bytes) {
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+    bytes_migrated_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void count_bind(bool success) {
+    bind_attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (success) bind_successes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::uint64_t> deallocations_{0};
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<std::uint64_t> bytes_migrated_{0};
+  std::atomic<std::uint64_t> bind_attempts_{0};
+  std::atomic<std::uint64_t> bind_successes_{0};
+};
+
+/// Real-host backend: page-aligned heap memory, best-effort MPOL_PREFERRED
+/// mbind per allocation (raw syscall — the container bakes no libnuma), and
+/// migrate = memcpy (allocate-copy-retire carries the honest cost).
+class SystemBackend final : public MemoryBackend {
+ public:
+  void* allocate(std::size_t bytes, topo::NodeId node) override;
+  void deallocate(void* p, std::size_t bytes, topo::NodeId node) override;
+  void migrate(void* dst, const void* src, std::size_t bytes, topo::NodeId from,
+               topo::NodeId to) override;
+  bool real() const override { return true; }
+  const char* name() const override { return "system"; }
+
+  /// Process-wide default instance (what a DatablockRegistry uses when the
+  /// caller supplies no backend).
+  static SystemBackend& process_default();
+};
+
+/// Simulated backend: heap memory, but every migration is *priced* against
+/// the machine model — bytes / (link bandwidth x remote_link_efficiency x
+/// migration_efficiency) — and accumulated as virtual seconds. With
+/// time_scale > 0 the price is also paid in real sleep time (scaled), so
+/// wall-clock experiments feel the cost shape; tests keep time_scale = 0 and
+/// assert on the virtual account instead.
+class SimulatedBackend final : public MemoryBackend {
+ public:
+  SimulatedBackend(const topo::Machine& machine, sim::SimEffects effects = {},
+                   double time_scale = 0.0);
+
+  void* allocate(std::size_t bytes, topo::NodeId node) override;
+  void deallocate(void* p, std::size_t bytes, topo::NodeId node) override;
+  void migrate(void* dst, const void* src, std::size_t bytes, topo::NodeId from,
+               topo::NodeId to) override;
+  bool real() const override { return false; }
+  const char* name() const override { return "simulated"; }
+
+  /// Model price of one hypothetical migration, seconds (no side effects).
+  double migrate_seconds(std::size_t bytes, topo::NodeId from, topo::NodeId to) const;
+  /// Per-byte cost multiplier a task pays streaming `from` -> executing on
+  /// `to` relative to node-local access (1.0 when local): the steal-penalty
+  /// formula's bandwidth term (docs/MEMORY.md).
+  double remote_access_penalty(topo::NodeId resident, topo::NodeId executing) const;
+  /// Cumulative virtual seconds charged by migrate() since construction.
+  double virtual_migrate_seconds() const {
+    return virtual_seconds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  topo::Machine machine_;
+  sim::SimEffects effects_;
+  double time_scale_;
+  std::atomic<double> virtual_seconds_{0.0};
+};
+
+/// One node's slab arena. Small chunks bump-carve 64-byte-aligned out of
+/// slabs; freed chunks recycle through exact-size free lists; requests of at
+/// least half a slab get a dedicated backend allocation. Thread-safe.
+class NumaArena {
+ public:
+  static constexpr std::size_t kDefaultSlabBytes = std::size_t{1} << 20;
+
+  NumaArena(topo::NodeId node, MemoryBackend& backend,
+            std::size_t slab_bytes = kDefaultSlabBytes);
+  ~NumaArena();
+
+  NumaArena(const NumaArena&) = delete;
+  NumaArena& operator=(const NumaArena&) = delete;
+
+  /// Zero-filled (first-touch) chunk of `bytes`, resident on this node.
+  void* allocate(std::size_t bytes);
+  void deallocate(void* p, std::size_t bytes);
+
+  struct Stats {
+    std::uint64_t slab_count = 0;      ///< slabs carved (incl. dedicated)
+    std::uint64_t slab_bytes = 0;      ///< backend bytes held
+    std::uint64_t used_bytes = 0;      ///< bytes handed out and not freed
+    std::uint64_t recycled_chunks = 0; ///< free-list hits
+  };
+  Stats stats() const;
+
+  topo::NodeId node() const { return node_; }
+
+ private:
+  struct Slab {
+    void* base = nullptr;
+    std::size_t bytes = 0;
+  };
+
+  const topo::NodeId node_;
+  MemoryBackend& backend_;
+  const std::size_t slab_bytes_;
+
+  mutable std::mutex mutex_;
+  std::vector<Slab> slabs_;
+  std::unordered_set<void*> dedicated_;  ///< big chunks owned 1:1 by backend
+  std::byte* bump_ = nullptr;
+  std::size_t bump_left_ = 0;
+  std::map<std::size_t, std::vector<void*>> free_;  ///< exact-size recycling
+  Stats stats_;
+};
+
+/// All nodes' arenas behind one façade — what DatablockRegistry allocates
+/// from. The backend is shared (non-owning).
+class NumaArenaSet {
+ public:
+  NumaArenaSet(std::uint32_t nodes, MemoryBackend& backend,
+               std::size_t slab_bytes = NumaArena::kDefaultSlabBytes);
+
+  void* allocate(std::size_t bytes, topo::NodeId node);
+  void deallocate(void* p, std::size_t bytes, topo::NodeId node);
+
+  std::uint32_t node_count() const { return static_cast<std::uint32_t>(arenas_.size()); }
+  NumaArena::Stats stats(topo::NodeId node) const;
+  MemoryBackend& backend() { return backend_; }
+
+ private:
+  MemoryBackend& backend_;
+  std::vector<std::unique_ptr<NumaArena>> arenas_;
+};
+
+}  // namespace numashare::rt

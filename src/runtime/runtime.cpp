@@ -27,13 +27,15 @@ Runtime::Runtime(topo::Machine machine, RuntimeOptions options)
     : machine_(std::move(machine)),
       options_(std::move(options)),
       metrics_(machine_.core_count() + 1),
-      datablocks_(machine_.node_count()),
+      datablocks_(machine_.node_count(), options_.memory_backend),
+      ready_footprint_(machine_.node_count()),
       pool_(machine_.core_count()),
       blocked_per_node_(machine_.node_count()),
       control_rng_(options_.steal_seed ^ 0x3c6ef372fe94f82bull) {
   std::string error;
   NS_REQUIRE(machine_.validate(&error), error.c_str());
   for (auto& b : blocked_per_node_) b.store(0, std::memory_order_relaxed);
+  for (auto& f : ready_footprint_) f.store(0, std::memory_order_relaxed);
 
   node_queues_.reserve(machine_.node_count());
   for (topo::NodeId n = 0; n < machine_.node_count(); ++n) {
@@ -53,6 +55,7 @@ Runtime::Runtime(topo::Machine machine, RuntimeOptions options)
     w->core = core.id;
     w->node = core.node;
     w->rng = Xoshiro256(options_.steal_seed + 0x9e3779b9u * (w->id + 1));
+    w->victim_order.reserve(machine_.node_count());
     workers_.push_back(std::move(w));
   }
   for (auto& w : workers_) {
@@ -101,12 +104,19 @@ std::uint32_t Runtime::current_shard() const {
 }
 
 EventPtr Runtime::spawn(TaskFn fn, const std::vector<EventPtr>& deps, topo::NodeId affinity) {
+  return spawn_tagged(std::move(fn), deps, affinity, kAnyNode, 0);
+}
+
+EventPtr Runtime::spawn_tagged(TaskFn fn, const std::vector<EventPtr>& deps,
+                               topo::NodeId affinity, topo::NodeId footprint_node,
+                               std::uint64_t footprint_bytes) {
   NS_REQUIRE(fn != nullptr, "task function must be callable");
   NS_REQUIRE(affinity == kAnyNode || affinity < machine_.node_count(),
              "affinity node out of range");
   const std::uint32_t shard = current_shard();
   TaskNode* task =
-      pool_.allocate(shard, std::move(fn), static_cast<std::uint32_t>(deps.size()), affinity);
+      pool_.allocate(shard, std::move(fn), static_cast<std::uint32_t>(deps.size()),
+                     affinity, footprint_node, footprint_bytes);
   EventPtr done = task->done;
   // Relaxed is enough: the increment is ordered before the task's retirement
   // decrement through the queue handoff (release push / acquire pop), and
@@ -147,6 +157,27 @@ EventPtr Runtime::spawn_with_data(TaskFn fn, const std::vector<DataAccess>& acce
     if (hint == kAnyNode) hint = accesses.front().db->node();
   }
 
+  // Residency footprint: sum the declared bytes per node and tag the task
+  // with the dominant node + its resident bytes — what a cross-node thief
+  // would pull over a link, and what the poach threshold compares against.
+  // Touch counts feed the migrator's hotness ordering.
+  topo::NodeId footprint_node = kAnyNode;
+  std::uint64_t footprint_bytes = 0;
+  {
+    std::vector<std::uint64_t> per_node(machine_.node_count(), 0);
+    for (const auto& access : accesses) {
+      access.db->record_touch();
+      const topo::NodeId n = access.db->node();
+      if (n < per_node.size()) per_node[n] += access.db->size_bytes();
+    }
+    for (topo::NodeId n = 0; n < per_node.size(); ++n) {
+      if (per_node[n] > footprint_bytes) {
+        footprint_bytes = per_node[n];
+        footprint_node = n;
+      }
+    }
+  }
+
   // Collect derived dependencies under the chain lock, then spawn, then
   // publish the task's completion into the chains (still under the lock so
   // two spawns touching the same block serialize their chain updates).
@@ -160,7 +191,7 @@ EventPtr Runtime::spawn_with_data(TaskFn fn, const std::vector<DataAccess>& acce
       for (auto& reader : chain.readers_since_write) all_deps.push_back(reader);
     }
   }
-  EventPtr done = spawn(std::move(fn), all_deps, hint);
+  EventPtr done = spawn_tagged(std::move(fn), all_deps, hint, footprint_node, footprint_bytes);
   for (const auto& access : accesses) {
     auto& chain = data_chains_[access.db->id()];
     if (access.mode == DataAccess::Mode::kRead) {
@@ -194,6 +225,14 @@ void Runtime::enqueue_ready(TaskNode* task) {
     thread_local std::uint64_t sample_tick = 0;
     const std::uint64_t mask = (1ull << options_.latency_sample_shift) - 1;
     if ((sample_tick++ & mask) == 0) task->submit_ns = obs::now_ns();
+  }
+  // Residency accounting for the steal-penalty score: these bytes are ready
+  // to be pulled from footprint_node until the task actually runs
+  // (run_task subtracts). Poach re-injections bypass this path on purpose —
+  // the bytes never stopped being ready.
+  if (task->footprint_bytes != 0 && task->footprint_node != kAnyNode) {
+    ready_footprint_[task->footprint_node].fetch_add(task->footprint_bytes,
+                                                     std::memory_order_relaxed);
   }
   // Same-runtime worker thread with compatible affinity: push locally.
   if (tl_runtime == this && tl_worker_id != kExternalWorker) {
@@ -276,31 +315,94 @@ TaskNode* Runtime::find_task(Worker& w) {
     for (std::size_t k = 0; k < victims.size(); ++k) {
       Worker& victim = *workers_[victims[(start + k) % victims.size()]];
       if (victim.id == w.id) continue;
-      if (TaskNode* task = victim.deque.steal()) {
-        metrics_.shard(w.id).steals.fetch_add(1, std::memory_order_relaxed);
-        return task;
-      }
+      if (TaskNode* task = victim.deque.steal()) return task;
     }
     return nullptr;
   };
 
   if (TaskNode* task = try_steal_range(machine_.node(w.node).cores)) {
+    MetricsShard& m = metrics_.shard(w.id);
+    m.steals.fetch_add(1, std::memory_order_relaxed);
+    m.local_steals.fetch_add(1, std::memory_order_relaxed);
     return record_steal(task);
   }
+
+  // Poach veto: a cross-node acquisition of a task with a heavy resident
+  // footprint elsewhere is bounced home — once (the poach_skipped flag keeps
+  // liveness: the second acquisition always proceeds, so a policy-blocked
+  // home node can still be helped). Returns true when the task was bounced.
+  const auto veto_poach = [&](TaskNode* task) -> bool {
+    if (!options_.locality_aware_stealing || options_.poach_threshold_bytes == 0) {
+      return false;
+    }
+    if (task->poach_skipped || task->footprint_node == kAnyNode ||
+        task->footprint_node == w.node ||
+        task->footprint_bytes < options_.poach_threshold_bytes) {
+      return false;
+    }
+    task->poach_skipped = true;
+    metrics_.shard(w.id).steal_vetoes.fetch_add(1, std::memory_order_relaxed);
+    push_injection(task->footprint_node, task);
+    wake_one_idle(task->footprint_node);
+    return true;
+  };
+  // Metrics for a cross-node acquisition that stuck.
+  const auto count_remote = [&](TaskNode* task, bool deque_steal) {
+    MetricsShard& m = metrics_.shard(w.id);
+    if (deque_steal) {
+      m.steals.fetch_add(1, std::memory_order_relaxed);
+      m.remote_steals.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (task->footprint_node != kAnyNode && task->footprint_node != w.node &&
+        task->footprint_bytes != 0) {
+      m.bytes_pulled_remote.fetch_add(task->footprint_bytes, std::memory_order_relaxed);
+    }
+  };
 
   // Cross-node work is a last resort, and a *reluctant* one: respect other
   // nodes' affinity hints until this worker has come up dry a few times.
   if (w.dry_rounds >= options_.cross_node_reluctance) {
+    // Victim-node order. Locality-aware: cheapest expected pull first — the
+    // penalty for helping node n is the ready-task datablock footprint
+    // resident there divided by the bandwidth of the link those bytes would
+    // cross to reach this worker (docs/MEMORY.md). Blind: index order, the
+    // pre-PR8 behavior and the bench's baseline.
+    auto& order = w.victim_order;  // pre-reserved: no allocation mid-steal
+    order.clear();
     for (topo::NodeId n = 0; n < machine_.node_count(); ++n) {
       if (n == w.node) continue;
-      if (TaskNode* task = pop_injection(n)) return record_steal(task);
+      order.emplace_back(0.0, n);
     }
-    std::vector<topo::CoreId> others;
-    others.reserve(machine_.core_count());
-    for (const auto& core : machine_.cores()) {
-      if (core.node != w.node) others.push_back(core.id);
+    // Ranking a single candidate is pure steal-path tax (the memory bench
+    // gates this path's p99 on a two-node box), so penalties are only
+    // computed when there is an order to decide.
+    if (options_.locality_aware_stealing && order.size() > 1) {
+      for (auto& [penalty, n] : order) {
+        const auto resident = static_cast<double>(
+            ready_footprint_[n].load(std::memory_order_relaxed));
+        const double bw = machine_.link_bandwidth(n, w.node);
+        penalty = bw > 0.0 ? resident / bw : resident;
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [](const auto& a, const auto& b) { return a.first < b.first; });
     }
-    if (TaskNode* task = try_steal_range(others)) return record_steal(task);
+    // After a veto, move to the next victim node instead of re-popping the
+    // same queue — the bounced task must get a chance to be picked up by a
+    // home-node worker before this thief sees it again.
+    for (const auto& [penalty, n] : order) {
+      if (TaskNode* task = pop_injection(n)) {
+        if (veto_poach(task)) continue;
+        count_remote(task, false);
+        return record_steal(task);
+      }
+    }
+    for (const auto& [penalty, n] : order) {
+      if (TaskNode* task = try_steal_range(machine_.node(n).cores)) {
+        if (veto_poach(task)) continue;
+        count_remote(task, true);
+        return record_steal(task);
+      }
+    }
   }
 
   metrics_.shard(w.id).failed_steal_rounds.fetch_add(1, std::memory_order_relaxed);
@@ -308,6 +410,10 @@ TaskNode* Runtime::find_task(Worker& w) {
 }
 
 void Runtime::run_task(TaskNode* task, TaskContext& context, std::uint64_t& retired) {
+  if (task->footprint_bytes != 0 && task->footprint_node != kAnyNode) {
+    ready_footprint_[task->footprint_node].fetch_sub(task->footprint_bytes,
+                                                     std::memory_order_relaxed);
+  }
   if (task->submit_ns != 0) {
     const std::uint64_t now = obs::now_ns();
     latency_.hist(current_shard(), obs::LatencyKind::kHandoff)
@@ -376,6 +482,24 @@ void Runtime::wait_and_assist(const EventPtr& event) {
 
 DatablockPtr Runtime::create_datablock(std::size_t bytes, topo::NodeId node) {
   return datablocks_.create(bytes, node);
+}
+
+MigrationReport Runtime::migrate_datablocks_toward(
+    const std::vector<std::uint32_t>& node_weights) {
+  if (options_.migration_budget_bytes == 0) return {};
+  const MigrationReport report =
+      datablocks_.migrate_toward(node_weights, options_.migration_budget_bytes);
+  if (report.blocks_moved > 0) {
+    MetricsShard& shard = metrics_.shard(current_shard());
+    shard.blocks_migrated.fetch_add(report.blocks_moved, std::memory_order_relaxed);
+    shard.bytes_migrated.fetch_add(report.bytes_moved, std::memory_order_relaxed);
+    if (options_.tracer != nullptr) {
+      options_.tracer->instant("datablock-migrate", "rt", worker_count() + 1);
+    }
+    NS_LOG_DEBUG("rt", "{} migrated {} datablocks / {} bytes toward new node targets",
+                 options_.name, report.blocks_moved, report.bytes_moved);
+  }
+  return report;
 }
 
 // --- worker loop -------------------------------------------------------

@@ -90,6 +90,22 @@ struct RuntimeOptions {
   /// heartbeat is silent this long is reported stalled (the OS isn't
   /// scheduling it). 0 (default) = watchdog off.
   std::int64_t watchdog_deadline_us = 0;
+  /// Locality-aware stealing (docs/MEMORY.md): rank cross-node victims by
+  /// the remote-datablock pull penalty and bounce footprint-heavy tasks back
+  /// home once (poach threshold). Off = the locality-blind baseline the
+  /// memory bench compares against.
+  bool locality_aware_stealing = true;
+  /// A cross-node thief bounces a task home (once) when at least this many
+  /// of its datablock bytes are resident on another node — a task with
+  /// 100 MB on node 0 must not move to node 3 for a microsecond queue win.
+  /// 0 disables the veto.
+  std::uint64_t poach_threshold_bytes = std::uint64_t{4} << 20;
+  /// Per-reallocation-tick byte budget for datablock migration
+  /// (migrate_datablocks_toward); bounds churn. 0 disables migration.
+  std::uint64_t migration_budget_bytes = std::uint64_t{32} << 20;
+  /// Physical placement backend for datablock arenas (non-owning; must
+  /// outlive the runtime). Null = the process-wide SystemBackend.
+  MemoryBackend* memory_backend = nullptr;
 };
 
 class Runtime {
@@ -149,6 +165,15 @@ class Runtime {
   // --- data API ---------------------------------------------------------
   DatablockPtr create_datablock(std::size_t bytes, topo::NodeId node = 0);
   DatablockRegistry& datablocks() { return datablocks_; }
+
+  /// Reallocation-tick migration: move the hottest datablocks toward the
+  /// residency distribution implied by the per-node thread targets, spending
+  /// at most options().migration_budget_bytes of copy traffic. Called by the
+  /// agent adapter when the policy shifts this app's node targets; safe
+  /// while tasks run (Datablock::move_to is reader-safe).
+  MigrationReport migrate_datablocks_toward(const std::vector<std::uint32_t>& node_weights);
+
+  const RuntimeOptions& options() const { return options_; }
 
   // --- non-worker threads (paper §IV) -------------------------------------
   /// Registry for threads the runtime does not own (main/I-O/legacy compute
@@ -217,6 +242,10 @@ class Runtime {
     std::atomic<bool> idle{false};
     /// Consecutive find_task failures; gates cross-node poaching.
     std::uint32_t dry_rounds = 0;
+    /// Victim-order scratch for the cross-node steal path, sized to the
+    /// machine at startup so ranking never allocates mid-steal (the memory
+    /// bench gates the steal-path p99 against the locality-blind baseline).
+    std::vector<std::pair<double, topo::NodeId>> victim_order;
     /// Bumped every worker_main loop pass (including idle park timeouts);
     /// the watchdog's proof the OS is scheduling this worker.
     std::atomic<std::uint64_t> heartbeat{0};
@@ -242,6 +271,11 @@ class Runtime {
   // Worker internals.
   void worker_main(Worker& w);
   TaskNode* find_task(Worker& w);
+  /// spawn() with the data-residency footprint attached before the task can
+  /// be published (spawn_with_data's path; plain spawn passes kAnyNode/0).
+  EventPtr spawn_tagged(TaskFn fn, const std::vector<EventPtr>& deps,
+                        topo::NodeId affinity, topo::NodeId footprint_node,
+                        std::uint64_t footprint_bytes);
   void push_injection(topo::NodeId node, TaskNode* task);
   TaskNode* pop_injection(topo::NodeId node);
   void run_task(TaskNode* task, TaskContext& context, std::uint64_t& retired);
@@ -280,6 +314,11 @@ class Runtime {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<NodeQueues>> node_queues_;
+
+  /// Ready-task datablock bytes homed per node (enqueue adds, execution
+  /// subtracts): the numerator of the steal-penalty score — how much data a
+  /// thief helping node n should expect to pull across the link.
+  std::vector<std::atomic<std::uint64_t>> ready_footprint_;
 
   /// Workers currently published as idle; lets the submit path skip the
   /// wake scan entirely (one relaxed load of a zero) while the pool is

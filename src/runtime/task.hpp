@@ -35,14 +35,27 @@ using TaskFn = std::function<void(TaskContext&)>;
 struct TaskSlot;
 
 struct TaskNode {
-  TaskNode(TaskFn f, std::uint32_t deps, topo::NodeId affinity_hint, TaskSlot* s)
+  TaskNode(TaskFn f, std::uint32_t deps, topo::NodeId affinity_hint, TaskSlot* s,
+           topo::NodeId footprint_home = kAnyNode, std::uint64_t footprint = 0)
       : fn(std::move(f)), pending(deps), affinity(affinity_hint),
+        footprint_node(footprint_home), footprint_bytes(footprint),
         done(std::make_shared<Event>()), slot(s) {}
 
   TaskFn fn;
   std::atomic<std::uint32_t> pending;
   /// Preferred execution node (data locality); kAnyNode = no preference.
   topo::NodeId affinity;
+  /// Resident-data footprint, derived by spawn_with_data from the declared
+  /// accesses: the node holding most of this task's datablock bytes and how
+  /// many bytes live there. A thief on another node would pull that much
+  /// across a link — the steal-penalty and poach-threshold input.
+  /// kAnyNode/0 for tasks spawned without data.
+  topo::NodeId footprint_node;
+  std::uint64_t footprint_bytes;
+  /// One-shot poach veto: set when a cross-node thief bounced this task back
+  /// to its footprint node, so the second acquisition always proceeds
+  /// (liveness: a task is never re-homed twice).
+  bool poach_skipped = false;
   /// Satisfied after fn returns — the task's output event in OCR terms.
   /// The one remaining per-task heap allocation: callers hold the EventPtr
   /// beyond the task's life, so it cannot live in the recycled slot.

@@ -78,7 +78,8 @@ class TaskPool {
   /// Construct a TaskNode out of `shard`'s slabs. Callers pass their own
   /// shard index (their worker id, or external_shard()).
   TaskNode* allocate(std::uint32_t shard_index, TaskFn fn, std::uint32_t deps,
-                     topo::NodeId affinity) {
+                     topo::NodeId affinity, topo::NodeId footprint_node = kAnyNode,
+                     std::uint64_t footprint_bytes = 0) {
     Shard& shard = shards_[shard_index];
     TaskSlot* slot;
     if (shard_index == external_) {
@@ -88,7 +89,8 @@ class TaskPool {
       slot = acquire_slot(shard, shard_index);
     }
     slot->live = true;
-    return new (slot->storage) TaskNode(std::move(fn), deps, affinity, slot);
+    return new (slot->storage)
+        TaskNode(std::move(fn), deps, affinity, slot, footprint_node, footprint_bytes);
   }
 
   /// Destroy `node` and recycle its slot. Any thread; `releasing_shard` is

@@ -35,6 +35,18 @@ struct SimEffects {
   /// Amplitude of deterministic per-epoch multiplicative bandwidth jitter.
   double bandwidth_jitter = 0.004;
 
+  /// Fraction of a link's (already latency-derated) bandwidth achieved by
+  /// bulk page migration — kernel-style chunked copies with TLB shootdowns
+  /// run well under a tuned stream. Prices Datablock::move_to in the
+  /// simulated MemoryBackend (runtime/numa_arena.hpp).
+  double migration_efficiency = 0.70;
+
+  /// Extra latency multiplier a task pays when its resident datablocks live
+  /// on a remote node, on top of the local/link bandwidth ratio: limited
+  /// outstanding remote requests stall the pipeline even when the link has
+  /// headroom. Feeds the steal-penalty formula (docs/MEMORY.md).
+  double remote_access_latency_penalty = 1.35;
+
   static SimEffects none() {
     SimEffects e;
     e.compute_efficiency = 1.0;
@@ -43,6 +55,8 @@ struct SimEffects {
     e.saturation_boost = 1.0;
     e.saturation_ratio = 1e30;
     e.bandwidth_jitter = 0.0;
+    e.migration_efficiency = 1.0;
+    e.remote_access_latency_penalty = 1.0;
     return e;
   }
 };

@@ -51,6 +51,7 @@
 #include "daemon/daemon.hpp"
 #include "daemon/journal.hpp"
 #include "inject/fault.hpp"
+#include "runtime/datablock.hpp"
 #include "topology/machine.hpp"
 
 namespace numashare::nsd {
@@ -493,6 +494,10 @@ Schedule make_schedule(std::uint64_t seed) {
         "shm.tel.drop@count=" + std::to_string(1 + rng.uniform_u64(4)),
         "shm.tel.dup@count=" + std::to_string(1 + rng.uniform_u64(2)),
         "shm.tel.delay@ticks=1,count=" + std::to_string(1 + rng.uniform_u64(2)),
+        // Crash mid-datablock-migration (the client body runs a migrating
+        // registry every beat): dies after a completed move, exit 49.
+        "datablock.migrate.die@after=" + std::to_string(rng.uniform_u64(6)),
+        "datablock.migrate.abort@count=" + std::to_string(1 + rng.uniform_u64(4)),
     };
     const std::uint64_t clauses = rng.uniform_u64(3);  // 0..2
     for (std::uint64_t i = 0; i < clauses; ++i) {
@@ -516,6 +521,14 @@ Schedule make_schedule(std::uint64_t seed) {
   DaemonClient client(which == 0 ? "sweep-a" : "sweep-b",
                       sweep_client_options(registry_name));
   if (!client.connect()) _exit(kExitNoConnect);
+  // A small migrating registry beats alongside the protocol loop, so the
+  // datablock.migrate.* rules have live sites to fire in this process, and
+  // a crash mid-migration happens *between* heartbeats — the daemon-side
+  // invariants (slot reclaim, journal consistency) see the worst timing.
+  rt::DatablockRegistry datablocks(2);
+  std::vector<rt::DatablockPtr> blocks;
+  for (int b = 0; b < 3; ++b) blocks.push_back(datablocks.create(1024, 0));
+  std::uint32_t flip = 0;
   std::uint64_t seq = 0;
   std::uint64_t enacted_epoch = 0;
   std::uint32_t enacted_target = agent::kUnconstrained;
@@ -525,6 +538,9 @@ Schedule make_schedule(std::uint64_t seed) {
                         static_cast<std::int64_t>(schedule.client_lifetime_s[which] * 1e6));
   while (std::chrono::steady_clock::now() < stop) {
     client.heartbeat();
+    // Alternate the target node so every beat wants at least one move.
+    datablocks.migrate_toward({flip % 2, (flip + 1) % 2}, 1u << 16);
+    ++flip;
     // Enact first (this pop is where client.enact.stall wedges), then ack
     // the newest epoch through telemetry so the compliance watchdog sees a
     // well-behaved client unless a fault says otherwise.
@@ -579,6 +595,7 @@ bool exit_status_expected(int status) {
     case 45:  // client.die post_claim
     case 46:  // client.die pre_attach
     case 47:  // client.die post_attach
+    case 49:  // datablock.migrate.die (mid-migration crash)
       return true;
     default:
       return false;

@@ -93,6 +93,8 @@ TEST(NodeArenaSetDeath, WrongSizeVector) {
   Runtime rt(machine_2x2());
   NodeArenaSet arenas(rt);
   EXPECT_DEATH(arenas.resize({1}), "one size per node");
+  // Too long dies too: a silently-truncated vector would mis-target nodes.
+  EXPECT_DEATH(arenas.resize({1, 2, 3}), "one size per node");
 }
 
 }  // namespace

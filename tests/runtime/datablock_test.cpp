@@ -78,6 +78,38 @@ TEST(Datablock, ThroughRuntimeApi) {
   for (double d : db->as_span<double>()) EXPECT_DOUBLE_EQ(d, 2.5);
 }
 
+TEST(Datablock, MoveRetiresOldBufferUntilReclaim) {
+  DatablockRegistry registry(2);
+  auto db = registry.create(256, 0);
+  const std::byte* before = db->data();
+  db->move_to(1);
+  // Publish-then-retire: the new buffer is live, the old one is retired —
+  // not freed — so a reader that loaded data() pre-move stays valid.
+  EXPECT_NE(db->data(), before);
+  EXPECT_EQ(db->retired_bytes(), 256u);
+  EXPECT_EQ(registry.retired_bytes(), 256u);
+  db->reclaim_retired();
+  EXPECT_EQ(db->retired_bytes(), 0u);
+}
+
+TEST(Datablock, TouchCountsAccumulate) {
+  DatablockRegistry registry(1);
+  auto db = registry.create(64, 0);
+  EXPECT_EQ(db->touches(), 0u);
+  db->record_touch();
+  db->record_touch(9);
+  EXPECT_EQ(db->touches(), 10u);
+}
+
+TEST(Datablock, RegistryUsesSimulatedBackendWhenGiven) {
+  SimulatedBackend backend(topo::Machine::symmetric(2, 2, 1.0, 10.0, 5.0));
+  DatablockRegistry registry(2, &backend);
+  auto db = registry.create(4096, 0);
+  db->move_to(1);
+  EXPECT_EQ(backend.stats().migrations, 1u);
+  EXPECT_GT(backend.virtual_migrate_seconds(), 0.0);
+}
+
 TEST(DatablockDeath, EmptyBlockRejected) {
   DatablockRegistry registry(1);
   EXPECT_DEATH(registry.create(0, 0), "empty");

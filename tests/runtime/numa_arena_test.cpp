@@ -1,0 +1,145 @@
+// Node-affine arenas and the MemoryBackend seam (docs/MEMORY.md).
+#include "runtime/numa_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "sim/effects.hpp"
+#include "topology/machine.hpp"
+
+namespace numashare::rt {
+namespace {
+
+topo::Machine test_machine() { return topo::Machine::symmetric(2, 2, 1.0, 10.0, 5.0); }
+
+TEST(NumaArena, AllocationsAreAlignedAndZeroed) {
+  NumaArena arena(0, SystemBackend::process_default());
+  void* p = arena.allocate(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  const auto* bytes = static_cast<const unsigned char*>(p);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(bytes[i], 0u);
+  arena.deallocate(p, 100);
+}
+
+TEST(NumaArena, ExactSizeRecyclingReusesFreedChunks) {
+  NumaArena arena(0, SystemBackend::process_default());
+  void* a = arena.allocate(256);
+  std::memset(a, 0xab, 256);
+  arena.deallocate(a, 256);
+  void* b = arena.allocate(256);
+  EXPECT_EQ(b, a);  // exact-size free-list hit
+  // Recycled chunks are re-zeroed: stale bytes must never leak.
+  const auto* bytes = static_cast<const unsigned char*>(b);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(bytes[i], 0u);
+  EXPECT_EQ(arena.stats().recycled_chunks, 1u);
+  arena.deallocate(b, 256);
+}
+
+TEST(NumaArena, SmallChunksShareOneSlab) {
+  NumaArena arena(0, SystemBackend::process_default());
+  std::vector<void*> chunks;
+  for (int i = 0; i < 16; ++i) chunks.push_back(arena.allocate(1024));
+  const auto stats = arena.stats();
+  EXPECT_EQ(stats.slab_count, 1u);
+  EXPECT_EQ(stats.slab_bytes, NumaArena::kDefaultSlabBytes);
+  EXPECT_EQ(stats.used_bytes, 16u * 1024u);
+  for (void* p : chunks) arena.deallocate(p, 1024);
+  EXPECT_EQ(arena.stats().used_bytes, 0u);
+}
+
+TEST(NumaArena, BigChunksGetDedicatedBackendAllocations) {
+  SystemBackend backend;
+  NumaArena arena(0, backend, /*slab_bytes=*/4096);
+  const auto before = backend.stats().allocations;
+  void* big = arena.allocate(3000);  // >= slab/2 -> dedicated
+  EXPECT_EQ(backend.stats().allocations, before + 1);
+  arena.deallocate(big, 3000);
+  // Dedicated chunks go straight back to the backend, not the free map.
+  EXPECT_EQ(backend.stats().deallocations, 1u);
+  EXPECT_EQ(arena.stats().slab_count, 0u);
+}
+
+TEST(NumaArenaSet, NodesAccountIndependently) {
+  SystemBackend backend;
+  NumaArenaSet set(2, backend);
+  void* a = set.allocate(512, 0);
+  void* b = set.allocate(512, 1);
+  EXPECT_EQ(set.stats(0).used_bytes, 512u);
+  EXPECT_EQ(set.stats(1).used_bytes, 512u);
+  set.deallocate(a, 512, 0);
+  EXPECT_EQ(set.stats(0).used_bytes, 0u);
+  EXPECT_EQ(set.stats(1).used_bytes, 512u);
+  set.deallocate(b, 512, 1);
+}
+
+TEST(NumaArenaSetDeath, NodeOutOfRangeRejected) {
+  SystemBackend backend;
+  NumaArenaSet set(2, backend);
+  EXPECT_DEATH(set.allocate(64, 5), "out of range");
+}
+
+TEST(SystemBackend, CountsBindAttempts) {
+  SystemBackend backend;
+  void* p = backend.allocate(4096, 0);
+  ASSERT_NE(p, nullptr);
+  // Every allocation attempts an mbind; success depends on the host (a
+  // container without CAP_SYS_NICE or a single-node kernel may refuse), so
+  // only the attempt count is asserted.
+  EXPECT_EQ(backend.stats().bind_attempts, 1u);
+  EXPECT_LE(backend.stats().bind_successes, backend.stats().bind_attempts);
+  EXPECT_TRUE(backend.real());
+  backend.deallocate(p, 4096, 0);
+}
+
+TEST(SimulatedBackend, MigrationPriceMatchesTheModel) {
+  const auto machine = test_machine();
+  sim::SimEffects effects;  // defaults: 0.85 link efficiency, 0.70 migration
+  SimulatedBackend backend(machine, effects);
+  const std::size_t bytes = 1u << 20;
+  const double expected = static_cast<double>(bytes) / 1e9 /
+                          (machine.link_bandwidth(0, 1) * effects.remote_link_efficiency *
+                           effects.migration_efficiency);
+  EXPECT_DOUBLE_EQ(backend.migrate_seconds(bytes, 0, 1), expected);
+  EXPECT_DOUBLE_EQ(backend.migrate_seconds(bytes, 1, 1), 0.0);  // local = free
+  EXPECT_FALSE(backend.real());
+}
+
+TEST(SimulatedBackend, MigrateCopiesAndAccruesVirtualSeconds) {
+  SimulatedBackend backend(test_machine());
+  const std::size_t bytes = 4096;
+  void* src = backend.allocate(bytes, 0);
+  void* dst = backend.allocate(bytes, 1);
+  std::memset(src, 0x5a, bytes);
+  backend.migrate(dst, src, bytes, 0, 1);
+  EXPECT_EQ(std::memcmp(dst, src, bytes), 0);
+  EXPECT_DOUBLE_EQ(backend.virtual_migrate_seconds(),
+                   backend.migrate_seconds(bytes, 0, 1));
+  EXPECT_EQ(backend.stats().migrations, 1u);
+  EXPECT_EQ(backend.stats().bytes_migrated, bytes);
+  backend.deallocate(src, bytes, 0);
+  backend.deallocate(dst, bytes, 1);
+}
+
+TEST(SimulatedBackend, RemoteAccessPenaltyIsOneWhenLocal) {
+  SimulatedBackend backend(test_machine());
+  EXPECT_DOUBLE_EQ(backend.remote_access_penalty(0, 0), 1.0);
+  // Remote: at least the latency penalty, scaled by the local/link ratio.
+  EXPECT_GT(backend.remote_access_penalty(0, 1), 1.0);
+}
+
+TEST(SimulatedBackend, EffectsOffMakesMigrationPureLinkTime) {
+  const auto machine = test_machine();
+  SimulatedBackend backend(machine, sim::SimEffects::none());
+  const std::size_t bytes = 1u << 20;
+  EXPECT_DOUBLE_EQ(backend.migrate_seconds(bytes, 0, 1),
+                   static_cast<double>(bytes) / 1e9 / machine.link_bandwidth(0, 1));
+  EXPECT_DOUBLE_EQ(backend.remote_access_penalty(0, 1),
+                   std::max(1.0, machine.node(1).memory_bandwidth /
+                                     machine.link_bandwidth(0, 1)));
+}
+
+}  // namespace
+}  // namespace numashare::rt
