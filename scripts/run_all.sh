@@ -18,6 +18,11 @@ ctest --test-dir build --output-on-failure -L obs
 # the same dedicated pass the CI sanitizer jobs run.
 ctest --test-dir build --output-on-failure -L memory
 
+# Daemon-loss survival: the kill/restart chaos harness (forked daemons,
+# degraded-mode consensus, generation-fenced failback). Same dedicated pass
+# the CI sanitizer jobs run.
+ctest --test-dir build --output-on-failure -L failover
+
 echo
 echo "=== experiment benches (every paper table & figure) ==="
 for b in build/bench/bench_*; do

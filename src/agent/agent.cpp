@@ -102,6 +102,7 @@ void Agent::send(ManagedApp& app, const Directive& directive) {
     suggestion.type = CommandType::kSuggestDataHome;
     suggestion.suggested_home = directive.suggested_data_home;
     suggestion.seq = ++app.command_seq;
+    suggestion.arbiter_generation = arbiter_generation_.load(std::memory_order_relaxed);
     if (app.channel->push_command(suggestion)) {
       ++commands_sent_;
     } else {
@@ -157,6 +158,7 @@ void Agent::send(ManagedApp& app, const Directive& directive) {
   // the enactment-lag histogram's zero point.
   command.epoch = app.commanded_epoch + 1;
   command.issued_ns = obs::now_ns();
+  command.arbiter_generation = arbiter_generation_.load(std::memory_order_relaxed);
   if (app.channel->push_command(command)) {
     ++commands_sent_;
     app.commanded_epoch = command.epoch;

@@ -82,6 +82,17 @@ class Agent {
   /// membership changes.
   std::uint64_t generation() const { return generation_.load(std::memory_order_relaxed); }
 
+  /// Daemon incarnation stamped into every outgoing Command
+  /// (Command::arbiter_generation). The daemon sets it once at init from the
+  /// registry header; 0 (the default) marks an in-process agent whose
+  /// commands are never generation-fenced.
+  void set_arbiter_generation(std::uint64_t generation) {
+    arbiter_generation_.store(generation, std::memory_order_relaxed);
+  }
+  std::uint64_t arbiter_generation() const {
+    return arbiter_generation_.load(std::memory_order_relaxed);
+  }
+
   /// One decision cycle at the given timestamp (monotonic seconds). Returns
   /// the number of commands sent.
   std::uint32_t step(double now);
@@ -124,6 +135,7 @@ class Agent {
   std::vector<ManagedApp> apps_;
   std::vector<AppView> views_;
   std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> arbiter_generation_{0};
   std::uint64_t commands_sent_ = 0;
   std::uint64_t telemetry_received_ = 0;
   OsLoadSampler os_sampler_;

@@ -61,4 +61,57 @@ Proposal fair_proposal(const topo::Machine& machine, std::uint32_t app,
   return p;
 }
 
+std::vector<std::uint32_t> SlotAllocation::threads_for(std::uint32_t slot) const {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] != slot) continue;
+    std::vector<std::uint32_t> out(allocation.node_count());
+    for (topo::NodeId n = 0; n < allocation.node_count(); ++n) {
+      out[n] = allocation.threads(static_cast<model::AppId>(i), n);
+    }
+    return out;
+  }
+  return {};
+}
+
+SlotAllocation arbitrate_slots(const topo::Machine& machine,
+                               std::vector<SlotProposal> proposals) {
+  NS_REQUIRE(!proposals.empty(), "consensus needs at least one proposal");
+  // Canonicalize: ascending slot order, then densify. Every survivor sorts
+  // the same *set* into the same sequence, so the gather order (which
+  // differs per survivor — each scans from its own position at its own
+  // time) cannot influence the outcome.
+  std::sort(proposals.begin(), proposals.end(),
+            [](const SlotProposal& a, const SlotProposal& b) { return a.slot < b.slot; });
+  for (std::size_t i = 1; i < proposals.size(); ++i) {
+    NS_REQUIRE(proposals[i].slot != proposals[i - 1].slot, "duplicate slot proposal");
+  }
+  SlotAllocation out;
+  out.slots.reserve(proposals.size());
+  std::vector<Proposal> dense(proposals.size());
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    out.slots.push_back(proposals[i].slot);
+    dense[i].app = static_cast<std::uint32_t>(i);
+    dense[i].desired_per_node = std::move(proposals[i].desired_per_node);
+  }
+  out.allocation = arbitrate(machine, dense);
+  return out;
+}
+
+std::vector<std::uint32_t> conservative_desired(const topo::Machine& machine,
+                                                std::uint32_t participants,
+                                                const std::vector<std::uint32_t>& last_granted) {
+  const auto fair = fair_proposal(machine, 0, std::max(1u, participants)).desired_per_node;
+  std::vector<std::uint32_t> out(machine.node_count());
+  for (topo::NodeId n = 0; n < machine.node_count(); ++n) {
+    // At least one thread somewhere is always sought (node 0 as the anchor
+    // when the fair share rounds to zero); the last-granted clamp still
+    // applies so a capped app cannot grow through a daemon crash.
+    std::uint32_t want = fair[n];
+    if (n == 0 && want == 0) want = 1;
+    if (n < last_granted.size()) want = std::min(want, last_granted[n]);
+    out[n] = want;
+  }
+  return out;
+}
+
 }  // namespace numashare::agent

@@ -40,4 +40,36 @@ model::Allocation arbitrate(const topo::Machine& machine,
 Proposal fair_proposal(const topo::Machine& machine, std::uint32_t app,
                        std::uint32_t participants);
 
+/// A proposal keyed by a registry slot index instead of a dense app index —
+/// the form degraded-mode survivors exchange through the orphaned registry
+/// segment, where membership is a sparse set of surviving slots.
+struct SlotProposal {
+  std::uint32_t slot = 0;  ///< registry slot; must be unique within a set
+  std::vector<std::uint32_t> desired_per_node;
+};
+
+/// arbitrate() over slot-keyed proposals. The result row for each slot is
+/// independent of the *order* proposals were gathered in: the set is sorted
+/// by slot and densified before arbitration, so every survivor that snapshots
+/// the same proposal set computes the bitwise-identical allocation — the
+/// whole point of arbiter-free degraded mode.
+struct SlotAllocation {
+  std::vector<std::uint32_t> slots;  ///< ascending; row i of allocation = slots[i]
+  model::Allocation allocation;
+  /// Per-node threads granted to `slot`; empty when the slot proposed
+  /// nothing in this round.
+  std::vector<std::uint32_t> threads_for(std::uint32_t slot) const;
+};
+SlotAllocation arbitrate_slots(const topo::Machine& machine,
+                               std::vector<SlotProposal> proposals);
+
+/// The conservative degraded-mode proposal: the fair share, additionally
+/// clamped elementwise to `last_granted` (per-node threads the dead daemon
+/// last granted this app) when that is known. Survivors arbitrating only
+/// such proposals can never oversubscribe beyond the last daemon-sanctioned
+/// state, no matter how membership churns.
+std::vector<std::uint32_t> conservative_desired(const topo::Machine& machine,
+                                                std::uint32_t participants,
+                                                const std::vector<std::uint32_t>& last_granted);
+
 }  // namespace numashare::agent

@@ -52,6 +52,12 @@ struct Command {
   /// command-enactment-lag histogram. 0 = sender did not stamp (the adapter
   /// then falls back to its own receipt time).
   std::uint64_t issued_ns = 0;
+  /// Daemon incarnation that issued this command (registry header's
+  /// arbiter_generation). A client that has observed a newer incarnation
+  /// discards commands stamped with an older one — the fence that keeps a
+  /// pre-crash grant from ever being enacted after failback. 0 = sender is
+  /// not generation-aware (in-process agent); always accepted.
+  std::uint64_t arbiter_generation = 0;
 };
 static_assert(std::is_trivially_copyable_v<Command>);
 

@@ -21,7 +21,9 @@ constexpr std::uint64_t kMagic = 0x6e756d6173686172ull;  // "numashar"
 //     epoch/target ack (message sizes changed).
 // v4: Telemetry carries cumulative datablock migration counters
 //     (blocks_migrated / bytes_migrated; message size changed).
-constexpr std::uint32_t kVersion = 4;
+// v5: Command carries the issuing daemon's arbiter_generation (failback
+//     fencing; message size changed).
+constexpr std::uint32_t kVersion = 5;
 }  // namespace
 
 struct ShmChannel::Layout {

@@ -10,6 +10,7 @@
 #include "common/assert.hpp"
 #include "common/format.hpp"
 #include "common/logging.hpp"
+#include "common/rng.hpp"
 #include "common/threading.hpp"
 #include "inject/fault.hpp"
 
@@ -88,6 +89,7 @@ bool DaemonClient::try_join_once(std::string* error) {
   slot_index_ = index;
   generation_ = slot.generation.load(std::memory_order_relaxed);
   active_word_ = activated;
+  daemon_lost_.store(false, std::memory_order_release);
   connected_.store(true, std::memory_order_release);
   NS_LOG_INFO("daemon-client", "'{}' joined: slot {} channel '{}' generation {}", app_name_,
               index, channel_name, generation_);
@@ -95,6 +97,15 @@ bool DaemonClient::try_join_once(std::string* error) {
 }
 
 bool DaemonClient::connect(std::string* error) {
+  // Decorrelated jitter (sleep = uniform[initial, 3 * previous], clamped):
+  // survivors of a daemon restart all reconnect at once, and identical
+  // backoff schedules would have their claim CASes collide round after
+  // round. Each client drawing its own schedule spreads the herd.
+  Xoshiro256 rng(options_.backoff_seed != 0
+                     ? options_.backoff_seed
+                     : (static_cast<std::uint64_t>(::getpid()) << 32) ^
+                           static_cast<std::uint64_t>(
+                               std::chrono::steady_clock::now().time_since_epoch().count()));
   std::int64_t backoff_us = options_.initial_backoff_us;
   std::string last_error;
   for (std::uint32_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
@@ -103,7 +114,15 @@ bool DaemonClient::connect(std::string* error) {
     NS_LOG_DEBUG("daemon-client", "'{}' connect attempt {} failed: {} (backoff {} us)",
                  app_name_, attempt + 1, last_error, backoff_us);
     std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
-    backoff_us = std::min<std::int64_t>(backoff_us * 2, options_.max_backoff_us);
+    if (options_.decorrelated_jitter) {
+      const std::int64_t lo = std::max<std::int64_t>(1, options_.initial_backoff_us);
+      const std::int64_t hi =
+          std::min<std::int64_t>(std::max(backoff_us * 3, lo), options_.max_backoff_us);
+      backoff_us = lo + static_cast<std::int64_t>(
+                            rng.uniform_u64(static_cast<std::uint64_t>(hi - lo) + 1));
+    } else {
+      backoff_us = std::min<std::int64_t>(backoff_us * 2, options_.max_backoff_us);
+    }
   }
   if (error) {
     *error = ns_format("gave up after {} attempts: {}", options_.max_attempts, last_error);
@@ -153,7 +172,20 @@ bool DaemonClient::check_connection() {
   // on (nonce bump) the moment anyone evicts, frees, or re-claims the slot.
   const bool still_ours =
       registry_->slot(slot_index_).state_word.load(std::memory_order_acquire) == active_word_;
-  if (still_ours && registry_->daemon_alive()) return true;
+  if (still_ours && registry_->daemon_alive()) {
+    daemon_lost_.store(false, std::memory_order_release);
+    return true;
+  }
+  if (still_ours && options_.hold_slot_on_daemon_loss) {
+    // The arbiter died but nobody evicted us: the slot word is untouched.
+    // Hold every mapping — the orphaned registry is about to become the
+    // degraded-mode proposal bus — and surface the loss as a flag.
+    if (!daemon_lost_.exchange(true, std::memory_order_acq_rel)) {
+      NS_LOG_WARN("daemon-client", "'{}' daemon died; holding slot {} for degraded mode",
+                  app_name_, slot_index_);
+    }
+    return true;
+  }
   NS_LOG_WARN("daemon-client", "'{}' lost its slot (evicted or daemon restarted)", app_name_);
   drop_connection();
   return false;
@@ -161,6 +193,7 @@ bool DaemonClient::check_connection() {
 
 void DaemonClient::drop_connection() {
   connected_.store(false, std::memory_order_release);
+  daemon_lost_.store(false, std::memory_order_release);
   channel_.reset();
   registry_.reset();
   slot_index_ = kMaxClients;

@@ -39,6 +39,21 @@ struct ClientConnectOptions {
   std::uint32_t max_attempts = 12;
   std::int64_t initial_backoff_us = 2'000;
   std::int64_t max_backoff_us = 500'000;
+  /// Decorrelated jitter on that backoff: each failed attempt sleeps a
+  /// uniform draw from [initial, 3 * previous_sleep], clamped at max. A
+  /// restarted daemon then sees the survivors' re-join CAS attempts spread
+  /// out instead of a thundering herd hitting the fresh registry in
+  /// lockstep. Off = the deterministic doubling above.
+  bool decorrelated_jitter = true;
+  /// Jitter RNG seed; 0 derives one from pid + monotonic clock.
+  std::uint64_t backoff_seed = 0;
+  /// Keep the slot, registry, and channel mappings when the daemon dies
+  /// while the slot word is still ours (nobody evicted us — the arbiter is
+  /// simply gone). check_connection() then keeps returning true with
+  /// daemon_lost() raised, which is what degraded mode (FailoverClient)
+  /// runs on. Off = the classic behavior: daemon death drops the
+  /// connection immediately.
+  bool hold_slot_on_daemon_loss = false;
   /// How long one attempt waits for the daemon to activate a claimed slot.
   double activation_timeout_s = 2.0;
   /// Background heartbeat period (start_heartbeat()).
@@ -70,8 +85,20 @@ class DaemonClient {
   void stop_heartbeat();
 
   /// Still the owner of our slot? False after eviction, slot recycling, or
-  /// daemon restart. Cheap; safe to call every pump.
+  /// daemon restart. Cheap; safe to call every pump. With
+  /// hold_slot_on_daemon_loss, daemon death keeps this true (the slot is
+  /// still ours) and raises daemon_lost() instead.
   bool check_connection();
+
+  /// The daemon died while we held our slot (only ever true under
+  /// hold_slot_on_daemon_loss). Cleared by a successful (re)connect.
+  bool daemon_lost() const { return daemon_lost_.load(std::memory_order_acquire); }
+
+  /// The mapped registry segment (null before connect()). In degraded mode
+  /// this is the *orphaned* segment every survivor still maps — the
+  /// proposal bus for consensus arbitration.
+  Registry* registry() { return registry_.get(); }
+  const Registry* registry() const { return registry_.get(); }
 
   /// Graceful goodbye: publish kLeaving and drop the channel.
   void disconnect();
@@ -111,6 +138,7 @@ class DaemonClient {
   /// test is a single word compare — no torn pid/generation reads.
   std::uint64_t active_word_ = 0;
   std::atomic<bool> connected_{false};
+  std::atomic<bool> daemon_lost_{false};
   std::uint32_t connect_attempts_ = 0;
 
   std::atomic<bool> heartbeat_running_{false};

@@ -94,6 +94,11 @@ void Daemon::shutdown() {
 
 bool Daemon::init(std::string* error) {
   NS_REQUIRE(registry_ == nullptr, "daemon already initialized");
+  // Chaos-harness knob: stretch the window between a daemon death and its
+  // successor coming up (`daemon.restart.delay@ms=N` in the restarted
+  // process), so degraded-mode behavior is observable for a bounded-but-
+  // controllable interval.
+  NS_FAULT_PAUSE("daemon.restart.delay", "init");
   // A previous incarnation that crashed leaves its registry (and channel
   // segments) behind. Reclaim them — but never rip the registry out from
   // under a daemon that is still alive.
@@ -130,6 +135,13 @@ bool Daemon::init(std::string* error) {
   // Recover from the previous incarnation's checkpoint + tail before this
   // incarnation writes anything (the append-mode open left the file intact).
   recover_from_journal();
+  // Publish this incarnation: clients that survived the previous daemon in
+  // degraded mode watch for a *higher* generation under this registry name
+  // as their failback signal, and every command the agent sends from now on
+  // carries it as the staleness fence.
+  header.arbiter_generation.store(arbiter_generation_, std::memory_order_release);
+  header.daemon_heartbeat.store(1, std::memory_order_release);
+  agent_->set_arbiter_generation(arbiter_generation_);
   journal_.record(monotonic_seconds(), "daemon-start",
                   {{"registry", jstr(options_.registry_name)},
                    {"pid", jnum(static_cast<std::uint64_t>(::getpid()))},
@@ -137,6 +149,7 @@ bool Daemon::init(std::string* error) {
                    {"nodes", jnum(machine_.node_count())},
                    {"cores", jnum(machine_.core_count())},
                    {"policy", jstr(agent_->policy().name())},
+                   {"arbiter_gen", jnum(arbiter_generation_)},
                    {"cleaned_segments", jnum(static_cast<std::uint64_t>(
                                             stats_.stale_segments_cleaned))}});
   return true;
@@ -281,6 +294,9 @@ void Daemon::check_liveness(std::uint32_t index, double now) {
 std::uint32_t Daemon::tick(double now) {
   NS_REQUIRE(registry_ != nullptr, "Daemon::init() must succeed before tick()");
   if (NS_FAULT_AT("daemon.tick.skip")) return 0;
+  // SIGKILL stand-in for the kill/restart chaos harness: `daemon.die@
+  // site=tick,after=N` murders the daemon mid-service on the N+1-th tick.
+  NS_FAULT_DIE("daemon.die", "tick", 52);
   for (std::uint32_t i = 0; i < kMaxClients; ++i) {
     auto& slot = registry_->slot(i);
     std::uint64_t word = slot.state_word.load(std::memory_order_acquire);
@@ -344,6 +360,9 @@ std::uint32_t Daemon::tick(double now) {
   }
   ++stats_.ticks;
   registry_->header().tick.fetch_add(1, std::memory_order_release);
+  // The liveness word clients actually watch: they look for *change* within
+  // a miss window, never comparing cross-process clocks.
+  registry_->header().daemon_heartbeat.fetch_add(1, std::memory_order_release);
   if (sent > 0) {
     ++stats_.reallocations;
     journal_allocation(now);
@@ -679,11 +698,14 @@ void Daemon::journal_checkpoint(double now) {
                ",\"offenses\":" + jnum(client.offenses) + "}";
   }
   clients += "]";
-  journal_.record(now, "checkpoint",
-                  {{"tick", jnum(stats_.ticks)},
-                   {"generation", jnum(agent_->generation())},
-                   {"join_seq", jnum(join_seq_)},
-                   {"clients", std::move(clients)}});
+  // Checksummed: recovery refuses a bit-rotted snapshot and falls back to
+  // the previous checkpoint rather than reseeding from corrupt state.
+  journal_.record_checksummed(now, "checkpoint",
+                              {{"tick", jnum(stats_.ticks)},
+                               {"generation", jnum(agent_->generation())},
+                               {"arbiter_gen", jnum(arbiter_generation_)},
+                               {"join_seq", jnum(join_seq_)},
+                               {"clients", std::move(clients)}});
   journal_.sync();
   ++stats_.checkpoints;
   NS_FAULT_DIE("daemon.checkpoint.die", "post_checkpoint", 50);
@@ -722,6 +744,25 @@ void Daemon::recover_from_journal() {
     if (auto tick = journal_field(recovered.checkpoint, "tick")) {
       checkpoint_tick = std::strtoull(tick->c_str(), nullptr, 10);
     }
+    // Strictly monotone incarnations: whatever generation the dead daemon
+    // checkpointed, this one is its successor. Clients fence on this.
+    if (auto gen = journal_field(recovered.checkpoint, "arbiter_gen")) {
+      arbiter_generation_ = std::strtoull(gen->c_str(), nullptr, 10) + 1;
+    }
+  }
+  if (recovered.corrupt_checkpoints_skipped > 0) {
+    NS_LOG_WARN("daemon", "recovery skipped {} corrupt checkpoint(s)",
+                recovered.corrupt_checkpoints_skipped);
+  }
+  // An incarnation that died before its first checkpoint only left its
+  // daemon-start record; its generation must still not be reused, or
+  // degraded survivors would never see the failback signal.
+  for (const auto& entry : recovered.tail) {
+    if (entry.event != "daemon-start") continue;
+    if (auto gen = journal_field(entry.raw, "arbiter_gen")) {
+      arbiter_generation_ = std::max<std::uint64_t>(
+          arbiter_generation_, std::strtoull(gen->c_str(), nullptr, 10) + 1);
+    }
   }
   stats_.recovered_tail_entries = recovered.tail.size();
   // Replay only the tail: every join after the checkpoint consumed a join
@@ -737,8 +778,11 @@ void Daemon::recover_from_journal() {
                   {{"checkpoint_tick", jnum(checkpoint_tick)},
                    {"tail_entries", jnum(static_cast<std::uint64_t>(recovered.tail.size()))},
                    {"join_seq", jnum(join_seq_)},
+                   {"arbiter_gen", jnum(arbiter_generation_)},
                    {"from_checkpoint", jbool(stats_.recovered_from_checkpoint)},
                    {"sidefile", jbool(recovered.used_sidefile)},
+                   {"corrupt_checkpoints", jnum(static_cast<std::uint64_t>(
+                                               recovered.corrupt_checkpoints_skipped))},
                    {"torn_tail", jbool(recovered.torn_tail)}});
 }
 

@@ -2,8 +2,10 @@
 
 #include <unistd.h>
 
+#include <array>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iterator>
 
@@ -55,6 +57,23 @@ std::string json_escape(std::string_view text) {
 
 std::string jstr(std::string_view text) { return "\"" + json_escape(text) + "\""; }
 
+std::uint32_t crc32(std::string_view text) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ (0xedb88320u & (0u - (c & 1u)));
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (const char ch : text) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
 std::string jnum(double value) { return fmt_compact(value, 6); }
 std::string jnum(std::uint64_t value) { return std::to_string(value); }
 std::string jnum(std::int64_t value) { return std::to_string(value); }
@@ -72,9 +91,9 @@ JournalWriter::~JournalWriter() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-void JournalWriter::record(double ts, std::string_view event,
-                           const std::vector<std::pair<std::string_view, std::string>>& fields) {
-  if (file_ == nullptr) return;
+namespace {
+std::string build_record(double ts, std::string_view event,
+                         const std::vector<std::pair<std::string_view, std::string>>& fields) {
   std::string line = "{\"ts\":" + jnum(ts) + ",\"event\":" + jstr(event);
   for (const auto& [key, value] : fields) {
     line += ",";
@@ -82,11 +101,52 @@ void JournalWriter::record(double ts, std::string_view event,
     line += ":";
     line += value;
   }
-  line += "}\n";
+  line += "}";
+  return line;
+}
+}  // namespace
+
+void JournalWriter::record(double ts, std::string_view event,
+                           const std::vector<std::pair<std::string_view, std::string>>& fields) {
+  if (file_ == nullptr) return;
+  std::string line = build_record(ts, event, fields);
+  line += "\n";
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fflush(file_);
   if (fsync_policy_ == FsyncPolicy::kEveryWrite) ::fsync(fileno(file_));
   ++lines_;
+}
+
+void JournalWriter::record_checksummed(
+    double ts, std::string_view event,
+    const std::vector<std::pair<std::string_view, std::string>>& fields) {
+  if (file_ == nullptr) return;
+  // The checksum covers the exact line record() would have written; the crc
+  // field then replaces the closing brace, so verification is "strip the
+  // trailing crc field, re-hash, compare".
+  std::string line = build_record(ts, event, fields);
+  const std::uint32_t crc = crc32(line);
+  line.pop_back();  // '}'
+  line += ",\"crc\":" + jnum(static_cast<std::uint64_t>(crc)) + "}\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  if (fsync_policy_ == FsyncPolicy::kEveryWrite) ::fsync(fileno(file_));
+  ++lines_;
+}
+
+bool checkpoint_crc_valid(const std::string& line) {
+  if (!journal_field(line, "crc")) return true;  // legacy, pre-checksum record
+  // record_checksummed() always appends the crc last: ...,"crc":<digits>}
+  const auto pos = line.rfind(",\"crc\":");
+  if (pos == std::string::npos) return false;
+  const std::size_t digits = pos + 7;
+  std::size_t end = digits;
+  while (end < line.size() && std::isdigit(static_cast<unsigned char>(line[end]))) ++end;
+  if (end == digits || end + 1 != line.size() || line[end] != '}') return false;
+  const auto stored = static_cast<std::uint32_t>(
+      std::strtoull(line.c_str() + digits, nullptr, 10));
+  const std::string original = line.substr(0, pos) + "}";
+  return crc32(original) == stored;
 }
 
 void JournalWriter::sync(bool force) {
@@ -164,11 +224,16 @@ RecoveredJournal recover_journal(const std::string& path) {
   }
   std::size_t tail_start = 0;
   for (std::size_t i = entries.size(); i > 0; --i) {
-    if (entries[i - 1].event == "checkpoint") {
-      out.checkpoint = entries[i - 1].raw;
-      tail_start = i;
-      break;
+    if (entries[i - 1].event != "checkpoint") continue;
+    // A bit-rotted/torn snapshot must not seed recovery: skip backwards to
+    // the newest checkpoint whose checksum still verifies.
+    if (!checkpoint_crc_valid(entries[i - 1].raw)) {
+      ++out.corrupt_checkpoints_skipped;
+      continue;
     }
+    out.checkpoint = entries[i - 1].raw;
+    tail_start = i;
+    break;
   }
   out.tail.assign(entries.begin() + static_cast<std::ptrdiff_t>(tail_start), entries.end());
   return out;

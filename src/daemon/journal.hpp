@@ -24,6 +24,11 @@ namespace numashare::nsd {
 /// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
 std::string json_escape(std::string_view text);
 
+/// CRC-32 (IEEE 802.3 / zlib polynomial, reflected) over `text`. Used to
+/// checksum checkpoint records so recovery can reject a bit-rotted or torn
+/// snapshot instead of trusting it.
+std::uint32_t crc32(std::string_view text);
+
 /// Render helpers for JournalWriter fields.
 std::string jstr(std::string_view text);
 std::string jnum(double value);
@@ -70,6 +75,12 @@ class JournalWriter {
   /// FsyncPolicy::kEveryWrite the line is also fsync'd.
   void record(double ts, std::string_view event,
               const std::vector<std::pair<std::string_view, std::string>>& fields = {});
+
+  /// Like record(), but appends a trailing `"crc"` field holding the CRC-32
+  /// of the record text *without* that field (i.e. the exact line record()
+  /// would have written). checkpoint_crc_valid() verifies the round trip.
+  void record_checksummed(double ts, std::string_view event,
+                          const std::vector<std::pair<std::string_view, std::string>>& fields);
 
   void set_fsync_policy(FsyncPolicy policy) { fsync_policy_ = policy; }
   FsyncPolicy fsync_policy() const { return fsync_policy_; }
@@ -131,10 +142,19 @@ struct RecoveredJournal {
   /// `path + ".1"` side-file was used instead.
   bool used_sidefile = false;
   bool torn_tail = false;
+  /// Checkpoints whose `crc` field failed verification and were skipped in
+  /// favor of an earlier (valid) one.
+  std::size_t corrupt_checkpoints_skipped = 0;
 };
 
+/// True when `line` carries no `crc` field (legacy record, trusted as
+/// before) or its CRC-32 matches the line with the trailing crc field
+/// stripped. recover_journal() uses this to skip corrupt checkpoints.
+bool checkpoint_crc_valid(const std::string& line);
+
 /// Loads `path` (falling back to the `path + ".1"` rotation side-file when
-/// the primary is missing/empty) and splits it at the newest checkpoint.
+/// the primary is missing/empty) and splits it at the newest checkpoint
+/// whose checksum verifies (corrupt ones are counted and skipped).
 RecoveredJournal recover_journal(const std::string& path);
 
 }  // namespace numashare::nsd

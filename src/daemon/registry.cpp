@@ -23,7 +23,10 @@ constexpr std::uint64_t kMagic = 0x6e756d617372656dull;  // "numasrem" (registry
 //     daemon-status visibility into non-participant arbitration.
 // v5: per-client stalled_workers mirror (scheduler-latency watchdog) so
 //     status tools can tell a starved client from a defiant one.
-constexpr std::uint32_t kVersion = 5;
+// v6: failover tier — daemon_heartbeat + arbiter_generation header words
+//     (client-side liveness detection, generation-fenced failback) and
+//     per-slot degraded-mode proposal fields + failover_state mirror.
+constexpr std::uint32_t kVersion = 6;
 
 RegistryHeader* map_segment(int fd) {
   void* mapped =
@@ -58,6 +61,8 @@ std::unique_ptr<Registry> Registry::create(const std::string& name, std::string*
   header->daemon_pid.store(static_cast<std::uint32_t>(::getpid()), std::memory_order_relaxed);
   header->generation.store(0, std::memory_order_relaxed);
   header->tick.store(0, std::memory_order_relaxed);
+  header->daemon_heartbeat.store(0, std::memory_order_relaxed);
+  header->arbiter_generation.store(0, std::memory_order_relaxed);
   header->node_count.store(0, std::memory_order_relaxed);
   for (auto& cores : header->node_cores) cores.store(0, std::memory_order_relaxed);
   for (auto& slot : header->slots) {
@@ -69,6 +74,10 @@ std::unique_ptr<Registry> Registry::create(const std::string& name, std::string*
     slot.enacted_epoch.store(0, std::memory_order_relaxed);
     slot.commands_dropped.store(0, std::memory_order_relaxed);
     slot.telemetry_dropped.store(0, std::memory_order_relaxed);
+    slot.proposal_seq.store(0, std::memory_order_relaxed);
+    for (auto& d : slot.proposal_desired) d.store(0, std::memory_order_relaxed);
+    slot.proposal_generation.store(0, std::memory_order_relaxed);
+    slot.failover_state.store(0, std::memory_order_relaxed);
   }
   header->foreign_count.store(0, std::memory_order_relaxed);
   for (auto& row : header->foreign) {
@@ -134,6 +143,11 @@ std::optional<Registry::Claim> Registry::claim_slot(const std::string& client_na
     slot.generation.store(0, std::memory_order_relaxed);
     std::memset(slot.channel_name, 0, sizeof(slot.channel_name));
     slot.heartbeat.store(1, std::memory_order_relaxed);
+    // A reused slot must not carry the previous occupant's degraded-mode
+    // proposal into the next daemon-loss episode.
+    slot.proposal_seq.store(0, std::memory_order_relaxed);
+    slot.proposal_generation.store(0, std::memory_order_relaxed);
+    slot.failover_state.store(0, std::memory_order_relaxed);
     // Identity is complete; only now may the daemon look at it. The CAS
     // fails exactly when the daemon reclaimed our stalled claim — the slot
     // belongs to whoever owns it now, so move on to another one.

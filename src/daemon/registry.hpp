@@ -131,6 +131,25 @@ struct ClientSlot {
   /// while the client is behind = "starved, not defiant".
   std::atomic<std::uint32_t> stalled_workers;
 
+  // --- Degraded-mode proposal exchange (v6, docs/DAEMON.md "Failover").
+  // When the daemon dies, survivors keep their mappings of this (now
+  // orphaned) segment and use their own slots as the proposal bus for the
+  // decentralized consensus arbitration. The proposal is published once per
+  // degraded episode and then left stable, so every survivor eventually
+  // reads the identical snapshot regardless of when it looks.
+  /// Bumped (release) after proposal_desired is complete; 0 = no proposal.
+  std::atomic<std::uint64_t> proposal_seq;
+  /// Threads this survivor proposes for itself on each node, conservatively
+  /// clamped so it never exceeds its last daemon-granted allocation.
+  std::atomic<std::uint32_t> proposal_desired[agent::kMaxNodes];
+  /// The arbiter generation (header word) the proposer last observed alive.
+  /// Survivors only arbitrate proposals from the same dead incarnation, so
+  /// a stale proposal from an earlier episode can never leak in.
+  std::atomic<std::uint64_t> proposal_generation;
+  /// Failover state mirror for status tooling: 0 attached, 1 suspect,
+  /// 2 degraded, 3 rejoining (nsd::FailoverState).
+  std::atomic<std::uint32_t> failover_state;
+
   SlotState state(std::memory_order order = std::memory_order_acquire) const {
     return state_of(state_word.load(order));
   }
@@ -178,6 +197,17 @@ struct RegistryHeader {
   /// Daemon liveness: incremented every tick. A status reader that sees it
   /// stall (with a dead daemon_pid) knows the segment is stale.
   std::atomic<std::uint64_t> tick;
+  /// Daemon heartbeat (v6): stamped monotonically every service tick.
+  /// Clients watch it *change* — never comparing clocks across processes —
+  /// and declare the daemon dead after a bounded miss window instead of
+  /// waiting for channel errors (see nsd::FailoverClient).
+  std::atomic<std::uint64_t> daemon_heartbeat;
+  /// Daemon incarnation (v6): 1 for a fresh daemon, recovered-from-journal
+  /// + 1 on every restart. Strictly monotone across incarnations of one
+  /// registry name. Every outgoing Command is stamped with it, which is the
+  /// fence that keeps pre-crash grants from ever being mistaken for fresh
+  /// ones after failback.
+  std::atomic<std::uint64_t> arbiter_generation;
   /// The arbitrated machine's shape, daemon-written at init. Clients build
   /// their runtime over the same shape so per-node thread commands line up
   /// (atomic: a client may open the registry before the daemon fills this).

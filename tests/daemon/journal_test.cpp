@@ -132,5 +132,107 @@ TEST_F(JournalTest, TornLastLineIsExcludedAndFlagged) {
   EXPECT_EQ(clean.back().event, "daemon-stop");
 }
 
+// --- Checkpoint CRC (docs/DAEMON.md "Failover & degraded mode"): recovery
+// must reject a bit-rotted checkpoint and fall back to the previous valid
+// one instead of reseeding the daemon from corrupt state.
+
+TEST(JournalCrc, KnownVectors) {
+  // IEEE 802.3 / zlib polynomial, reflected. "123456789" -> 0xcbf43926 is
+  // the standard check value for this CRC.
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+  EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+TEST_F(JournalTest, ChecksummedRecordRoundTrips) {
+  {
+    JournalWriter writer(path_);
+    ASSERT_TRUE(writer.ok());
+    writer.record_checksummed(1.0, "checkpoint",
+                              {{"tick", jnum(std::uint64_t{7})},
+                               {"arbiter_gen", jnum(std::uint64_t{3})},
+                               {"clients", std::string("[]")}});
+  }
+  const auto entries = read_journal(path_);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].event, "checkpoint");
+  ASSERT_TRUE(journal_field(entries[0].raw, "crc").has_value());
+  EXPECT_TRUE(checkpoint_crc_valid(entries[0].raw));
+  // Any single-byte corruption must be caught.
+  std::string corrupted = entries[0].raw;
+  const auto pos = corrupted.find("\"tick\":7");
+  ASSERT_NE(pos, std::string::npos);
+  corrupted[pos + 7] = '9';  // tick 7 -> 9, crc untouched
+  EXPECT_FALSE(checkpoint_crc_valid(corrupted));
+}
+
+TEST(JournalCrc, LegacyCheckpointWithoutCrcIsTrusted) {
+  EXPECT_TRUE(checkpoint_crc_valid("{\"ts\":1,\"event\":\"checkpoint\",\"tick\":7}"));
+}
+
+TEST_F(JournalTest, RecoverySkipsCorruptCheckpoint) {
+  {
+    JournalWriter writer(path_);
+    ASSERT_TRUE(writer.ok());
+    writer.record(0.5, "daemon-start");
+    writer.record_checksummed(1.0, "checkpoint", {{"tick", jnum(std::uint64_t{1})}});
+    writer.record(1.5, "join", {{"client", jstr("a#0.1")}});
+    writer.record_checksummed(2.0, "checkpoint", {{"tick", jnum(std::uint64_t{2})}});
+    writer.record(2.5, "join", {{"client", jstr("b#0.2")}});
+  }
+  // Corrupt the NEWEST checkpoint in place (flip one payload byte).
+  auto entries = read_journal(path_);
+  ASSERT_EQ(entries.size(), 5u);
+  std::string contents;
+  for (auto& entry : entries) {
+    if (entry.event == "checkpoint" && entry.raw.find("\"tick\":2") != std::string::npos) {
+      const auto pos = entry.raw.find("\"tick\":2");
+      entry.raw[pos + 7] = '3';  // tick 2 -> 3 without touching the crc
+    }
+    contents += entry.raw + "\n";
+  }
+  {
+    std::FILE* file = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    ASSERT_EQ(std::fwrite(contents.data(), 1, contents.size(), file), contents.size());
+    std::fclose(file);
+  }
+  const auto recovered = recover_journal(path_);
+  EXPECT_EQ(recovered.corrupt_checkpoints_skipped, 1u);
+  // Fell back to the older valid checkpoint; the tail now spans both joins
+  // (and the corrupt line, which replays as an ordinary entry).
+  ASSERT_FALSE(recovered.checkpoint.empty());
+  EXPECT_EQ(journal_field(recovered.checkpoint, "tick").value_or(""), "1");
+  std::size_t joins = 0;
+  for (const auto& entry : recovered.tail) joins += entry.event == "join" ? 1 : 0;
+  EXPECT_EQ(joins, 2u);
+}
+
+TEST_F(JournalTest, RecoveryWithAllCheckpointsCorruptUsesFullTail) {
+  {
+    JournalWriter writer(path_);
+    writer.record(0.5, "daemon-start");
+    writer.record_checksummed(1.0, "checkpoint", {{"tick", jnum(std::uint64_t{1})}});
+    writer.record(1.5, "join", {{"client", jstr("a#0.1")}});
+  }
+  auto entries = read_journal(path_);
+  ASSERT_EQ(entries.size(), 3u);
+  std::string contents;
+  for (auto& entry : entries) {
+    if (entry.event == "checkpoint") entry.raw[entry.raw.find("\"tick\":1") + 7] = '9';
+    contents += entry.raw + "\n";
+  }
+  {
+    std::FILE* file = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    ASSERT_EQ(std::fwrite(contents.data(), 1, contents.size(), file), contents.size());
+    std::fclose(file);
+  }
+  const auto recovered = recover_journal(path_);
+  EXPECT_EQ(recovered.corrupt_checkpoints_skipped, 1u);
+  EXPECT_TRUE(recovered.checkpoint.empty());
+  EXPECT_EQ(recovered.tail.size(), 3u);  // everything replays
+}
+
 }  // namespace
 }  // namespace numashare::nsd

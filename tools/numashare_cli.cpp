@@ -28,6 +28,7 @@
 #include "core/report.hpp"
 #include "core/roofline.hpp"
 #include "core/scenario_io.hpp"
+#include "daemon/failover.hpp"
 #include "daemon/registry.hpp"
 #include "foreign/fence.hpp"
 #include "topology/discovery.hpp"
@@ -213,10 +214,18 @@ int cmd_daemon_status(int argc, char** argv) {
               alive ? "alive" : "DEAD — stale registry");
   std::printf("generation: %llu\n",
               static_cast<unsigned long long>(header.generation.load()));
-  std::printf("tick:       %llu\n\n", static_cast<unsigned long long>(header.tick.load()));
+  std::printf("tick:       %llu\n", static_cast<unsigned long long>(header.tick.load()));
+  // Failover tier (registry v6): the daemon's liveness heartbeat clients
+  // watch (a stalled value + live pid = wedged daemon), and the incarnation
+  // number that fences stale grants across restarts.
+  std::printf("heartbeat:  %llu%s\n",
+              static_cast<unsigned long long>(header.daemon_heartbeat.load()),
+              alive ? "" : " (stalled — daemon dead, survivors run degraded)");
+  std::printf("arbiter gen:%llu\n\n",
+              static_cast<unsigned long long>(header.arbiter_generation.load()));
 
-  TextTable table({"slot", "state", "name", "pid", "ai", "heartbeat", "health", "cmd/enacted",
-                   "drops c/t", "stalled", "channel"});
+  TextTable table({"slot", "state", "name", "pid", "ai", "heartbeat", "health", "failover",
+                   "cmd/enacted", "drops c/t", "stalled", "channel"});
   std::uint32_t active = 0;
   for (std::uint32_t i = 0; i < nsd::kMaxClients; ++i) {
     const auto& slot = registry->slot(i);
@@ -238,10 +247,15 @@ int cmd_daemon_status(int argc, char** argv) {
                                std::to_string(slot.enacted_epoch.load());
     const std::string drops = std::to_string(slot.commands_dropped.load()) + "/" +
                               std::to_string(slot.telemetry_dropped.load());
+    // The client-mirrored failover state (attached/suspect/degraded/
+    // rejoining): in a live registry everyone should read "attached"; in an
+    // orphaned one this shows which survivors have noticed the death.
+    const auto failover = static_cast<nsd::FailoverState>(slot.failover_state.load());
     table.add_row({std::to_string(i), state_name,
                    std::string(slot.name, strnlen(slot.name, sizeof(slot.name))),
                    std::to_string(slot.pid.load()), fmt_compact(slot.advertised_ai.load(), 4),
-                   std::to_string(slot.heartbeat.load()), nsd::to_string(health), epochs, drops,
+                   std::to_string(slot.heartbeat.load()), nsd::to_string(health),
+                   nsd::to_string(failover), epochs, drops,
                    std::to_string(slot.stalled_workers.load()),
                    std::string(slot.channel_name,
                                strnlen(slot.channel_name, sizeof(slot.channel_name)))});
