@@ -25,6 +25,14 @@ Three schemas share a family:
     scenario, enforced in every run) and the steal-path p99 regression
     (real timing with a documented absolute noise floor, enforced only when
     the document says so — full unsanitized runs).
+  * numashare-bench-daemon/1 — emitted by bench_daemon_scale (daemon
+    tick-path scaling, E22); rows are {name, scenario, unit, value} with
+    per-scenario tick-latency percentiles checked for monotonicity
+    (p50 <= p99 <= p999 <= max). The gate object records the
+    bitmap-vs-full-scan tick throughput ratio at 1024 slots / 32 active
+    clients (>= 8x) and the loaded p99 tick latency at 1024 active clients
+    against its documented bound; both are wall-time measurements, so they
+    are replayed only on full (non-quick, non-sanitized) documents.
 
 The schema is dispatched from the document itself. Checks cover the schema
 tag, the required top-level fields, and that every result row is well-formed
@@ -49,11 +57,13 @@ RUNTIME_SCHEMA_V2 = "numashare-bench-runtime/2"
 MODEL_SCHEMA = "numashare-bench-model/1"
 FOREIGN_SCHEMA = "numashare-bench-foreign/1"
 MEMORY_SCHEMA = "numashare-bench-memory/1"
+DAEMON_SCHEMA = "numashare-bench-daemon/1"
 
 RUNTIME_UNITS = {"tasks_per_sec", "ns_per_steal", "ns_median", "x"}
 MODEL_UNITS = {"us_per_search", "us_per_solve", "evals", "kb", "x"}
 FOREIGN_UNITS = {"gflops", "x", "us_per_search", "us_per_scan"}
 MEMORY_UNITS = {"gbps", "x", "ns", "ms", "count"}
+DAEMON_UNITS = {"ticks/s", "ns", "x"}
 
 RUNTIME_DEFAULT_REQUIRE = ["spawn_retire_external", "spawn_retire_nested", "steal_drain",
                            "handoff_latency", "wait_idle_latency"]
@@ -68,6 +78,12 @@ MEMORY_DEFAULT_REQUIRE = ["blind", "aware", "advantage", "migrate_payoff"]
 # Steal rows that must be present on a full (non-quick) run; a trimmed quick
 # round may legitimately drain before any thief records a steal.
 MEMORY_STEAL_REQUIRE = ["steal_p99_blind", "steal_p99_aware", "steal_p99_ratio"]
+DAEMON_DEFAULT_REQUIRE = ["ticks_per_sec", "tick_p50", "tick_p99", "speedup"]
+# Scenarios every document must report: the three scan modes of the gate
+# phase and the loaded-tail sweep points.
+DAEMON_REQUIRED_SCENARIOS = ["bitmap_1024cap_32active", "full_scan_1024cap_32active",
+                             "sweep16_1024cap_32active", "active_32", "active_256",
+                             "active_1024"]
 
 FOREIGN_GATE_SCENARIO = "bw_shift"
 MEMORY_GATE_SCENARIO = "bw_skew"
@@ -330,6 +346,71 @@ def check_memory(doc: dict) -> set:
     return names
 
 
+def check_daemon(doc: dict) -> set:
+    names = set()
+    scenarios = set()
+    # Per-scenario percentile rows, re-assembled for the monotonicity check.
+    quantiles = {}
+    for i, r in enumerate(doc["results"]):
+        where = f"results[{i}]"
+        for field, kind in (("name", str), ("scenario", str), ("unit", str)):
+            if not isinstance(r.get(field), kind):
+                fail(f"{where}: field {field!r} missing or mistyped")
+        if r["unit"] not in DAEMON_UNITS:
+            fail(f"{where}: unknown unit {r['unit']!r}")
+        check_row_value(where, r)
+        names.add(r["name"])
+        scenarios.add(r["scenario"])
+        if r["name"] in ("tick_p50", "tick_p99", "tick_p999", "tick_max"):
+            if r["unit"] != "ns":
+                fail(f"{where}: percentile rows must be in ns, got {r['unit']!r}")
+            quantiles.setdefault(r["scenario"], {})[r["name"]] = float(r["value"])
+    for scenario, q in sorted(quantiles.items()):
+        order = ["tick_p50", "tick_p99", "tick_p999", "tick_max"]
+        missing = [n for n in order if n not in q]
+        if missing:
+            fail(f"scenario {scenario!r} missing percentile rows: {', '.join(missing)}")
+        values = [q[n] for n in order]
+        if not (values[0] <= values[1] <= values[2] <= values[3]):
+            fail(f"scenario {scenario!r}: percentiles not monotone: "
+                 f"p50={values[0]} p99={values[1]} p999={values[2]} max={values[3]}")
+    missing = [s for s in DAEMON_REQUIRED_SCENARIOS if s not in scenarios]
+    if missing:
+        fail(f"required scenarios absent: {', '.join(missing)}")
+
+    gate = doc.get("gate")
+    if not isinstance(gate, dict):
+        fail("gate object missing")
+    for field, kind in (("clients", int), ("active", int), ("measured", bool),
+                        ("bitmap_ticks_per_sec", (int, float)),
+                        ("full_scan_ticks_per_sec", (int, float)),
+                        ("speedup_x", (int, float)), ("required_x", (int, float)),
+                        ("p99_tick_ns", (int, float)), ("p99_limit_ns", (int, float)),
+                        ("pass", bool)):
+        if not isinstance(gate.get(field), kind):
+            fail(f"gate field {field!r} missing or mistyped")
+    if gate["clients"] != 1024:
+        fail(f"gate clients is {gate['clients']}, expected 1024 (registry v7 capacity)")
+    if gate["full_scan_ticks_per_sec"] > 0 and abs(
+            gate["bitmap_ticks_per_sec"] / gate["full_scan_ticks_per_sec"]
+            - gate["speedup_x"]) > 0.01 * gate["speedup_x"]:
+        fail("gate speedup_x inconsistent with bitmap/full_scan throughputs")
+    # Both gates are wall-time measurements: replayed only on documents from
+    # full, unsanitized runs (a committed BENCH_daemon.json is one).
+    if not doc["quick"] and not doc["sanitized"]:
+        if not gate["measured"]:
+            fail("full run did not measure the scan-path gate")
+        if gate["speedup_x"] < gate["required_x"]:
+            fail(f"gate failed: bitmap/full-scan speedup {gate['speedup_x']}x < "
+                 f"required {gate['required_x']}x")
+        if gate["p99_tick_ns"] > gate["p99_limit_ns"]:
+            fail(f"gate failed: loaded p99 tick {gate['p99_tick_ns']} ns exceeds "
+                 f"bound {gate['p99_limit_ns']} ns")
+        if not gate["pass"]:
+            fail("gate pass flag is false on a full run")
+    return names
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("path")
@@ -365,10 +446,14 @@ def main() -> None:
         check_common(doc)
         names = check_memory(doc)
         required = MEMORY_DEFAULT_REQUIRE if args.require is None else args.require
+    elif schema == DAEMON_SCHEMA:
+        check_common(doc)
+        names = check_daemon(doc)
+        required = DAEMON_DEFAULT_REQUIRE if args.require is None else args.require
     else:
         fail(f"schema is {schema!r}, expected {RUNTIME_SCHEMA!r}, "
-             f"{RUNTIME_SCHEMA_V2!r}, {MODEL_SCHEMA!r}, {FOREIGN_SCHEMA!r} "
-             f"or {MEMORY_SCHEMA!r}")
+             f"{RUNTIME_SCHEMA_V2!r}, {MODEL_SCHEMA!r}, {FOREIGN_SCHEMA!r}, "
+             f"{MEMORY_SCHEMA!r} or {DAEMON_SCHEMA!r}")
 
     missing = [n for n in required if n not in names]
     if missing:

@@ -23,6 +23,11 @@ ctest --test-dir build --output-on-failure -L memory
 # the CI sanitizer jobs run.
 ctest --test-dir build --output-on-failure -L failover
 
+# Tick-path scaling (registry v7): 1024-client churn stress asserting the
+# attention-bitmap and full-sweep paths converge to identical state. Same
+# dedicated pass the CI sanitizer jobs run.
+ctest --test-dir build --output-on-failure -L scale
+
 echo
 echo "=== experiment benches (every paper table & figure) ==="
 for b in build/bench/bench_*; do
@@ -37,6 +42,9 @@ done
 python3 scripts/check_bench_json.py BENCH_runtime.json
 python3 scripts/check_bench_json.py BENCH_foreign.json
 python3 scripts/check_bench_json.py BENCH_memory.json
+# bench_daemon_scale (E22) emits BENCH_daemon.json: the tick-path scaling
+# gates (bitmap >= 8x full scan at 1024 slots, loaded p99 bound).
+python3 scripts/check_bench_json.py BENCH_daemon.json
 
 echo
 echo "=== examples (quick passes) ==="

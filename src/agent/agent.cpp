@@ -18,16 +18,20 @@ Agent::Agent(topo::Machine machine, PolicyPtr policy, Options options)
 
 Agent::~Agent() { stop(); }
 
+std::size_t Agent::index_of_locked(const std::string& name) const {
+  const auto it = index_by_name_.find(name);
+  return it == index_by_name_.end() ? apps_.size() : it->second;
+}
+
 std::size_t Agent::add_app(std::string name, ChannelBase& channel) {
   std::lock_guard lock(membership_mutex_);
-  for (const auto& existing : apps_) {
-    // remove_app() is keyed by name; duplicates would make it ambiguous.
-    NS_REQUIRE(existing.name != name, "duplicate app name");
-  }
+  // remove_app() is keyed by name; duplicates would make it ambiguous.
+  NS_REQUIRE(index_by_name_.find(name) == index_by_name_.end(), "duplicate app name");
   ManagedApp app;
   app.name = name;
   app.channel = &channel;
   apps_.push_back(std::move(app));
+  index_by_name_.emplace(name, apps_.size() - 1);
   AppView view;
   view.name = std::move(name);
   views_.push_back(std::move(view));
@@ -38,24 +42,22 @@ std::size_t Agent::add_app(std::string name, ChannelBase& channel) {
 
 bool Agent::remove_app(const std::string& name) {
   std::lock_guard lock(membership_mutex_);
-  for (std::size_t a = 0; a < apps_.size(); ++a) {
-    if (apps_[a].name != name) continue;
-    apps_.erase(apps_.begin() + static_cast<std::ptrdiff_t>(a));
-    views_.erase(views_.begin() + static_cast<std::ptrdiff_t>(a));
-    generation_.fetch_add(1, std::memory_order_relaxed);
-    policy_->on_membership_change();
-    NS_LOG_INFO("agent", "removed app '{}' ({} remain)", name, apps_.size());
-    return true;
-  }
-  return false;
+  const std::size_t a = index_of_locked(name);
+  if (a == apps_.size()) return false;
+  apps_.erase(apps_.begin() + static_cast<std::ptrdiff_t>(a));
+  views_.erase(views_.begin() + static_cast<std::ptrdiff_t>(a));
+  // Every app after the erased one shifted down an index.
+  index_by_name_.erase(name);
+  for (std::size_t i = a; i < apps_.size(); ++i) index_by_name_[apps_[i].name] = i;
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  policy_->on_membership_change();
+  NS_LOG_INFO("agent", "removed app '{}' ({} remain)", name, apps_.size());
+  return true;
 }
 
 std::size_t Agent::find_app(const std::string& name) const {
   std::lock_guard lock(membership_mutex_);
-  for (std::size_t a = 0; a < apps_.size(); ++a) {
-    if (apps_[a].name == name) return a;
-  }
-  return apps_.size();
+  return index_of_locked(name);
 }
 
 std::size_t Agent::app_count() const {
@@ -65,36 +67,50 @@ std::size_t Agent::app_count() const {
 
 bool Agent::set_app_thread_cap(const std::string& name, std::uint32_t cap) {
   std::lock_guard lock(membership_mutex_);
-  for (std::size_t a = 0; a < apps_.size(); ++a) {
-    if (apps_[a].name != name) continue;
-    if (apps_[a].thread_cap != cap) {
-      apps_[a].thread_cap = cap;
-      views_[a].thread_cap = cap;
-      // The machine just gained/lost administratively grantable cores;
-      // cached partitions are stale. Not a membership change, though.
-      policy_->on_membership_change();
-    }
-    return true;
+  const std::size_t a = index_of_locked(name);
+  if (a == apps_.size()) return false;
+  if (apps_[a].thread_cap != cap) {
+    apps_[a].thread_cap = cap;
+    views_[a].thread_cap = cap;
+    // The machine just gained/lost administratively grantable cores;
+    // cached partitions are stale. Not a membership change, though.
+    policy_->on_membership_change();
   }
-  return false;
+  return true;
 }
 
 Agent::ComplianceState Agent::compliance(const std::string& name) const {
   std::lock_guard lock(membership_mutex_);
-  for (std::size_t a = 0; a < apps_.size(); ++a) {
-    if (apps_[a].name != name) continue;
-    ComplianceState state;
-    state.commanded_epoch = apps_[a].commanded_epoch;
-    state.enacted_epoch = views_[a].enacted_epoch;
-    state.enacted_target = views_[a].enacted_target;
-    state.thread_cap = apps_[a].thread_cap;
-    state.stalled_workers = views_[a].latest.stalled_workers;
-    return state;
-  }
-  return {};
+  const std::size_t a = index_of_locked(name);
+  return compliance_locked(a);
 }
 
-void Agent::send(ManagedApp& app, const Directive& directive) {
+void Agent::snapshot_compliance(std::vector<ComplianceState>& out) const {
+  std::lock_guard lock(membership_mutex_);
+  out.resize(apps_.size());
+  for (std::size_t a = 0; a < apps_.size(); ++a) out[a] = compliance_locked(a);
+}
+
+Agent::ComplianceState Agent::compliance_locked(std::size_t a) const {
+  if (a >= apps_.size()) return {};
+  ComplianceState state;
+  state.commanded_epoch = apps_[a].commanded_epoch;
+  state.enacted_epoch = views_[a].enacted_epoch;
+  state.enacted_target = views_[a].enacted_target;
+  state.thread_cap = apps_[a].thread_cap;
+  state.stalled_workers = views_[a].latest.stalled_workers;
+  return state;
+}
+
+void Agent::send(std::size_t a, const Directive& directive) {
+  ManagedApp& app = apps_[a];
+  // No-op directive: nothing to build, nothing to send. The common steady
+  // state at 1000+ clients is "no change for anyone", so return before the
+  // (kMaxNodes-wide) Command below is even zero-initialized.
+  if (directive.kind == Directive::Kind::kNone &&
+      directive.suggested_data_home == kMaxNodes) {
+    return;
+  }
   // A data-home suggestion travels as its own command, independent of
   // whether a thread directive accompanies it.
   if (directive.suggested_data_home != kMaxNodes) {
@@ -162,6 +178,11 @@ void Agent::send(ManagedApp& app, const Directive& directive) {
   if (app.channel->push_command(command)) {
     ++commands_sent_;
     app.commanded_epoch = command.epoch;
+    // The view mirror is maintained at the mutation site (here and in
+    // set_app_thread_cap) instead of being refreshed every step: a clean
+    // pass over 1000+ apps must not pay two stores per app for values that
+    // only change when a command lands.
+    views_[a].commanded_epoch = command.epoch;
   } else {
     // Backpressure: the runtime is not pumping. Dropping is deliberate — the
     // next tick recomputes a fresher command anyway. The epoch is not
@@ -174,32 +195,46 @@ void Agent::send(ManagedApp& app, const Directive& directive) {
 
 std::uint32_t Agent::step(double now) {
   std::lock_guard lock(membership_mutex_);
-  // 1. Drain telemetry, keep the newest sample, update rates from deltas.
+  // 1. Batched, sequence-coalesced ingest: one drain per channel consumes
+  // the whole backlog and hands back only the newest sample (rates come
+  // from deltas against our own previous newest, so the intermediate copies
+  // were always discarded anyway). Apps with nothing queued are *clean* —
+  // their view is left untouched and no per-sample work runs at all, which
+  // is what keeps the daemon tick proportional to activity at 1000+
+  // clients. Downstream, the model-guided policy's drift gates feed its
+  // refine_search incremental path, so a quiet membership also skips the
+  // full partition solve.
+  Telemetry newest;  // hoisted: drain_newest overwrites it whole, and
+                     // re-zeroing ~300 B per app would dominate a clean pass
   for (std::size_t a = 0; a < apps_.size(); ++a) {
     auto& app = apps_[a];
     auto& view = views_[a];
+    // view.commanded_epoch / view.thread_cap are mirrored at their mutation
+    // sites (send / set_app_thread_cap), not refreshed here — a clean pass
+    // touches nothing but the channel cursor.
+    const std::uint64_t drained = app.channel->drain_newest(newest);
+    // Clean app: nothing arrived, and nothing can have been dropped either —
+    // a drop needs a full ring, and a full ring means this drain returned
+    // the whole backlog (drained >= capacity > 0). Skip all per-app work.
+    if (drained == 0) continue;
+    telemetry_received_ += drained;
+    // Read the drop counter *after* the drain: a push that fails while we
+    // advance the cursor lands in this tick's count instead of being
+    // misattributed to the next tick's view.
     view.telemetry_dropped = app.channel->telemetry_dropped();
-    view.commanded_epoch = app.commanded_epoch;
-    view.thread_cap = app.thread_cap;
-    std::optional<Telemetry> newest;
-    while (auto t = app.channel->pop_telemetry()) {
-      ++telemetry_received_;
-      newest = *t;
-    }
-    if (!newest) continue;
     // Acks only ratchet forward: a reordered stale sample (or one with the
     // ack stripped in transit) must not un-enact a previously-proven epoch.
-    if (newest->enacted_epoch > view.enacted_epoch) {
-      view.enacted_epoch = newest->enacted_epoch;
-      view.enacted_target = newest->enacted_target;
+    if (newest.enacted_epoch > view.enacted_epoch) {
+      view.enacted_epoch = newest.enacted_epoch;
+      view.enacted_target = newest.enacted_target;
     }
     if (app.have_prev) {
-      const double dt = newest->timestamp - app.prev.timestamp;
+      const double dt = newest.timestamp - app.prev.timestamp;
       if (dt > 1e-9) {
         const double task_rate =
-            static_cast<double>(newest->tasks_executed - app.prev.tasks_executed) / dt;
+            static_cast<double>(newest.tasks_executed - app.prev.tasks_executed) / dt;
         const double progress_rate =
-            static_cast<double>(newest->progress - app.prev.progress) / dt;
+            static_cast<double>(newest.progress - app.prev.progress) / dt;
         const double alpha = options_.rate_alpha;
         view.task_rate = view.has_telemetry
                              ? alpha * task_rate + (1.0 - alpha) * view.task_rate
@@ -209,10 +244,11 @@ std::uint32_t Agent::step(double now) {
                                  : progress_rate;
       }
     }
-    app.prev = *newest;
+    app.prev = newest;
     app.have_prev = true;
-    view.latest = *newest;
+    view.latest = newest;
     view.has_telemetry = true;
+    view.last_update_s = now;
   }
 
   // 2. OS-side ground truth.
@@ -227,9 +263,8 @@ std::uint32_t Agent::step(double now) {
   const auto directives = policy_->decide(machine_, views_);
   NS_REQUIRE(directives.size() == apps_.size(), "policy must answer one directive per app");
   for (std::size_t a = 0; a < apps_.size(); ++a) {
-    send(apps_[a], directives[a]);
+    send(a, directives[a]);
   }
-  (void)now;
   return static_cast<std::uint32_t>(commands_sent_ - before);
 }
 

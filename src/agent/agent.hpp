@@ -13,6 +13,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "agent/channel.hpp"
@@ -75,6 +76,13 @@ class Agent {
   };
   ComplianceState compliance(const std::string& name) const;
 
+  /// Bulk variant for the daemon watchdog: fills `out` (indexed by app
+  /// index, resized to app_count) under a single lock. The watchdog asks
+  /// once per client per tick, and at 1000+ clients per-name compliance()
+  /// calls would cost a mutex acquisition and a string hash each. Rows stay
+  /// valid until generation() changes.
+  void snapshot_compliance(std::vector<ComplianceState>& out) const;
+
   std::size_t app_count() const;
 
   /// Membership generation: bumps on every add_app/remove_app. Lets
@@ -124,7 +132,16 @@ class Agent {
     Telemetry prev;
   };
 
-  void send(ManagedApp& app, const Directive& directive);
+  /// Build + push the command(s) for app index `a`, mirroring the resulting
+  /// commanded_epoch into views_[a]. Caller holds membership_mutex_.
+  void send(std::size_t a, const Directive& directive);
+  /// Index of `name` in apps_, or apps_.size() when absent. Caller holds
+  /// membership_mutex_.
+  std::size_t index_of_locked(const std::string& name) const;
+
+  /// Shared body of compliance()/compliance_at(); caller holds
+  /// membership_mutex_.
+  ComplianceState compliance_locked(std::size_t index) const;
 
   topo::Machine machine_;
   PolicyPtr policy_;
@@ -134,6 +151,10 @@ class Agent {
   mutable std::mutex membership_mutex_;
   std::vector<ManagedApp> apps_;
   std::vector<AppView> views_;
+  /// Name -> index into apps_/views_. The daemon's compliance watchdog asks
+  /// for every client by name every tick; a linear scan there is O(n^2)
+  /// across the tick at 1000+ clients. Rebuilt on remove (indices shift).
+  std::unordered_map<std::string, std::size_t> index_by_name_;
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<std::uint64_t> arbiter_generation_{0};
   std::uint64_t commands_sent_ = 0;

@@ -35,6 +35,21 @@ class ChannelBase {
   // Runtime side.
   virtual std::optional<Command> pop_command() = 0;
   virtual bool push_telemetry(const Telemetry& telemetry) = 0;
+  /// Agent-side batched ingest: consume every queued telemetry sample,
+  /// leaving the newest in `out` and returning how many were consumed
+  /// (0 = nothing queued, `out` untouched). The agent only needs the newest
+  /// sample per tick — rates come from deltas against its own previous
+  /// newest — so transports are free to skip the intermediate copies. The
+  /// default pops serially; ring-backed transports override with an O(1)
+  /// cursor advance (ShmChannel::drain_newest).
+  virtual std::uint64_t drain_newest(Telemetry& out) {
+    std::uint64_t drained = 0;
+    while (auto t = pop_telemetry()) {
+      out = *t;
+      ++drained;
+    }
+    return drained;
+  }
   // Drop accounting: cumulative try_push failures on full rings, visible
   // from both ends so the agent can tell "quiet app" from "losing samples".
   virtual std::uint64_t commands_dropped() const { return 0; }

@@ -25,6 +25,11 @@ struct AppView {
   /// Telemetry samples the app failed to push because the ring was full
   /// (cumulative, from the channel's drop counter).
   std::uint64_t telemetry_dropped = 0;
+  /// Agent-clock time (monotonic seconds) of the last step() that ingested
+  /// fresh telemetry for this app; < 0 before the first sample. Lets
+  /// policies and tools tell a quiet app from a chatty one without touching
+  /// the channel.
+  double last_update_s = -1.0;
   /// Compliance bookkeeping, mirrored by the agent each step: the newest
   /// thread-target epoch commanded to this app, the newest epoch the app has
   /// reported enacted, and the target it enacted (kUnconstrained = no active

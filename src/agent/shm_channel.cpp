@@ -189,6 +189,10 @@ std::optional<Telemetry> ShmChannel::pop_telemetry() {
   return layout_->telemetry.try_pop();
 }
 
+std::uint64_t ShmChannel::drain_newest(Telemetry& out) {
+  return layout_->telemetry.drain_to_newest(out);
+}
+
 std::uint64_t ShmChannel::commands_dropped() const {
   return layout_->commands_dropped.load(std::memory_order_relaxed);
 }

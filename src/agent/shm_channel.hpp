@@ -57,6 +57,22 @@ class ShmRing {
     return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
   }
 
+  /// Consumer-side batch drain in O(1): copy the NEWEST committed slot into
+  /// `out` and advance the cursor past everything queued, returning how many
+  /// entries were consumed (0 = empty, `out` untouched). Safe against a
+  /// concurrent producer: slot head-1 is committed (its release store of
+  /// head happens-before our acquire load), and the producer cannot reuse
+  /// that cell until position head-1+N becomes writable, which needs the
+  /// tail — which only we advance — to move past head-1 first.
+  std::uint64_t drain_to_newest(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return 0;
+    out = slots_[(head - 1) & (N - 1)];
+    tail_.store(head, std::memory_order_release);
+    return head - tail;
+  }
+
  private:
   alignas(64) std::atomic<std::uint64_t> head_;
   alignas(64) std::atomic<std::uint64_t> tail_;
@@ -88,6 +104,9 @@ class ShmChannel final : public ChannelBase {
   std::optional<Command> pop_command() override;
   bool push_telemetry(const Telemetry& telemetry) override;
   std::optional<Telemetry> pop_telemetry() override;
+  /// O(1) sequence-coalesced drain (ShmRing::drain_to_newest): one cursor
+  /// store consumes the whole backlog instead of 256 serial pops.
+  std::uint64_t drain_newest(Telemetry& out) override;
   /// Drop counters live in the segment itself, so either end sees losses
   /// regardless of which process suffered the full ring.
   std::uint64_t commands_dropped() const override;

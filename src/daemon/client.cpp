@@ -206,7 +206,9 @@ void DaemonClient::disconnect() {
   // Only our exact incarnation may be flipped to kLeaving; if the word
   // moved on (eviction, daemon restart) the CAS fails harmlessly.
   std::uint64_t expected = active_word_;
-  registry_->slot(slot_index_).try_transition(expected, SlotState::kLeaving);
+  if (registry_->slot(slot_index_).try_transition(expected, SlotState::kLeaving)) {
+    raise_attention(registry_->header(), slot_index_);
+  }
   drop_connection();
 }
 

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -21,6 +22,10 @@ namespace numashare::nsd {
 
 namespace {
 
+/// How often (in ticks) the per-client channel drop counters are mirrored
+/// into the registry slots for daemon-status.
+constexpr std::uint64_t kDropMirrorEveryTicks = 16;
+
 bool pid_is_dead(std::uint32_t pid) {
   if (pid == 0) return true;
   return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
@@ -34,6 +39,20 @@ std::string slot_client_name(const ClientSlot& slot) {
 
 std::vector<agent::Directive> AdvertisedAiPolicy::decide(
     const topo::Machine& machine, const std::vector<agent::AppView>& views) {
+  // Zero-copy fast path: only copy the view vector when some view actually
+  // needs its AI substituted. At 1000+ clients the wholesale copy would
+  // dominate an otherwise idle tick; when no client advertises at all, even
+  // the per-view lookups are skipped.
+  if (any_advertised_ && !any_advertised_()) return inner_->decide(machine, views);
+  bool needs_patch = false;
+  for (const auto& view : views) {
+    if (view.has_telemetry && view.latest.ai_estimate > 0.0) continue;
+    if (advertised_(view.name) > 0.0) {
+      needs_patch = true;
+      break;
+    }
+  }
+  if (!needs_patch) return inner_->decide(machine, views);
   std::vector<agent::AppView> patched = views;
   for (auto& view : patched) {
     if (view.has_telemetry && view.latest.ai_estimate > 0.0) continue;
@@ -46,21 +65,27 @@ std::vector<agent::Directive> AdvertisedAiPolicy::decide(
 }
 
 Daemon::Daemon(topo::Machine machine, agent::PolicyPtr policy, DaemonOptions options)
-    : machine_(std::move(machine)), options_(std::move(options)) {
+    : machine_(std::move(machine)),
+      options_(std::move(options)),
+      clients_(kMaxClients),
+      claim_first_seen_s_(kMaxClients, -1.0) {
   NS_REQUIRE(policy != nullptr, "daemon needs a policy");
   auto lookup = [this](const std::string& app_name) -> double {
-    for (const auto& client : clients_) {
-      if (client.used && client.app_name == app_name) return client.advertised_ai;
-    }
-    return 0.0;
+    // Only clients advertising a usable AI are in the map, so when none do
+    // (the common steady state once telemetry flows) the per-view lookup in
+    // AdvertisedAiPolicy::decide costs a branch, not a string hash.
+    if (advertised_ai_by_name_.empty()) return 0.0;
+    const auto it = advertised_ai_by_name_.find(app_name);
+    return it == advertised_ai_by_name_.end() ? 0.0 : it->second;
   };
-  auto wrapped = std::make_unique<AdvertisedAiPolicy>(std::move(policy), std::move(lookup));
+  auto wrapped = std::make_unique<AdvertisedAiPolicy>(
+      std::move(policy), std::move(lookup),
+      [this] { return !advertised_ai_by_name_.empty(); });
   agent::AgentOptions agent_options = options_.agent;
   agent_ = std::make_unique<agent::Agent>(machine_, std::move(wrapped), agent_options);
   if (options_.foreign_enabled) {
     foreign_ = std::make_unique<foreign::ForeignMonitor>(machine_, options_.foreign);
   }
-  for (auto& seen : claim_first_seen_s_) seen = -1.0;
 }
 
 Daemon::~Daemon() { shutdown(); }
@@ -179,9 +204,11 @@ void Daemon::admit(std::uint32_t index, std::uint64_t joining_word, double now) 
   }
   const std::string base = slot_client_name(slot);
   const std::string app_name = ns_format("{}#{}.{}", base.empty() ? "app" : base, index, join_seq);
-  agent_->add_app(app_name, *channel);
+  const std::size_t agent_index = agent_->add_app(app_name, *channel);
 
   auto& client = clients_[index];
+  client.agent_index = agent_index;
+  client.agent_index_generation = agent_->generation();
   client.used = true;
   client.app_name = app_name;
   client.pid = pid;
@@ -237,6 +264,10 @@ void Daemon::admit(std::uint32_t index, std::uint64_t joining_word, double now) 
     return;
   }
   registry_->header().generation.store(agent_->generation(), std::memory_order_relaxed);
+  used_bits_[index / kSlotsPerShard] |= std::uint64_t{1} << (index % kSlotsPerShard);
+  // Sparse map: only advertisements the policy could actually substitute.
+  // lookup() above then short-circuits on empty() in the steady state.
+  if (client.advertised_ai > 0.0) advertised_ai_by_name_[app_name] = client.advertised_ai;
 
   ++stats_.joins;
   NS_LOG_INFO("daemon", "join: '{}' pid {} slot {} (ai={})", app_name, client.pid, index,
@@ -263,7 +294,9 @@ void Daemon::retire(std::uint32_t index, const char* reason, double now) {
                    {"reason", jstr(reason)},
                    {"generation", jnum(agent_->generation())}});
   client.channel.reset();  // creator side: unlinks the segment
+  advertised_ai_by_name_.erase(client.app_name);
   client = Client{};
+  used_bits_[index / kSlotsPerShard] &= ~(std::uint64_t{1} << (index % kSlotsPerShard));
   auto& slot = registry_->slot(index);
   registry_->header().generation.store(agent_->generation(), std::memory_order_relaxed);
   // CAS-loop to kFree: the nonce bump invalidates the departing client's
@@ -291,56 +324,120 @@ void Daemon::check_liveness(std::uint32_t index, double now) {
   }
 }
 
+void Daemon::process_slot(std::uint32_t index, double now) {
+  auto& slot = registry_->slot(index);
+  std::uint64_t word = slot.state_word.load(std::memory_order_acquire);
+  const SlotState state = state_of(word);
+  const std::uint64_t bit = std::uint64_t{1} << (index % kSlotsPerShard);
+  if (state != SlotState::kClaiming) {
+    claim_first_seen_s_[index] = -1.0;
+    claiming_bits_[index / kSlotsPerShard] &= ~bit;
+  }
+  switch (state) {
+    case SlotState::kJoining:
+      admit(index, word, now);
+      break;
+    case SlotState::kLeaving:
+      if (clients_[index].used) {
+        retire(index, "leave", now);
+      } else {
+        slot.try_transition(word, SlotState::kFree);
+      }
+      break;
+    case SlotState::kActive:
+      if (!clients_[index].used) {
+        // Active slot we know nothing about: impossible after a clean
+        // startup (cleanup removed the old registry); recycle defensively.
+        // Admitted clients are handled by the liveness pass over used_bits_.
+        slot.try_transition(word, SlotState::kFree);
+      }
+      break;
+    case SlotState::kClaiming:
+      // A claimant that dies (or stalls) here leaks the slot forever: no
+      // other claimant can take it and the daemon never sees kJoining.
+      // Bound the window: reclaim after claim_timeout_s. The nonce bump
+      // makes a late publish by a merely-stalled claimant fail its CAS.
+      // claiming_bits_ keeps the slot on this tick-by-tick watch after its
+      // attention bit (consumed on first sight) is gone.
+      if (claim_first_seen_s_[index] < 0.0) {
+        claim_first_seen_s_[index] = now;
+        claiming_bits_[index / kSlotsPerShard] |= bit;
+      } else if (now - claim_first_seen_s_[index] > options_.claim_timeout_s) {
+        if (slot.try_transition(word, SlotState::kFree)) {
+          ++stats_.claims_reclaimed;
+          NS_LOG_WARN("daemon", "reclaimed slot {} stuck in claiming past {}s", index,
+                      options_.claim_timeout_s);
+          journal_.record(now, "claim-reclaimed", {{"slot", jnum(index)}});
+        }
+        claim_first_seen_s_[index] = -1.0;
+        claiming_bits_[index / kSlotsPerShard] &= ~bit;
+      }
+      break;
+    case SlotState::kFree:
+      break;
+  }
+}
+
 std::uint32_t Daemon::tick(double now) {
   NS_REQUIRE(registry_ != nullptr, "Daemon::init() must succeed before tick()");
   if (NS_FAULT_AT("daemon.tick.skip")) return 0;
   // SIGKILL stand-in for the kill/restart chaos harness: `daemon.die@
   // site=tick,after=N` murders the daemon mid-service on the N+1-th tick.
   NS_FAULT_DIE("daemon.die", "tick", 52);
-  for (std::uint32_t i = 0; i < kMaxClients; ++i) {
-    auto& slot = registry_->slot(i);
-    std::uint64_t word = slot.state_word.load(std::memory_order_acquire);
-    const SlotState state = state_of(word);
-    if (state != SlotState::kClaiming) claim_first_seen_s_[i] = -1.0;
-    switch (state) {
-      case SlotState::kJoining:
-        admit(i, word, now);
-        break;
-      case SlotState::kLeaving:
-        if (clients_[i].used) {
-          retire(i, "leave", now);
-        } else {
-          slot.try_transition(word, SlotState::kFree);
-        }
-        break;
-      case SlotState::kActive:
-        if (clients_[i].used) {
-          check_liveness(i, now);
-        } else {
-          // Active slot we know nothing about: impossible after a clean
-          // startup (cleanup removed the old registry); recycle defensively.
-          slot.try_transition(word, SlotState::kFree);
-        }
-        break;
-      case SlotState::kClaiming:
-        // A claimant that dies (or stalls) here leaks the slot forever: no
-        // other claimant can take it and the daemon never sees kJoining.
-        // Bound the window: reclaim after claim_timeout_s. The nonce bump
-        // makes a late publish by a merely-stalled claimant fail its CAS.
-        if (claim_first_seen_s_[i] < 0.0) {
-          claim_first_seen_s_[i] = now;
-        } else if (now - claim_first_seen_s_[i] > options_.claim_timeout_s) {
-          if (slot.try_transition(word, SlotState::kFree)) {
-            ++stats_.claims_reclaimed;
-            NS_LOG_WARN("daemon", "reclaimed slot {} stuck in claiming past {}s", i,
-                        options_.claim_timeout_s);
-            journal_.record(now, "claim-reclaimed", {{"slot", jnum(i)}});
-          }
-          claim_first_seen_s_[i] = -1.0;
-        }
-        break;
-      case SlotState::kFree:
-        break;
+
+  // 1. Attention-driven servicing: one exchange drains a whole shard's
+  // bitmap, then only flagged slots are visited — tick cost is proportional
+  // to activity, not to the 1024-slot capacity.
+  auto& header = registry_->header();
+  for (std::uint32_t shard = 0; shard < kRegistryShards; ++shard) {
+    // Cheap load first: an idle shard costs a read, not an atomic RMW. A
+    // bit raised between the load and the next tick's load is simply seen
+    // then — no different from one raised just after an unconditional
+    // exchange.
+    if (header.attention[shard].load(std::memory_order_relaxed) == 0) continue;
+    std::uint64_t bits = header.attention[shard].exchange(0, std::memory_order_acquire);
+    for (; bits != 0; bits &= bits - 1) {
+      ++stats_.attention_visits;
+      process_slot(shard * kSlotsPerShard +
+                       static_cast<std::uint32_t>(std::countr_zero(bits)),
+                   now);
+    }
+  }
+  // 2. Claim-timeout watch: slots seen claiming keep getting re-checked
+  // every tick (their attention bit was consumed when first seen).
+  for (std::uint32_t shard = 0; shard < kRegistryShards; ++shard) {
+    std::uint64_t bits = claiming_bits_[shard];
+    for (; bits != 0; bits &= bits - 1) {
+      process_slot(shard * kSlotsPerShard +
+                       static_cast<std::uint32_t>(std::countr_zero(bits)),
+                   now);
+    }
+  }
+  // 3. Safety-net full sweep: converges slots whose attention bit was lost
+  // (raiser killed between its state CAS and the fetch_or). Runs on the
+  // first tick, so startup state is serviced immediately.
+  if (options_.full_sweep_every_ticks > 0 &&
+      stats_.ticks % options_.full_sweep_every_ticks == 0) {
+    ++stats_.full_sweeps;
+    for (std::uint32_t i = 0; i < kMaxClients; ++i) process_slot(i, now);
+  }
+  // 4. Liveness over admitted clients, O(active): heartbeat silence is the
+  // *absence* of an event — no client-raised bit can signal it, so the
+  // daemon polls its own occupancy bitmap instead of the registry. The pass
+  // is time-gated: timeouts are seconds while ticks are sub-millisecond, so
+  // polling every heartbeat line every tick costs a cache miss per client
+  // for detection latency nobody asked for. Gated at timeout/8, a death is
+  // still caught within 9/8 of the configured timeout.
+  if (now - last_liveness_pass_s_ >=
+      options_.heartbeat_timeout_s * options_.liveness_check_fraction) {
+    last_liveness_pass_s_ = now;
+    for (std::uint32_t shard = 0; shard < kRegistryShards; ++shard) {
+      std::uint64_t bits = used_bits_[shard];
+      for (; bits != 0; bits &= bits - 1) {
+        const std::uint32_t i =
+            shard * kSlotsPerShard + static_cast<std::uint32_t>(std::countr_zero(bits));
+        if (clients_[i].used) check_liveness(i, now);
+      }
     }
   }
 
@@ -355,8 +452,38 @@ std::uint32_t Daemon::tick(double now) {
   // The compliance watchdog runs on the views the step just refreshed.
   // Liveness eviction (above) already removed the dead, so everything left
   // is heartbeating — the watchdog's subject is the live-but-noncompliant.
-  for (std::uint32_t i = 0; i < kMaxClients; ++i) {
-    if (clients_[i].used) check_compliance(i, now);
+  //
+  // Quiet-skip: when nothing the watchdog consumes has changed since the
+  // previous pass (no commands sent, no telemetry ingested, same
+  // membership) and that pass left every client healthy and caught up, no
+  // state machine can transition — every armed deadline requires a client
+  // behind or in a degraded health state. Skipping the pass keeps the idle
+  // tick free of the bulk snapshot and the per-client walk.
+  const bool quiet = sent == 0 && compliance_all_quiet_ &&
+                     agent_->generation() == compliance_pass_generation_ &&
+                     agent_->telemetry_received() == compliance_pass_telemetry_;
+  if (!quiet) {
+    // One bulk snapshot serves the whole pass; a compliance-evict mid-pass
+    // shifts agent indices (generation bump), so the snapshot refreshes
+    // then.
+    agent_->snapshot_compliance(compliance_scratch_);
+    std::uint64_t scratch_generation = agent_->generation();
+    compliance_all_quiet_ = true;
+    for (std::uint32_t shard = 0; shard < kRegistryShards; ++shard) {
+      std::uint64_t bits = used_bits_[shard];
+      for (; bits != 0; bits &= bits - 1) {
+        const std::uint32_t i =
+            shard * kSlotsPerShard + static_cast<std::uint32_t>(std::countr_zero(bits));
+        if (!clients_[i].used) continue;
+        if (agent_->generation() != scratch_generation) {
+          agent_->snapshot_compliance(compliance_scratch_);
+          scratch_generation = agent_->generation();
+        }
+        check_compliance(i, now);
+      }
+    }
+    compliance_pass_generation_ = agent_->generation();
+    compliance_pass_telemetry_ = agent_->telemetry_received();
   }
   ++stats_.ticks;
   registry_->header().tick.fetch_add(1, std::memory_order_release);
@@ -377,11 +504,29 @@ std::uint32_t Daemon::tick(double now) {
 
 void Daemon::check_compliance(std::uint32_t index, double now) {
   auto& client = clients_[index];
-  const auto comp = agent_->compliance(client.app_name);
+  // Index-addressed compliance fetch from the tick's bulk snapshot: the
+  // cached index survives until any join/leave bumps the agent generation,
+  // so the steady-state tick does one vector read per client instead of a
+  // mutex acquisition and a name hash.
+  if (client.agent_index_generation != agent_->generation()) {
+    client.agent_index = agent_->find_app(client.app_name);
+    client.agent_index_generation = agent_->generation();
+  }
+  const auto comp = client.agent_index < compliance_scratch_.size()
+                        ? compliance_scratch_[client.agent_index]
+                        : agent::Agent::ComplianceState{};
+  const ClientHealth health_before = client.health;
+  const bool epochs_changed = client.commanded_epoch != comp.commanded_epoch ||
+                              client.enacted_epoch != comp.enacted_epoch ||
+                              client.stalled_workers != comp.stalled_workers;
   client.commanded_epoch = comp.commanded_epoch;
   client.enacted_epoch = comp.enacted_epoch;
   client.stalled_workers = comp.stalled_workers;
   const bool behind = comp.commanded_epoch > comp.enacted_epoch;
+  // A client behind or in any degraded health state has armed deadlines:
+  // the watchdog pass must keep running for it even on otherwise-quiet
+  // ticks (health may still change below; checked again at the end).
+  if (behind) compliance_all_quiet_ = false;
   if (!behind) {
     client.behind_since_s = -1.0;
   } else if (client.behind_since_s < 0.0) {
@@ -523,16 +668,35 @@ void Daemon::check_compliance(std::uint32_t index, double now) {
       break;
   }
 
+  if (client.health != ClientHealth::kHealthy) compliance_all_quiet_ = false;
+
   // Mirror the watchdog's view into the registry slot for daemon-status.
+  // Stores are gated on change (admit() seeds the slot with the same
+  // defaults the Client reset carries), keeping the quiescent-client tick
+  // free of shared-memory writes.
   auto& slot = registry_->slot(index);
-  slot.health.store(static_cast<std::uint32_t>(client.health), std::memory_order_relaxed);
-  slot.commanded_epoch.store(client.commanded_epoch, std::memory_order_relaxed);
-  slot.enacted_epoch.store(client.enacted_epoch, std::memory_order_relaxed);
-  slot.stalled_workers.store(client.stalled_workers, std::memory_order_relaxed);
-  if (client.channel != nullptr) {
-    slot.commands_dropped.store(client.channel->commands_dropped(), std::memory_order_relaxed);
-    slot.telemetry_dropped.store(client.channel->telemetry_dropped(),
-                                 std::memory_order_relaxed);
+  if (client.health != health_before) {
+    slot.health.store(static_cast<std::uint32_t>(client.health), std::memory_order_relaxed);
+  }
+  if (epochs_changed) {
+    slot.commanded_epoch.store(client.commanded_epoch, std::memory_order_relaxed);
+    slot.enacted_epoch.store(client.enacted_epoch, std::memory_order_relaxed);
+    slot.stalled_workers.store(client.stalled_workers, std::memory_order_relaxed);
+  }
+  // Drop counters feed daemon-status only; refreshing them means two
+  // ring-header loads per client, so do it on a cadence rather than every
+  // tick (second-scale staleness is fine for an observability mirror).
+  if (client.channel != nullptr && stats_.ticks % kDropMirrorEveryTicks == 0) {
+    const std::uint64_t cmd_dropped = client.channel->commands_dropped();
+    const std::uint64_t tel_dropped = client.channel->telemetry_dropped();
+    if (cmd_dropped != client.mirrored_commands_dropped) {
+      client.mirrored_commands_dropped = cmd_dropped;
+      slot.commands_dropped.store(cmd_dropped, std::memory_order_relaxed);
+    }
+    if (tel_dropped != client.mirrored_telemetry_dropped) {
+      client.mirrored_telemetry_dropped = tel_dropped;
+      slot.telemetry_dropped.store(tel_dropped, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -824,7 +988,7 @@ void Daemon::stop() {
 
 std::size_t Daemon::client_count() const {
   std::size_t used = 0;
-  for (const auto& client : clients_) used += client.used ? 1 : 0;
+  for (const auto bits : used_bits_) used += static_cast<std::size_t>(std::popcount(bits));
   return used;
 }
 

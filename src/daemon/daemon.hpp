@@ -26,6 +26,8 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "agent/agent.hpp"
 #include "agent/shm_channel.hpp"
@@ -51,6 +53,19 @@ struct DaemonOptions {
   std::int64_t period_us = 10'000;
   /// Journal a full state snapshot every N ticks (0 = never).
   std::uint64_t snapshot_every_ticks = 100;
+  /// Scan every slot (not just attention-flagged ones) every N ticks — the
+  /// safety net that converges slots whose attention bit was lost (raiser
+  /// killed between its state CAS and the fetch_or). 1 = full scan every
+  /// tick (the pre-v7 behaviour, and the bench's baseline); 0 = never
+  /// (bitmap-only, tests). See docs/DAEMON.md "Scaling the tick path".
+  std::uint64_t full_sweep_every_ticks = 16;
+  /// Liveness pass cadence as a fraction of heartbeat_timeout_s (the pass
+  /// runs when at least timeout*fraction seconds passed since the last one).
+  /// Heartbeat silence is measured in seconds while ticks run at
+  /// microsecond-to-millisecond cadence — polling every client's heartbeat
+  /// line every tick buys nothing but cache misses. Detection latency is
+  /// bounded by timeout * (1 + fraction). 0 = check every tick.
+  double liveness_check_fraction = 0.125;
 
   // --- Compliance watchdog (healthy -> laggard -> quarantined -> evicted).
   /// A client behind the commanded epoch for this long becomes a laggard:
@@ -107,6 +122,9 @@ struct DaemonStats {
   /// Admits rolled back because the claimant abandoned during activation.
   std::uint64_t joins_abandoned = 0;
   std::size_t stale_segments_cleaned = 0;
+  // Tick-path scaling counters (registry v7).
+  std::uint64_t attention_visits = 0;  ///< slots serviced from the bitmaps
+  std::uint64_t full_sweeps = 0;       ///< safety-net full scans run
   // Compliance watchdog counters.
   std::uint64_t laggards = 0;             ///< healthy -> laggard transitions
   std::uint64_t quarantines = 0;          ///< laggard -> quarantined transitions
@@ -211,8 +229,22 @@ class Daemon {
     /// Epoch for which an "enactment-stalled" journal entry was last
     /// written, so a long stall journals once per commanded epoch.
     std::uint64_t stall_journaled_epoch = 0;
+    /// Cached agent app index for this client, valid while
+    /// agent_index_generation matches Agent::generation(); refreshed lazily
+    /// so the per-tick watchdog pass skips the name hash (compliance_at).
+    std::size_t agent_index = 0;
+    std::uint64_t agent_index_generation = ~std::uint64_t{0};
+    /// Channel drop counters last mirrored into the registry slot; stores
+    /// are gated on change so a quiescent client's tick stays write-free.
+    std::uint64_t mirrored_commands_dropped = 0;
+    std::uint64_t mirrored_telemetry_dropped = 0;
   };
 
+  /// Service one slot's state machine (admit/retire/recycle/claim-timeout).
+  /// Liveness and compliance for admitted clients run separately over
+  /// used_bits_ — heartbeat silence is the *absence* of an event, which no
+  /// client-raised attention bit can signal.
+  void process_slot(std::uint32_t index, double now);
   void admit(std::uint32_t index, std::uint64_t joining_word, double now);
   void retire(std::uint32_t index, const char* reason, double now);
   void check_liveness(std::uint32_t index, double now);
@@ -232,10 +264,35 @@ class Daemon {
   std::unique_ptr<foreign::ForeignMonitor> foreign_;
   std::unique_ptr<Registry> registry_;
   JournalWriter journal_;
-  Client clients_[kMaxClients];
+  // Per-slot bookkeeping, sized off the registry constant (kMaxClients
+  // entries each) so a capacity bump can never silently truncate it.
+  std::vector<Client> clients_;
   /// When each slot was first seen in kClaiming (< 0 = not claiming);
   /// drives the claim-timeout reclamation.
-  double claim_first_seen_s_[kMaxClients];
+  std::vector<double> claim_first_seen_s_;
+  /// Daemon-local occupancy bitmaps, one word per registry shard: bit set =
+  /// clients_[i].used. Liveness, compliance and client_count() iterate set
+  /// bits instead of scanning the full capacity.
+  std::uint64_t used_bits_[kRegistryShards] = {};
+  /// Slots observed in kClaiming whose timeout we are watching (their
+  /// attention bit was consumed when first seen).
+  std::uint64_t claiming_bits_[kRegistryShards] = {};
+  /// Advertised arithmetic intensity by app name, for AdvertisedAiPolicy's
+  /// per-view lookup (a linear clients_ scan there is O(n^2) per decide).
+  std::unordered_map<std::string, double> advertised_ai_by_name_;
+  /// Per-tick bulk compliance snapshot (indexed by agent app index), reused
+  /// across ticks so the watchdog pass allocates nothing in steady state.
+  std::vector<agent::Agent::ComplianceState> compliance_scratch_;
+  /// Quiet-skip state for the watchdog pass: the pass is elided when the
+  /// previous one left every client healthy and caught up AND none of its
+  /// inputs (commands sent, telemetry ingested, membership) changed since.
+  bool compliance_all_quiet_ = false;
+  std::uint64_t compliance_pass_generation_ = ~std::uint64_t{0};
+  std::uint64_t compliance_pass_telemetry_ = ~std::uint64_t{0};
+  /// Timestamp of the last liveness pass; see
+  /// DaemonOptions::liveness_check_fraction. Starts at -inf so the first
+  /// tick always checks.
+  double last_liveness_pass_s_ = -1e300;
   DaemonStats stats_;
   /// Monotonic join counter; makes channel names and app names unique
   /// across slot reuse.
@@ -258,9 +315,16 @@ class AdvertisedAiPolicy final : public agent::Policy {
  public:
   /// `advertised` returns the advertised AI for an app name (0 = none).
   using AiLookup = std::function<double(const std::string&)>;
+  /// Cheap "could any lookup succeed?" predicate; when it returns false the
+  /// per-view lookups are skipped wholesale (one call instead of N). Absent
+  /// = always assume yes.
+  using AnyAdvertised = std::function<bool()>;
 
-  AdvertisedAiPolicy(agent::PolicyPtr inner, AiLookup advertised)
-      : inner_(std::move(inner)), advertised_(std::move(advertised)) {}
+  AdvertisedAiPolicy(agent::PolicyPtr inner, AiLookup advertised,
+                     AnyAdvertised any_advertised = {})
+      : inner_(std::move(inner)),
+        advertised_(std::move(advertised)),
+        any_advertised_(std::move(any_advertised)) {}
 
   const char* name() const override { return inner_->name(); }
   std::vector<agent::Directive> decide(const topo::Machine& machine,
@@ -275,6 +339,7 @@ class AdvertisedAiPolicy final : public agent::Policy {
  private:
   agent::PolicyPtr inner_;
   AiLookup advertised_;
+  AnyAdvertised any_advertised_;
 };
 
 }  // namespace numashare::nsd

@@ -192,6 +192,10 @@ void FailoverClient::publish_proposal() {
   // Release-publish: a gatherer that observes the new seq sees the complete
   // desired vector and its generation tag.
   slot.proposal_seq.fetch_add(1, std::memory_order_release);
+  // Proposals arbitrate peer-to-peer while the daemon is dead, but a
+  // restarted daemon that fails back mid-episode learns of the slot's
+  // activity from the bitmap instead of waiting for its full sweep.
+  raise_attention(registry->header(), client_.slot_index());
 }
 
 void FailoverClient::gather_and_arbitrate() {

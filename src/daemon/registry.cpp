@@ -26,7 +26,11 @@ constexpr std::uint64_t kMagic = 0x6e756d617372656dull;  // "numasrem" (registry
 // v6: failover tier — daemon_heartbeat + arbiter_generation header words
 //     (client-side liveness detection, generation-fenced failback) and
 //     per-slot degraded-mode proposal fields + failover_state mirror.
-constexpr std::uint32_t kVersion = 6;
+// v7: scale tier — kMaxClients 32 -> 1024 behind a 16 x 64 shard structure
+//     with per-shard attention bitmap words (header.attention[]) so the
+//     daemon visits only flagged slots per tick instead of scanning the
+//     full capacity (docs/DAEMON.md "Scaling the tick path").
+constexpr std::uint32_t kVersion = 7;
 
 RegistryHeader* map_segment(int fd) {
   void* mapped =
@@ -65,6 +69,7 @@ std::unique_ptr<Registry> Registry::create(const std::string& name, std::string*
   header->arbiter_generation.store(0, std::memory_order_relaxed);
   header->node_count.store(0, std::memory_order_relaxed);
   for (auto& cores : header->node_cores) cores.store(0, std::memory_order_relaxed);
+  for (auto& word : header->attention) word.store(0, std::memory_order_relaxed);
   for (auto& slot : header->slots) {
     slot.state_word.store(pack_state(SlotState::kFree, 0), std::memory_order_relaxed);
     slot.heartbeat.store(0, std::memory_order_relaxed);
@@ -131,6 +136,9 @@ std::optional<Registry::Claim> Registry::claim_slot(const std::string& client_na
     std::uint64_t word = slot.state_word.load(std::memory_order_relaxed);
     if (state_of(word) != SlotState::kFree) continue;
     if (!slot.try_transition(word, SlotState::kClaiming)) continue;
+    // Flag before the fault hooks: a claimant killed at the hook below still
+    // gets its stalled claim noticed (and timed out) from the bitmap path.
+    raise_attention(*header_, i);
     NS_FAULT_PAUSE("registry.pause", "claiming");
     NS_FAULT_DIE("registry.die", "claiming", 43);
     // We own the slot until the daemon activates it, we abandon it, or —
@@ -152,6 +160,7 @@ std::optional<Registry::Claim> Registry::claim_slot(const std::string& client_na
     // fails exactly when the daemon reclaimed our stalled claim — the slot
     // belongs to whoever owns it now, so move on to another one.
     if (!slot.try_transition(word, SlotState::kJoining)) continue;
+    raise_attention(*header_, i);
     NS_FAULT_PAUSE("registry.pause", "joining");
     NS_FAULT_DIE("registry.die", "joining", 44);
     return Claim{i, word};

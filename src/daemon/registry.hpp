@@ -26,7 +26,13 @@
 
 namespace numashare::nsd {
 
-inline constexpr std::uint32_t kMaxClients = 32;
+/// Registry capacity (v7): 1024 slots behind a shard structure. Shards are
+/// purely an indexing scheme over the flat slot array — slot i lives in
+/// shard i / kSlotsPerShard — sized so one shard's attention bitmap is
+/// exactly one 64-bit word (see RegistryHeader::attention).
+inline constexpr std::uint32_t kRegistryShards = 16;
+inline constexpr std::uint32_t kSlotsPerShard = 64;
+inline constexpr std::uint32_t kMaxClients = kRegistryShards * kSlotsPerShard;
 inline constexpr std::uint32_t kClientNameChars = 48;
 inline constexpr std::uint32_t kShmNameChars = 64;
 inline constexpr std::uint32_t kMaxForeign = 16;
@@ -213,11 +219,30 @@ struct RegistryHeader {
   /// (atomic: a client may open the registry before the daemon fills this).
   std::atomic<std::uint32_t> node_count;
   std::atomic<std::uint32_t> node_cores[agent::kMaxNodes];
+  /// Per-shard attention bitmaps (v7): bit (i % kSlotsPerShard) of word
+  /// (i / kSlotsPerShard) means "slot i needs daemon action". Clients and
+  /// claimants raise a bit with one fetch_or (release) *after* publishing
+  /// the state it advertises (kJoining, kLeaving, a proposal_seq bump); the
+  /// daemon drains a whole shard with exchange(0) (acquire) and visits only
+  /// the flagged slots, so tick cost tracks activity, not capacity. A bit
+  /// can be lost when a raiser dies between the state CAS and the fetch_or;
+  /// the periodic full sweep (DaemonOptions::full_sweep_every_ticks) is the
+  /// safety net that still converges those slots.
+  std::atomic<std::uint64_t> attention[kRegistryShards];
   ClientSlot slots[kMaxClients];
   /// Foreign shard (v4): rows [0, foreign_count) are meaningful.
   std::atomic<std::uint32_t> foreign_count;
   ForeignSlot foreign[kMaxForeign];
 };
+
+/// Flag slot `index` for daemon attention. Callers publish the state that
+/// needs servicing first (release CAS / release store), then raise; the
+/// daemon's acquire exchange on the word therefore observes the published
+/// state whenever it observes the bit.
+inline void raise_attention(RegistryHeader& header, std::uint32_t index) {
+  header.attention[index / kSlotsPerShard].fetch_or(
+      std::uint64_t{1} << (index % kSlotsPerShard), std::memory_order_release);
+}
 
 /// RAII mapping of the registry segment. The daemon create()s (exclusively)
 /// and unlinks on destruction; clients and status tools open() an existing

@@ -224,6 +224,45 @@ int cmd_daemon_status(int argc, char** argv) {
   std::printf("arbiter gen:%llu\n\n",
               static_cast<unsigned long long>(header.arbiter_generation.load()));
 
+  // Shard summary (registry v7): per-shard occupancy plus the live attention
+  // word. At 1024 slots the per-slot table below collapses free slots, so
+  // this is the only place the full capacity is visible. Fully-free shards
+  // with no pending attention collapse into one line.
+  TextTable shard_table({"shard", "slots", "active", "joining", "leaving", "claiming",
+                         "attention (hex)"});
+  std::uint32_t empty_shards = 0;
+  for (std::uint32_t shard = 0; shard < nsd::kRegistryShards; ++shard) {
+    std::uint32_t counts[5] = {};  // indexed by SlotState
+    for (std::uint32_t s = 0; s < nsd::kSlotsPerShard; ++s) {
+      const auto state = registry->slot(shard * nsd::kSlotsPerShard + s).state();
+      ++counts[std::min<std::uint32_t>(static_cast<std::uint32_t>(state), 4)];
+    }
+    const auto attention = header.attention[shard].load(std::memory_order_relaxed);
+    const std::uint32_t occupied = nsd::kSlotsPerShard -
+                                   counts[static_cast<int>(nsd::SlotState::kFree)];
+    if (occupied == 0 && attention == 0) {
+      ++empty_shards;
+      continue;
+    }
+    char hex[19];
+    std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(attention));
+    const std::string range = std::to_string(shard * nsd::kSlotsPerShard) + "-" +
+                              std::to_string((shard + 1) * nsd::kSlotsPerShard - 1);
+    shard_table.add_row(
+        {std::to_string(shard), range,
+         std::to_string(counts[static_cast<int>(nsd::SlotState::kActive)]),
+         std::to_string(counts[static_cast<int>(nsd::SlotState::kJoining)]),
+         std::to_string(counts[static_cast<int>(nsd::SlotState::kLeaving)]),
+         std::to_string(counts[static_cast<int>(nsd::SlotState::kClaiming)]), hex});
+  }
+  std::printf("%s", shard_table.render().c_str());
+  if (empty_shards > 0) {
+    std::printf("(%u empty shard%s collapsed; capacity %u slots in %u shards)\n",
+                empty_shards, empty_shards == 1 ? "" : "s", nsd::kMaxClients,
+                nsd::kRegistryShards);
+  }
+  std::printf("\n");
+
   TextTable table({"slot", "state", "name", "pid", "ai", "heartbeat", "health", "failover",
                    "cmd/enacted", "drops c/t", "stalled", "channel"});
   std::uint32_t active = 0;
